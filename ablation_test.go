@@ -1,0 +1,170 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out: structure
+// sizes and policies the paper fixes without sweeping. Each reports cycles
+// (lower is better) so the sensitivity of the headline results to each
+// choice is visible:
+//
+//	go test -bench=Ablation -benchtime=1x
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+func ablRun(b *testing.B, bench string, cfg *sim.Config) uint64 {
+	b.Helper()
+	w, err := workloads.Get(bench)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		res, err := w.Run(cfg, workloads.Test)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = res.Stats.Cycles
+	}
+	b.ReportMetric(float64(cycles), "cycles")
+	return cycles
+}
+
+// BenchmarkAblation_MAFSize sweeps the miss-address-file depth on the
+// memory-bound random-update microkernel. The paper fixes 64 outstanding
+// misses; the sweep shows where that sits on the curve (vector codes need
+// the misses in flight that scalar EV8 cannot generate, §6).
+func BenchmarkAblation_MAFSize(b *testing.B) {
+	for _, size := range []int{8, 16, 32, 64, 128} {
+		b.Run(fmt.Sprintf("maf=%d", size), func(b *testing.B) {
+			cfg := sim.T()
+			cfg.L2.MAFSize = size
+			ablRun(b, "rndmemscale", cfg)
+		})
+	}
+}
+
+// BenchmarkAblation_MemInsts sweeps how many vector memory instructions the
+// Vbox keeps in its memory pipeline at once (the load/store queue of §3.2).
+func BenchmarkAblation_MemInsts(b *testing.B) {
+	for _, n := range []int{2, 4, 8, 16, 32} {
+		b.Run(fmt.Sprintf("meminsts=%d", n), func(b *testing.B) {
+			cfg := sim.T()
+			cfg.Vbox.MemInsts = n
+			ablRun(b, "rndcopy", cfg)
+		})
+	}
+}
+
+// BenchmarkAblation_SliceQueue sweeps the L2's vector input queue depth.
+func BenchmarkAblation_SliceQueue(b *testing.B) {
+	for _, n := range []int{2, 4, 16, 64} {
+		b.Run(fmt.Sprintf("sliceq=%d", n), func(b *testing.B) {
+			cfg := sim.T()
+			cfg.L2.SliceQueue = n
+			ablRun(b, "rndcopy", cfg)
+		})
+	}
+}
+
+// BenchmarkAblation_TLBRefill compares the two PALcode refill strategies of
+// §3.4 — (1) refill only the missing lanes, (2) peek at vs and refill every
+// mapping the instruction needs — on a gather whose pages miss constantly.
+func BenchmarkAblation_TLBRefill(b *testing.B) {
+	for _, all := range []bool{false, true} {
+		name := "strategy1-lanes"
+		if all {
+			name = "strategy2-all"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := sim.T()
+			cfg.Vbox.TLBRefillAll = all
+			cfg.Vbox.TLBEntries = 4 // tiny TLBs so refills dominate
+			ablRun(b, "moldyn", cfg)
+		})
+	}
+}
+
+// BenchmarkAblation_FMA is the §5 extension study on a real kernel: the
+// register-tiled dgemm with mul+add pairs versus VSFMAT.
+func BenchmarkAblation_FMA(b *testing.B) {
+	var base, fma uint64
+	b.Run("mul-add", func(b *testing.B) { base = ablRun(b, "dgemm", sim.T()) })
+	b.Run("fmac", func(b *testing.B) { fma = ablRun(b, "dgemm_fma", sim.T()) })
+	if base > 0 && fma > 0 {
+		b.Logf("FMAC speedup on dgemm: %.2fx (paper §5: ≈2x at peak)", float64(base)/float64(fma))
+	}
+}
+
+// BenchmarkAblation_ReplayThreshold sweeps how many replays a sleeping slice
+// tolerates before the MAF enters panic mode (§3.4's livelock guard).
+func BenchmarkAblation_ReplayThreshold(b *testing.B) {
+	for _, thr := range []int{1, 4, 8, 32} {
+		b.Run(fmt.Sprintf("threshold=%d", thr), func(b *testing.B) {
+			cfg := sim.T()
+			cfg.L2.ReplayThreshold = thr
+			ablRun(b, "rndmemscale", cfg)
+		})
+	}
+}
+
+// BenchmarkAblation_WriteBuffer sweeps the EV8 write-buffer depth, which
+// throttles the scalar store stream and every DrainM barrier.
+func BenchmarkAblation_WriteBuffer(b *testing.B) {
+	for _, n := range []int{4, 8, 32, 64} {
+		b.Run(fmt.Sprintf("wb=%d", n), func(b *testing.B) {
+			cfg := sim.EV8()
+			cfg.Core.WriteBuffer = n
+			ablRun(b, "streams_copy", cfg)
+		})
+	}
+}
+
+// BenchmarkAblation_VRegFile sweeps the physical vector register file. The
+// paper notes SMT "forced using a much larger register file"; the sweep
+// shows where renaming begins to throttle a register-hungry kernel.
+func BenchmarkAblation_VRegFile(b *testing.B) {
+	for _, n := range []int{40, 48, 64, 128} {
+		b.Run(fmt.Sprintf("physvregs=%d", n), func(b *testing.B) {
+			cfg := sim.T()
+			cfg.Vbox.PhysVRegs = n
+			ablRun(b, "dgemm", cfg)
+		})
+	}
+}
+
+// BenchmarkAblation_SwimTiling reproduces the §6 tiling experiment: "we
+// also ran a naive non-tiled version of swim ... the non-tiled version was
+// almost 2X slower". The comparison needs the grid above the 16 MB L2, so
+// it runs at Full scale regardless of REPRO_BENCH_SCALE.
+func BenchmarkAblation_SwimTiling(b *testing.B) {
+	run := func(name string) uint64 {
+		w, err := workloads.Get(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := w.Run(sim.T(), workloads.Full)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res.Stats.Cycles
+	}
+	var tiled, naive uint64
+	b.Run("tiled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tiled = run("swim")
+		}
+		b.ReportMetric(float64(tiled), "cycles")
+	})
+	b.Run("untiled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			naive = run("swim_untiled")
+		}
+		b.ReportMetric(float64(naive), "cycles")
+	})
+	if tiled > 0 && naive > 0 {
+		b.Logf("untiled/tiled slowdown: %.2fx (paper: almost 2x)", float64(naive)/float64(tiled))
+	}
+}

@@ -1,0 +1,173 @@
+// The benchmark harness of deliverable (d): one top-level benchmark per
+// table and figure of the paper's evaluation section. Each reports the
+// quantity the paper plots as a custom metric (MB/s, operations/cycle,
+// speedup), so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates the whole evaluation. Set REPRO_BENCH_SCALE=test for a quick
+// pass or =full for inputs closer to the paper's (slow).
+package repro
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/tables"
+	"repro/internal/workloads"
+)
+
+func benchScale() workloads.Scale {
+	switch os.Getenv("REPRO_BENCH_SCALE") {
+	case "test":
+		return workloads.Test
+	case "full":
+		return workloads.Full
+	}
+	return workloads.Bench
+}
+
+// runOn executes a benchmark on one machine once per b.N iteration and
+// returns the last result.
+func runOn(b *testing.B, name string, cfg *sim.Config) *workloads.Result {
+	b.Helper()
+	bench, err := workloads.Get(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var res *workloads.Result
+	for i := 0; i < b.N; i++ {
+		res, err = bench.Run(cfg, benchScale())
+		if err != nil {
+			b.Fatalf("functional check failed: %v", err)
+		}
+	}
+	return res
+}
+
+// ---- Table 1 ----
+
+// BenchmarkTable1_PowerModel evaluates the §5 analytical power/area model
+// and reports the headline Gflops/Watt advantage (paper: 3.4X).
+func BenchmarkTable1_PowerModel(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		ratio = power.Ratio(power.Paper2006())
+	}
+	b.ReportMetric(ratio, "gflops/W-ratio")
+	b.ReportMetric(power.Model(power.Tarantula(), power.Paper2006()).GFPerWatt, "tarantula-gflops/W")
+}
+
+// ---- Table 4 ----
+
+// BenchmarkTable4 reruns the six bandwidth microkernels on Tarantula and
+// reports STREAMS-convention MB/s (paper column "Streams BW") and raw
+// controller MB/s including directory traffic (column "Raw BW").
+func BenchmarkTable4(b *testing.B) {
+	for _, name := range []string{
+		"streams_copy", "streams_scale", "streams_add", "streams_triadd",
+		"rndcopy", "rndmemscale",
+	} {
+		b.Run(name, func(b *testing.B) {
+			cfg := sim.T()
+			res := runOn(b, name, cfg)
+			bench, _ := workloads.Get(name)
+			res.Stats.UsefulBytes = bench.UsefulBytes(benchScale())
+			b.ReportMetric(res.Stats.BandwidthMBs(cfg.CPUGHz), "streams-MB/s")
+			b.ReportMetric(res.Stats.RawBandwidthMBs(cfg.CPUGHz), "raw-MB/s")
+		})
+	}
+}
+
+// ---- Figure 6 ----
+
+// BenchmarkFig6 reruns every evaluation benchmark on Tarantula and reports
+// sustained operations per cycle with the paper's FPC/MPC/Other split.
+func BenchmarkFig6(b *testing.B) {
+	for _, name := range workloads.Figure6Set() {
+		b.Run(name, func(b *testing.B) {
+			res := runOn(b, name, sim.T())
+			opc, fpc, mpc, other := res.OPC()
+			b.ReportMetric(opc, "opc")
+			b.ReportMetric(fpc, "fpc")
+			b.ReportMetric(mpc, "mpc")
+			b.ReportMetric(other, "other")
+		})
+	}
+}
+
+// ---- Figure 7 ----
+
+// BenchmarkFig7 reruns each benchmark on EV8, EV8+ and Tarantula, reporting
+// the speedups over EV8 (paper: typically ≥5X for T, little for EV8+).
+func BenchmarkFig7(b *testing.B) {
+	for _, name := range workloads.Figure6Set() {
+		b.Run(name, func(b *testing.B) {
+			base := runOn(b, name, sim.EV8())
+			plus := runOn(b, name, sim.EV8Plus())
+			tar := runOn(b, name, sim.T())
+			b.ReportMetric(float64(base.Stats.Cycles)/float64(plus.Stats.Cycles), "ev8plus-speedup")
+			b.ReportMetric(float64(base.Stats.Cycles)/float64(tar.Stats.Cycles), "t-speedup")
+		})
+	}
+}
+
+// ---- Figure 8 ----
+
+// BenchmarkFig8 reruns each benchmark on T, T4 and T10 and reports the
+// wall-clock speedups of the faster clocks (frequency ratios 2.25X / 5X;
+// memory-bound codes scale far below them).
+func BenchmarkFig8(b *testing.B) {
+	for _, name := range workloads.Figure6Set() {
+		b.Run(name, func(b *testing.B) {
+			t := runOn(b, name, sim.T())
+			t4 := runOn(b, name, sim.T4())
+			t10 := runOn(b, name, sim.T10())
+			wall := func(r *workloads.Result, ghz float64) float64 {
+				return float64(r.Stats.Cycles) / ghz
+			}
+			b.ReportMetric(wall(t, 2.13)/wall(t4, 4.8), "t4-speedup")
+			b.ReportMetric(wall(t, 2.13)/wall(t10, 10.6), "t10-speedup")
+		})
+	}
+}
+
+// ---- Figure 9 ----
+
+// BenchmarkFig9 disables the PUMP (stride-1 double-bandwidth mode) and
+// reports each benchmark's relative performance (paper: untiled and
+// stride-1-hungry codes suffer most; MAF pressure grows 8X).
+func BenchmarkFig9(b *testing.B) {
+	for _, name := range workloads.Figure6Set() {
+		b.Run(name, func(b *testing.B) {
+			t := runOn(b, name, sim.T())
+			np := runOn(b, name, sim.NoPump(sim.T()))
+			b.ReportMetric(float64(t.Stats.Cycles)/float64(np.Stats.Cycles), "rel-perf")
+		})
+	}
+}
+
+// ---- Table 3 (configuration self-check, not a measurement) ----
+
+// BenchmarkTable3_Configs exercises the configuration constructors (the
+// "experiment" is that all five machines assemble and run a trivial kernel).
+func BenchmarkTable3_Configs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = tables.Table3()
+	}
+}
+
+// ---- Table 2 ----
+
+// BenchmarkTable2 measures the vectorisation percentage of every benchmark
+// on Tarantula (Table 2's "Vect. %" column).
+func BenchmarkTable2(b *testing.B) {
+	for _, name := range workloads.Figure6Set() {
+		b.Run(name, func(b *testing.B) {
+			res := runOn(b, name, sim.T())
+			b.ReportMetric(res.Stats.VectorPct(), "vect-%")
+		})
+	}
+}

@@ -1,0 +1,123 @@
+// Command tarasm works with Tarantula assembly in both directions: it
+// prints the head of a benchmark kernel's dynamic instruction trace (a
+// debugging aid showing the hand-coded vector assembly exactly as the
+// timing models consume it), and it assembles and runs standalone .s files
+// on the functional machine.
+//
+// Usage:
+//
+//	tarasm -bench dgemm -n 60          # disassemble a kernel trace
+//	tarasm -bench moldyn -scalar -n 40
+//	tarasm -file prog.s                # assemble + run, dump registers
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/arch"
+	"repro/internal/asmtext"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/vasm"
+	"repro/internal/workloads"
+)
+
+func main() {
+	bench := flag.String("bench", "", "benchmark name")
+	scalar := flag.Bool("scalar", false, "disassemble the scalar (EV8) kernel")
+	n := flag.Int("n", 48, "number of dynamic instructions to print")
+	skip := flag.Int("skip", 0, "dynamic instructions to skip first")
+	file := flag.String("file", "", "assemble and run a .s file on the functional machine")
+	steps := flag.Int("steps", 1_000_000, "instruction budget for -file execution")
+	flag.Parse()
+
+	if *file != "" {
+		runFile(*file, *steps)
+		return
+	}
+	if *bench == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	b, err := workloads.Get(*bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	kernel := b.Vector(workloads.Test)
+	if *scalar {
+		kernel = b.Scalar(workloads.Test)
+	}
+	m := arch.New(mem.New())
+	tr := vasm.NewTrace(m, kernel)
+	defer tr.Close()
+	for i := 0; i < *skip; i++ {
+		if tr.Next() == nil {
+			return
+		}
+	}
+	for i := 0; i < *n; i++ {
+		d := tr.Next()
+		if d == nil {
+			return
+		}
+		extra := ""
+		switch {
+		case d.Inst.Info().IsBranch:
+			extra = fmt.Sprintf("  ; taken=%v", d.Eff.Taken)
+		case len(d.Eff.Addrs) == 1:
+			extra = fmt.Sprintf("  ; ea=%#x", d.Eff.Addrs[0])
+		case len(d.Eff.Addrs) > 1:
+			extra = fmt.Sprintf("  ; %d elems, first ea=%#x stride=%d",
+				len(d.Eff.Addrs), d.Eff.Addrs[0], d.Eff.Stride)
+		}
+		fmt.Printf("%8d  %-36s%s\n", d.Seq, d.Inst.String(), extra)
+	}
+}
+
+// runFile assembles and executes a standalone program, then dumps the
+// architectural state a debugger would show.
+func runFile(path string, steps int) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	prog, err := asmtext.Assemble(string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "assemble:", err)
+		os.Exit(1)
+	}
+	fmt.Print(asmtext.Disassemble(prog))
+	m := arch.New(mem.New())
+	nexec, err := m.Run(prog, steps)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "run:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nexecuted %d instructions\n", nexec)
+	for i := 0; i < 31; i++ {
+		if m.R[i] != 0 {
+			fmt.Printf("r%-2d = %#x (%d)\n", i, m.R[i], int64(m.R[i]))
+		}
+	}
+	for i := 0; i < 31; i++ {
+		if m.F[i] != 0 {
+			fmt.Printf("f%-2d = %g\n", i, m.ReadF(i))
+		}
+	}
+	for v := 0; v < 31; v++ {
+		nz := 0
+		for e := 0; e < isa.VLMax; e++ {
+			if m.V[v][e] != 0 {
+				nz++
+			}
+		}
+		if nz > 0 {
+			fmt.Printf("v%-2d: %d non-zero elements, v%d[0..3] = %d %d %d %d\n",
+				v, nz, v, m.V[v][0], m.V[v][1], m.V[v][2], m.V[v][3])
+		}
+	}
+}

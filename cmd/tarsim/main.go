@@ -1,0 +1,121 @@
+// Command tarsim runs one benchmark on one machine configuration and prints
+// its performance counters.
+//
+// Usage:
+//
+//	tarsim -bench dgemm -config T
+//	tarsim -bench rndcopy -config EV8 -scale test -v
+//	tarsim -list
+//
+// Configurations: EV8, EV8+, T, T4, T10 (Table 3); add -nopump to disable
+// stride-1 double-bandwidth mode (the Figure 9 ablation).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/arch"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/vasm"
+	"repro/internal/workloads"
+)
+
+func main() {
+	bench := flag.String("bench", "", "benchmark name (see -list)")
+	config := flag.String("config", "T", "machine: EV8, EV8+, T, T4, T10")
+	scaleFlag := flag.String("scale", "bench", "input scale: test, bench or full")
+	nopump := flag.Bool("nopump", false, "disable stride-1 double-bandwidth mode")
+	verbose := flag.Bool("v", false, "print the full counter table")
+	sample := flag.Uint64("sample", 0, "print a utilization sample every N cycles")
+	list := flag.Bool("list", false, "list benchmarks and exit")
+	flag.Parse()
+
+	if *list {
+		for _, n := range workloads.Names() {
+			b, _ := workloads.Get(n)
+			fmt.Printf("%-16s %-14s %s\n", n, b.Class, b.Desc)
+		}
+		return
+	}
+	if *bench == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	var scale workloads.Scale
+	switch *scaleFlag {
+	case "test":
+		scale = workloads.Test
+	case "bench":
+		scale = workloads.Bench
+	case "full":
+		scale = workloads.Full
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+	cfg := sim.ByName(*config)
+	if cfg == nil {
+		fmt.Fprintf(os.Stderr, "unknown config %q\n", *config)
+		os.Exit(2)
+	}
+	if *nopump {
+		cfg = sim.NoPump(cfg)
+	}
+	b, err := workloads.Get(*bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *sample > 0 {
+		runSampled(cfg, b, scale, *sample)
+		return
+	}
+	res, err := b.Run(cfg, scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "functional check failed:", err)
+		os.Exit(1)
+	}
+	opc, fpc, mpc, other := res.OPC()
+	fmt.Printf("%s on %s (%s scale)\n", *bench, cfg.Name, scale)
+	fmt.Printf("cycles  %d\n", res.Stats.Cycles)
+	fmt.Printf("opc     %.2f  (fpc %.2f, mpc %.2f, other %.2f)\n", opc, fpc, mpc, other)
+	if ub := b.UsefulBytes; ub != nil {
+		res.Stats.UsefulBytes = ub(scale)
+		fmt.Printf("streams bandwidth %.0f MB/s, raw %.0f MB/s\n",
+			res.Stats.BandwidthMBs(cfg.CPUGHz), res.Stats.RawBandwidthMBs(cfg.CPUGHz))
+	}
+	if *verbose {
+		fmt.Println()
+		fmt.Print(res.Stats.Table())
+	}
+}
+
+// runSampled executes the benchmark printing a periodic utilization trace:
+// Vbox port/memory occupancy and the memory system's queue depths — the
+// quick way to see what a kernel is bound on.
+func runSampled(cfg *sim.Config, b *workloads.Benchmark, scale workloads.Scale, every uint64) {
+	fmt.Printf("%10s %6s %6s %6s %6s %6s %6s %6s %10s\n",
+		"cycle", "vports", "vmem", "vqueue", "l2rdq", "l2wrq", "maf", "memq", "retired")
+	chipRun := func() {
+		m := archNew()
+		chip := sim.New(cfg)
+		chip.SetSampler(every, func(s sim.Sample) {
+			fmt.Printf("%10d %6d %6d %6d %6d %6d %6d %6d %10d\n",
+				s.Cycle, s.VPortsBusy, s.VMemInFly, s.VQueued,
+				s.L2ReadQ, s.L2WriteQ, s.MAF, s.MemQueue, s.Retired)
+		})
+		kernelFn := b.Scalar
+		if cfg.HasVbox {
+			kernelFn = b.Vector
+		}
+		tr := vasm.NewTrace(m, kernelFn(scale))
+		defer tr.Close()
+		chip.RunTrace(tr)
+	}
+	chipRun()
+}
+
+func archNew() *arch.Machine { return arch.New(mem.New()) }

@@ -1,0 +1,111 @@
+// Command tartables regenerates the paper's tables and figures on the
+// simulated machines.
+//
+// Usage:
+//
+//	tartables -all                 # everything (Table 1,3,4; Figures 6-9)
+//	tartables -table 4             # one table
+//	tartables -fig 7 -scale bench  # one figure at a given input scale
+//
+// Scales: test (seconds), bench (default, tens of seconds to minutes),
+// full (minutes to tens of minutes). See EXPERIMENTS.md for the recorded
+// bench-scale outputs and the paper comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/floorplan"
+	"repro/internal/tables"
+	"repro/internal/workloads"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "bench", "input scale: test, bench or full")
+	table := flag.Int("table", 0, "regenerate one table (1, 2, 3 or 4)")
+	fig := flag.Int("fig", 0, "regenerate one figure (5, 6, 7, 8 or 9)")
+	all := flag.Bool("all", false, "regenerate everything")
+	flag.Parse()
+
+	var scale workloads.Scale
+	switch *scaleFlag {
+	case "test":
+		scale = workloads.Test
+	case "bench":
+		scale = workloads.Bench
+	case "full":
+		scale = workloads.Full
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+	r := tables.NewRunner(scale)
+
+	if *all || *table == 1 {
+		section("Table 1: power and area estimates")
+		fmt.Println(tables.Table1())
+	}
+	if *all || *table == 2 {
+		section("Table 2: benchmarks and measured vectorisation")
+		rows, err := r.Table2()
+		check(err)
+		fmt.Println(tables.FormatTable2(rows))
+	}
+	if *all || *table == 3 {
+		section("Table 3: machine configurations")
+		fmt.Println(tables.Table3())
+	}
+	if *all || *table == 4 {
+		section("Table 4: sustained memory bandwidth (MB/s)")
+		rows, err := r.Table4()
+		check(err)
+		fmt.Println(tables.FormatTable4(rows))
+	}
+	if *all || *fig == 5 {
+		section("Figure 5: Tarantula floorplan")
+		fmt.Println(floorplan.Compute().Render())
+	}
+	if *all || *fig == 6 {
+		section("Figure 6: sustained operations per cycle on Tarantula")
+		rows, err := r.Fig6()
+		check(err)
+		fmt.Println(tables.FormatFig6(rows))
+	}
+	if *all || *fig == 7 {
+		section("Figure 7: speedup of EV8+ and Tarantula over EV8")
+		rows, err := r.Fig7()
+		check(err)
+		fmt.Println(tables.FormatFig7(rows))
+	}
+	if *all || *fig == 8 {
+		section("Figure 8: performance scaling with frequency (T4, T10)")
+		rows, err := r.Fig8()
+		check(err)
+		fmt.Println(tables.FormatFig8(rows))
+	}
+	if *all || *fig == 9 {
+		section("Figure 9: slowdown with stride-1 double-bandwidth disabled")
+		rows, err := r.Fig9()
+		check(err)
+		fmt.Println(tables.FormatFig9(rows))
+	}
+	if !*all && *table == 0 && *fig == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func section(title string) {
+	fmt.Println()
+	fmt.Println("=== " + title + " ===")
+	fmt.Println()
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tartables:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,19 @@
+// Package repro is a from-scratch Go reproduction of "Tarantula: A Vector
+// Extension to the Alpha Architecture" (Espasa et al., ISCA 2002): a
+// functional implementation of the vector ISA plus a whole-chip timing model
+// (EV8-class core, Vbox vector engine, banked L2 with the conflict-free
+// address reordering scheme, CR box, PUMP, MAF and P-bit coherency, and a
+// RAMBUS memory controller), the paper's Table 2 workloads hand-coded in
+// vector and scalar form, and harnesses regenerating every table and figure
+// of the evaluation.
+//
+// Entry points:
+//
+//   - cmd/tartables — regenerate Tables 1/3/4 and Figures 6-9
+//   - cmd/tarsim    — run one benchmark on one machine
+//   - cmd/tarasm    — disassemble kernel traces
+//   - examples/     — runnable API walkthroughs
+//
+// The top-level benchmarks in bench_test.go map one-to-one onto the paper's
+// tables and figures; see DESIGN.md and EXPERIMENTS.md.
+package repro

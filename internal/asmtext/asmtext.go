@@ -1,0 +1,360 @@
+// Package asmtext assembles textual Tarantula assembly into executable
+// programs for the functional machine — the human-facing counterpart of the
+// vasm macro-assembler, using the paper's listing style:
+//
+//	        lda     r1, 4096(r31)
+//	        setvs   r2
+//	loop:   vldq    v0, 0(r1)
+//	        vaddt.m v1, v1, v0
+//	        vscatq  v1, 0(r3), [v2]
+//	        lda     r4, -1(r4)
+//	        bne     r4, loop
+//	        halt
+//
+// Labels resolve to instruction indices; the paper's mnemonic aliases
+// (vloadq, vstoreq, vcmpgt, ...) are accepted. Comments run from ';' or '#'
+// to end of line.
+package asmtext
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/isa"
+)
+
+// opByName maps mnemonics (and the paper's aliases) to opcodes.
+var opByName = map[string]isa.Op{}
+
+func init() {
+	for op := isa.Op(1); ; op++ {
+		info := isa.Lookup(op)
+		if info.Name == "invalid" {
+			break
+		}
+		opByName[info.Name] = op
+	}
+	// Aliases used in the paper's listings.
+	for alias, name := range map[string]string{
+		"vloadq":   "vldq",
+		"vstoreq":  "vstq",
+		"vscat":    "vscatq",
+		"vgath":    "vgathq",
+		"or":       "bis",
+		"mov":      "bis",
+		"prefetch": "prefq",
+	} {
+		opByName[alias] = opByName[name]
+	}
+}
+
+// Assemble parses src into a runnable program.
+func Assemble(src string) (arch.Program, error) {
+	type pending struct {
+		inst  int
+		label string
+		line  int
+	}
+	var prog arch.Program
+	labels := map[string]int{}
+	var fixups []pending
+
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := stripComment(raw)
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Labels (possibly several) prefix the instruction.
+		for {
+			i := strings.Index(line, ":")
+			if i < 0 || strings.ContainsAny(line[:i], " \t,()") {
+				break
+			}
+			name := strings.TrimSpace(line[:i])
+			if _, dup := labels[name]; dup {
+				return nil, fmt.Errorf("line %d: duplicate label %q", lineNo+1, name)
+			}
+			labels[name] = len(prog)
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+		inst, labelRef, err := parseInst(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
+		}
+		if labelRef != "" {
+			fixups = append(fixups, pending{inst: len(prog), label: labelRef, line: lineNo + 1})
+		}
+		prog = append(prog, inst)
+	}
+	for _, f := range fixups {
+		target, ok := labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("line %d: undefined label %q", f.line, f.label)
+		}
+		prog[f.inst].Imm = int64(target)
+	}
+	return prog, nil
+}
+
+// stripComment removes ';' comments anywhere and '#' comments, except that
+// '#' immediately followed by a digit or sign is an immediate operand.
+func stripComment(line string) string {
+	if i := strings.Index(line, ";"); i >= 0 {
+		line = line[:i]
+	}
+	for i := 0; i < len(line); i++ {
+		if line[i] != '#' {
+			continue
+		}
+		if i+1 < len(line) {
+			c := line[i+1]
+			if c == '-' || (c >= '0' && c <= '9') {
+				continue // immediate, not a comment
+			}
+		}
+		return line[:i]
+	}
+	return line
+}
+
+// parseInst assembles one instruction; for branches it may return the name
+// of a label to resolve later.
+func parseInst(line string) (isa.Inst, string, error) {
+	var in isa.Inst
+	fields := strings.SplitN(line, " ", 2)
+	mnemonic := strings.ToLower(fields[0])
+	if strings.HasSuffix(mnemonic, ".m") {
+		in.Masked = true
+		mnemonic = strings.TrimSuffix(mnemonic, ".m")
+	}
+	op, ok := opByName[mnemonic]
+	// The paper writes compare-greater forms; synthesise them by swapping.
+	swapped := false
+	if !ok {
+		if base, found := map[string]string{
+			"vcmpgt": "vcmplt", "vcmpge": "vcmple",
+			"cmpgt": "cmplt", "cmpge": "cmple",
+		}[mnemonic]; found {
+			op, ok = opByName[base]
+			swapped = true
+		}
+	}
+	if !ok {
+		return in, "", fmt.Errorf("unknown mnemonic %q", mnemonic)
+	}
+	in.Op = op
+
+	var args []string
+	if len(fields) > 1 {
+		for _, a := range strings.Split(fields[1], ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				args = append(args, a)
+			}
+		}
+	}
+	info := isa.Lookup(op)
+	var err error
+	switch {
+	case info.IsLoad || info.IsStore:
+		err = parseMem(&in, info, args)
+	case info.IsBranch:
+		return parseBranch(in, args)
+	default:
+		err = parseOperate(&in, info, args)
+		if swapped {
+			in.Src1, in.Src2 = in.Src2, in.Src1
+		}
+	}
+	return in, "", err
+}
+
+func parseReg(s string) (isa.Reg, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	switch s {
+	case "vl":
+		return isa.VL, nil
+	case "vs":
+		return isa.VS, nil
+	case "vm":
+		return isa.VM, nil
+	}
+	if len(s) < 2 {
+		return isa.NoReg, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n > 31 {
+		return isa.NoReg, fmt.Errorf("bad register %q", s)
+	}
+	switch s[0] {
+	case 'r':
+		return isa.R(n), nil
+	case 'f':
+		return isa.F(n), nil
+	case 'v':
+		return isa.V(n), nil
+	}
+	return isa.NoReg, fmt.Errorf("bad register class in %q", s)
+}
+
+// parseMem handles "data, off(base)" plus the gather/scatter index vector
+// "[vN]" and lda's address form.
+func parseMem(in *isa.Inst, info *isa.Info, args []string) error {
+	if len(args) < 2 {
+		return fmt.Errorf("memory op needs data and address operands")
+	}
+	data, err := parseReg(args[0])
+	if err != nil {
+		return err
+	}
+	if info.IsStore {
+		in.Src1 = data
+	} else {
+		in.Dst = data
+	}
+	off, base, err := parseAddr(args[1])
+	if err != nil {
+		return err
+	}
+	in.Imm, in.Src2 = off, base
+	if len(args) == 3 {
+		idx := strings.TrimSpace(args[2])
+		if !strings.HasPrefix(idx, "[") || !strings.HasSuffix(idx, "]") {
+			return fmt.Errorf("index vector must be written [vN], got %q", idx)
+		}
+		in.Idx, err = parseReg(idx[1 : len(idx)-1])
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func parseAddr(s string) (int64, isa.Reg, error) {
+	s = strings.TrimSpace(s)
+	open := strings.Index(s, "(")
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, isa.NoReg, fmt.Errorf("address must be off(reg), got %q", s)
+	}
+	off := int64(0)
+	if o := strings.TrimSpace(s[:open]); o != "" {
+		v, err := strconv.ParseInt(o, 0, 64)
+		if err != nil {
+			return 0, isa.NoReg, fmt.Errorf("bad displacement %q", o)
+		}
+		off = v
+	}
+	base, err := parseReg(s[open+1 : len(s)-1])
+	return off, base, err
+}
+
+func parseBranch(in isa.Inst, args []string) (isa.Inst, string, error) {
+	switch len(args) {
+	case 1: // br label
+		return in, args[0], nil
+	case 2: // bne r1, label
+		r, err := parseReg(args[0])
+		if err != nil {
+			return in, "", err
+		}
+		in.Src1 = r
+		return in, args[1], nil
+	}
+	return in, "", fmt.Errorf("branch needs [reg,] label")
+}
+
+func parseOperate(in *isa.Inst, info *isa.Info, args []string) error {
+	// lda uses the memory-style address form.
+	if in.Op == isa.OpLDA && len(args) == 2 && strings.Contains(args[1], "(") {
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		off, base, err := parseAddr(args[1])
+		if err != nil {
+			return err
+		}
+		in.Dst, in.Src1, in.Imm = rd, base, off
+		return nil
+	}
+	// Control ops with a single source.
+	switch in.Op {
+	case isa.OpSETVL, isa.OpSETVS, isa.OpSETVM:
+		if len(args) != 1 {
+			return fmt.Errorf("%s takes one register", info.Name)
+		}
+		r, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		in.Src1 = r
+		return nil
+	case isa.OpVCLRM, isa.OpHALT, isa.OpDRAINM:
+		return nil
+	}
+	regs := make([]isa.Reg, 0, 3)
+	var imm *int64
+	for _, a := range args {
+		if strings.HasPrefix(a, "#") {
+			v, err := strconv.ParseInt(strings.TrimPrefix(a, "#"), 0, 64)
+			if err != nil {
+				return fmt.Errorf("bad immediate %q", a)
+			}
+			imm = &v
+			continue
+		}
+		r, err := parseReg(a)
+		if err != nil {
+			return err
+		}
+		regs = append(regs, r)
+	}
+	switch {
+	case len(regs) == 3:
+		in.Dst, in.Src1, in.Src2 = regs[0], regs[1], regs[2]
+	case len(regs) == 2 && imm != nil:
+		in.Dst, in.Src1, in.Imm = regs[0], regs[1], *imm
+	case len(regs) == 2:
+		in.Dst, in.Src1 = regs[0], regs[1]
+	case len(regs) == 1 && imm != nil:
+		in.Dst, in.Imm = regs[0], *imm
+	default:
+		return fmt.Errorf("cannot parse operands of %s", info.Name)
+	}
+	return nil
+}
+
+// Disassemble renders a program back to assembly, with labels synthesised
+// for branch targets. Assemble(Disassemble(p)) reproduces p.
+func Disassemble(p arch.Program) string {
+	targets := map[int]string{}
+	for i := range p {
+		if p[i].Info().IsBranch {
+			t := int(p[i].Imm)
+			if _, ok := targets[t]; !ok {
+				targets[t] = fmt.Sprintf("L%d", len(targets))
+			}
+		}
+	}
+	var b strings.Builder
+	for i := range p {
+		label := ""
+		if l, ok := targets[i]; ok {
+			label = l + ":"
+		}
+		in := p[i]
+		text := in.String()
+		if in.Info().IsBranch {
+			// Replace "@n" with the label.
+			at := strings.LastIndex(text, "@")
+			text = text[:at] + targets[int(in.Imm)]
+		}
+		fmt.Fprintf(&b, "%-8s%s\n", label, text)
+	}
+	return b.String()
+}

@@ -1,0 +1,189 @@
+package asmtext
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+func mustAssemble(t *testing.T, src string) arch.Program {
+	t.Helper()
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return p
+}
+
+func TestSumLoop(t *testing.T) {
+	p := mustAssemble(t, `
+		; sum 1..10 into r3
+		        lda     r1, 10(r31)
+		        lda     r3, 0(r31)
+		loop:   addq    r3, r3, r1
+		        lda     r1, -1(r1)
+		        bne     r1, loop
+		        halt
+	`)
+	m := arch.New(mem.New())
+	if _, err := m.Run(p, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if m.R[3] != 55 {
+		t.Fatalf("sum = %d, want 55", m.R[3])
+	}
+}
+
+func TestPaperListing(t *testing.T) {
+	// The §2 example, written as in the paper (vloadq alias, vcmpgt
+	// synthesised by operand swap, setvm, masked execution).
+	src := `
+	        lda     r1, 0x100000(r31)
+	        lda     r2, 0x200000(r31)
+	        lda     r9, 8(r31)
+	        setvs   r9
+	        vloadq  v0, 0(r1)          ; A
+	        vloadq  v1, 0(r2)          ; B
+	        vcmpne  v6, v0, v31        ; A != 0
+	        vsmulq  v7, v1, r31        ; scratch: v7 = 0
+	        vscmplt v7, v1, r10        ; B < r10? -- placeholder
+	        vand    v8, v6, v7
+	        setvm   v8
+	        vaddq.m v2, v0, v1
+	        halt
+	`
+	p := mustAssemble(t, src)
+	m := arch.New(mem.New())
+	// A: odd elements non-zero; B: all 5 (so B < 7 true), r10 = 7.
+	for i := 0; i < isa.VLMax; i++ {
+		m.Mem.StoreQ(0x100000+uint64(i)*8, uint64(i%2))
+		m.Mem.StoreQ(0x200000+uint64(i)*8, 5)
+	}
+	m.R[10] = 7
+	if _, err := m.Run(p, 100); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < isa.VLMax; i++ {
+		if i%2 == 1 {
+			if m.V[2][i] != uint64(i%2)+5 {
+				t.Fatalf("masked-in element %d = %d", i, m.V[2][i])
+			}
+		} else if m.V[2][i] != 0 {
+			t.Fatalf("masked-out element %d written: %d", i, m.V[2][i])
+		}
+	}
+}
+
+func TestGatherScatterSyntax(t *testing.T) {
+	p := mustAssemble(t, `
+	        lda     r1, 0x100000(r31)
+	        vgathq  v2, 0(r1), [v1]
+	        vscatq  v2, 512(r1), [v1]
+	        halt
+	`)
+	if p[1].Op != isa.OpVGATHQ || p[1].Idx != isa.V(1) || p[1].Dst != isa.V(2) {
+		t.Fatalf("gather parsed as %+v", p[1])
+	}
+	if p[2].Op != isa.OpVSCATQ || p[2].Src1 != isa.V(2) || p[2].Imm != 512 {
+		t.Fatalf("scatter parsed as %+v", p[2])
+	}
+	m := arch.New(mem.New())
+	for i := 0; i < isa.VLMax; i++ {
+		m.V[1][i] = uint64(i) * 8
+		m.Mem.StoreQ(0x100000+uint64(i)*8, uint64(1000+i))
+	}
+	if _, err := m.Run(p, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Mem.LoadQ(0x100000 + 512); got != 1000 {
+		t.Fatalf("scattered[0] = %d", got)
+	}
+}
+
+func TestMaskedSuffix(t *testing.T) {
+	p := mustAssemble(t, "vaddt.m v1, v2, v3\nhalt")
+	if !p[0].Masked {
+		t.Fatal(".m suffix not parsed")
+	}
+}
+
+func TestImmediateOperand(t *testing.T) {
+	p := mustAssemble(t, "sll r1, r2, #3\nhalt")
+	if p[0].Op != isa.OpSLL || p[0].Imm != 3 || p[0].Src2.Valid() {
+		t.Fatalf("parsed %+v", p[0])
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []string{
+		"bogus r1, r2",          // unknown mnemonic
+		"addq r1, r99, r2",      // bad register
+		"bne r1, nowhere\nhalt", // undefined label
+		"x: halt\nx: halt",      // duplicate label
+		"ldq r1, r2",            // malformed address
+	}
+	for _, src := range cases {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("assemble(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestDisassembleRoundTrip(t *testing.T) {
+	src := `
+	        lda     r1, 100(r31)
+	        lda     r2, 0x100000(r31)
+	loop:   ldq     r3, 0(r2)
+	        addq    r4, r4, r3
+	        lda     r2, 8(r2)
+	        lda     r1, -1(r1)
+	        bne     r1, loop
+	        setvl   r1
+	        vldq    v0, 0(r2)
+	        vaddt   v1, v1, v0
+	        vstq    v1, 0(r2)
+	        halt
+	`
+	p1 := mustAssemble(t, src)
+	text := Disassemble(p1)
+	p2, err := Assemble(text)
+	if err != nil {
+		t.Fatalf("reassemble: %v\n%s", err, text)
+	}
+	if len(p1) != len(p2) {
+		t.Fatalf("length changed: %d vs %d", len(p1), len(p2))
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("instruction %d changed:\n  %+v\n  %+v", i, p1[i], p2[i])
+		}
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	p := mustAssemble(t, `
+		# full-line comment
+
+		halt   ; trailing comment
+	`)
+	if len(p) != 1 || p[0].Op != isa.OpHALT {
+		t.Fatalf("parsed %d instructions", len(p))
+	}
+}
+
+func TestAliasTable(t *testing.T) {
+	for src, canonical := range map[string]isa.Op{
+		"vloadq v1, 0(r2)":  isa.OpVLDQ,
+		"vstoreq v1, 0(r2)": isa.OpVSTQ,
+		"or r1, r2, r3":     isa.OpBIS,
+		"mov r1, r2, r2":    isa.OpBIS,
+	} {
+		p := mustAssemble(t, src+"\nhalt")
+		if p[0].Op != canonical {
+			t.Errorf("%s assembled to %v", strings.Fields(src)[0], p[0].Op)
+		}
+	}
+}

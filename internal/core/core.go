@@ -1,0 +1,727 @@
+// Package core is the timing model of the EV8-class scalar core: an 8-wide
+// out-of-order machine with the issue limits of Table 3 (peak 8 int / 4 FP
+// per cycle, 2 loads + 2 stores), a write-back L1 data cache, a store queue
+// draining through a write buffer, up to 64 outstanding misses, and the
+// narrow Vbox interface of §3.3 — a 3-instruction dispatch bus, two scalar
+// operand buses, cooperative retirement, and the DrainM barrier.
+//
+// The model is trace-driven (values were computed functionally at trace
+// time) and dataflow-scheduled: an instruction issues when its producers
+// have completed and a functional unit of its class is free. Wrong-path
+// instructions are not simulated; branch mispredictions charge the
+// fetch-redirect penalty, which is the first-order effect for these codes.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/l2"
+	"repro/internal/pipe"
+	"repro/internal/stats"
+	"repro/internal/vasm"
+)
+
+// Config sets the core's widths and structure sizes.
+type Config struct {
+	FetchWidth  int
+	RetireWidth int
+	ROBSize     int
+
+	IntWidth   int // integer issues per cycle
+	FPWidth    int // floating-point issues per cycle
+	LoadWidth  int // loads per cycle
+	StoreWidth int // stores per cycle
+
+	MispredictPenalty int
+
+	L1Bytes int
+	L1Assoc int
+	L1Line  int
+	L1Lat   int // load-to-use on an L1 hit
+
+	MSHRs           int // outstanding scalar misses ("at most 64 misses before stalling")
+	WriteBuffer     int // write-buffer entries (lines)
+	StoreForwardLat int
+
+	DrainPenalty int // replay-trap cost after a DrainM completes
+
+	VBusWidth int // vector instructions dispatched to the Vbox per cycle
+}
+
+// VectorUnit is the Vbox as the core sees it across the narrow interface.
+type VectorUnit interface {
+	// Dispatch hands a renamed vector instruction to the Vbox; false means
+	// the Vbox queue is full this cycle.
+	Dispatch(cy uint64, u *pipe.UOp) bool
+	// MarkReady tells the Vbox the op's last operand arrived at cycle cy.
+	MarkReady(cy uint64, u *pipe.UOp)
+	// Tick advances the Vbox one cycle.
+	Tick(cy uint64)
+	// Busy reports in-flight Vbox work.
+	Busy() bool
+}
+
+// threadState is the per-hardware-thread front-end and retirement state.
+// The core is SMT-capable (§3.3: supporting the SMT paradigm was a design
+// constraint the Vbox had to meet); the paper's evaluation runs one thread.
+type threadState struct {
+	id     uint8
+	trace  *vasm.Trace
+	halted bool
+
+	rob    []*pipe.UOp // per-thread reorder buffer
+	rename [isa.NumFlatRegs]*pipe.UOp
+
+	// Frontend stall state.
+	fetchStallUntil uint64
+	pendingRedirect *pipe.UOp // mispredicted branch awaiting resolution
+	drainOp         *pipe.UOp // DrainM awaiting write-buffer purge
+	nextFetch       *pipe.UOp // staged instruction that could not dispatch
+
+	// Store queue entries awaiting disambiguation checks: maps quadword
+	// address to the youngest in-flight store writing it.
+	storeByAddr map[uint64]*pipe.UOp
+
+	// addrOffset tags this thread's addresses in the shared memory
+	// hierarchy (each SMT thread has its own address space; the timing
+	// models must not alias them).
+	addrOffset uint64
+}
+
+// Core is the scalar core model.
+type Core struct {
+	cfg Config
+	st  *stats.Stats
+	l2  *l2.L2
+	vu  VectorUnit // nil for pure-EV8 configurations
+
+	threads  []*threadState
+	rrFetch  int // round-robin fetch pointer
+	rrRetire int
+
+	dispatchSeq uint64 // global age order across threads
+
+	ready   pipe.ReadyQueue
+	blocked []*pipe.UOp // ready but structurally stalled this cycle
+	wheel   *pipe.EventWheel
+	pred    *pipe.Predictor
+
+	intFU, fpFU, ldFU, stFU *pipe.FUPool
+
+	// Write buffer: retired stores draining to the cache hierarchy.
+	writeBuf   []wbEntry
+	wbInFlight int
+
+	l1       *l1cache
+	mshr     map[uint64][]*pipe.UOp // line -> loads waiting on its fill
+	mshrPref map[uint64]bool        // lines with a prefetch-only fill in flight
+
+	uopPool []*pipe.UOp // recycled records (safe: all references cleared at retire)
+}
+
+type wbEntry struct {
+	addr uint64
+	wh64 bool
+}
+
+// New builds a core bound to an L2 and an optional vector unit.
+func New(cfg Config, st *stats.Stats, l2c *l2.L2, vu VectorUnit) *Core {
+	c := &Core{
+		cfg:      cfg,
+		st:       st,
+		l2:       l2c,
+		vu:       vu,
+		wheel:    pipe.NewEventWheel(),
+		pred:     pipe.NewPredictor(),
+		intFU:    pipe.NewFUPool(cfg.IntWidth),
+		fpFU:     pipe.NewFUPool(cfg.FPWidth),
+		ldFU:     pipe.NewFUPool(cfg.LoadWidth),
+		stFU:     pipe.NewFUPool(cfg.StoreWidth),
+		l1:       newL1(cfg.L1Bytes, cfg.L1Assoc, cfg.L1Line),
+		mshr:     make(map[uint64][]*pipe.UOp),
+		mshrPref: make(map[uint64]bool),
+	}
+	l2c.OnPBitInvalidate = c.invalidateL1
+	return c
+}
+
+// Bind attaches a single instruction trace (thread 0) to execute.
+func (c *Core) Bind(tr *vasm.Trace) { c.BindSMT([]*vasm.Trace{tr}) }
+
+// BindSMT attaches one trace per hardware thread. Each thread gets a
+// private address-space tag so the shared caches do not alias the threads'
+// identical virtual layouts.
+func (c *Core) BindSMT(trs []*vasm.Trace) {
+	c.threads = c.threads[:0]
+	for i, tr := range trs {
+		c.threads = append(c.threads, &threadState{
+			id:          uint8(i),
+			trace:       tr,
+			storeByAddr: make(map[uint64]*pipe.UOp),
+			addrOffset:  uint64(i) << 44,
+		})
+	}
+}
+
+// Halted reports whether every thread's HALT marker has retired.
+func (c *Core) Halted() bool {
+	for _, t := range c.threads {
+		if !t.halted {
+			return false
+		}
+	}
+	return len(c.threads) > 0
+}
+
+// Busy reports whether instructions are still in flight.
+func (c *Core) Busy() bool {
+	for _, t := range c.threads {
+		if len(t.rob) > 0 {
+			return true
+		}
+	}
+	return len(c.writeBuf) > 0 || c.wbInFlight > 0 || c.wheel.Pending()
+}
+
+// invalidateL1 services a P-bit invalidate from the L2; returns true when
+// the line was dirty in the L1 (forcing a write-through).
+func (c *Core) invalidateL1(line uint64) bool {
+	dirty := c.l1.invalidate(line)
+	return dirty
+}
+
+// Tick advances the core one cycle. Order within the cycle: completions,
+// retire, issue, write-buffer drain, fetch/rename/dispatch.
+func (c *Core) Tick(cy uint64) {
+	c.wheel.Advance(cy)
+	c.retire(cy)
+	c.issue(cy)
+	c.drainWriteBuffer(cy)
+	c.fetch(cy)
+}
+
+// ---- retire ----
+
+func (c *Core) retire(cy uint64) {
+	retired := 0
+	// Per-thread in-order retirement, round-robin across threads up to the
+	// shared retire width.
+	for range c.threads {
+		t := c.threads[c.rrRetire%len(c.threads)]
+		c.rrRetire++
+		for retired < c.cfg.RetireWidth && len(t.rob) > 0 {
+			u := t.rob[0]
+			if u.State != pipe.StateDone {
+				break
+			}
+			in := &u.Inst
+			info := in.Info()
+			stop := false
+			switch {
+			case in.Op == isa.OpHALT:
+				t.halted = true
+			case in.Op == isa.OpDRAINM:
+				// Handled at fetch/execute; retirement is the replay point.
+			case info.IsStore && !in.IsVector():
+				// Retired stores move to the write buffer "without
+				// informing either the L1 or the L2" (§3.4) and drain
+				// asynchronously.
+				if len(c.writeBuf) >= c.cfg.WriteBuffer {
+					stop = true // write buffer full: stall this thread
+					break
+				}
+				if len(u.Eff.Addrs) > 0 {
+					addr := u.Eff.Addrs[0]
+					c.writeBuf = append(c.writeBuf, wbEntry{addr: addr, wh64: in.Op == isa.OpWH64})
+					if st, ok := t.storeByAddr[addr]; ok && st == u {
+						delete(t.storeByAddr, addr)
+					}
+				}
+			}
+			if stop {
+				break
+			}
+			c.countRetired(u)
+			u.State = pipe.StateRetired
+			t.rob = t.rob[1:]
+			retired++
+			c.recycle(t, u)
+		}
+	}
+}
+
+func (c *Core) countRetired(u *pipe.UOp) {
+	in := &u.Inst
+	info := in.Info()
+	if in.IsVector() {
+		c.st.VectorIns++
+		n := uint64(u.Eff.Active)
+		c.st.VecOps += max(n, 1)
+		switch {
+		case info.IsLoad || info.IsStore:
+			c.st.MemOps += n
+		case info.IsFlop:
+			c.st.Flops += n * info.Flops()
+		case info.Group == isa.GVC:
+			c.st.OtherOps++
+		default:
+			c.st.OtherOps += n // vector integer/logical ops count as "other"
+		}
+		return
+	}
+	c.st.ScalarIns++
+	switch {
+	case info.IsLoad || info.IsStore:
+		c.st.MemOps++
+	case info.IsFlop:
+		c.st.Flops++
+	default:
+		c.st.OtherOps++
+	}
+	if info.IsBranch {
+		c.st.Branches++
+	}
+}
+
+// recycle returns a retired uop to the pool once nothing can reference it:
+// consumers were drained at completion, the store queue entry was removed at
+// retire, and any rename-table entry still naming it is cleared here.
+func (c *Core) recycle(t *threadState, u *pipe.UOp) {
+	if len(u.Consumers) != 0 {
+		return // defensive: somebody still waits on it
+	}
+	for _, r := range destRegs(&u.Inst) {
+		if r.Valid() && !r.IsZero() && t.rename[r.Flat()] == u {
+			t.rename[r.Flat()] = nil
+		}
+	}
+	*u = pipe.UOp{}
+	c.uopPool = append(c.uopPool, u)
+}
+
+// ---- issue ----
+
+func (c *Core) issue(cy uint64) {
+	issued := 0
+	budget := c.cfg.FetchWidth // total issue width (8, Table 3 "Core Issue")
+	// Structurally blocked ops from earlier cycles are oldest: retry them
+	// in place first (no heap churn), compacting the survivors.
+	keep := c.blocked[:0]
+	for i, u := range c.blocked {
+		if issued < budget && c.tryIssue(cy, u) {
+			issued++
+		} else {
+			keep = append(keep, u)
+		}
+		_ = i
+	}
+	c.blocked = keep
+	scanned := 0
+	for c.ready.Len() > 0 && issued < budget && scanned < 4*budget && len(c.blocked) < 64 {
+		u := c.ready.Pop()
+		scanned++
+		if c.tryIssue(cy, u) {
+			issued++
+		} else {
+			c.blocked = append(c.blocked, u)
+		}
+	}
+}
+
+func (c *Core) tryIssue(cy uint64, u *pipe.UOp) bool {
+	in := &u.Inst
+	info := in.Info()
+	switch {
+	case info.IsLoad:
+		return c.issueLoad(cy, u)
+	case info.IsStore:
+		// Stores "execute" when address and data are ready; memory is
+		// touched after retirement via the write buffer.
+		if !c.stFU.TryIssue(cy, 1) {
+			return false
+		}
+		c.complete(cy+1, u)
+		return true
+	case info.FU == isa.FUFPAdd || info.FU == isa.FUFPMul || info.FU == isa.FUFPDiv:
+		occ := 1
+		if info.Unpipelined {
+			occ = info.Latency
+		}
+		if !c.fpFU.TryIssue(cy, occ) {
+			return false
+		}
+		c.complete(cy+uint64(info.Latency), u)
+		return true
+	default:
+		// Integer ALU/multiplier, branches, HALT, DRAINM-as-nop.
+		occ := 1
+		if info.Unpipelined {
+			occ = info.Latency
+		}
+		if !c.intFU.TryIssue(cy, occ) {
+			return false
+		}
+		c.complete(cy+uint64(info.Latency), u)
+		if info.IsBranch {
+			t := c.threads[u.Inst.Thread]
+			if t.pendingRedirect == u {
+				// Mispredicted branch resolves: redirect this thread's
+				// front end.
+				t.pendingRedirect = nil
+				t.fetchStallUntil = cy + uint64(info.Latency) + uint64(c.cfg.MispredictPenalty)
+			}
+		}
+		return true
+	}
+}
+
+func (c *Core) issueLoad(cy uint64, u *pipe.UOp) bool {
+	if !c.ldFU.TryIssue(cy, 1) {
+		return false
+	}
+	addr := uint64(0)
+	if len(u.Eff.Addrs) > 0 {
+		addr = u.Eff.Addrs[0]
+	}
+	// Store-to-load forwarding: an older in-flight store to the same
+	// quadword supplies the data.
+	if st, ok := c.threads[u.Inst.Thread].storeByAddr[addr]; ok && st.Seq < u.Seq {
+		if st.State == pipe.StateDone || st.State == pipe.StateRetired {
+			c.complete(cy+uint64(c.cfg.StoreForwardLat), u)
+		} else {
+			// Wait for the store's data: chain on its completion.
+			st.Consumers = append(st.Consumers, u)
+			u.Deps++
+			u.State = pipe.StateWaiting
+		}
+		return true
+	}
+	line := c.l1line(addr)
+	if u.Inst.IsPrefetch() {
+		// Non-binding prefetch: retires immediately; the line arrives in
+		// the background (dropped if the MSHRs are saturated).
+		if _, pending := c.mshr[line]; !pending && !c.l1.probe(line) && len(c.mshr) < c.cfg.MSHRs {
+			c.mshr[line] = nil
+			c.mshrPref[line] = true
+			c.l2.ScalarRead(cy, addr, func(fillCy uint64) { c.fillL1(fillCy, line) })
+		}
+		c.complete(cy+1, u)
+		return true
+	}
+	if waiters, pending := c.mshr[line]; pending {
+		// Miss to an already-outstanding line: attach to the MSHR.
+		c.mshr[line] = append(waiters, u)
+		delete(c.mshrPref, line)
+		u.State = pipe.StateIssued
+		return true
+	}
+	if c.l1.probe(line) {
+		c.st.L1Hits++
+		c.complete(cy+uint64(c.cfg.L1Lat), u)
+		return true
+	}
+	// L1 miss: take an MSHR and fetch the line from the L2. The 64-entry
+	// bound is the paper's "at most 64 misses before stalling".
+	if len(c.mshr) >= c.cfg.MSHRs {
+		return false // stall: retry next cycle
+	}
+	c.st.L1Misses++
+	c.mshr[line] = []*pipe.UOp{u}
+	c.l2.ScalarRead(cy, addr, func(fillCy uint64) { c.fillL1(fillCy, line) })
+	u.State = pipe.StateIssued
+	return true
+}
+
+// fillL1 installs a returned line into the L1 and completes the loads that
+// slept on its MSHR entry.
+func (c *Core) fillL1(cy uint64, line uint64) {
+	waiters := c.mshr[line]
+	delete(c.mshr, line)
+	delete(c.mshrPref, line)
+	if victim, dirty := c.l1.fill(line, false); dirty {
+		c.l2.ScalarWrite(cy, victim, nil)
+	}
+	for _, u := range waiters {
+		c.complete(cy+1, u)
+	}
+}
+
+func (c *Core) l1line(addr uint64) uint64 { return addr &^ uint64(c.cfg.L1Line-1) }
+
+// complete schedules u's completion at cycle cy (immediately if cy is the
+// current cycle's event horizon).
+func (c *Core) complete(cy uint64, u *pipe.UOp) {
+	u.State = pipe.StateIssued
+	c.wheel.At(cy, func() {
+		u.State = pipe.StateDone
+		u.DoneCyc = cy
+		c.Wake(cy, u)
+	})
+}
+
+// Wake propagates a completed producer to its consumers. It is exported for
+// the Vbox, which calls it when vector instructions complete (their
+// consumers may be scalar — e.g. a VEXTR feeding address arithmetic).
+func (c *Core) Wake(cy uint64, u *pipe.UOp) {
+	for _, cons := range u.Consumers {
+		cons.Deps--
+		if cons.Deps == 0 {
+			cons.MarkReady(cy)
+			if cons.Inst.IsVector() {
+				if c.vu != nil {
+					c.vu.MarkReady(cy, cons)
+				}
+			} else {
+				c.ready.Push(cons)
+			}
+		}
+	}
+	u.Consumers = nil
+}
+
+// VectorDone is the Vbox's completion callback (the VCU reporting
+// instruction identifiers back to the core, §3.3).
+func (c *Core) VectorDone(cy uint64, u *pipe.UOp) {
+	u.State = pipe.StateDone
+	u.DoneCyc = cy
+	c.Wake(cy, u)
+}
+
+// ---- write buffer ----
+
+func (c *Core) drainWriteBuffer(cy uint64) {
+	if len(c.writeBuf) == 0 {
+		return
+	}
+	e := c.writeBuf[0]
+	c.writeBuf = c.writeBuf[1:]
+	line := c.l1line(e.addr)
+	switch {
+	case e.wh64:
+		c.wbInFlight++
+		c.l2.WH64(cy, e.addr, func(uint64) { c.wbInFlight-- })
+	case c.l1.probe(line):
+		// Write-back L1: the store lands in the L1 and stays dirty there.
+		c.l1.markDirty(line)
+	default:
+		c.wbInFlight++
+		c.l2.ScalarWrite(cy, e.addr, func(uint64) { c.wbInFlight-- })
+	}
+}
+
+// ---- fetch / rename / dispatch ----
+
+// fetch picks one runnable thread per cycle (round-robin — the coarse
+// policy is enough for the throughput questions SMT mode answers) and
+// fetches up to the full width from it.
+func (c *Core) fetch(cy uint64) {
+	for range c.threads {
+		t := c.threads[c.rrFetch%len(c.threads)]
+		c.rrFetch++
+		if t.trace == nil || t.halted || cy < t.fetchStallUntil || t.pendingRedirect != nil {
+			continue
+		}
+		if t.drainOp != nil {
+			// DrainM: wait until the write buffer has fully purged, then
+			// pay the replay trap and resume.
+			if len(c.writeBuf) == 0 && c.wbInFlight == 0 {
+				c.complete(cy+1, t.drainOp)
+				t.drainOp = nil
+				t.fetchStallUntil = cy + uint64(c.cfg.DrainPenalty)
+			}
+			continue
+		}
+		c.fetchThread(cy, t)
+		return
+	}
+}
+
+func (c *Core) fetchThread(cy uint64, t *threadState) {
+	vdispatched := 0
+	for n := 0; n < c.cfg.FetchWidth; n++ {
+		if len(t.rob) >= c.cfg.ROBSize/len(c.threads) {
+			return
+		}
+		u := t.nextFetch
+		t.nextFetch = nil
+		if u == nil {
+			d := t.trace.Next()
+			if d == nil {
+				return
+			}
+			if n := len(c.uopPool); n > 0 {
+				u = c.uopPool[n-1]
+				c.uopPool = c.uopPool[:n-1]
+			} else {
+				u = &pipe.UOp{}
+			}
+			c.dispatchSeq++
+			u.Seq, u.Site, u.Inst, u.Eff, u.FetchCyc = c.dispatchSeq, d.Site, d.Inst, d.Eff, cy
+			u.Inst.Thread = t.id
+			if t.addrOffset != 0 && len(u.Eff.Addrs) > 0 {
+				// Tag this thread's addresses so the shared memory
+				// hierarchy does not alias the threads' address spaces.
+				addrs := make([]uint64, len(u.Eff.Addrs))
+				for i, a := range u.Eff.Addrs {
+					addrs[i] = a + t.addrOffset
+				}
+				u.Eff.Addrs = addrs
+				u.Eff.Base += t.addrOffset
+			}
+		}
+		if u.Inst.IsVector() {
+			if c.vu == nil {
+				panic(fmt.Sprintf("core: vector instruction %s on a configuration without a Vbox", &u.Inst))
+			}
+			if vdispatched >= c.cfg.VBusWidth || !c.vu.Dispatch(cy, u) {
+				t.nextFetch = u // bus saturated or Vbox queue full
+				return
+			}
+			vdispatched++
+		}
+		c.renameOp(cy, t, u)
+		t.rob = append(t.rob, u)
+
+		info := u.Inst.Info()
+		switch {
+		case info.IsBranch:
+			if c.pred.Predict(u.Site^(uint32(t.id)<<28), u.Eff.Taken) {
+				c.st.BranchMispredicts++
+				t.pendingRedirect = u
+				c.finishRename(cy, u)
+				return // no fetch past a mispredicted branch
+			}
+		case u.Inst.Op == isa.OpDRAINM:
+			c.st.DrainMs++
+			t.drainOp = u
+			c.finishRename(cy, u)
+			return
+		}
+		c.finishRename(cy, u)
+	}
+}
+
+// renameOp links u's dataflow sources against its thread's rename table.
+func (c *Core) renameOp(cy uint64, t *threadState, u *pipe.UOp) {
+	for _, r := range sourceRegs(&u.Inst) {
+		if !r.Valid() || r.IsZero() {
+			continue
+		}
+		if prod := t.rename[r.Flat()]; prod != nil &&
+			prod.State != pipe.StateDone && prod.State != pipe.StateRetired {
+			prod.Consumers = append(prod.Consumers, u)
+			u.Deps++
+		}
+	}
+	for _, r := range destRegs(&u.Inst) {
+		if r.Valid() && !r.IsZero() {
+			t.rename[r.Flat()] = u
+		}
+	}
+	if info := u.Inst.Info(); info.IsStore && !u.Inst.IsVector() && len(u.Eff.Addrs) > 0 {
+		t.storeByAddr[u.Eff.Addrs[0]] = u
+	}
+}
+
+// finishRename queues the op for issue once its dependence count is known.
+func (c *Core) finishRename(cy uint64, u *pipe.UOp) {
+	if u.Inst.Op == isa.OpDRAINM {
+		return // completes via the drain state machine
+	}
+	if u.Deps == 0 {
+		u.MarkReady(cy)
+		if u.Inst.IsVector() {
+			c.vu.MarkReady(cy, u)
+		} else {
+			c.ready.Push(u)
+		}
+	} else {
+		u.State = pipe.StateWaiting
+	}
+}
+
+// sourceRegs lists the architectural registers an instruction reads,
+// including the implicit vector control registers (vl for every vector
+// operation, vs for strided memory, vm for masked execution — the reason
+// the Vbox renames vm, §2). The fixed-size return avoids a per-instruction
+// allocation on the hottest path.
+func sourceRegs(in *isa.Inst) [6]isa.Reg {
+	var out [6]isa.Reg
+	n := 0
+	info := in.Info()
+	add := func(r isa.Reg) {
+		if r.Valid() {
+			out[n] = r
+			n++
+		}
+	}
+	switch info.Group {
+	case isa.GScalar:
+		add(in.Src1)
+		add(in.Src2)
+	case isa.GVV, isa.GVS:
+		add(in.Src1)
+		add(in.Src2)
+		add(isa.VL)
+		if in.Masked || in.Op == isa.OpVMERG {
+			add(isa.VM)
+			add(in.Dst) // partial write: old destination merges through
+		} else if in.Op == isa.OpVFMAT || in.Op == isa.OpVSFMAT {
+			add(in.Dst) // the destination is the accumulator
+		}
+	case isa.GSM:
+		add(in.Src1) // store data
+		add(in.Src2) // base
+		add(isa.VL)
+		add(isa.VS)
+		if in.Masked {
+			add(isa.VM)
+			if info.IsLoad {
+				add(in.Dst)
+			}
+		}
+	case isa.GRM:
+		add(in.Src1)
+		add(in.Src2)
+		add(in.Idx)
+		add(isa.VL)
+		if in.Masked {
+			add(isa.VM)
+			if info.IsLoad {
+				add(in.Dst)
+			}
+		}
+	case isa.GVC:
+		add(in.Src1)
+		add(in.Src2)
+		if in.Op == isa.OpVINS {
+			add(in.Dst)
+		}
+	}
+	return out
+}
+
+// destRegs lists the architectural registers an instruction writes.
+func destRegs(in *isa.Inst) [1]isa.Reg {
+	switch in.Op {
+	case isa.OpSETVL:
+		return [1]isa.Reg{isa.VL}
+	case isa.OpSETVS:
+		return [1]isa.Reg{isa.VS}
+	case isa.OpSETVM, isa.OpVCLRM:
+		return [1]isa.Reg{isa.VM}
+	}
+	if in.Info().IsStore || in.Info().IsBranch {
+		return [1]isa.Reg{}
+	}
+	return [1]isa.Reg{in.Dst}
+}
+
+// ResetHalt re-arms the core after a HALT so another trace phase can run on
+// the same machine state (used for warmup-then-measure experiments).
+func (c *Core) ResetHalt() {
+	for _, t := range c.threads {
+		t.halted = false
+	}
+}

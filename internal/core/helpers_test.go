@@ -1,0 +1,33 @@
+package core
+
+import "repro/internal/isa"
+
+// Small aliases keeping core_test readable without repeating isa paths.
+
+type isaReg = isa.Reg
+
+var (
+	regVL = isa.VL
+	regVS = isa.VS
+	regVM = isa.VM
+)
+
+const (
+	opVADDT = isa.OpVADDT
+	opVLDQ  = isa.OpVLDQ
+	opVFMAT = isa.OpVFMAT
+)
+
+func mkInst(op isa.Op) isa.Inst {
+	in := isa.Inst{Op: op, Dst: isa.V(2), Src1: isa.V(0), Src2: isa.V(1)}
+	if op == opVLDQ {
+		in = isa.Inst{Op: op, Dst: isa.V(2), Src2: isa.R(1)}
+	}
+	return in
+}
+
+var (
+	setvlInst = isa.Inst{Op: isa.OpSETVL, Src1: isa.R(1)}
+	setvmInst = isa.Inst{Op: isa.OpSETVM, Src1: isa.V(1)}
+	storeInst = isa.Inst{Op: isa.OpSTQ, Src1: isa.R(1), Src2: isa.R(2)}
+)

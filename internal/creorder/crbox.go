@@ -1,0 +1,77 @@
+package creorder
+
+import "repro/internal/isa"
+
+// CRBox models the conflict-resolution box (§3.4): gather/scatter and
+// self-conflicting-stride addresses do not form an arithmetic series the
+// reordering scheme covers, so the box sorts them into bank-conflict-free
+// buckets with a selection tournament.
+//
+// The hardware receives sixteen bank identifiers per cycle — one per
+// address generator, i.e. one per lane — and keeps whatever lost the
+// previous tournament. We model that exactly: per-lane FIFO queues of
+// pending elements; each round the sixteen queue heads compete and the
+// largest bank-distinct subset (one element per distinct bank, oldest lane
+// first) is packed into a slice.
+type CRBox struct {
+	// Rounds accumulates tournament rounds run, which the Vbox timing
+	// model charges one cycle each.
+	Rounds int
+	// Slices accumulates slices produced.
+	Slices int
+}
+
+// Pack sorts the element addresses into conflict-free slices and returns
+// them along with the number of tournament rounds the packing took. Element
+// lane assignment follows the register file slicing (index mod 16). In the
+// worst case — all addresses on one bank — a 128-element instruction yields
+// 128 single-element slices (the paper's stated worst case).
+func (cr *CRBox) Pack(elems []Elem, tag0 int) ([]Slice, int) {
+	var lanes [isa.NumLanes][]Elem
+	n := 0
+	for _, e := range elems {
+		l := LaneOf(e.Index)
+		lanes[l] = append(lanes[l], e)
+		n++
+	}
+	var out []Slice
+	rounds := 0
+	for n > 0 {
+		rounds++
+		var bankUsed [NumBanks]bool
+		s := Slice{Tag: tag0 + len(out)}
+		for l := 0; l < isa.NumLanes; l++ {
+			if len(lanes[l]) == 0 {
+				continue
+			}
+			head := lanes[l][0]
+			b := BankOf(head.Addr)
+			if bankUsed[b] {
+				continue // loses this tournament, retries next round
+			}
+			bankUsed[b] = true
+			s.Elems = append(s.Elems, head)
+			lanes[l] = lanes[l][1:]
+			n--
+		}
+		s.QWords = len(s.Elems)
+		out = append(out, s)
+	}
+	cr.Rounds += rounds
+	cr.Slices += len(out)
+	return out, rounds
+}
+
+// PackStrided routes a self-conflicting strided access (σ·2^s, s > 4, or a
+// degenerate stride) through the CR box, per §3.4: "Any instruction with
+// such a stride is treated exactly like a gather/scatter."
+func (cr *CRBox) PackStrided(base uint64, strideBytes int64, active []bool, tag0 int) ([]Slice, int) {
+	elems := make([]Elem, 0, len(active))
+	for i, act := range active {
+		if !act {
+			continue
+		}
+		elems = append(elems, Elem{Index: i, Addr: base + uint64(int64(i)*strideBytes)})
+	}
+	return cr.Pack(elems, tag0)
+}

@@ -1,0 +1,195 @@
+// Package floorplan models the §4 physical organisation (Figure 5): the
+// 16 MB cache split into four quadrants at the die corners (address bits
+// <7:6>), four cache lanes per quadrant (bits <9:8>) of 48 stacked banks
+// each, the sixteen Vbox lanes in four groups around the replicated
+// instruction queues, the EV8 core, and the folded central bus that
+// implements the lane↔cache crossbar.
+//
+// The numbers the paper quotes are all derivable, and this package derives
+// them: 512 wires per cache lane (one 64-byte line), a 4096-bit central bus
+// (32 read + 32 write quadwords per cycle in pump mode) folded onto
+// alternate east-west metal layers into a 2048-bit-wide track, and ~21 KB
+// banks. Tests pin each identity.
+package floorplan
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/power"
+)
+
+// Geometry quantities of the Figure 5 organisation.
+const (
+	// Quadrants of the L2, at the die corners (addr bits <7:6>).
+	Quadrants = 4
+	// CacheLanesPerQuadrant selected by addr bits <9:8>.
+	CacheLanesPerQuadrant = 4
+	// CacheLanes total (the sixteen banks of the slice machinery).
+	CacheLanes = Quadrants * CacheLanesPerQuadrant
+	// BanksPerCacheLane: "each cache lane holds 48 stacked banks".
+	BanksPerCacheLane = 48
+	// WiresPerCacheLane: "over which run 512 wires to read/write the cache
+	// line data" — exactly one 64-byte line.
+	WiresPerCacheLane = 512
+	// CentralBusBits: "the central bus itself carries 4096 bits".
+	CentralBusBits = 4096
+	// FoldedBusBits: "folded onto itself by using alternate East-West
+	// metal layers, so that it uses an area equivalent to a 2048-bit bus".
+	FoldedBusBits = CentralBusBits / 2
+	// VboxLaneGroups: "the different Vbox lanes are organized in four
+	// groups of four lanes".
+	VboxLaneGroups = 4
+	// VboxLanesPerGroup lanes per group.
+	VboxLanesPerGroup = 4
+)
+
+// CacheBytes is the L2 capacity.
+const CacheBytes = 16 << 20
+
+// BankKB returns the derived capacity of one stacked bank in KB.
+func BankKB() float64 {
+	return float64(CacheBytes) / float64(CacheLanes*BanksPerCacheLane) / 1024
+}
+
+// BusBitsFromDatapath derives the central bus width from the pump-mode data
+// rates: 32 quadwords read + 32 written per cycle.
+func BusBitsFromDatapath() int {
+	const qwBits = 64
+	return (32 + 32) * qwBits
+}
+
+// Rect is a normalised block placement (units: 1/100 of die edge).
+type Rect struct {
+	Name       string
+	X, Y, W, H int
+}
+
+// Plan is a computed floorplan.
+type Plan struct {
+	DieMM2 float64
+	Blocks []Rect
+}
+
+// Compute lays out the Tarantula die following Figure 5: cache quadrants in
+// the four corners, the Vbox lane groups flanking the central bus area, the
+// core and the R/Z boxes on the middle band. Areas come from the §5 model
+// so the picture and the power table stay consistent.
+func Compute() *Plan {
+	d := power.Tarantula()
+	area := map[string]float64{}
+	for _, b := range d.Blocks {
+		area[b.Name] = b.AreaPct
+	}
+	p := &Plan{DieMM2: d.DieMM2}
+	// Cache: 43% split into four corner quadrants.
+	qside := intSqrt(area["L2 cache"] / 4)
+	corners := [][2]int{{0, 0}, {100 - qside, 0}, {0, 100 - qside}, {100 - qside, 100 - qside}}
+	for q, c := range corners {
+		p.Blocks = append(p.Blocks, Rect{
+			Name: fmt.Sprintf("L2 quadrant %d", q), X: c[0], Y: c[1], W: qside, H: qside,
+		})
+	}
+	// Vbox: 15% as four lane groups on the horizontal midline, flanking
+	// the bus column.
+	gw, gh := 12, intSqrt(area["Vbox"]/4)+4
+	for g := 0; g < VboxLaneGroups; g++ {
+		x := 2 + g*(gw+2)
+		if g >= 2 {
+			x += 28 // leave the central bus column
+		}
+		p.Blocks = append(p.Blocks, Rect{
+			Name: fmt.Sprintf("Vbox group %d", g), X: x, Y: 50 - gh/2, W: gw, H: gh,
+		})
+	}
+	// Central bus column between the lane groups.
+	p.Blocks = append(p.Blocks, Rect{Name: "central bus", X: 44, Y: 20, W: 12, H: 60})
+	// Core on the top band between the quadrants; R/Z on the bottom band.
+	p.Blocks = append(p.Blocks, Rect{Name: "EV8 core", X: qside + 2, Y: 2, W: 96 - 2*qside, H: 16})
+	p.Blocks = append(p.Blocks, Rect{Name: "R/Z box", X: qside + 2, Y: 82, W: 96 - 2*qside, H: 16})
+	return p
+}
+
+func intSqrt(pct float64) int {
+	// pct of a 100×100 grid -> side of a square with that area.
+	area := pct * 100
+	s := 1
+	for s*s < int(area) {
+		s++
+	}
+	return s
+}
+
+// Symmetric reports whether the quadrants are mirror-symmetric about both
+// axes ("the floorplan is highly symmetric").
+func (p *Plan) Symmetric() bool {
+	var qs []Rect
+	for _, b := range p.Blocks {
+		if strings.HasPrefix(b.Name, "L2 quadrant") {
+			qs = append(qs, b)
+		}
+	}
+	if len(qs) != 4 {
+		return false
+	}
+	for _, q := range qs {
+		mx := Rect{X: 100 - q.X - q.W, Y: q.Y, W: q.W, H: q.H}
+		my := Rect{X: q.X, Y: 100 - q.Y - q.H, W: q.W, H: q.H}
+		if !p.hasQuadrantAt(mx) || !p.hasQuadrantAt(my) {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *Plan) hasQuadrantAt(want Rect) bool {
+	for _, b := range p.Blocks {
+		if strings.HasPrefix(b.Name, "L2 quadrant") &&
+			b.X == want.X && b.Y == want.Y && b.W == want.W && b.H == want.H {
+			return true
+		}
+	}
+	return false
+}
+
+// Render draws the floorplan as ASCII art on a 50×25 grid.
+func (p *Plan) Render() string {
+	const w, h = 64, 26
+	grid := make([][]byte, h)
+	for y := range grid {
+		grid[y] = []byte(strings.Repeat(" ", w))
+	}
+	mark := func(r Rect, ch byte) {
+		x0, y0 := r.X*w/100, r.Y*h/100
+		x1, y1 := (r.X+r.W)*w/100, (r.Y+r.H)*h/100
+		for y := y0; y < y1 && y < h; y++ {
+			for x := x0; x < x1 && x < w; x++ {
+				grid[y][x] = ch
+			}
+		}
+	}
+	legend := map[string]byte{
+		"L2 quadrant": 'C', "Vbox group": 'V', "central bus": '|',
+		"EV8 core": 'E', "R/Z box": 'Z',
+	}
+	for _, b := range p.Blocks {
+		for prefix, ch := range legend {
+			if strings.HasPrefix(b.Name, prefix) {
+				mark(b, ch)
+			}
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString("+" + strings.Repeat("-", w) + "+\n")
+	for _, row := range grid {
+		sb.WriteString("|" + string(row) + "|\n")
+	}
+	sb.WriteString("+" + strings.Repeat("-", w) + "+\n")
+	fmt.Fprintf(&sb, "C = L2 quadrant (4 cache lanes × %d banks, %d data wires/lane)\n",
+		BanksPerCacheLane, WiresPerCacheLane)
+	fmt.Fprintf(&sb, "V = Vbox lane group (4 lanes; queues/LSQ/CR at the centre)\n")
+	fmt.Fprintf(&sb, "| = central bus: %d bits folded to %d-bit-equivalent width\n",
+		CentralBusBits, FoldedBusBits)
+	fmt.Fprintf(&sb, "E = EV8 core, Z = R/Z boxes;  die %0.f mm²\n", p.DieMM2)
+	return sb.String()
+}

@@ -1,0 +1,89 @@
+package floorplan
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDerivedQuantitiesMatchPaper(t *testing.T) {
+	// "each cache lane holds 48 stacked banks, over which run 512 wires to
+	// read/write the cache line data": 512 bits = one 64-byte line.
+	if WiresPerCacheLane != 64*8 {
+		t.Fatalf("wires per lane %d ≠ one 64-byte line", WiresPerCacheLane)
+	}
+	// "the central bus itself carries 4096 bits": exactly the pump-mode
+	// peak of 32 read + 32 written quadwords per cycle.
+	if BusBitsFromDatapath() != CentralBusBits {
+		t.Fatalf("datapath-derived bus %d bits ≠ quoted %d", BusBitsFromDatapath(), CentralBusBits)
+	}
+	// "folded onto itself ... equivalent to a 2048-bit bus".
+	if FoldedBusBits != 2048 {
+		t.Fatalf("folded bus = %d", FoldedBusBits)
+	}
+	// 16 MB over 16 lanes × 48 banks ≈ 21.3 KB banks.
+	if kb := BankKB(); kb < 20 || kb > 23 {
+		t.Fatalf("bank size %.1f KB implausible", kb)
+	}
+	if CacheLanes != 16 {
+		t.Fatalf("cache lanes = %d", CacheLanes)
+	}
+}
+
+func TestPlanSymmetry(t *testing.T) {
+	p := Compute()
+	if !p.Symmetric() {
+		t.Fatal("quadrants are not mirror-symmetric ('the floorplan is highly symmetric')")
+	}
+}
+
+func TestPlanHasAllBlocks(t *testing.T) {
+	p := Compute()
+	want := map[string]int{
+		"L2 quadrant": 4, "Vbox group": 4, "central bus": 1, "EV8 core": 1, "R/Z box": 1,
+	}
+	got := map[string]int{}
+	for _, b := range p.Blocks {
+		for prefix := range want {
+			if strings.HasPrefix(b.Name, prefix) {
+				got[prefix]++
+			}
+		}
+	}
+	for prefix, n := range want {
+		if got[prefix] != n {
+			t.Errorf("%s: %d blocks, want %d", prefix, got[prefix], n)
+		}
+	}
+}
+
+func TestBlocksInsideDie(t *testing.T) {
+	for _, b := range Compute().Blocks {
+		if b.X < 0 || b.Y < 0 || b.X+b.W > 100 || b.Y+b.H > 100 {
+			t.Errorf("%s sticks out of the die: %+v", b.Name, b)
+		}
+		if b.W <= 0 || b.H <= 0 {
+			t.Errorf("%s has no area: %+v", b.Name, b)
+		}
+	}
+}
+
+func TestNoOverlapBetweenMajorBlocks(t *testing.T) {
+	blocks := Compute().Blocks
+	for i := 0; i < len(blocks); i++ {
+		for j := i + 1; j < len(blocks); j++ {
+			a, b := blocks[i], blocks[j]
+			if a.X < b.X+b.W && b.X < a.X+a.W && a.Y < b.Y+b.H && b.Y < a.Y+a.H {
+				t.Errorf("%s overlaps %s", a.Name, b.Name)
+			}
+		}
+	}
+}
+
+func TestRender(t *testing.T) {
+	s := Compute().Render()
+	for _, want := range []string{"C", "V", "|", "E", "Z", "4096", "2048", "286"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("render missing %q:\n%s", want, s)
+		}
+	}
+}

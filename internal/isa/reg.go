@@ -1,0 +1,120 @@
+// Package isa defines the Tarantula instruction set: the Alpha scalar subset
+// the workloads need plus the vector extension of the paper's §2 — 32 vector
+// registers of 128 64-bit elements, the vl/vs/vm control registers, and the
+// new instructions in their five groups (VV, VS, SM, RM, VC).
+package isa
+
+import "fmt"
+
+// VLMax is the architectural maximum vector length: each vector register
+// holds 128 64-bit values.
+const VLMax = 128
+
+// NumLanes is the number of Vbox lanes; element i of a vector register lives
+// in lane i mod NumLanes.
+const NumLanes = 16
+
+// RegKind distinguishes the architectural register namespaces.
+type RegKind uint8
+
+const (
+	// KindNone marks an absent operand.
+	KindNone RegKind = iota
+	// KindInt is the scalar integer file r0..r31 (r31 reads as zero).
+	KindInt
+	// KindFP is the scalar floating file f0..f31 (f31 reads as zero).
+	KindFP
+	// KindVec is the vector file v0..v31 (v31 reads as zero and squashes
+	// faults when used as a destination: that is how vector prefetch is
+	// expressed).
+	KindVec
+	// KindCtl is the vector control registers vl, vs, vm.
+	KindCtl
+)
+
+// Reg identifies an architectural register: a kind plus an index. It is a
+// small value type so the timing models can use it directly as a rename-map
+// key.
+type Reg struct {
+	Kind RegKind
+	Idx  uint8
+}
+
+// Control register indices within KindCtl.
+const (
+	CtlVL uint8 = iota
+	CtlVS
+	CtlVM
+)
+
+// Convenience constructors.
+
+// R returns scalar integer register n.
+func R(n int) Reg { return Reg{KindInt, uint8(n)} }
+
+// F returns scalar floating-point register n.
+func F(n int) Reg { return Reg{KindFP, uint8(n)} }
+
+// V returns vector register n.
+func V(n int) Reg { return Reg{KindVec, uint8(n)} }
+
+// Well-known registers.
+var (
+	NoReg = Reg{} // absent operand
+	RZero = R(31) // integer hardwired zero
+	FZero = F(31) // floating hardwired zero
+	VZero = V(31) // vector hardwired zero / prefetch destination
+	VL    = Reg{KindCtl, CtlVL}
+	VS    = Reg{KindCtl, CtlVS}
+	VM    = Reg{KindCtl, CtlVM}
+)
+
+// IsZero reports whether the register is one of the hardwired-zero names.
+func (r Reg) IsZero() bool {
+	return (r.Kind == KindInt || r.Kind == KindFP || r.Kind == KindVec) && r.Idx == 31
+}
+
+// Valid reports whether r names a real register (not NoReg).
+func (r Reg) Valid() bool { return r.Kind != KindNone }
+
+func (r Reg) String() string {
+	switch r.Kind {
+	case KindNone:
+		return "-"
+	case KindInt:
+		return fmt.Sprintf("r%d", r.Idx)
+	case KindFP:
+		return fmt.Sprintf("f%d", r.Idx)
+	case KindVec:
+		return fmt.Sprintf("v%d", r.Idx)
+	case KindCtl:
+		switch r.Idx {
+		case CtlVL:
+			return "vl"
+		case CtlVS:
+			return "vs"
+		case CtlVM:
+			return "vm"
+		}
+	}
+	return fmt.Sprintf("reg(%d,%d)", r.Kind, r.Idx)
+}
+
+// Flat returns a dense id usable as an array index across all namespaces.
+// Layout: 32 int, 32 fp, 32 vec, 3 ctl.
+func (r Reg) Flat() int {
+	switch r.Kind {
+	case KindInt:
+		return int(r.Idx)
+	case KindFP:
+		return 32 + int(r.Idx)
+	case KindVec:
+		return 64 + int(r.Idx)
+	case KindCtl:
+		return 96 + int(r.Idx)
+	}
+	return -1
+}
+
+// NumFlatRegs is the size of a Flat-indexed table.
+const NumFlatRegs = 99

@@ -1,0 +1,540 @@
+// Package l2 models Tarantula's second-level cache (§3.4): sixteen banks
+// read in parallel for vector slices, the PUMP structures that double
+// stride-1 bandwidth, slice-atomic miss handling in the MAF (sleep, fill,
+// wakeup, retry, panic mode), P-bit scalar↔vector coherency, and the shared
+// path for scalar (EV8-side) refills and write-buffer drains.
+//
+// Timing is slice-granular: a conflict-free slice cycles all sixteen banks
+// at once, so the model charges bank/bus occupancy per slice rather than per
+// element — the granularity at which the paper's contention effects occur.
+package l2
+
+import (
+	"repro/internal/creorder"
+	"repro/internal/stats"
+	"repro/internal/zbox"
+)
+
+// Config sets the cache geometry and timing.
+type Config struct {
+	Bytes     int // total capacity
+	Assoc     int
+	LineBytes int // 64 throughout the paper
+
+	ScalarLat  int // load-to-use for scalar requests (Table 3)
+	VecLatPump int // load-to-use for vector stride-1 (Table 3)
+	VecLatOdd  int // load-to-use for vector non-unit strides (Table 3)
+
+	MAFSize         int // outstanding miss entries
+	ReplayThreshold int // replays before panic mode (§3.4)
+	RetryDelay      int // cycles between wakeup and replay
+
+	SliceQueue int // vector input queue depth per direction
+
+	// PBitPenalty is the extra latency a vector access pays when it must
+	// send invalidates to the L1 for a P-bit line.
+	PBitPenalty int
+}
+
+// SliceOp is a vector slice request walking the memory pipeline.
+type SliceOp struct {
+	Slice creorder.Slice
+	Write bool
+	// Done is called when the slice's data transfer completes.
+	Done func(cycle uint64)
+
+	replays int
+	waiting int // outstanding line fills
+	panic_  bool
+}
+
+type way struct {
+	tag    uint64 // line address
+	valid  bool
+	dirty  bool
+	pbit   bool
+	locked bool // pinned by a panicked slice
+	lru    uint64
+}
+
+type set struct {
+	ways []way
+}
+
+// pendingFill tracks one in-flight line fetch and the slices sleeping on it.
+type pendingFill struct {
+	sleepers []*SliceOp
+	scalar   []func(cycle uint64) // scalar waiters (L1 refills)
+	forWrite bool
+}
+
+// L2 is the cache model.
+type L2 struct {
+	cfg  Config
+	st   *stats.Stats
+	z    *zbox.Zbox
+	sets []set
+	mask uint64
+
+	lruClock uint64
+
+	// OnPBitInvalidate is installed by the core: the L2 calls it when a
+	// vector access touches (or an eviction removes) a line the EV8 core
+	// has in its L1. It returns true when the L1 copy was dirty and had to
+	// be written through first.
+	OnPBitInvalidate func(lineAddr uint64) bool
+
+	readQ, writeQ []*SliceOp
+	scalarQ       []scalarReq
+	retryQ        []*SliceOp
+
+	fills map[uint64]*pendingFill // line addr -> fill in flight
+
+	readBusFree, writeBusFree uint64
+
+	wheel *wheel
+}
+
+type scalarReq struct {
+	addr  uint64
+	write bool
+	wh64  bool
+	pref  bool
+	done  func(cycle uint64)
+}
+
+// New returns an L2 backed by the given memory controller.
+func New(cfg Config, st *stats.Stats, z *zbox.Zbox) *L2 {
+	nsets := cfg.Bytes / (cfg.LineBytes * cfg.Assoc)
+	c := &L2{
+		cfg:   cfg,
+		st:    st,
+		z:     z,
+		sets:  make([]set, nsets),
+		mask:  uint64(nsets - 1),
+		fills: make(map[uint64]*pendingFill),
+		wheel: newWheel(),
+	}
+	for i := range c.sets {
+		c.sets[i].ways = make([]way, cfg.Assoc)
+	}
+	return c
+}
+
+func (c *L2) line(addr uint64) uint64 { return addr &^ uint64(c.cfg.LineBytes-1) }
+func (c *L2) setOf(line uint64) *set  { return &c.sets[(line>>6)&c.mask] }
+
+// probe returns the way holding line, or nil.
+func (c *L2) probe(line uint64) *way {
+	s := c.setOf(line)
+	for i := range s.ways {
+		if s.ways[i].valid && s.ways[i].tag == line {
+			return &s.ways[i]
+		}
+	}
+	return nil
+}
+
+func (c *L2) touch(w *way) {
+	c.lruClock++
+	w.lru = c.lruClock
+}
+
+// markDirty transitions a line to dirty, charging the directory-update
+// transaction the coherency protocol performs on the Shared→Dirty (or
+// Invalid→Dirty, for WH64 allocations) edge.
+func (c *L2) markDirty(w *way) {
+	if !w.dirty {
+		w.dirty = true
+		c.z.Request(w.tag, zbox.DirOp, nil)
+	}
+}
+
+// victim picks the LRU unlocked way in the set of line, or nil if every way
+// is pinned by panicked slices.
+func (c *L2) victim(line uint64) *way {
+	s := c.setOf(line)
+	var v *way
+	for i := range s.ways {
+		w := &s.ways[i]
+		if !w.valid {
+			return w
+		}
+		if w.locked {
+			continue
+		}
+		if v == nil || w.lru < v.lru {
+			v = w
+		}
+	}
+	return v
+}
+
+// install places line into the cache, evicting as needed. Returns nil if no
+// victim is available (all ways locked).
+func (c *L2) install(line uint64, dirty bool) *way {
+	w := c.victim(line)
+	if w == nil {
+		return nil
+	}
+	if w.valid {
+		if w.pbit && c.OnPBitInvalidate != nil {
+			// Evicting a P-bit line invalidates the L1 copy (§3.4).
+			c.st.L2PBitInvalidates++
+			if c.OnPBitInvalidate(w.tag) {
+				w.dirty = true // L1 write-through merged into the victim
+			}
+		}
+		if w.dirty {
+			c.st.L2Writebacks++
+			c.z.Request(w.tag, zbox.Write, nil)
+		}
+	}
+	*w = way{tag: line, valid: true, dirty: dirty}
+	c.touch(w)
+	if dirty {
+		// Fresh dirty allocation (WH64): Invalid→Dirty directory edge.
+		c.z.Request(line, zbox.DirOp, nil)
+	}
+	return w
+}
+
+// ---- external request API ----
+
+// SubmitSlice offers a vector slice to the cache. It returns false when the
+// input queue for that direction is full (the Vbox keeps the slice and
+// retries next cycle).
+func (c *L2) SubmitSlice(op *SliceOp) bool {
+	q := &c.readQ
+	if op.Write {
+		q = &c.writeQ
+	}
+	if len(*q) >= c.cfg.SliceQueue {
+		return false
+	}
+	*q = append(*q, op)
+	return true
+}
+
+// ScalarRead requests the line containing addr on behalf of the EV8 core
+// (an L1 refill). The P-bit is set: the core now has the line. done fires
+// when the line is available to the L1.
+func (c *L2) ScalarRead(cy uint64, addr uint64, done func(cycle uint64)) {
+	c.scalarQ = append(c.scalarQ, scalarReq{addr: c.line(addr), done: done})
+}
+
+// ScalarPrefetch is a non-binding scalar prefetch: it fills the L2 (and is
+// dropped on MAF pressure) but never blocks the requester.
+func (c *L2) ScalarPrefetch(cy uint64, addr uint64) {
+	c.scalarQ = append(c.scalarQ, scalarReq{addr: c.line(addr), pref: true})
+}
+
+// ScalarWrite drains one store (or an L1 dirty writeback) into the cache,
+// setting the P-bit, per the write-buffer behaviour of §3.4. done, if
+// non-nil, fires when the write is durably in the L2 (DrainM waits on it).
+func (c *L2) ScalarWrite(cy uint64, addr uint64, done func(cycle uint64)) {
+	c.scalarQ = append(c.scalarQ, scalarReq{addr: c.line(addr), write: true, done: done})
+}
+
+// WH64 allocates the line dirty without a memory read (the write-hint that
+// saves read-for-ownership traffic). The allocation bypasses the L1, so the
+// P-bit is not set and later vector stores do not pay invalidates.
+func (c *L2) WH64(cy uint64, addr uint64, done func(cycle uint64)) {
+	c.scalarQ = append(c.scalarQ, scalarReq{addr: c.line(addr), write: true, wh64: true, done: done})
+}
+
+// Busy reports whether the cache still has work in flight.
+func (c *L2) Busy() bool {
+	return len(c.readQ)+len(c.writeQ)+len(c.scalarQ)+len(c.retryQ)+len(c.fills) > 0 ||
+		c.wheel.pending()
+}
+
+// MAFInUse returns the number of occupied miss entries.
+func (c *L2) MAFInUse() int { return len(c.fills) }
+
+// ---- per-cycle processing ----
+
+// Tick advances the cache one cycle.
+func (c *L2) Tick(cy uint64) {
+	c.wheel.advance(cy)
+
+	// Replays have priority over new slices: a woken slice walks the pipe
+	// again ahead of fresh traffic (it holds a MAF entry others may need).
+	if len(c.retryQ) > 0 {
+		op := c.retryQ[0]
+		if c.tryBus(cy, op) {
+			c.retryQ = c.retryQ[1:]
+			c.st.L2SliceReplays++
+			c.lookupSlice(cy, op)
+		}
+	}
+
+	// Accept at most one new slice per direction per cycle, bus permitting.
+	if len(c.readQ) > 0 && c.readQ[0] != nil {
+		if op := c.readQ[0]; c.tryBus(cy, op) {
+			c.readQ = c.readQ[1:]
+			c.lookupSlice(cy, op)
+		}
+	}
+	if len(c.writeQ) > 0 {
+		if op := c.writeQ[0]; c.tryBus(cy, op) {
+			c.writeQ = c.writeQ[1:]
+			c.lookupSlice(cy, op)
+		}
+	}
+
+	// Two scalar requests per cycle (a line read + a line write stream,
+	// EV8's 273 GB/s sustainable figure from Table 3).
+	for n := 0; n < 2 && len(c.scalarQ) > 0; n++ {
+		req := c.scalarQ[0]
+		c.scalarQ = c.scalarQ[1:]
+		c.lookupScalar(cy, req)
+	}
+}
+
+// tryBus reserves the data bus for the slice: pump slices stream 32 qw/cycle
+// for four cycles; normal slices move their ≤16 quadwords in one.
+func (c *L2) tryBus(cy uint64, op *SliceOp) bool {
+	occ := uint64(1)
+	if op.Slice.Pump {
+		occ = 4
+	}
+	if op.Write {
+		if c.writeBusFree > cy {
+			return false
+		}
+		c.writeBusFree = cy + occ
+	} else {
+		if c.readBusFree > cy {
+			return false
+		}
+		c.readBusFree = cy + occ
+	}
+	return true
+}
+
+func (c *L2) lookupSlice(cy uint64, op *SliceOp) {
+	c.st.L2VecSlices++
+	if op.Slice.Pump {
+		c.st.L2PumpSlices++
+	}
+	var missing []uint64
+	pbitHit := false
+	for _, e := range op.Slice.Elems {
+		line := c.line(e.Addr)
+		w := c.probe(line)
+		if w == nil {
+			missing = append(missing, line)
+			continue
+		}
+		c.touch(w)
+		if w.pbit {
+			pbitHit = true
+			c.st.L2PBitInvalidates++
+			if c.OnPBitInvalidate != nil && c.OnPBitInvalidate(line) {
+				w.dirty = true
+			}
+			w.pbit = false
+		}
+		if op.Write {
+			c.markDirty(w)
+		}
+	}
+	if len(missing) == 0 {
+		c.st.L2Hits++
+		if op.panic_ {
+			c.exitPanic(op)
+		}
+		lat := uint64(c.cfg.VecLatOdd)
+		if op.Slice.Pump {
+			lat = uint64(c.cfg.VecLatPump)
+		}
+		if pbitHit {
+			lat += uint64(c.cfg.PBitPenalty)
+		}
+		done := op.Done
+		if done != nil {
+			c.wheel.at(cy+lat, func() { done(cy + lat) })
+		}
+		return
+	}
+
+	// Miss: the slice sleeps in the MAF with a waiting bit per missing
+	// line (§3.4 "Servicing Vector Misses").
+	c.st.L2Misses++
+	op.replays++
+	if op.replays > c.cfg.ReplayThreshold && !op.panic_ {
+		c.enterPanic(op)
+	}
+	op.waiting = 0
+	for _, line := range missing {
+		if c.requestFill(line, op, op.Write) {
+			op.waiting++
+		}
+	}
+	if op.waiting == 0 {
+		// Every fill was NACKed (MAF exhausted): retry later.
+		c.st.MAFFullStalls++
+		c.wheel.at(cy+uint64(c.cfg.RetryDelay), func() { c.retryQ = append(c.retryQ, op) })
+	}
+}
+
+// requestFill attaches op to the in-flight fetch of line, creating it if
+// needed. Returns false when the MAF has no free entry.
+func (c *L2) requestFill(line uint64, op *SliceOp, forWrite bool) bool {
+	if pf, ok := c.fills[line]; ok {
+		if op != nil {
+			pf.sleepers = append(pf.sleepers, op)
+		}
+		pf.forWrite = pf.forWrite || forWrite
+		return true
+	}
+	if len(c.fills) >= c.cfg.MAFSize {
+		return false
+	}
+	pf := &pendingFill{forWrite: forWrite}
+	if op != nil {
+		pf.sleepers = append(pf.sleepers, op)
+	}
+	c.fills[line] = pf
+	if uint64(len(c.fills)) > c.st.MAFPeak {
+		c.st.MAFPeak = uint64(len(c.fills))
+	}
+	c.z.Request(line, zbox.Read, func(cycle uint64) { c.fillArrived(cycle, line) })
+	return true
+}
+
+// fillArrived installs the line and wakes sleepers whose waiting bits all
+// cleared; they move to the retry queue and walk the pipe again.
+func (c *L2) fillArrived(cy uint64, line uint64) {
+	pf := c.fills[line]
+	w := c.install(line, false)
+	if w == nil {
+		// Every way pinned by panicked slices: retry the install shortly.
+		c.wheel.at(cy+1, func() { c.fillArrived(cy+1, line) })
+		return
+	}
+	delete(c.fills, line)
+	for _, op := range pf.sleepers {
+		op.waiting--
+		if op.waiting == 0 {
+			delay := uint64(c.cfg.RetryDelay)
+			sl := op
+			c.wheel.at(cy+delay, func() { c.retryQ = append(c.retryQ, sl) })
+		}
+	}
+	for _, done := range pf.scalar {
+		done(cy)
+	}
+}
+
+// enterPanic pins the slice's lines so competing traffic cannot evict them
+// (the MAF "starts NACKing all requests that may prevent forward progress",
+// §3.4 — we model the effect: guaranteed completion on the next replay).
+func (c *L2) enterPanic(op *SliceOp) {
+	op.panic_ = true
+	c.st.L2PanicEvents++
+	for _, e := range op.Slice.Elems {
+		if w := c.probe(c.line(e.Addr)); w != nil {
+			w.locked = true
+		}
+	}
+}
+
+func (c *L2) exitPanic(op *SliceOp) {
+	op.panic_ = false
+	for _, e := range op.Slice.Elems {
+		if w := c.probe(c.line(e.Addr)); w != nil {
+			w.locked = false
+		}
+	}
+}
+
+func (c *L2) lookupScalar(cy uint64, req scalarReq) {
+	c.st.L2ScalarReqs++
+	w := c.probe(req.addr)
+	if req.wh64 {
+		if w == nil {
+			w = c.install(req.addr, true)
+		} else {
+			c.touch(w)
+			c.markDirty(w)
+		}
+		if req.done != nil {
+			done := req.done
+			c.wheel.at(cy+1, func() { done(cy + 1) })
+		}
+		return
+	}
+	if w != nil {
+		c.st.L2Hits++
+		c.touch(w)
+		if req.write {
+			c.markDirty(w)
+			w.pbit = true
+		} else if !req.pref {
+			w.pbit = true
+		}
+		if req.done != nil {
+			lat := uint64(c.cfg.ScalarLat)
+			done := req.done
+			c.wheel.at(cy+lat, func() { done(cy + lat) })
+		}
+		return
+	}
+	c.st.L2Misses++
+	if req.pref {
+		// Prefetches are dropped rather than stalled when the MAF is full.
+		c.requestFill(req.addr, nil, false)
+		return
+	}
+	pf, ok := c.fills[req.addr]
+	if !ok {
+		if !c.requestFill(req.addr, nil, req.write) {
+			// MAF full: retry the scalar request next cycle.
+			c.st.MAFFullStalls++
+			c.wheel.at(cy+1, func() { c.scalarQ = append(c.scalarQ, req) })
+			return
+		}
+		pf = c.fills[req.addr]
+	}
+	write := req.write
+	addr := req.addr
+	done := req.done
+	lat := uint64(c.cfg.ScalarLat)
+	pf.scalar = append(pf.scalar, func(cycle uint64) {
+		if w := c.probe(addr); w != nil {
+			if write {
+				c.markDirty(w)
+			}
+			w.pbit = true
+		}
+		if done != nil {
+			done(cycle + lat)
+		}
+	})
+}
+
+// ---- local event wheel ----
+
+type wheel struct{ m map[uint64][]func() }
+
+func newWheel() *wheel { return &wheel{m: map[uint64][]func(){}} }
+
+func (w *wheel) at(c uint64, fn func()) { w.m[c] = append(w.m[c], fn) }
+
+func (w *wheel) advance(c uint64) {
+	if fns, ok := w.m[c]; ok {
+		delete(w.m, c)
+		for _, fn := range fns {
+			fn()
+		}
+	}
+}
+
+func (w *wheel) pending() bool { return len(w.m) > 0 }
+
+// Depths reports the cache's queue occupancies for profiling tools.
+func (c *L2) Depths() (readQ, writeQ, retryQ, maf int) {
+	return len(c.readQ), len(c.writeQ), len(c.retryQ), len(c.fills)
+}

@@ -1,0 +1,106 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLoadStoreQ(t *testing.T) {
+	m := New()
+	m.StoreQ(0x1000, 0xdeadbeefcafef00d)
+	if got := m.LoadQ(0x1000); got != 0xdeadbeefcafef00d {
+		t.Fatalf("LoadQ = %#x", got)
+	}
+	if got := m.LoadQ(0x2000); got != 0 {
+		t.Fatalf("untouched memory = %#x, want 0", got)
+	}
+}
+
+func TestLoadStoreQRoundTrip(t *testing.T) {
+	m := New()
+	f := func(addr uint64, v uint64) bool {
+		addr = (addr % (1 << 30)) &^ 7
+		m.StoreQ(addr, v)
+		return m.LoadQ(addr) == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLittleEndianLayout(t *testing.T) {
+	m := New()
+	m.StoreQ(0, 0x0807060504030201)
+	if got := m.LoadL(0); got != 0x04030201 {
+		t.Fatalf("low longword = %#x", got)
+	}
+	if got := m.LoadL(4); got != 0x08070605 {
+		t.Fatalf("high longword = %#x", got)
+	}
+}
+
+func TestLoadStoreL(t *testing.T) {
+	m := New()
+	m.StoreL(0x100, 0x11223344)
+	m.StoreL(0x104, 0x55667788)
+	if got := m.LoadQ(0x100); got != 0x5566778811223344 {
+		t.Fatalf("combined quadword = %#x", got)
+	}
+}
+
+func TestUnalignedPanics(t *testing.T) {
+	m := New()
+	for _, f := range []func(){
+		func() { m.LoadQ(3) },
+		func() { m.StoreQ(5, 0) },
+		func() { m.LoadL(2) },
+		func() { m.StoreL(1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic on unaligned access")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestZeroLine(t *testing.T) {
+	m := New()
+	for i := uint64(0); i < 16; i++ {
+		m.StoreQ(0x1000+i*8, ^uint64(0))
+	}
+	m.ZeroLine(0x1060) // any address within the second line (0x1040..0x107f)
+	for i := uint64(0); i < 8; i++ {
+		if got := m.LoadQ(0x1000 + i*8); got != ^uint64(0) {
+			t.Fatalf("first line clobbered at +%d", i*8)
+		}
+	}
+	for i := uint64(8); i < 16; i++ {
+		if got := m.LoadQ(0x1000 + i*8); got != 0 {
+			t.Fatalf("second line not zeroed at +%d: %#x", i*8, got)
+		}
+	}
+}
+
+func TestSparseFrames(t *testing.T) {
+	m := New()
+	m.StoreQ(0, 1)
+	m.StoreQ(1<<40, 2) // far-away address should cost one frame, not 1 TB
+	if m.Footprint() > 4*FrameSize {
+		t.Fatalf("footprint %d too large for two touches", m.Footprint())
+	}
+	if m.LoadQ(1<<40) != 2 {
+		t.Fatal("far store lost")
+	}
+}
+
+func TestHighWater(t *testing.T) {
+	m := New()
+	m.StoreQ(0x500, 7)
+	if hw := m.HighWater(); hw != 0x508 {
+		t.Fatalf("HighWater = %#x, want 0x508", hw)
+	}
+}

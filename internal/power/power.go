@@ -1,0 +1,196 @@
+// Package power reproduces the paper's §5 power and area study (Table 1):
+// estimates for a CMP built from two EV8 cores versus Tarantula, both with
+// the same 16 MB L2 and memory system, obtained by scaling EV7's measured
+// area and power densities to 65 nm at 2.5 GHz and slightly under 1 V, with
+// a 20% leakage uplift on the total.
+//
+// The Vbox's power is extrapolated from the power density of EV7's floating
+// point units, which the paper notes makes it a lower bound (TLBs and
+// address generators are not separately accounted).
+package power
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Tech holds the technology assumptions of the study.
+type Tech struct {
+	Node        string  // process
+	ClockGHz    float64 // 2.5 GHz in the paper
+	VoltageV    float64 // slightly under 1 V
+	LeakageFrac float64 // fraction of dynamic power added as leakage
+}
+
+// Paper2006 is the paper's 2006-timeframe assumption set.
+func Paper2006() Tech {
+	return Tech{Node: "65nm", ClockGHz: 2.5, VoltageV: 0.95, LeakageFrac: 0.20}
+}
+
+// Block is one floorplan component with its area share and power density
+// (both derived by scaling EV7 measurements, per §5).
+type Block struct {
+	Name    string
+	AreaPct float64 // % of die area
+	// DensityRel is the block's switching power per unit area relative to
+	// the EV7 core logic reference (caches low, datapaths high).
+	DensityRel float64
+}
+
+// Design is a whole-chip configuration for the Table 1 comparison.
+type Design struct {
+	Name   string
+	DieMM2 float64
+	Blocks []Block
+	PeakGF float64 // peak double-precision Gflops at Tech.ClockGHz
+}
+
+// refDensity is the EV7-derived core switching density scaled to 65 nm,
+// 2.5 GHz, <1 V, in W/mm². Calibrated once so the EV8 core block of the CMP
+// design reproduces the paper's 54.3 W at 42% of a 250 mm² die.
+const refDensity = 54.3 / (0.42 * 250)
+
+// CMPEV8 is the paper's two-core EV8 chip multiprocessor with Tarantula's
+// L2 and memory system.
+func CMPEV8() Design {
+	return Design{
+		Name:   "CMP-EV8",
+		DieMM2: 250,
+		Blocks: []Block{
+			{Name: "Core", AreaPct: 42, DensityRel: 1.0},
+			{Name: "IO Drivers", AreaPct: 0, DensityRel: 0}, // pad ring: fixed power below
+			{Name: "IO logic", AreaPct: 14, DensityRel: 0.36},
+			{Name: "L2 cache", AreaPct: 33, DensityRel: 0.12},
+			{Name: "R/Z Box", AreaPct: 5, DensityRel: 0.97},
+			{Name: "Other", AreaPct: 6, DensityRel: 1.02},
+		},
+		PeakGF: 2 * 4 * 2.5, // two 4-flop/cycle cores at 2.5 GHz
+	}
+}
+
+// Tarantula is the vector chip: one EV8 core plus the 16-lane Vbox.
+func Tarantula() Design {
+	return Design{
+		Name:   "Tarantula",
+		DieMM2: 286,
+		Blocks: []Block{
+			{Name: "Core", AreaPct: 15, DensityRel: 1.0},
+			{Name: "IO Drivers", AreaPct: 0, DensityRel: 0},
+			{Name: "IO logic", AreaPct: 8, DensityRel: 0.36},
+			{Name: "L2 cache", AreaPct: 43, DensityRel: 0.12},
+			{Name: "R/Z Box", AreaPct: 7, DensityRel: 0.97},
+			// The Vbox runs at FPU-like density — the lower bound of §5.
+			{Name: "Vbox", AreaPct: 15, DensityRel: 1.39},
+			{Name: "Other", AreaPct: 12, DensityRel: 1.02},
+		},
+		PeakGF: 32 * 2.5, // 32 flops/cycle at 2.5 GHz
+	}
+}
+
+// ioDriverWatts is the pad-ring drive power, identical for both designs
+// (same package and board interface).
+const ioDriverWatts = 26.5
+
+// Row is one line of Table 1.
+type Row struct {
+	Name    string
+	AreaPct float64
+	Watts   float64
+}
+
+// Estimate computes the Table 1 breakdown for d under t.
+type Estimate struct {
+	Design     string
+	Rows       []Row
+	TotalWatts float64 // includes leakage uplift
+	DieMM2     float64
+	PeakGF     float64
+	GFPerWatt  float64
+}
+
+// Model evaluates the analytical model.
+func Model(d Design, t Tech) Estimate {
+	e := Estimate{Design: d.Name, DieMM2: d.DieMM2, PeakGF: d.PeakGF}
+	// Dynamic power scales with area, density, V² and f relative to the
+	// calibration point (2.5 GHz, 0.95 V).
+	scale := (t.VoltageV * t.VoltageV / (0.95 * 0.95)) * (t.ClockGHz / 2.5)
+	sum := 0.0
+	for _, b := range d.Blocks {
+		w := 0.0
+		if b.Name == "IO Drivers" {
+			w = ioDriverWatts
+		} else {
+			w = refDensity * b.DensityRel * (b.AreaPct / 100) * d.DieMM2 * scale
+		}
+		e.Rows = append(e.Rows, Row{Name: b.Name, AreaPct: b.AreaPct, Watts: w})
+		sum += w
+	}
+	e.TotalWatts = sum * (1 + t.LeakageFrac)
+	e.GFPerWatt = d.PeakGF / e.TotalWatts
+	return e
+}
+
+// Ratio returns Tarantula's Gflops/W advantage over the CMP under t (the
+// paper reports 3.4X).
+func Ratio(t Tech) float64 {
+	tar := Model(Tarantula(), t)
+	cmp := Model(CMPEV8(), t)
+	return tar.GFPerWatt / cmp.GFPerWatt
+}
+
+// Table renders the two estimates side by side in the format of Table 1.
+func Table(t Tech) string {
+	cmp := Model(CMPEV8(), t)
+	tar := Model(Tarantula(), t)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s | %12s | %12s\n", "Circuitry", "CMP-EV8", "Tarantula")
+	fmt.Fprintf(&b, "%-12s | %5s %6s | %5s %6s\n", "", "Area%", "W", "Area%", "W")
+	fmt.Fprintln(&b, strings.Repeat("-", 48))
+	find := func(e Estimate, name string) *Row {
+		for i := range e.Rows {
+			if e.Rows[i].Name == name {
+				return &e.Rows[i]
+			}
+		}
+		return nil
+	}
+	names := []string{"Core", "IO Drivers", "IO logic", "L2 cache", "R/Z Box", "Vbox", "Other"}
+	for _, n := range names {
+		rc, rt := find(cmp, n), find(tar, n)
+		line := fmt.Sprintf("%-12s |", n)
+		if rc != nil {
+			line += fmt.Sprintf(" %4.0f %7.1f |", rc.AreaPct, rc.Watts)
+		} else {
+			line += fmt.Sprintf(" %4s %7s |", "-", "-")
+		}
+		if rt != nil {
+			line += fmt.Sprintf(" %4.0f %7.1f", rt.AreaPct, rt.Watts)
+		} else {
+			line += fmt.Sprintf(" %4s %7s", "-", "-")
+		}
+		fmt.Fprintln(&b, line)
+	}
+	fmt.Fprintln(&b, strings.Repeat("-", 48))
+	fmt.Fprintf(&b, "%-12s | %12.1f | %12.1f\n", "Total (+20%)", cmp.TotalWatts, tar.TotalWatts)
+	fmt.Fprintf(&b, "%-12s | %9.0f mm² | %9.0f mm²\n", "Die Area", cmp.DieMM2, tar.DieMM2)
+	fmt.Fprintf(&b, "%-12s | %12.0f | %12.0f\n", "Peak Gflops", cmp.PeakGF, tar.PeakGF)
+	fmt.Fprintf(&b, "%-12s | %12.2f | %12.2f\n", "Gflops/Watt", cmp.GFPerWatt, tar.GFPerWatt)
+	fmt.Fprintf(&b, "\nTarantula advantage: %.1fX Gflops/Watt\n", Ratio(t))
+	return b.String()
+}
+
+// TarantulaFMA is the §5 extension estimate: "adding floating point
+// multiply-accumulate units (FMAC) to Tarantula, this rate could be doubled
+// with very little extra complexity and power". Peak doubles; the Vbox
+// datapath grows modestly.
+func TarantulaFMA() Design {
+	d := Tarantula()
+	d.Name = "Tarantula-FMA"
+	d.PeakGF = 2 * d.PeakGF
+	for i := range d.Blocks {
+		if d.Blocks[i].Name == "Vbox" {
+			d.Blocks[i].DensityRel *= 1.12 // wider accumulate datapath
+		}
+	}
+	return d
+}

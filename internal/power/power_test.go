@@ -1,0 +1,104 @@
+package power
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// Paper Table 1 values for comparison.
+var paperCMP = map[string]float64{
+	"Core": 54.3, "IO Drivers": 26.5, "IO logic": 6.6, "L2 cache": 5.1,
+	"R/Z Box": 6.3, "Other": 7.9,
+}
+
+var paperTar = map[string]float64{
+	"Core": 22.2, "IO Drivers": 26.5, "IO logic": 4.3, "L2 cache": 7.6,
+	"R/Z Box": 10.1, "Vbox": 30.9, "Other": 18.2,
+}
+
+func TestCMPTable1Rows(t *testing.T) {
+	e := Model(CMPEV8(), Paper2006())
+	for _, r := range e.Rows {
+		want := paperCMP[r.Name]
+		if math.Abs(r.Watts-want) > 0.15*want+0.5 {
+			t.Errorf("CMP %s = %.1f W, paper says %.1f", r.Name, r.Watts, want)
+		}
+	}
+	if math.Abs(e.TotalWatts-128.0) > 6 {
+		t.Errorf("CMP total = %.1f W, paper says 128.0", e.TotalWatts)
+	}
+}
+
+func TestTarantulaTable1Rows(t *testing.T) {
+	e := Model(Tarantula(), Paper2006())
+	for _, r := range e.Rows {
+		want := paperTar[r.Name]
+		if math.Abs(r.Watts-want) > 0.15*want+0.5 {
+			t.Errorf("Tarantula %s = %.1f W, paper says %.1f", r.Name, r.Watts, want)
+		}
+	}
+	if math.Abs(e.TotalWatts-143.7) > 7 {
+		t.Errorf("Tarantula total = %.1f W, paper says 143.7", e.TotalWatts)
+	}
+}
+
+func TestGflopsPerWatt(t *testing.T) {
+	cmp := Model(CMPEV8(), Paper2006())
+	tar := Model(Tarantula(), Paper2006())
+	if math.Abs(cmp.GFPerWatt-0.16) > 0.02 {
+		t.Errorf("CMP Gflops/W = %.3f, paper says 0.16", cmp.GFPerWatt)
+	}
+	if math.Abs(tar.GFPerWatt-0.55) > 0.05 {
+		t.Errorf("Tarantula Gflops/W = %.3f, paper says 0.55", tar.GFPerWatt)
+	}
+	if r := Ratio(Paper2006()); math.Abs(r-3.4) > 0.3 {
+		t.Errorf("ratio = %.2f, paper says 3.4", r)
+	}
+}
+
+func TestPeakGflops(t *testing.T) {
+	if g := Tarantula().PeakGF; g != 80 {
+		t.Errorf("Tarantula peak = %v Gflops, paper says 80", g)
+	}
+	if g := CMPEV8().PeakGF; g != 20 {
+		t.Errorf("CMP peak = %v Gflops, paper says 20", g)
+	}
+}
+
+func TestVoltageFrequencyScaling(t *testing.T) {
+	// Halving frequency should roughly halve dynamic power (leakage frac
+	// constant in this model).
+	base := Model(Tarantula(), Paper2006())
+	slow := Paper2006()
+	slow.ClockGHz = 1.25
+	half := Model(Tarantula(), slow)
+	dynBase := base.TotalWatts/1.2 - ioDriverWatts
+	dynHalf := half.TotalWatts/1.2 - ioDriverWatts
+	if math.Abs(dynHalf/dynBase-0.5) > 0.01 {
+		t.Errorf("frequency scaling wrong: ratio %.3f", dynHalf/dynBase)
+	}
+}
+
+func TestTableRenders(t *testing.T) {
+	s := Table(Paper2006())
+	for _, want := range []string{"Vbox", "Gflops/Watt", "Tarantula advantage"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFMADoublesGflopsPerWatt(t *testing.T) {
+	base := Model(Tarantula(), Paper2006())
+	fma := Model(TarantulaFMA(), Paper2006())
+	if fma.PeakGF != 160 {
+		t.Fatalf("FMA peak = %v, want 160", fma.PeakGF)
+	}
+	ratio := fma.GFPerWatt / base.GFPerWatt
+	// "could be doubled with very little extra complexity and power":
+	// nearly 2x Gflops/W.
+	if ratio < 1.8 || ratio > 2.0 {
+		t.Fatalf("FMA Gflops/W gain = %.2fx, want ≈2x", ratio)
+	}
+}

@@ -1,0 +1,179 @@
+package sim
+
+import (
+	"repro/internal/core"
+	"repro/internal/l2"
+	"repro/internal/vbox"
+	"repro/internal/zbox"
+)
+
+// The configurations of Table 3. Frequencies derive from the RAMBUS clock:
+// EV8/EV8+/T run at 2.13 GHz (1:2 of 1066 MHz DDR), T4 at 4.8 GHz (1:4 of
+// 1200 MHz), T10 at 10.6 GHz (1:8 of 1333 MHz, Figure 8).
+
+// baseCore returns the EV8 core parameters shared by every machine:
+// 8-wide issue, peak 8 int / 4 FP, 2+2 loads/stores, 64 outstanding misses.
+func baseCore() core.Config {
+	return core.Config{
+		FetchWidth:        8,
+		RetireWidth:       8,
+		ROBSize:           256,
+		IntWidth:          8,
+		FPWidth:           4,
+		LoadWidth:         2,
+		StoreWidth:        2,
+		MispredictPenalty: 14,
+		L1Bytes:           64 << 10,
+		L1Assoc:           2,
+		L1Line:            64,
+		L1Lat:             3,
+		MSHRs:             64,
+		WriteBuffer:       32,
+		StoreForwardLat:   3,
+		DrainPenalty:      24,
+		VBusWidth:         3,
+	}
+}
+
+// baseVbox returns the Vbox parameters of §3.2–§3.4.
+func baseVbox() vbox.Config {
+	return vbox.Config{
+		Lanes:           16,
+		Queue:           64,
+		DispatchWidth:   3,
+		OperandBuses:    2,
+		Ports:           2,
+		MemInsts:        16,
+		PumpEnabled:     true,
+		TLBEntries:      32,
+		PageBits:        29, // 512 MB pages
+		TLBRefillCycles: 200,
+		TLBRefillAll:    true,
+		WritebackLat:    2,
+		// EV7-class generosity: 32 architected + 96 rename copies. The
+		// paper notes multithreading forced a large file; the ablation
+		// benchmarks sweep this down to where it binds.
+		PhysVRegs: 128,
+	}
+}
+
+// tarantulaL2 is the 16 MB cache with Table 3's vector latencies.
+func tarantulaL2() l2.Config {
+	return l2.Config{
+		Bytes:           16 << 20,
+		Assoc:           8,
+		LineBytes:       64,
+		ScalarLat:       28,
+		VecLatPump:      34,
+		VecLatOdd:       38,
+		MAFSize:         64,
+		ReplayThreshold: 8,
+		RetryDelay:      6,
+		SliceQueue:      16,
+		PBitPenalty:     12,
+	}
+}
+
+// zboxAt derives the controller timing from the port bandwidth and the CPU
+// clock: a 64-byte transaction occupies its port 64/(GB/s ÷ GHz) cycles.
+func zboxAt(ports int, totalGBs, cpuGHz float64) zbox.Config {
+	perPortBytesPerCycle := (totalGBs / float64(ports)) / cpuGHz
+	lineCycles := int(64/perPortBytesPerCycle + 0.5)
+	scale := func(base float64) int { return int(base*cpuGHz/2.13 + 0.5) }
+	return zbox.Config{
+		Ports:          ports,
+		LineCycles:     lineCycles,
+		BaseLatency:    scale(100), // ~47 ns load-to-use beyond the L2
+		RowBytes:       2048,
+		DevicesPerPort: 32,
+		RowMissCycles:  scale(12),
+		TurnCycles:     scale(5),
+	}
+}
+
+// EV8 is the baseline: the superscalar core alone with a 4 MB L2 and a
+// two-port RAMBUS controller (16.6 GB/s).
+func EV8() *Config {
+	l2c := tarantulaL2()
+	l2c.Bytes = 4 << 20
+	l2c.ScalarLat = 12
+	return &Config{
+		Name:   "EV8",
+		CPUGHz: 2.13,
+		Core:   baseCore(),
+		L2:     l2c,
+		Zbox:   zboxAt(2, 16.6, 2.13),
+	}
+}
+
+// EV8Plus is an EV8 core equipped with Tarantula's memory system (16 MB L2,
+// eight RAMBUS ports) but no vector unit — the control in Figure 7 that
+// shows the bigger cache alone does not explain the speedup.
+func EV8Plus() *Config {
+	l2c := tarantulaL2()
+	l2c.ScalarLat = 12 // Table 3 keeps the 12-cycle scalar load-to-use
+	return &Config{
+		Name:   "EV8+",
+		CPUGHz: 2.13,
+		Core:   baseCore(),
+		L2:     l2c,
+		Zbox:   zboxAt(8, 66.6, 2.13),
+	}
+}
+
+// T is the Tarantula processor.
+func T() *Config {
+	return &Config{
+		Name:    "T",
+		CPUGHz:  2.13,
+		HasVbox: true,
+		Core:    baseCore(),
+		Vbox:    baseVbox(),
+		L2:      tarantulaL2(),
+		Zbox:    zboxAt(8, 66.6, 2.13),
+	}
+}
+
+// T4 is the aggressively clocked Tarantula (4.8 GHz, 1:4 RAMBUS ratio).
+func T4() *Config {
+	c := T()
+	c.Name = "T4"
+	c.CPUGHz = 4.8
+	c.Zbox = zboxAt(8, 75.0, 4.8)
+	return c
+}
+
+// T10 is the Figure 8 extreme: 10.6 GHz against 1333 MHz RAMBUS (1:8).
+func T10() *Config {
+	c := T()
+	c.Name = "T10"
+	c.CPUGHz = 10.6
+	c.Zbox = zboxAt(8, 83.3, 10.6)
+	return c
+}
+
+// NoPump returns a copy of cfg with stride-1 double-bandwidth mode disabled
+// (the Figure 9 ablation).
+func NoPump(cfg *Config) *Config {
+	c := *cfg
+	c.Name = cfg.Name + "-nopump"
+	c.Vbox.PumpEnabled = false
+	return &c
+}
+
+// Configs returns the named configuration, or nil.
+func ByName(name string) *Config {
+	switch name {
+	case "EV8", "ev8":
+		return EV8()
+	case "EV8+", "ev8+", "ev8plus":
+		return EV8Plus()
+	case "T", "t":
+		return T()
+	case "T4", "t4":
+		return T4()
+	case "T10", "t10":
+		return T10()
+	}
+	return nil
+}

@@ -1,0 +1,207 @@
+// Package sim assembles the whole-chip simulator and defines the four
+// machine configurations of Table 3 (EV8, EV8+, T, T4) plus the T10 point
+// of Figure 8. A Chip runs one hand-coded kernel trace to completion and
+// returns the statistics the evaluation harness turns into the paper's
+// tables and figures.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/l2"
+	"repro/internal/mem"
+	"repro/internal/stats"
+	"repro/internal/vasm"
+	"repro/internal/vbox"
+	"repro/internal/zbox"
+)
+
+// Config is a whole-machine configuration.
+type Config struct {
+	Name   string
+	CPUGHz float64
+
+	HasVbox bool
+
+	Core core.Config
+	Vbox vbox.Config
+	L2   l2.Config
+	Zbox zbox.Config
+}
+
+// Chip is one assembled machine.
+type Chip struct {
+	Cfg   *Config
+	Stats *stats.Stats
+
+	z  *zbox.Zbox
+	l2 *l2.L2
+	vb *vbox.VBox
+	c  *core.Core
+
+	now uint64 // global cycle, shared across RunTrace phases
+
+	sampleEvery uint64
+	onSample    func(Sample)
+}
+
+// New assembles a chip from cfg.
+func New(cfg *Config) *Chip {
+	st := &stats.Stats{}
+	z := zbox.New(cfg.Zbox, st)
+	l2c := l2.New(cfg.L2, st, z)
+	var vb *vbox.VBox
+	var vu core.VectorUnit
+	if cfg.HasVbox {
+		vb = vbox.New(cfg.Vbox, st, l2c)
+		vu = vb
+	}
+	c := core.New(cfg.Core, st, l2c, vu)
+	if vb != nil {
+		vb.OnDone = c.VectorDone
+	}
+	return &Chip{Cfg: cfg, Stats: st, z: z, l2: l2c, vb: vb, c: c}
+}
+
+// watchdogWindow is how many cycles of zero progress trip the deadlock
+// detector.
+const watchdogWindow = 2_000_000
+
+// Run executes the kernel on a fresh machine state and returns the
+// statistics. The kernel runs functionally in a streaming trace; the chip
+// model consumes it cycle by cycle until the HALT marker retires.
+func Run(cfg *Config, kernel vasm.Kernel) (*stats.Stats, *arch.Machine) {
+	m := arch.New(mem.New())
+	chip := New(cfg)
+	tr := vasm.NewTrace(m, kernel)
+	defer tr.Close()
+	chip.RunTrace(tr)
+	return chip.Stats, m
+}
+
+// RunTrace drives the chip with an existing trace until HALT.
+func (ch *Chip) RunTrace(tr *vasm.Trace) {
+	ch.c.Bind(tr)
+	ch.runBound()
+}
+
+func (ch *Chip) runBound() {
+	start := ch.now
+	lastProgress := ch.now
+	lastRetired := uint64(0)
+	for !ch.c.Halted() {
+		ch.now++
+		cy := ch.now
+		ch.z.Tick(cy)
+		ch.l2.Tick(cy)
+		if ch.vb != nil {
+			ch.vb.Tick(cy)
+		}
+		ch.c.Tick(cy)
+		ch.sample()
+
+		if retired := ch.Stats.ScalarIns + ch.Stats.VectorIns; retired != lastRetired {
+			lastRetired = retired
+			lastProgress = cy
+		} else if cy-lastProgress > watchdogWindow {
+			panic(fmt.Sprintf("sim(%s): no retirement progress for %d cycles at cycle %d (%d insts retired)",
+				ch.Cfg.Name, watchdogWindow, cy, lastRetired))
+		}
+	}
+	// Timing stops when HALT retires, like a STREAM timer. Phase cycles are
+	// accumulated so an ROI phase reports only its own duration.
+	ch.Stats.Cycles += ch.now - start
+	haltCy := ch.now
+	// Let outstanding background work (write buffers, prefetches) drain so
+	// the traffic accounting is complete and the next phase starts with a
+	// quiescent machine.
+	for ch.now-haltCy < 10_000_000 && (ch.z.Busy() || ch.l2.Busy() || ch.c.Busy() || (ch.vb != nil && ch.vb.Busy())) {
+		ch.now++
+		cy := ch.now
+		ch.z.Tick(cy)
+		ch.l2.Tick(cy)
+		if ch.vb != nil {
+			ch.vb.Tick(cy)
+		}
+		ch.c.Tick(cy)
+	}
+}
+
+// RunROI runs setup (cache warmup, data preloading) and then the region of
+// interest on the same chip, returning statistics for the ROI alone — the
+// equivalent of starting the STREAM timer after the warm-up pass. Either
+// kernel may be nil.
+func RunROI(cfg *Config, setup, roi vasm.Kernel) (*stats.Stats, *arch.Machine) {
+	m := arch.New(mem.New())
+	chip := New(cfg)
+	if setup != nil {
+		tr := vasm.NewTrace(m, func(b *vasm.Builder) { setup(b); b.Halt() })
+		chip.RunTrace(tr)
+		tr.Close()
+		chip.c.ResetHalt()
+	}
+	before := *chip.Stats
+	tr := vasm.NewTrace(m, roi)
+	defer tr.Close()
+	chip.RunTrace(tr)
+	roiStats := stats.Sub(chip.Stats, &before)
+	return roiStats, m
+}
+
+// RunSMT runs one kernel per hardware thread simultaneously on a single
+// chip — the §3.3 design constraint ("to avoid excessive burden onto the
+// operating system, the Vbox was also multithreaded") exercised. Each
+// thread gets its own architectural machine and address space; caches,
+// Vbox and memory system are shared. Returns the shared statistics and the
+// per-thread machines.
+func RunSMT(cfg *Config, kernels []vasm.Kernel) (*stats.Stats, []*arch.Machine) {
+	chip := New(cfg)
+	machines := make([]*arch.Machine, len(kernels))
+	traces := make([]*vasm.Trace, len(kernels))
+	for i, k := range kernels {
+		machines[i] = arch.New(mem.New())
+		traces[i] = vasm.NewTrace(machines[i], k)
+		defer traces[i].Close()
+	}
+	chip.RunTraces(traces)
+	return chip.Stats, machines
+}
+
+// RunTraces drives the chip with one trace per hardware thread until every
+// thread halts.
+func (ch *Chip) RunTraces(trs []*vasm.Trace) {
+	ch.c.BindSMT(trs)
+	ch.runBound()
+}
+
+// Sample is a periodic utilization snapshot for profiling (tarsim -sample).
+type Sample struct {
+	Cycle                           uint64
+	VPortsBusy, VMemInFly, VQueued  int
+	L2ReadQ, L2WriteQ, L2Retry, MAF int
+	MemQueue                        int
+	Retired                         uint64
+}
+
+// OnSample, when set together with SampleEvery, receives a snapshot every
+// SampleEvery cycles during RunTrace.
+func (ch *Chip) SetSampler(every uint64, fn func(Sample)) {
+	ch.sampleEvery = every
+	ch.onSample = fn
+}
+
+func (ch *Chip) sample() {
+	if ch.onSample == nil || ch.sampleEvery == 0 || ch.now%ch.sampleEvery != 0 {
+		return
+	}
+	s := Sample{Cycle: ch.now, Retired: ch.Stats.ScalarIns + ch.Stats.VectorIns}
+	if ch.vb != nil {
+		u := ch.vb.Snapshot(ch.now)
+		s.VPortsBusy, s.VMemInFly, s.VQueued = u.PortsBusy, u.MemInFly, u.Queued
+	}
+	s.L2ReadQ, s.L2WriteQ, s.L2Retry, s.MAF = ch.l2.Depths()
+	s.MemQueue = ch.z.QueueDepth()
+	ch.onSample(s)
+}

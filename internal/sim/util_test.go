@@ -1,0 +1,5 @@
+package sim
+
+import "math"
+
+func mathBits(v float64) uint64 { return math.Float64bits(v) }

@@ -1,0 +1,416 @@
+// Package tables regenerates every table and figure of the paper's
+// evaluation: Table 1 (power/area), Table 3 (configurations), Table 4
+// (memory bandwidth microkernels), Figure 6 (sustained operations per
+// cycle), Figure 7 (speedup over EV8), Figure 8 (frequency scaling) and
+// Figure 9 (the stride-1 double-bandwidth ablation). cmd/tartables and the
+// top-level benchmarks are thin wrappers around this package.
+package tables
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// Runner executes benchmarks on demand and memoises results, since Figures
+// 6–9 share many (benchmark, machine) pairs.
+type Runner struct {
+	Scale   workloads.Scale
+	results map[string]*workloads.Result
+	// Quiet suppresses progress output.
+	Quiet bool
+}
+
+// NewRunner returns a memoising runner at the given scale.
+func NewRunner(s workloads.Scale) *Runner {
+	return &Runner{Scale: s, results: make(map[string]*workloads.Result)}
+}
+
+func (r *Runner) run(bench string, cfg *sim.Config) (*workloads.Result, error) {
+	key := bench + "@" + cfg.Name
+	if res, ok := r.results[key]; ok {
+		return res, nil
+	}
+	b, err := workloads.Get(bench)
+	if err != nil {
+		return nil, err
+	}
+	if !r.Quiet {
+		fmt.Printf("  running %-14s on %-10s ...", bench, cfg.Name)
+	}
+	res, err := b.Run(cfg, r.Scale)
+	if err != nil {
+		return nil, err
+	}
+	if !r.Quiet {
+		opc, _, _, _ := res.OPC()
+		fmt.Printf(" %12d cycles  opc %6.2f\n", res.Stats.Cycles, opc)
+	}
+	r.results[key] = res
+	return res, nil
+}
+
+// ---- Table 1 ----
+
+// Table1 renders the power and area study.
+func Table1() string {
+	return power.Table(power.Paper2006())
+}
+
+// ---- Table 3 ----
+
+// Table3 renders the four machine configurations (plus T10).
+func Table3() string {
+	cfgs := []*sim.Config{sim.EV8(), sim.EV8Plus(), sim.T(), sim.T4(), sim.T10()}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s", "Symbol")
+	for _, c := range cfgs {
+		fmt.Fprintf(&b, "%10s", c.Name)
+	}
+	fmt.Fprintln(&b)
+	row := func(name string, f func(c *sim.Config) string) {
+		fmt.Fprintf(&b, "%-24s", name)
+		for _, c := range cfgs {
+			fmt.Fprintf(&b, "%10s", f(c))
+		}
+		fmt.Fprintln(&b)
+	}
+	row("Core Speed (GHz)", func(c *sim.Config) string { return fmt.Sprintf("%.2f", c.CPUGHz) })
+	row("Core Issue", func(c *sim.Config) string { return fmt.Sprint(c.Core.FetchWidth) })
+	row("Vbox Issue", func(c *sim.Config) string {
+		if !c.HasVbox {
+			return "-"
+		}
+		return fmt.Sprint(c.Vbox.DispatchWidth)
+	})
+	row("Peak Int/FP", func(c *sim.Config) string {
+		if c.HasVbox {
+			return "32"
+		}
+		return fmt.Sprintf("%d/%d", c.Core.IntWidth, c.Core.FPWidth)
+	})
+	row("Peak Ld+St", func(c *sim.Config) string {
+		if c.HasVbox {
+			return "32+32"
+		}
+		return fmt.Sprintf("%d+%d", c.Core.LoadWidth, c.Core.StoreWidth)
+	})
+	row("L1 assoc", func(c *sim.Config) string { return fmt.Sprint(c.Core.L1Assoc) })
+	row("L1 line (bytes)", func(c *sim.Config) string { return fmt.Sprint(c.Core.L1Line) })
+	row("L2 size (MB)", func(c *sim.Config) string { return fmt.Sprint(c.L2.Bytes >> 20) })
+	row("L2 assoc", func(c *sim.Config) string { return fmt.Sprint(c.L2.Assoc) })
+	row("L2 line (bytes)", func(c *sim.Config) string { return fmt.Sprint(c.L2.LineBytes) })
+	row("L2 scalar lat", func(c *sim.Config) string { return fmt.Sprint(c.L2.ScalarLat) })
+	row("L2 vec stride-1 lat", func(c *sim.Config) string {
+		if !c.HasVbox {
+			return "-"
+		}
+		return fmt.Sprint(c.L2.VecLatPump)
+	})
+	row("L2 vec odd-stride lat", func(c *sim.Config) string {
+		if !c.HasVbox {
+			return "-"
+		}
+		return fmt.Sprint(c.L2.VecLatOdd)
+	})
+	row("RAMBUS ports", func(c *sim.Config) string { return fmt.Sprint(c.Zbox.Ports) })
+	row("Mem cyc/line/port", func(c *sim.Config) string { return fmt.Sprint(c.Zbox.LineCycles) })
+	return b.String()
+}
+
+// ---- Table 4 ----
+
+// Table4Row is one bandwidth microkernel result.
+type Table4Row struct {
+	Name       string
+	StreamsMBs float64
+	RawMBs     float64
+	// Paper values for the comparison column (MB/s).
+	PaperStreams, PaperRaw float64
+}
+
+var table4Paper = map[string][2]float64{
+	"streams_copy":   {42983, 64475},
+	"streams_scale":  {41689, 62492},
+	"streams_add":    {43097, 57463},
+	"streams_triadd": {47970, 63960},
+	"rndcopy":        {73456, 0},
+	"rndmemscale":    {7512, 50106},
+}
+
+// Table4 runs the six microkernels on Tarantula and reports sustained
+// bandwidth in the STREAMS convention and raw controller traffic.
+func (r *Runner) Table4() ([]Table4Row, error) {
+	cfg := sim.T()
+	var rows []Table4Row
+	for _, name := range []string{
+		"streams_copy", "streams_scale", "streams_add", "streams_triadd",
+		"rndcopy", "rndmemscale",
+	} {
+		res, err := r.run(name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		b, _ := workloads.Get(name)
+		res.Stats.UsefulBytes = b.UsefulBytes(r.Scale)
+		p := table4Paper[name]
+		rows = append(rows, Table4Row{
+			Name:         name,
+			StreamsMBs:   res.Stats.BandwidthMBs(cfg.CPUGHz),
+			RawMBs:       res.Stats.RawBandwidthMBs(cfg.CPUGHz),
+			PaperStreams: p[0],
+			PaperRaw:     p[1],
+		})
+	}
+	return rows, nil
+}
+
+// FormatTable4 renders the rows.
+func FormatTable4(rows []Table4Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %12s %12s   %12s %12s\n",
+		"Kernel", "Streams MB/s", "Raw MB/s", "paper strm", "paper raw")
+	for _, r := range rows {
+		raw := fmt.Sprintf("%12.0f", r.RawMBs)
+		praw := fmt.Sprintf("%12.0f", r.PaperRaw)
+		if r.PaperRaw == 0 {
+			praw = fmt.Sprintf("%12s", "NA")
+		}
+		fmt.Fprintf(&b, "%-16s %12.0f %s   %12.0f %s\n",
+			r.Name, r.StreamsMBs, raw, r.PaperStreams, praw)
+	}
+	return b.String()
+}
+
+// ---- Figure 6 ----
+
+// Fig6Row is one benchmark's sustained operations-per-cycle breakdown.
+type Fig6Row struct {
+	Name                 string
+	OPC, FPC, MPC, Other float64
+}
+
+// Fig6 runs every evaluation benchmark on Tarantula.
+func (r *Runner) Fig6() ([]Fig6Row, error) {
+	var rows []Fig6Row
+	for _, name := range workloads.Figure6Set() {
+		res, err := r.run(name, sim.T())
+		if err != nil {
+			return nil, err
+		}
+		opc, fpc, mpc, other := res.OPC()
+		rows = append(rows, Fig6Row{Name: name, OPC: opc, FPC: fpc, MPC: mpc, Other: other})
+	}
+	return rows, nil
+}
+
+// FormatFig6 renders the rows plus a crude bar.
+func FormatFig6(rows []Fig6Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %7s %7s %7s %7s\n", "Benchmark", "OPC", "FPC", "MPC", "Other")
+	for _, r := range rows {
+		bar := strings.Repeat("#", int(r.OPC+0.5))
+		fmt.Fprintf(&b, "%-12s %7.2f %7.2f %7.2f %7.2f  %s\n", r.Name, r.OPC, r.FPC, r.MPC, r.Other, bar)
+	}
+	return b.String()
+}
+
+// ---- Figure 7 ----
+
+// Fig7Row is one benchmark's speedup over EV8.
+type Fig7Row struct {
+	Name       string
+	EV8Plus, T float64 // speedups over EV8
+}
+
+// Fig7 runs each benchmark on EV8, EV8+ and T.
+func (r *Runner) Fig7() ([]Fig7Row, error) {
+	var rows []Fig7Row
+	for _, name := range workloads.Figure6Set() {
+		base, err := r.run(name, sim.EV8())
+		if err != nil {
+			return nil, err
+		}
+		plus, err := r.run(name, sim.EV8Plus())
+		if err != nil {
+			return nil, err
+		}
+		tar, err := r.run(name, sim.T())
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig7Row{
+			Name:    name,
+			EV8Plus: float64(base.Stats.Cycles) / float64(plus.Stats.Cycles),
+			T:       float64(base.Stats.Cycles) / float64(tar.Stats.Cycles),
+		})
+	}
+	return rows, nil
+}
+
+// FormatFig7 renders the rows and the mean speedups.
+func FormatFig7(rows []Fig7Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %8s %8s\n", "Benchmark", "EV8+", "T")
+	var ts, ps []float64
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %8.2f %8.2f  %s\n", r.Name, r.EV8Plus, r.T,
+			strings.Repeat("#", int(r.T+0.5)))
+		ts = append(ts, r.T)
+		ps = append(ps, r.EV8Plus)
+	}
+	fmt.Fprintf(&b, "\ngeometric-mean speedup: EV8+ %.2fX, T %.2fX (paper: T ≈ 5X average)\n",
+		stats.GMean(ps), stats.GMean(ts))
+	return b.String()
+}
+
+// ---- Figure 8 ----
+
+// Fig8Row is one benchmark's frequency-scaling behaviour.
+type Fig8Row struct {
+	Name    string
+	T4, T10 float64 // speedup relative to T
+}
+
+// Fig8 runs each benchmark on T, T4 and T10.
+func (r *Runner) Fig8() ([]Fig8Row, error) {
+	var rows []Fig8Row
+	for _, name := range workloads.Figure6Set() {
+		t, err := r.run(name, sim.T())
+		if err != nil {
+			return nil, err
+		}
+		t4, err := r.run(name, sim.T4())
+		if err != nil {
+			return nil, err
+		}
+		t10, err := r.run(name, sim.T10())
+		if err != nil {
+			return nil, err
+		}
+		// Speedup in wall-clock time: cycles scale by frequency.
+		wall := func(res *workloads.Result, ghz float64) float64 {
+			return float64(res.Stats.Cycles) / ghz
+		}
+		rows = append(rows, Fig8Row{
+			Name: name,
+			T4:   wall(t, 2.13) / wall(t4, 4.8),
+			T10:  wall(t, 2.13) / wall(t10, 10.6),
+		})
+	}
+	return rows, nil
+}
+
+// FormatFig8 renders the rows.
+func FormatFig8(rows []Fig8Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %8s %8s   (frequency ratios: 2.25x, 5.0x)\n", "Benchmark", "T4", "T10")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %8.2f %8.2f\n", r.Name, r.T4, r.T10)
+	}
+	return b.String()
+}
+
+// ---- Figure 9 ----
+
+// Fig9Row is one benchmark's pump ablation.
+type Fig9Row struct {
+	Name     string
+	Relative float64 // performance with the pump disabled, relative to T (≤1)
+}
+
+// Fig9 disables stride-1 double-bandwidth mode and reruns on T.
+func (r *Runner) Fig9() ([]Fig9Row, error) {
+	var rows []Fig9Row
+	for _, name := range workloads.Figure6Set() {
+		t, err := r.run(name, sim.T())
+		if err != nil {
+			return nil, err
+		}
+		np, err := r.run(name, sim.NoPump(sim.T()))
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig9Row{
+			Name:     name,
+			Relative: float64(t.Stats.Cycles) / float64(np.Stats.Cycles),
+		})
+	}
+	return rows, nil
+}
+
+// FormatFig9 renders the rows.
+func FormatFig9(rows []Fig9Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %10s\n", "Benchmark", "Rel. perf")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %10.2f  %s\n", r.Name, r.Relative,
+			strings.Repeat("#", int(r.Relative*20+0.5)))
+	}
+	return b.String()
+}
+
+// ---- Table 2 ----
+
+// Table2Row describes one benchmark with its measured vectorisation.
+type Table2Row struct {
+	Name, Class, Desc string
+	Pref, DrainM      bool
+	VectPct           float64 // measured on the Tarantula run
+	PaperVectPct      float64
+}
+
+// table2Paper is the "Vect. %" column of Table 2.
+var table2Paper = map[string]float64{
+	"streams_copy": 99.5, "streams_scale": 99.5, "streams_add": 99.5, "streams_triadd": 99.5,
+	"rndcopy": 99.9, "rndmemscale": 99.9,
+	"swim": 99.3, "art": 93.7, "sixtrack": 93.7,
+	"dgemm": 99.0, "dtrmm": 98.9, "sparsemxv": 99.3, "fft": 98.7, "lu": 98.6,
+	"linpack100": 85.5, "linpacktpp": 96.5,
+	"moldyn": 99.5, "ccradix": 98.0,
+}
+
+// Table2 runs every benchmark on Tarantula and reports the measured
+// vectorisation percentage next to the paper's column.
+func (r *Runner) Table2() ([]Table2Row, error) {
+	var rows []Table2Row
+	for _, name := range workloads.Names() {
+		b, _ := workloads.Get(name)
+		if b.Class == "Extensions" {
+			continue
+		}
+		res, err := r.run(name, sim.T())
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table2Row{
+			Name: name, Class: b.Class, Desc: b.Desc,
+			Pref: b.Pref, DrainM: b.DrainM,
+			VectPct:      res.Stats.VectorPct(),
+			PaperVectPct: table2Paper[name],
+		})
+	}
+	return rows, nil
+}
+
+// FormatTable2 renders the rows.
+func FormatTable2(rows []Table2Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %-14s %5s %7s %8s %10s\n",
+		"Benchmark", "Class", "Pref?", "DrainM?", "Vect.%", "paper %")
+	yn := func(v bool) string {
+		if v {
+			return "yes"
+		}
+		return ""
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %-14s %5s %7s %8.1f %10.1f\n",
+			r.Name, r.Class, yn(r.Pref), yn(r.DrainM), r.VectPct, r.PaperVectPct)
+	}
+	return b.String()
+}

@@ -1,0 +1,82 @@
+package tables
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+func TestTable1Renders(t *testing.T) {
+	s := Table1()
+	for _, want := range []string{"Vbox", "Gflops/Watt", "3.6X"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table 1 missing %q", want)
+		}
+	}
+}
+
+func TestTable3AllConfigs(t *testing.T) {
+	s := Table3()
+	for _, want := range []string{"EV8+", "T10", "32+32", "RAMBUS ports"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table 3 missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTable4SmallScale(t *testing.T) {
+	r := NewRunner(workloads.Test)
+	r.Quiet = true
+	rows, err := r.Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("%d rows, want 6", len(rows))
+	}
+	for _, row := range rows {
+		if row.StreamsMBs <= 0 {
+			t.Errorf("%s: zero bandwidth", row.Name)
+		}
+	}
+	// The paper's strongest Table 4 contrast: RndMemScale far below the
+	// STREAMS kernels, RndCopy (L2-resident) above RndMemScale.
+	byName := map[string]Table4Row{}
+	for _, row := range rows {
+		byName[row.Name] = row
+	}
+	if byName["rndmemscale"].StreamsMBs >= byName["streams_copy"].StreamsMBs/2 {
+		t.Error("RndMemScale should be far below STREAMS copy")
+	}
+	if byName["rndcopy"].StreamsMBs <= byName["rndmemscale"].StreamsMBs {
+		t.Error("L2-resident RndCopy should beat memory-resident RndMemScale")
+	}
+	out := FormatTable4(rows)
+	if !strings.Contains(out, "paper strm") {
+		t.Error("formatted table missing paper column")
+	}
+}
+
+func TestFig9SubsetShape(t *testing.T) {
+	// Run a focused Figure 9 contrast at test scale: a stride-1-hungry
+	// benchmark must lose more from the pump ablation than a flop-bound
+	// one. (The full sweep is the Fig9 benchmark; this guards the shape.)
+	r := NewRunner(workloads.Test)
+	r.Quiet = true
+	rows, err := r.Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := map[string]float64{}
+	for _, row := range rows {
+		rel[row.Name] = row.Relative
+		if row.Relative > 1.05 {
+			t.Errorf("%s got faster without the pump (%.2f)", row.Name, row.Relative)
+		}
+	}
+	if rel["linpack100"] >= rel["dgemm"] {
+		t.Errorf("linpack100 (%.2f) should suffer more than dgemm (%.2f) without the pump",
+			rel["linpack100"], rel["dgemm"])
+	}
+}

@@ -1,0 +1,104 @@
+package vasm
+
+import (
+	"repro/internal/arch"
+)
+
+// Kernel is a hand-coded benchmark kernel: it drives the Builder, which
+// functionally executes and records every instruction.
+type Kernel func(b *Builder)
+
+const batchSize = 4096
+
+// Trace streams the dynamic instructions of a kernel to a consumer without
+// materialising the whole run. The kernel executes in a producer goroutine;
+// instruction batches cross a channel. Close must be called if the consumer
+// abandons the trace early; Next returning nil means the kernel finished.
+type Trace struct {
+	ch   chan []DynInst
+	done chan struct{}
+	cur  []DynInst
+	pos  int
+	n    uint64
+}
+
+type traceAbort struct{}
+
+// NewTrace starts kernel on machine m and returns the trace reader.
+func NewTrace(m *arch.Machine, kernel Kernel) *Trace {
+	t := &Trace{
+		ch:   make(chan []DynInst, 2),
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(t.ch)
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(traceAbort); !ok {
+					panic(r)
+				}
+			}
+		}()
+		batch := make([]DynInst, 0, batchSize)
+		b := NewBuilder(m, func(d *DynInst) {
+			batch = append(batch, *d)
+			if len(batch) == batchSize {
+				select {
+				case t.ch <- batch:
+				case <-t.done:
+					panic(traceAbort{})
+				}
+				batch = make([]DynInst, 0, batchSize)
+			}
+		})
+		kernel(b)
+		if len(batch) > 0 {
+			select {
+			case t.ch <- batch:
+			case <-t.done:
+			}
+		}
+	}()
+	return t
+}
+
+// Next returns the next dynamic instruction, or nil at end of trace. The
+// returned pointer is valid until the following batch boundary is crossed;
+// the timing models copy what they retain.
+func (t *Trace) Next() *DynInst {
+	for t.pos >= len(t.cur) {
+		batch, ok := <-t.ch
+		if !ok {
+			return nil
+		}
+		t.cur, t.pos = batch, 0
+	}
+	d := &t.cur[t.pos]
+	t.pos++
+	t.n++
+	return d
+}
+
+// Consumed returns how many instructions Next has handed out.
+func (t *Trace) Consumed() uint64 { return t.n }
+
+// Close releases the producer goroutine if the trace is abandoned early.
+func (t *Trace) Close() {
+	select {
+	case <-t.done:
+	default:
+		close(t.done)
+	}
+	// Drain so the producer's pending send completes and it exits.
+	for range t.ch {
+	}
+}
+
+// Collect runs kernel to completion and returns the full trace. Intended
+// for tests and small kernels only.
+func Collect(m *arch.Machine, kernel Kernel) []DynInst {
+	var out []DynInst
+	b := NewBuilder(m, func(d *DynInst) { out = append(out, *d) })
+	kernel(b)
+	return out
+}

@@ -1,0 +1,6 @@
+package vasm
+
+import "math"
+
+func mathFloat64bits(v float64) uint64 { return math.Float64bits(v) }
+func mathFloat64from(b uint64) float64 { return math.Float64frombits(b) }

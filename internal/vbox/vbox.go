@@ -1,0 +1,525 @@
+// Package vbox is the timing model of Tarantula's vector execution engine
+// (§3.2–§3.4): sixteen identical lanes fronted by two issue ports (an
+// instruction occupies a port for ⌈vl/16⌉ cycles, so a dual-issue window
+// governs 32 functional units), the address generators feeding the
+// conflict-free reordering scheme or the CR box, per-lane 32-entry TLBs with
+// PAL refill, and the slice pipeline into the L2.
+//
+// Renaming and retirement happen in the core on the Vbox's behalf (§3.3);
+// the Vbox receives renamed micro-ops over a 3-instruction bus, pulls scalar
+// operands over two 64-bit operand buses, and reports completions back.
+package vbox
+
+import (
+	"repro/internal/creorder"
+	"repro/internal/isa"
+	"repro/internal/l2"
+	"repro/internal/pipe"
+	"repro/internal/stats"
+	"repro/internal/vm"
+)
+
+// Config sets the Vbox structure sizes and timing.
+type Config struct {
+	Lanes int // 16
+
+	Queue         int // instruction queue entries
+	DispatchWidth int // instructions per cycle over the core→Vbox bus (3)
+	OperandBuses  int // scalar operands per cycle from the EV8 register file (2)
+
+	Ports int // issue ports (2: north and south)
+
+	MemInsts int // vector memory instructions simultaneously in the memory pipeline
+
+	// PumpEnabled selects stride-1 double-bandwidth mode; Figure 9 turns
+	// it off.
+	PumpEnabled bool
+
+	// Per-lane TLBs: 32 fully associative entries over 512 MB pages (§3.4).
+	TLBEntries      int
+	PageBits        int  // 29 for 512 MB pages
+	TLBRefillCycles int  // PAL refill cost
+	TLBRefillAll    bool // PAL strategy (2): refill every mapping the
+	// instruction needs in one trap, instead of per-lane refills.
+
+	// WritebackLat is the lane register-file write latency after the last
+	// slice of a load returns.
+	WritebackLat int
+
+	// PhysVRegs is the physical vector register file size (32 architected
+	// + rename copies). Renaming a vector destination stalls dispatch when
+	// no physical register is free — the pressure §3.3 mentions: making
+	// the Vbox multithreaded "forced using a much larger register file".
+	// Zero means unlimited.
+	PhysVRegs int
+}
+
+// VBox is the vector engine model. It satisfies core.VectorUnit.
+type VBox struct {
+	cfg Config
+	st  *stats.Stats
+	l2c *l2.L2
+
+	// Space is the address space whose page table PALcode walks on TLB
+	// refills; the simulator runs identity-mapped.
+	Space *vm.Space
+
+	// OnDone is the completion path back to the core (the VCU sending
+	// instruction identifiers for retirement, §3.3).
+	OnDone func(cy uint64, u *pipe.UOp)
+
+	queued     int
+	vregsInUse int // physical vector registers held by in-flight writers
+	readyArith pipe.ReadyQueue
+	readyMem   []*pipe.UOp // FIFO: the address generators serialise these
+
+	portFree []uint64
+
+	opBusAt   uint64
+	opBusUsed int
+
+	agFree   uint64 // address generators busy until
+	memInFly int
+
+	readSubQ  []*pendingSlice
+	writeSubQ []*pendingSlice
+
+	tlb         []laneTLB
+	lastPage    uint64
+	lastPageHot bool
+	cr          creorder.CRBox
+	tagSeq      int
+
+	wheel *pipe.EventWheel
+}
+
+type pendingSlice struct {
+	op      *l2.SliceOp
+	availCy uint64 // cycle the address generators produce it
+}
+
+// New returns a Vbox bound to the L2.
+func New(cfg Config, st *stats.Stats, l2c *l2.L2) *VBox {
+	v := &VBox{
+		cfg:      cfg,
+		st:       st,
+		l2c:      l2c,
+		portFree: make([]uint64, cfg.Ports),
+		tlb:      make([]laneTLB, cfg.Lanes),
+		wheel:    pipe.NewEventWheel(),
+	}
+	for i := range v.tlb {
+		v.tlb[i] = laneTLB{cap: cfg.TLBEntries, pages: map[uint64]uint64{}}
+	}
+	v.Space = vm.NewIdentity()
+	return v
+}
+
+// hasVDest reports whether u allocates a physical vector register.
+func hasVDest(u *pipe.UOp) bool {
+	return u.Inst.Dst.Kind == isa.KindVec && !u.Inst.Dst.IsZero() &&
+		!u.Inst.Info().IsStore
+}
+
+// Dispatch accepts a renamed vector instruction from the core's bus; false
+// applies backpressure (queue full, or no free physical vector register for
+// the destination).
+func (v *VBox) Dispatch(cy uint64, u *pipe.UOp) bool {
+	if v.queued >= v.cfg.Queue {
+		return false
+	}
+	if hasVDest(u) {
+		if v.cfg.PhysVRegs > 0 && v.vregsInUse >= v.cfg.PhysVRegs-32 {
+			return false // rename stall: register file exhausted
+		}
+		v.vregsInUse++
+	}
+	v.queued++
+	u.InVbox = true
+	return true
+}
+
+// finish releases the physical register (approximating the free at the
+// point the value is architecturally visible) and reports completion.
+func (v *VBox) finish(cy uint64, u *pipe.UOp) {
+	if hasVDest(u) {
+		v.vregsInUse--
+	}
+	v.OnDone(cy, u)
+}
+
+// MarkReady is called by the core's wakeup logic when the op's last source
+// operand (scalar or vector) completes.
+func (v *VBox) MarkReady(cy uint64, u *pipe.UOp) {
+	if u.Inst.IsVMem() {
+		v.readyMem = append(v.readyMem, u)
+	} else {
+		v.readyArith.Push(u)
+	}
+}
+
+// Busy reports in-flight Vbox work.
+func (v *VBox) Busy() bool {
+	return v.queued > 0 || v.memInFly > 0 || v.readyArith.Len() > 0 ||
+		len(v.readyMem) > 0 || len(v.readSubQ) > 0 || len(v.writeSubQ) > 0 ||
+		v.wheel.Pending()
+}
+
+// Tick advances the Vbox one cycle.
+func (v *VBox) Tick(cy uint64) {
+	v.wheel.Advance(cy)
+	v.submitSlices(cy)
+	v.issue(cy)
+}
+
+// ---- issue ----
+
+func (v *VBox) issue(cy uint64) {
+	// One memory instruction can enter the address generators per cycle;
+	// head-of-line only, since the AG stage serialises them anyway.
+	if len(v.readyMem) > 0 && v.issueMem(cy, v.readyMem[0]) {
+		copy(v.readyMem, v.readyMem[1:])
+		v.readyMem = v.readyMem[:len(v.readyMem)-1]
+	}
+	// Arithmetic issues oldest-first while ports accept.
+	for issued := 0; v.readyArith.Len() > 0 && issued < v.cfg.Ports; issued++ {
+		if !v.tryIssueArith(cy, v.readyArith.Peek()) {
+			break
+		}
+		v.readyArith.Pop()
+	}
+}
+
+// needsOperandBus reports how many scalar operands ride the operand buses
+// for this instruction ("all vector instructions except those of the VV
+// group require a scalar operand", §3.3).
+func needsOperandBus(in *isa.Inst) int {
+	switch in.Info().Group {
+	case isa.GVV:
+		return 0
+	case isa.GSM, isa.GRM, isa.GVS, isa.GVC:
+		return 1
+	}
+	return 0
+}
+
+func (v *VBox) takeOperandBus(cy uint64, n int) bool {
+	if n == 0 {
+		return true
+	}
+	if v.opBusAt != cy {
+		v.opBusAt, v.opBusUsed = cy, 0
+	}
+	if v.opBusUsed+n > v.cfg.OperandBuses {
+		return false
+	}
+	v.opBusUsed += n
+	v.st.VSBusTransfers += uint64(n)
+	return true
+}
+
+func (v *VBox) tryIssueArith(cy uint64, u *pipe.UOp) bool {
+	// Arithmetic / control: needs a free issue port; the sixteen lanes of
+	// that port then work synchronously for ⌈vl/16⌉ cycles.
+	port := -1
+	for p := range v.portFree {
+		if v.portFree[p] <= cy {
+			port = p
+			break
+		}
+	}
+	if port == -1 {
+		return false
+	}
+	if !v.takeOperandBus(cy, needsOperandBus(&u.Inst)) {
+		return false
+	}
+	info := u.Inst.Info()
+	occ := v.occupancy(u)
+	if info.Unpipelined {
+		// Divide/sqrt iterate in the lanes: the port is held for the whole
+		// element-serial operation.
+		occ *= uint64(info.Latency)
+	}
+	v.portFree[port] = cy + occ
+	v.queued--
+	done := cy + occ + uint64(info.Latency)
+	v.wheel.At(done, func() { v.finish(done, u) })
+	return true
+}
+
+// occupancy is ⌈vl/16⌉ — the port-busy time of §3.2 ("typically, 8 cycles").
+func (v *VBox) occupancy(u *pipe.UOp) uint64 {
+	vl := u.Eff.VL
+	if vl <= 0 {
+		vl = 1
+	}
+	occ := (vl + v.cfg.Lanes - 1) / v.cfg.Lanes
+	return uint64(occ)
+}
+
+// ---- memory pipeline ----
+
+func (v *VBox) issueMem(cy uint64, u *pipe.UOp) bool {
+	if v.memInFly >= v.cfg.MemInsts {
+		return false
+	}
+	if v.agFree > cy {
+		return false
+	}
+	if !v.takeOperandBus(cy, needsOperandBus(&u.Inst)) {
+		return false
+	}
+
+	write := u.Inst.Info().IsStore
+	prefetch := u.Inst.IsPrefetch()
+
+	// TLB: translate every active element's page in the lane that generates
+	// it. Misses on prefetches are squashed (§2).
+	agStart := cy + 1
+	if !prefetch {
+		agStart += v.tlbCheck(u)
+	}
+
+	slices, agCycles := v.buildSlices(u)
+	v.st.AddrGenCycles += uint64(agCycles)
+	v.agFree = agStart + uint64(agCycles)
+	v.queued--
+	v.memInFly++
+
+	if len(slices) == 0 {
+		// vl=0 or fully masked-off: nothing to transfer.
+		end := v.agFree
+		v.wheel.At(end, func() {
+			v.memInFly--
+			v.finish(end, u)
+		})
+		return true
+	}
+
+	if prefetch {
+		// Prefetches do not block: the instruction completes once its
+		// addresses are generated; the slices fill the L2 in the background.
+		end := v.agFree
+		v.wheel.At(end, func() {
+			v.memInFly--
+			v.finish(end, u)
+		})
+		for i, s := range slices {
+			ps := &pendingSlice{
+				op:      &l2.SliceOp{Slice: s, Write: false},
+				availCy: agStart + uint64(i),
+			}
+			v.readSubQ = append(v.readSubQ, ps)
+		}
+		return true
+	}
+
+	u.SlicesOut = len(slices)
+	for i, s := range slices {
+		op := &l2.SliceOp{Slice: s, Write: write}
+		op.Done = func(doneCy uint64) {
+			u.SlicesOut--
+			if u.SlicesOut == 0 {
+				end := doneCy + uint64(v.cfg.WritebackLat)
+				v.wheel.At(end, func() {
+					v.memInFly--
+					v.finish(end, u)
+				})
+			}
+		}
+		ps := &pendingSlice{op: op, availCy: agStart + uint64(i)}
+		if write {
+			v.writeSubQ = append(v.writeSubQ, ps)
+		} else {
+			v.readSubQ = append(v.readSubQ, ps)
+		}
+	}
+	return true
+}
+
+// buildSlices runs the address-generation path for a vector memory
+// instruction: pump / reorder ROM / CR box. It returns the slices and the
+// number of address-generation cycles consumed.
+func (v *VBox) buildSlices(u *pipe.UOp) ([]creorder.Slice, int) {
+	eff := &u.Eff
+	group := u.Inst.Info().Group
+	tag0 := v.tagSeq
+
+	if group == isa.GSM {
+		active := make([]bool, isa.VLMax)
+		for _, idx := range eff.ElemIdx {
+			active[idx] = true
+		}
+		var slices []creorder.Slice
+		var mode creorder.Mode
+		if v.cfg.PumpEnabled {
+			slices, mode = creorder.ScheduleStrided(eff.Base, eff.Stride, active, tag0)
+		} else {
+			slices, mode = creorder.ScheduleStridedNoPump(eff.Base, eff.Stride, active, tag0)
+		}
+		switch mode {
+		case creorder.ModePump:
+			v.tagSeq += len(slices)
+			// The modified control produces the sixteen line addresses
+			// directly: one cycle per pump slice.
+			return slices, len(slices)
+		case creorder.ModeReorder:
+			v.st.ReorderSlices += uint64(len(slices))
+			v.tagSeq += len(slices)
+			// Eight address-generation cycles regardless of vl (§3.4).
+			ag := 8
+			if len(slices) > ag {
+				ag = len(slices)
+			}
+			return slices, ag
+		default:
+			// Self-conflicting stride: "treated exactly like a
+			// gather/scatter and run through the CR box" (§3.4).
+			slices, rounds := v.cr.PackStrided(eff.Base, eff.Stride, active, tag0)
+			v.tagSeq += len(slices)
+			v.st.CRRounds += uint64(rounds)
+			v.st.CRSlices += uint64(len(slices))
+			return slices, rounds
+		}
+	}
+
+	// Gather/scatter: random addresses through the CR box.
+	elems := make([]creorder.Elem, len(eff.Addrs))
+	for i, a := range eff.Addrs {
+		elems[i] = creorder.Elem{Index: int(eff.ElemIdx[i]), Addr: a}
+	}
+	slices, rounds := v.cr.Pack(elems, tag0)
+	v.tagSeq += len(slices)
+	v.st.CRRounds += uint64(rounds)
+	v.st.CRSlices += uint64(len(slices))
+	return slices, rounds
+}
+
+// submitSlices pushes at most one available slice per direction into the L2
+// each cycle, preserving pipeline order.
+func (v *VBox) submitSlices(cy uint64) {
+	if len(v.readSubQ) > 0 && v.readSubQ[0].availCy <= cy {
+		if v.l2c.SubmitSlice(v.readSubQ[0].op) {
+			v.readSubQ = v.readSubQ[1:]
+		}
+	}
+	if len(v.writeSubQ) > 0 && v.writeSubQ[0].availCy <= cy {
+		if v.l2c.SubmitSlice(v.writeSubQ[0].op) {
+			v.writeSubQ = v.writeSubQ[1:]
+		}
+	}
+}
+
+// ---- per-lane TLBs ----
+
+type laneTLB struct {
+	cap   int
+	pages map[uint64]uint64 // page -> last-use tick
+	tick  uint64
+}
+
+func (t *laneTLB) lookup(page uint64) bool {
+	t.tick++
+	if _, ok := t.pages[page]; ok {
+		t.pages[page] = t.tick
+		return true
+	}
+	return false
+}
+
+func (t *laneTLB) insert(page uint64) {
+	t.tick++
+	if len(t.pages) >= t.cap {
+		// Evict LRU (fully associative, §3.4: CAM-based, 32 entries).
+		var victim uint64
+		oldest := ^uint64(0)
+		for p, use := range t.pages {
+			if use < oldest {
+				oldest, victim = use, p
+			}
+		}
+		delete(t.pages, victim)
+	}
+	t.pages[page] = t.tick
+}
+
+// tlbCheck translates every active element and returns the stall cycles due
+// to TLB refills. Strategy (1) refills only missing lanes (one trap per
+// batch of misses); strategy (2) peeks at vs and refills every mapping the
+// instruction needs in a single trap (§3.4).
+func (v *VBox) tlbCheck(u *pipe.UOp) uint64 {
+	// Fast path: the common case is an access confined to one recently
+	// used 512 MB page (every lane already maps it).
+	if n := len(u.Eff.Addrs); n > 0 {
+		lo := u.Eff.Addrs[0] >> v.cfg.PageBits
+		hi := u.Eff.Addrs[n-1] >> v.cfg.PageBits
+		if lo == hi && lo == v.lastPage && v.lastPageHot {
+			return 0
+		}
+	}
+	misses := 0
+	for i, a := range u.Eff.Addrs {
+		lane := int(u.Eff.ElemIdx[i]) % v.cfg.Lanes
+		page := a >> v.cfg.PageBits
+		if !v.tlb[lane].lookup(page) {
+			misses++
+			v.st.TLBMisses++
+			// PALcode walks the page table; only valid PTEs enter the TLB
+			// (an invalid mapping would be an access fault — the workloads
+			// run identity-mapped, so it cannot arise here).
+			if _, ok := v.Space.Lookup(a); !ok {
+				continue
+			}
+			v.tlb[lane].insert(page)
+			if v.cfg.TLBRefillAll {
+				// One PALcode invocation loads the mapping into every lane
+				// (strategy (2): peek at vs for all needed pages).
+				for l := range v.tlb {
+					if !v.tlb[l].lookup(page) {
+						v.tlb[l].insert(page)
+					}
+				}
+			}
+		}
+	}
+	if n := len(u.Eff.Addrs); n > 0 {
+		lo := u.Eff.Addrs[0] >> v.cfg.PageBits
+		if lo == u.Eff.Addrs[n-1]>>v.cfg.PageBits {
+			v.lastPage, v.lastPageHot = lo, true
+		} else {
+			v.lastPageHot = false
+		}
+	}
+	if misses == 0 {
+		return 0
+	}
+	v.st.TLBRefills++
+	if v.cfg.TLBRefillAll {
+		return uint64(v.cfg.TLBRefillCycles)
+	}
+	return uint64(misses) * uint64(v.cfg.TLBRefillCycles) / 4
+}
+
+// Utilization is a point-in-time occupancy snapshot for profiling tools.
+type Utilization struct {
+	PortsBusy  int // issue ports mid-instruction
+	MemInFly   int // vector memory instructions in the pipeline
+	Queued     int // dispatched, waiting instructions
+	SlicesWait int // slices generated but not yet accepted by the L2
+}
+
+// Snapshot reports the engine's occupancy at cycle cy.
+func (v *VBox) Snapshot(cy uint64) Utilization {
+	u := Utilization{
+		MemInFly:   v.memInFly,
+		Queued:     v.queued,
+		SlicesWait: len(v.readSubQ) + len(v.writeSubQ),
+	}
+	for _, free := range v.portFree {
+		if free > cy {
+			u.PortsBusy++
+		}
+	}
+	return u
+}

@@ -1,0 +1,85 @@
+package vbox
+
+import (
+	"testing"
+
+	"repro/internal/l2"
+	"repro/internal/pipe"
+	"repro/internal/stats"
+	"repro/internal/zbox"
+)
+
+func testVBox(queue int) *VBox {
+	st := &stats.Stats{}
+	z := zbox.New(zbox.Config{
+		Ports: 8, LineCycles: 16, BaseLatency: 100,
+		RowBytes: 2048, DevicesPerPort: 32, RowMissCycles: 12, TurnCycles: 5,
+	}, st)
+	l2c := l2.New(l2.Config{
+		Bytes: 1 << 20, Assoc: 8, LineBytes: 64,
+		ScalarLat: 12, VecLatPump: 34, VecLatOdd: 38,
+		MAFSize: 64, ReplayThreshold: 8, RetryDelay: 6,
+		SliceQueue: 16, PBitPenalty: 12,
+	}, st, z)
+	v := New(Config{
+		Lanes: 16, Queue: queue, DispatchWidth: 3, OperandBuses: 2,
+		Ports: 2, MemInsts: 16, PumpEnabled: true,
+		TLBEntries: 32, PageBits: 29, TLBRefillCycles: 200, TLBRefillAll: true,
+		WritebackLat: 2,
+	}, st, l2c)
+	v.OnDone = func(uint64, *pipe.UOp) {}
+	return v
+}
+
+func TestDispatchBackpressure(t *testing.T) {
+	v := testVBox(2)
+	u := func() *pipe.UOp { return &pipe.UOp{} }
+	if !v.Dispatch(1, u()) || !v.Dispatch(1, u()) {
+		t.Fatal("queue of 2 must accept two instructions")
+	}
+	if v.Dispatch(1, u()) {
+		t.Fatal("third dispatch must be rejected (queue full)")
+	}
+}
+
+func TestLaneTLBCapacityAndLRU(t *testing.T) {
+	tlb := laneTLB{cap: 4, pages: map[uint64]uint64{}}
+	for p := uint64(0); p < 4; p++ {
+		if tlb.lookup(p) {
+			t.Fatalf("page %d should miss initially", p)
+		}
+		tlb.insert(p)
+	}
+	// All resident.
+	for p := uint64(0); p < 4; p++ {
+		if !tlb.lookup(p) {
+			t.Fatalf("page %d should hit", p)
+		}
+	}
+	// Touch 0..2 so page 3 is LRU, then insert a fifth page.
+	tlb.lookup(0)
+	tlb.lookup(1)
+	tlb.lookup(2)
+	tlb.insert(99)
+	if tlb.lookup(3) {
+		t.Fatal("LRU page 3 should have been evicted")
+	}
+	if !tlb.lookup(99) || !tlb.lookup(0) {
+		t.Fatal("recently used pages evicted instead")
+	}
+}
+
+func TestOccupancyCeiling(t *testing.T) {
+	v := testVBox(64)
+	cases := []struct {
+		vl   int
+		want uint64
+	}{{128, 8}, {100, 7}, {16, 1}, {1, 1}, {17, 2}, {0, 1}}
+	for _, c := range cases {
+		u := &pipe.UOp{}
+		u.Eff.VL = c.vl
+		if got := v.occupancy(u); got != c.want {
+			t.Errorf("occupancy(vl=%d) = %d, want %d", c.vl, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+// Package vm implements Tarantula's virtual-memory layer: 512 MB pages
+// (§3.4 — "Piggy-backing on other work developed at Compaq to support large
+// pages, the Tarantula architecture adopted a 512 Mbyte virtual memory page
+// size"), a page table the PALcode refill handlers walk, and translation
+// with protection bits.
+//
+// The workloads run on an identity-mapped space (the simulator's functional
+// memory is addressed by virtual address), so the package's role in the
+// timing path is the miss/refill behaviour: the per-lane TLBs in the Vbox
+// cache PTEs from here, and a missing or invalid PTE is an access fault
+// (squashed for prefetches, per §2).
+package vm
+
+import "fmt"
+
+// PageBits is log2 of the page size: 512 MB pages.
+const PageBits = 29
+
+// PageSize is the page size in bytes.
+const PageSize = 1 << PageBits
+
+// Prot is a page protection mask.
+type Prot uint8
+
+const (
+	// Read permission.
+	Read Prot = 1 << iota
+	// Write permission.
+	Write
+)
+
+// PTE is one page-table entry.
+type PTE struct {
+	Frame uint64 // physical frame number (physical address >> PageBits)
+	Prot  Prot
+	Valid bool
+}
+
+// Fault describes a failed translation.
+type Fault struct {
+	VA    uint64
+	Write bool
+	Why   string
+}
+
+func (f *Fault) Error() string {
+	kind := "read"
+	if f.Write {
+		kind = "write"
+	}
+	return fmt.Sprintf("vm: %s fault at %#x: %s", kind, f.VA, f.Why)
+}
+
+// Space is one address space: a sparse top-level page table. With 512 MB
+// pages a flat map is exactly what PALcode sees.
+type Space struct {
+	ptes map[uint64]PTE
+	// Identity, when set, synthesises an identity mapping for any page not
+	// explicitly present — the configuration the workloads run under
+	// (functional memory is VA-addressed).
+	Identity bool
+}
+
+// NewIdentity returns the identity-mapped space the simulator uses.
+func NewIdentity() *Space {
+	return &Space{ptes: map[uint64]PTE{}, Identity: true}
+}
+
+// New returns an empty space; every page must be mapped explicitly.
+func New() *Space {
+	return &Space{ptes: map[uint64]PTE{}}
+}
+
+// Map installs a translation for the page containing va.
+func (s *Space) Map(va, pa uint64, prot Prot) {
+	s.ptes[va>>PageBits] = PTE{Frame: pa >> PageBits, Prot: prot, Valid: true}
+}
+
+// Unmap removes the page containing va.
+func (s *Space) Unmap(va uint64) {
+	delete(s.ptes, va>>PageBits)
+}
+
+// Lookup returns the PTE for the page containing va — the page-table walk
+// PALcode performs on a TLB miss.
+func (s *Space) Lookup(va uint64) (PTE, bool) {
+	vpn := va >> PageBits
+	if pte, ok := s.ptes[vpn]; ok {
+		return pte, pte.Valid
+	}
+	if s.Identity {
+		return PTE{Frame: vpn, Prot: Read | Write, Valid: true}, true
+	}
+	return PTE{}, false
+}
+
+// Translate maps a virtual address to physical, checking protections.
+func (s *Space) Translate(va uint64, write bool) (uint64, error) {
+	pte, ok := s.Lookup(va)
+	if !ok {
+		return 0, &Fault{VA: va, Write: write, Why: "no valid mapping"}
+	}
+	need := Read
+	if write {
+		need = Write
+	}
+	if pte.Prot&need == 0 {
+		return 0, &Fault{VA: va, Write: write, Why: "protection violation"}
+	}
+	return pte.Frame<<PageBits | va&(PageSize-1), nil
+}
+
+// PagesTouched returns the distinct virtual page numbers of a strided
+// access — what PALcode's strategy (2) refill computes by peeking at vs
+// (§3.4: "PALcode may peek at the vs value and refill the TLBs with all the
+// mappings that might be needed by the offending instruction").
+func PagesTouched(base uint64, strideBytes int64, n int) []uint64 {
+	seen := map[uint64]bool{}
+	var out []uint64
+	for i := 0; i < n; i++ {
+		vpn := (base + uint64(int64(i)*strideBytes)) >> PageBits
+		if !seen[vpn] {
+			seen[vpn] = true
+			out = append(out, vpn)
+		}
+	}
+	return out
+}

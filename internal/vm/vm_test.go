@@ -1,0 +1,82 @@
+package vm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIdentityTranslate(t *testing.T) {
+	s := NewIdentity()
+	for _, va := range []uint64{0, 0x1234, 5 << PageBits, 1 << 40} {
+		pa, err := s.Translate(va, true)
+		if err != nil || pa != va {
+			t.Fatalf("identity Translate(%#x) = %#x, %v", va, pa, err)
+		}
+	}
+}
+
+func TestExplicitMapping(t *testing.T) {
+	s := New()
+	s.Map(0, 7<<PageBits, Read)
+	pa, err := s.Translate(0x1000, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa != 7<<PageBits|0x1000 {
+		t.Fatalf("pa = %#x", pa)
+	}
+	if _, err := s.Translate(0x1000, true); err == nil {
+		t.Fatal("write to read-only page must fault")
+	}
+	if _, err := s.Translate(1<<PageBits, false); err == nil {
+		t.Fatal("unmapped page must fault")
+	}
+	s.Unmap(0)
+	if _, err := s.Translate(0, false); err == nil {
+		t.Fatal("unmapped after Unmap")
+	}
+}
+
+func TestFaultMessage(t *testing.T) {
+	s := New()
+	_, err := s.Translate(0xdead0000, true)
+	f, ok := err.(*Fault)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if f.VA != 0xdead0000 || !f.Write {
+		t.Fatalf("fault = %+v", f)
+	}
+	if f.Error() == "" {
+		t.Fatal("empty message")
+	}
+}
+
+func TestTranslatePreservesOffset(t *testing.T) {
+	f := func(off uint32) bool {
+		s := New()
+		s.Map(3<<PageBits, 9<<PageBits, Read|Write)
+		va := uint64(3)<<PageBits | uint64(off)%PageSize
+		pa, err := s.Translate(va, false)
+		return err == nil && pa&(PageSize-1) == va&(PageSize-1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPagesTouched(t *testing.T) {
+	// 128 elements at a 64-byte stride stay in one page.
+	if got := PagesTouched(0, 64, 128); len(got) != 1 {
+		t.Fatalf("unit-ish stride touched %d pages", len(got))
+	}
+	// A page-sized stride touches a page per element.
+	if got := PagesTouched(0, PageSize, 128); len(got) != 128 {
+		t.Fatalf("page stride touched %d pages, want 128", len(got))
+	}
+	// Straddling: base near a page end.
+	got := PagesTouched(PageSize-64, 64, 4)
+	if len(got) != 2 {
+		t.Fatalf("straddling access touched %d pages, want 2", len(got))
+	}
+}

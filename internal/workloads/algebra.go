@@ -1,0 +1,649 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/arch"
+	"repro/internal/isa"
+	"repro/internal/vasm"
+)
+
+// ---- dgemm: dense tiled matrix multiply ----
+
+func dgemmN(s Scale) int {
+	switch s {
+	case Test:
+		return 48
+	case Full:
+		return 320
+	}
+	return 128
+}
+
+// dgemmLayout: row-major A (n×n), B (n×n), C (n×n).
+func dgemmLayout(n int) (a, b, c uint64) {
+	a = 1 << 20
+	b = a + uint64(n*n)*8 + 4096
+	c = b + uint64(n*n)*8 + 4096
+	return
+}
+
+func dgemmInit(bd *vasm.Builder, n int) {
+	a, b, _ := dgemmLayout(n)
+	for i := 0; i < n*n; i++ {
+		bd.M.Mem.StoreQ(a+uint64(i)*8, fbits(float64(i%7)+1))
+		bd.M.Mem.StoreQ(b+uint64(i)*8, fbits(float64(i%5)-2))
+	}
+}
+
+// dgemmVector is the register-tiled vector kernel: an 8-row tile of C lives
+// in v0..v7 across the whole k loop; each k costs one vector load of a B row
+// chunk plus 16 vector-scalar flop instructions — 32 flops/cycle at peak.
+func dgemmVector(s Scale) vasm.Kernel {
+	n := dgemmN(s)
+	const rowTile = 8
+	return func(bd *vasm.Builder) {
+		dgemmInit(bd, n)
+		aB, bB, cB := dgemmLayout(n)
+		rs := isa.R(9)
+		rA, rB, rC := isa.R(1), isa.R(2), isa.R(3)
+		bd.SetVSImm(rs, 8)
+		vchunks(bd, rs, n, func(j0, vl int) {
+			for i0 := 0; i0 < n; i0 += rowTile {
+				// Zero the C tile (vxor v,v).
+				for r := 0; r < rowTile; r++ {
+					bd.VV(isa.OpVXOR, isa.V(r), isa.V(r), isa.V(r))
+				}
+				bd.Li(rA, int64(aB+uint64(i0*n)*8))
+				bd.Li(rB, int64(bB+uint64(j0)*8))
+				bd.Loop(isa.R(16), n, func(k int) {
+					// Prefetch the B row a few iterations ahead.
+					if k%8 == 0 {
+						bd.VPref(rB, int64(8*n)*8)
+					}
+					bd.VLdQ(isa.V(10), rB, 0) // B[k][j0:j0+vl]
+					for r := 0; r < rowTile; r++ {
+						f := isa.F(2 + r)
+						bd.LdT(f, rA, int64(r*n)*8) // A[i0+r][k]
+						bd.VS(isa.OpVSMULT, isa.V(11), isa.V(10), f)
+						bd.VV(isa.OpVADDT, isa.V(r), isa.V(r), isa.V(11))
+					}
+					bd.AddImm(rA, rA, 8)          // next k within the row
+					bd.AddImm(rB, rB, int64(n)*8) // next B row
+				})
+				bd.Li(rC, int64(cB+uint64(i0*n+j0)*8))
+				for r := 0; r < rowTile; r++ {
+					bd.VStQ(isa.V(r), rC, int64(r*n)*8)
+				}
+			}
+		})
+		bd.Halt()
+	}
+}
+
+// dgemmScalar is the EV8 version: a 2×4 register-blocked k-loop, the shape
+// a good scheduler produces — eight accumulators hide the FP-add latency
+// and the loop is bounded by the 4-wide FP issue (the paper measured EV8
+// dgemm at ~2.5 flops/cycle with an EV6-scheduled binary).
+func dgemmScalar(s Scale) vasm.Kernel {
+	n := dgemmN(s)
+	return func(bd *vasm.Builder) {
+		dgemmInit(bd, n)
+		aB, bB, cB := dgemmLayout(n)
+		rA, rB := isa.R(1), isa.R(2)
+		// Accumulators f8..f15 (2 rows × 4 columns); a0/a1 in f1/f2,
+		// b0..b3 in f4..f7.
+		for i0 := 0; i0 < n; i0 += 2 {
+			for j0 := 0; j0 < n; j0 += 4 {
+				for r := 0; r < 8; r++ {
+					bd.Op3(isa.OpSUBT, isa.F(8+r), isa.FZero, isa.FZero)
+				}
+				bd.Li(rA, int64(aB+uint64(i0*n)*8))
+				bd.Li(rB, int64(bB+uint64(j0)*8))
+				bd.Loop(isa.R(16), n, func(k int) {
+					if k%8 == 0 {
+						bd.Prefetch(rB, int64(8*n)*8)
+					}
+					bd.LdT(isa.F(1), rA, 0)          // A[i0][k]
+					bd.LdT(isa.F(2), rA, int64(n)*8) // A[i0+1][k]
+					for c := 0; c < 4; c++ {
+						bd.LdT(isa.F(4+c), rB, int64(c)*8) // B[k][j0+c]
+					}
+					for r := 0; r < 2; r++ {
+						for c := 0; c < 4; c++ {
+							bd.Op3(isa.OpMULT, isa.F(3), isa.F(1+r), isa.F(4+c))
+							bd.Op3(isa.OpADDT, isa.F(8+r*4+c), isa.F(8+r*4+c), isa.F(3))
+						}
+					}
+					bd.AddImm(rA, rA, 8)
+					bd.AddImm(rB, rB, int64(n)*8)
+				})
+				for r := 0; r < 2; r++ {
+					bd.Li(isa.R(3), int64(cB+uint64((i0+r)*n+j0)*8))
+					for c := 0; c < 4; c++ {
+						bd.StT(isa.F(8+r*4+c), isa.R(3), int64(c)*8)
+					}
+				}
+			}
+		}
+		bd.Halt()
+	}
+}
+
+func dgemmCheck(m *arch.Machine, s Scale) error {
+	n := dgemmN(s)
+	aB, bB, cB := dgemmLayout(n)
+	av := make([]float64, n*n)
+	bv := make([]float64, n*n)
+	for i := range av {
+		av[i] = ffrom(m.Mem.LoadQ(aB + uint64(i)*8))
+		bv[i] = ffrom(m.Mem.LoadQ(bB + uint64(i)*8))
+	}
+	want := refMatMul(av, bv, n, n, n)
+	step := n*n/64 + 1
+	for i := 0; i < n*n; i += step {
+		got := ffrom(m.Mem.LoadQ(cB + uint64(i)*8))
+		if math.Abs(got-want[i]) > 1e-9*math.Max(1, math.Abs(want[i])) {
+			return fmt.Errorf("dgemm: C[%d] = %g, want %g", i, got, want[i])
+		}
+	}
+	return nil
+}
+
+var benchDgemm = register(&Benchmark{
+	Name:   "dgemm",
+	Class:  "Algebra",
+	Desc:   "dense, tiled, register-tiled matrix multiply",
+	Pref:   true,
+	Vector: dgemmVector,
+	Scalar: dgemmScalar,
+	Check:  dgemmCheck,
+})
+
+// ---- dtrmm: triangular matrix multiply C = L·B (L lower-triangular) ----
+
+func dtrmmN(s Scale) (n, p int) {
+	switch s {
+	case Test:
+		return 40, 72
+	case Full:
+		return 240, 264
+	}
+	return 120, 136
+}
+
+func dtrmmLayout(n, p int) (l, b, c uint64) {
+	l = 1 << 20
+	b = l + uint64(n*n)*8 + 4096
+	c = b + uint64(n*p)*8 + 4096
+	return
+}
+
+func dtrmmInit(bd *vasm.Builder, n, p int) {
+	l, b, _ := dtrmmLayout(n, p)
+	for i := 0; i < n; i++ {
+		for k := 0; k <= i; k++ {
+			bd.M.Mem.StoreQ(l+uint64(i*n+k)*8, fbits(float64((i+k)%5)+1))
+		}
+	}
+	for i := 0; i < n*p; i++ {
+		bd.M.Mem.StoreQ(b+uint64(i)*8, fbits(float64(i%9)-4))
+	}
+}
+
+func dtrmmVector(s Scale) vasm.Kernel {
+	n, p := dtrmmN(s)
+	const rowTile = 4
+	return func(bd *vasm.Builder) {
+		dtrmmInit(bd, n, p)
+		lB, bB, cB := dtrmmLayout(n, p)
+		rs := isa.R(9)
+		rL, rB, rC := isa.R(1), isa.R(2), isa.R(3)
+		bd.SetVSImm(rs, 8)
+		vchunks(bd, rs, p, func(j0, vl int) {
+			for i0 := 0; i0 < n; i0 += rowTile {
+				for r := 0; r < rowTile; r++ {
+					bd.VV(isa.OpVXOR, isa.V(r), isa.V(r), isa.V(r))
+				}
+				kmax := i0 + rowTile // rows i0..i0+3 need k ≤ i
+				bd.Li(rL, int64(lB+uint64(i0*n)*8))
+				bd.Li(rB, int64(bB+uint64(j0)*8))
+				bd.Loop(isa.R(16), kmax, func(k int) {
+					bd.VLdQ(isa.V(10), rB, 0)
+					for r := 0; r < rowTile; r++ {
+						if k > i0+r {
+							continue // above the diagonal: structural zero
+						}
+						f := isa.F(2 + r)
+						bd.LdT(f, rL, int64(r*n)*8)
+						bd.VS(isa.OpVSMULT, isa.V(11), isa.V(10), f)
+						bd.VV(isa.OpVADDT, isa.V(r), isa.V(r), isa.V(11))
+					}
+					bd.AddImm(rL, rL, 8)
+					bd.AddImm(rB, rB, int64(p)*8)
+				})
+				bd.Li(rC, int64(cB+uint64(i0*p+j0)*8))
+				for r := 0; r < rowTile; r++ {
+					bd.VStQ(isa.V(r), rC, int64(r*p)*8)
+				}
+			}
+		})
+		bd.Halt()
+	}
+}
+
+func dtrmmScalar(s Scale) vasm.Kernel {
+	n, p := dtrmmN(s)
+	return func(bd *vasm.Builder) {
+		dtrmmInit(bd, n, p)
+		lB, bB, cB := dtrmmLayout(n, p)
+		rB, rC := isa.R(2), isa.R(3)
+		for i := 0; i < n; i++ {
+			// Zero C row.
+			bd.Li(rC, int64(cB+uint64(i*p)*8))
+			bd.Loop(isa.R(16), p/4, func(int) {
+				for u := 0; u < 4; u++ {
+					bd.StT(isa.FZero, rC, int64(u*8))
+				}
+				bd.AddImm(rC, rC, 32)
+			})
+			for k := 0; k <= i; k++ {
+				bd.Li(isa.R(1), int64(lB+uint64(i*n+k)*8))
+				bd.LdT(isa.F(1), isa.R(1), 0)
+				bd.Li(rB, int64(bB+uint64(k*p)*8))
+				bd.Li(rC, int64(cB+uint64(i*p)*8))
+				bd.Loop(isa.R(16), p/4, func(int) {
+					for u := 0; u < 4; u++ {
+						off := int64(u * 8)
+						bd.LdT(isa.F(2), rB, off)
+						bd.LdT(isa.F(3), rC, off)
+						bd.Op3(isa.OpMULT, isa.F(2), isa.F(2), isa.F(1))
+						bd.Op3(isa.OpADDT, isa.F(3), isa.F(3), isa.F(2))
+						bd.StT(isa.F(3), rC, off)
+					}
+					bd.AddImm(rB, rB, 32)
+					bd.AddImm(rC, rC, 32)
+				})
+			}
+		}
+		bd.Halt()
+	}
+}
+
+func dtrmmCheck(m *arch.Machine, s Scale) error {
+	n, p := dtrmmN(s)
+	lB, bB, cB := dtrmmLayout(n, p)
+	lv := make([]float64, n*n)
+	bv := make([]float64, n*p)
+	for i := range lv {
+		lv[i] = ffrom(m.Mem.LoadQ(lB + uint64(i)*8))
+	}
+	for i := range bv {
+		bv[i] = ffrom(m.Mem.LoadQ(bB + uint64(i)*8))
+	}
+	want := refMatMul(lv, bv, n, n, p)
+	step := n*p/64 + 1
+	for i := 0; i < n*p; i += step {
+		got := ffrom(m.Mem.LoadQ(cB + uint64(i)*8))
+		if math.Abs(got-want[i]) > 1e-9*math.Max(1, math.Abs(want[i])) {
+			return fmt.Errorf("dtrmm: C[%d] = %g, want %g", i, got, want[i])
+		}
+	}
+	return nil
+}
+
+var benchDtrmm = register(&Benchmark{
+	Name:   "dtrmm",
+	Class:  "Algebra",
+	Desc:   "triangular matrix multiply, tiled",
+	Pref:   true,
+	Vector: dtrmmVector,
+	Scalar: dtrmmScalar,
+	Check:  dtrmmCheck,
+})
+
+// ---- lu / linpackTPP: in-place LU decomposition (no pivoting; the
+// matrices are made diagonally dominant) ----
+
+func luN(s Scale, tpp bool) int {
+	switch s {
+	case Test:
+		if tpp {
+			return 56
+		}
+		return 48
+	case Full:
+		if tpp {
+			return 512
+		}
+		return 288
+	}
+	if tpp {
+		return 256
+	}
+	return 192
+}
+
+func luLayout() uint64 { return 1 << 20 }
+
+func luInit(bd *vasm.Builder, n int) {
+	a := luLayout()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := float64((i*j)%7) - 3
+			if i == j {
+				v = float64(8*n) + float64(i%5) // diagonally dominant
+			}
+			bd.M.Mem.StoreQ(a+uint64(i*n+j)*8, fbits(v))
+		}
+	}
+}
+
+// luVector factors A in place with rank-1 row updates. When regTile is
+// true (the paper register-tiled lu but not LinpackTPP, §6), four rows are
+// updated per pass so each pivot-row chunk is loaded once per four rows;
+// otherwise it is reloaded for every row, raising the memory-op count.
+func luVector(n int, regTile, drainM bool) vasm.Kernel {
+	tile := 1
+	if regTile {
+		tile = 4
+	}
+	return func(bd *vasm.Builder) {
+		luInit(bd, n)
+		aB := luLayout()
+		rs := isa.R(9)
+		rP, rI := isa.R(1), isa.R(2)
+		row := func(i int) int64 { return int64(aB + uint64(i*n)*8) }
+		bd.SetVSImm(rs, 8)
+		for k := 0; k < n-1; k++ {
+			if drainM {
+				// The full solver's scalar pivot bookkeeping writes just
+				// before the vector sweep reads: the code needs the DrainM
+				// barrier of §3.4 once per elimination step.
+				bd.DrainM()
+			}
+			// Multipliers: A[i][k] /= A[k][k] for i>k — a strided column
+			// access (stride n·8) handled per the stride class.
+			bd.Li(rP, row(k)+int64(k)*8)
+			bd.LdT(isa.F(1), rP, 0) // pivot
+			// recip = 1/pivot, computed once (scalar divide).
+			constF64(bd, 2, 1.0)
+			bd.Op3(isa.OpDIVT, isa.F(1), isa.F(2), isa.F(1))
+			m := n - 1 - k
+			bd.SetVSImm(isa.R(10), int64(n)*8) // column stride
+			bd.Li(rI, row(k+1)+int64(k)*8)
+			vchunks(bd, rs, m, func(off, vl int) {
+				bd.VLdQ(isa.V(0), rI, int64(off*n)*8)
+				bd.VS(isa.OpVSMULT, isa.V(0), isa.V(0), isa.F(1))
+				bd.VStQ(isa.V(0), rI, int64(off*n)*8)
+			})
+			bd.SetVSImm(isa.R(10), 8) // back to unit stride
+			// Rank-1 update of the trailing matrix, row-wise.
+			width := n - 1 - k
+			for i := k + 1; i < n; i += tile {
+				rows := tile
+				if i+rows > n {
+					rows = n - i
+				}
+				// Multipliers for these rows.
+				for r := 0; r < rows; r++ {
+					bd.Li(isa.R(11), row(i+r)+int64(k)*8)
+					bd.LdT(isa.F(3+r), isa.R(11), 0)
+				}
+				bd.Li(rP, row(k)+int64(k+1)*8)
+				bd.Li(rI, row(i)+int64(k+1)*8)
+				vchunks(bd, rs, width, func(j0, vl int) {
+					bd.VLdQ(isa.V(10), rP, int64(j0)*8) // pivot row chunk
+					for r := 0; r < rows; r++ {
+						bd.VLdQ(isa.V(r), rI, int64(r*n+j0)*8)
+						bd.VS(isa.OpVSMULT, isa.V(11), isa.V(10), isa.F(3+r))
+						bd.VV(isa.OpVSUBT, isa.V(r), isa.V(r), isa.V(11))
+						bd.VStQ(isa.V(r), rI, int64(r*n+j0)*8)
+					}
+				})
+			}
+		}
+		bd.Halt()
+	}
+}
+
+func luScalar(n int) vasm.Kernel {
+	return func(bd *vasm.Builder) {
+		luInit(bd, n)
+		aB := luLayout()
+		row := func(i int) int64 { return int64(aB + uint64(i*n)*8) }
+		for k := 0; k < n-1; k++ {
+			bd.Li(isa.R(1), row(k)+int64(k)*8)
+			bd.LdT(isa.F(1), isa.R(1), 0)
+			constF64(bd, 2, 1.0)
+			bd.Op3(isa.OpDIVT, isa.F(1), isa.F(2), isa.F(1))
+			for i := k + 1; i < n; i++ {
+				bd.Li(isa.R(2), row(i)+int64(k)*8)
+				bd.LdT(isa.F(3), isa.R(2), 0)
+				bd.Op3(isa.OpMULT, isa.F(3), isa.F(3), isa.F(1)) // multiplier
+				bd.StT(isa.F(3), isa.R(2), 0)
+				width := n - 1 - k
+				bd.Li(isa.R(3), row(k)+int64(k+1)*8)
+				bd.Li(isa.R(4), row(i)+int64(k+1)*8)
+				unroll := 4
+				bd.Loop(isa.R(16), width/unroll, func(int) {
+					for u := 0; u < unroll; u++ {
+						off := int64(u * 8)
+						bd.LdT(isa.F(4), isa.R(3), off)
+						bd.LdT(isa.F(5), isa.R(4), off)
+						bd.Op3(isa.OpMULT, isa.F(4), isa.F(4), isa.F(3))
+						bd.Op3(isa.OpSUBT, isa.F(5), isa.F(5), isa.F(4))
+						bd.StT(isa.F(5), isa.R(4), off)
+					}
+					bd.AddImm(isa.R(3), isa.R(3), int64(unroll)*8)
+					bd.AddImm(isa.R(4), isa.R(4), int64(unroll)*8)
+				})
+				// Remainder elements.
+				rem := width % unroll
+				for u := 0; u < rem; u++ {
+					off := int64(u * 8)
+					bd.LdT(isa.F(4), isa.R(3), off)
+					bd.LdT(isa.F(5), isa.R(4), off)
+					bd.Op3(isa.OpMULT, isa.F(4), isa.F(4), isa.F(3))
+					bd.Op3(isa.OpSUBT, isa.F(5), isa.F(5), isa.F(4))
+					bd.StT(isa.F(5), isa.R(4), off)
+				}
+			}
+		}
+		bd.Halt()
+	}
+}
+
+// luCheck verifies the in-place factorisation against a Go reference.
+func luCheck(n int) func(m *arch.Machine, s Scale) error {
+	return func(m *arch.Machine, s Scale) error {
+		a := make([]float64, n*n)
+		aB := luLayout()
+		// Rebuild the original matrix and refactor it.
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				v := float64((i*j)%7) - 3
+				if i == j {
+					v = float64(8*n) + float64(i%5)
+				}
+				a[i*n+j] = v
+			}
+		}
+		for k := 0; k < n-1; k++ {
+			recip := 1.0 / a[k*n+k]
+			for i := k + 1; i < n; i++ {
+				a[i*n+k] *= recip
+				mult := a[i*n+k]
+				for j := k + 1; j < n; j++ {
+					a[i*n+j] -= mult * a[k*n+j]
+				}
+			}
+		}
+		step := n*n/64 + 1
+		for i := 0; i < n*n; i += step {
+			got := ffrom(m.Mem.LoadQ(aB + uint64(i)*8))
+			if math.Abs(got-a[i]) > 1e-6*math.Max(1, math.Abs(a[i])) {
+				return fmt.Errorf("lu: A[%d] = %g, want %g", i, got, a[i])
+			}
+		}
+		return nil
+	}
+}
+
+var benchLU = register(&Benchmark{
+	Name:   "lu",
+	Class:  "Algebra",
+	Desc:   "lower-upper decomposition, tiled + register-tiled",
+	Pref:   true,
+	Vector: func(s Scale) vasm.Kernel { return luVector(luN(s, false), true, false) },
+	Scalar: func(s Scale) vasm.Kernel { return luScalar(luN(s, false)) },
+	Check:  func(m *arch.Machine, s Scale) error { return luCheck(luN(s, false))(m, s) },
+})
+
+var benchLinpackTPP = register(&Benchmark{
+	Name:   "linpacktpp",
+	Class:  "Algebra",
+	Desc:   "dense linear solver, TPP rules (tiled, not register-tiled)",
+	Pref:   true,
+	DrainM: true,
+	Vector: func(s Scale) vasm.Kernel { return luVector(luN(s, true), false, true) },
+	Scalar: func(s Scale) vasm.Kernel { return luScalar(luN(s, true)) },
+	Check:  func(m *arch.Machine, s Scale) error { return luCheck(luN(s, true))(m, s) },
+})
+
+// ---- linpack100: 100×100, column-major daxpy form, no reorganisation ----
+
+const linpackN = 100
+
+func linpackLayout() uint64 { return 1 << 20 }
+
+func linpackInit(bd *vasm.Builder) {
+	a := linpackLayout()
+	// Column-major storage, diagonally dominant.
+	for j := 0; j < linpackN; j++ {
+		for i := 0; i < linpackN; i++ {
+			v := float64((i*j)%11) - 5
+			if i == j {
+				v = float64(16 * linpackN)
+			}
+			bd.M.Mem.StoreQ(a+uint64(j*linpackN+i)*8, fbits(v))
+		}
+	}
+}
+
+func linpack100Vector(s Scale) vasm.Kernel {
+	return func(bd *vasm.Builder) {
+		linpackInit(bd)
+		aB := linpackLayout()
+		col := func(j int) int64 { return int64(aB + uint64(j*linpackN)*8) }
+		rs := isa.R(9)
+		bd.SetVSImm(rs, 8)
+		for k := 0; k < linpackN-1; k++ {
+			m := linpackN - 1 - k
+			// The real dgefa's scalar pivot search and row swap write just
+			// ahead of the vector daxpys: DrainM orders them (§3.4).
+			bd.DrainM()
+			// Scale column k below the diagonal: vl = m (short vectors —
+			// the reason linpack100 trails linpackTPP in Figure 6).
+			bd.Li(isa.R(1), col(k)+int64(k)*8)
+			bd.LdT(isa.F(1), isa.R(1), 0)
+			constF64(bd, 2, -1.0)
+			bd.Op3(isa.OpDIVT, isa.F(1), isa.F(2), isa.F(1)) // -1/pivot
+			bd.SetVLImm(rs, m)
+			bd.VLdQ(isa.V(0), isa.R(1), 8)
+			bd.VS(isa.OpVSMULT, isa.V(0), isa.V(0), isa.F(1))
+			bd.VStQ(isa.V(0), isa.R(1), 8)
+			// daxpy into each trailing column: col_j += m_col * a[k][j].
+			for j := k + 1; j < linpackN; j++ {
+				bd.Li(isa.R(2), col(j)+int64(k)*8)
+				bd.LdT(isa.F(3), isa.R(2), 0) // a[k][j]
+				bd.VLdQ(isa.V(1), isa.R(2), 8)
+				bd.VS(isa.OpVSMULT, isa.V(2), isa.V(0), isa.F(3))
+				bd.VV(isa.OpVADDT, isa.V(1), isa.V(1), isa.V(2))
+				bd.VStQ(isa.V(1), isa.R(2), 8)
+			}
+		}
+		bd.Halt()
+	}
+}
+
+func linpack100Scalar(s Scale) vasm.Kernel {
+	return func(bd *vasm.Builder) {
+		linpackInit(bd)
+		aB := linpackLayout()
+		col := func(j int) int64 { return int64(aB + uint64(j*linpackN)*8) }
+		for k := 0; k < linpackN-1; k++ {
+			m := linpackN - 1 - k
+			bd.Li(isa.R(1), col(k)+int64(k)*8)
+			bd.LdT(isa.F(1), isa.R(1), 0)
+			constF64(bd, 2, -1.0)
+			bd.Op3(isa.OpDIVT, isa.F(1), isa.F(2), isa.F(1))
+			for i := 0; i < m; i++ {
+				off := int64(i+1) * 8
+				bd.LdT(isa.F(3), isa.R(1), off)
+				bd.Op3(isa.OpMULT, isa.F(3), isa.F(3), isa.F(1))
+				bd.StT(isa.F(3), isa.R(1), off)
+			}
+			for j := k + 1; j < linpackN; j++ {
+				bd.Li(isa.R(2), col(j)+int64(k)*8)
+				bd.LdT(isa.F(3), isa.R(2), 0)
+				bd.Li(isa.R(3), col(k)+int64(k)*8)
+				bd.Loop(isa.R(16), m, func(i int) {
+					off := int64(i+1) * 8
+					bd.LdT(isa.F(4), isa.R(3), off) // multiplier
+					bd.LdT(isa.F(5), isa.R(2), off)
+					bd.Op3(isa.OpMULT, isa.F(4), isa.F(4), isa.F(3))
+					bd.Op3(isa.OpADDT, isa.F(5), isa.F(5), isa.F(4))
+					bd.StT(isa.F(5), isa.R(2), off)
+				})
+			}
+		}
+		bd.Halt()
+	}
+}
+
+func linpack100Check(m *arch.Machine, s Scale) error {
+	n := linpackN
+	a := make([]float64, n*n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			v := float64((i*j)%11) - 5
+			if i == j {
+				v = float64(16 * n)
+			}
+			a[j*n+i] = v
+		}
+	}
+	for k := 0; k < n-1; k++ {
+		scale := -1.0 / a[k*n+k]
+		for i := k + 1; i < n; i++ {
+			a[k*n+i] *= scale
+		}
+		for j := k + 1; j < n; j++ {
+			t := a[j*n+k]
+			for i := k + 1; i < n; i++ {
+				a[j*n+i] += a[k*n+i] * t
+			}
+		}
+	}
+	aB := linpackLayout()
+	for idx := 0; idx < n*n; idx += 131 {
+		got := ffrom(m.Mem.LoadQ(aB + uint64(idx)*8))
+		if math.Abs(got-a[idx]) > 1e-6*math.Max(1, math.Abs(a[idx])) {
+			return fmt.Errorf("linpack100: a[%d] = %g, want %g", idx, got, a[idx])
+		}
+	}
+	return nil
+}
+
+var benchLinpack100 = register(&Benchmark{
+	Name:   "linpack100",
+	Class:  "Algebra",
+	Desc:   "100×100 dense solver, daxpy form, no code reorganisation",
+	Pref:   true,
+	DrainM: true,
+	Vector: linpack100Vector,
+	Scalar: linpack100Scalar,
+	Check:  linpack100Check,
+})

@@ -1,0 +1,373 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/arch"
+	"repro/internal/isa"
+	"repro/internal/vasm"
+)
+
+// ---- moldyn: molecular dynamics, 500-molecule system (Table 2) ----
+//
+// The hot loop is the pair-force computation over each molecule's neighbour
+// list: a gather of neighbour positions, a cutoff comparison that becomes a
+// vector mask (the paper singles out moldyn's masks as a speedup source:
+// "by executing under mask, Tarantula avoids hard-to-predict branches"),
+// a masked force evaluation, and a masked scatter-accumulate back into the
+// neighbour forces. The i-molecule's own accumulation reduces through the
+// cache, and each outer iteration ends in the scalar force update that
+// makes the following vector pass require DrainM.
+//
+// One simplification (EXPERIMENTS.md): the Lennard-Jones 1/r² terms are
+// replaced by a quadratic polynomial in r² so the unpipelined vector divide
+// does not swamp the masked-arithmetic behaviour under study.
+
+func moldynN(s Scale) (mols, steps, maxNbr int) {
+	switch s {
+	case Test:
+		return 200, 1, 64
+	case Full:
+		return 500, 4, 96
+	}
+	return 500, 2, 96
+}
+
+const (
+	mdCutoff2 = 0.10 // squared cutoff radius
+	mdC0      = 3.0
+	mdC1      = 0.5
+	mdDt      = 1e-4
+)
+
+type mdSystem struct {
+	n       int
+	x, y, z []float64
+	nbr     [][]int // neighbour list (j > i within skin radius)
+}
+
+func buildMD(n, maxNbr int) *mdSystem {
+	rng := newLCG(97)
+	s := &mdSystem{n: n}
+	s.x = make([]float64, n)
+	s.y = make([]float64, n)
+	s.z = make([]float64, n)
+	for i := 0; i < n; i++ {
+		s.x[i] = float64(rng.intn(1000)) / 1000
+		s.y[i] = float64(rng.intn(1000)) / 1000
+		s.z[i] = float64(rng.intn(1000)) / 1000
+	}
+	skin2 := mdCutoff2 * 2.5
+	s.nbr = make([][]int, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n && len(s.nbr[i]) < maxNbr; j++ {
+			dx, dy, dz := s.x[i]-s.x[j], s.y[i]-s.y[j], s.z[i]-s.z[j]
+			if dx*dx+dy*dy+dz*dz < skin2 {
+				s.nbr[i] = append(s.nbr[i], j)
+			}
+		}
+	}
+	return s
+}
+
+// force returns the polynomial pair force given squared distance.
+func mdForce(r2 float64) float64 { return (mdC0 - r2) * (mdC1 - r2) }
+
+// mdRef mirrors the kernels: per step, pair forces over neighbour lists,
+// then a position update x += f·dt.
+func mdRef(n, steps, maxNbr int) (x, y, z []float64) {
+	s := buildMD(n, maxNbr)
+	x, y, z = s.x, s.y, s.z
+	fx := make([]float64, n)
+	fy := make([]float64, n)
+	fz := make([]float64, n)
+	for t := 0; t < steps; t++ {
+		for i := range fx {
+			fx[i], fy[i], fz[i] = 0, 0, 0
+		}
+		for i := 0; i < n; i++ {
+			for _, j := range s.nbr[i] {
+				dx, dy, dz := x[i]-x[j], y[i]-y[j], z[i]-z[j]
+				r2 := dx*dx + dy*dy + dz*dz
+				if r2 < mdCutoff2 {
+					f := mdForce(r2)
+					fx[i] += f * dx
+					fy[i] += f * dy
+					fz[i] += f * dz
+					fx[j] -= f * dx
+					fy[j] -= f * dy
+					fz[j] -= f * dz
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			x[i] += fx[i] * mdDt
+			y[i] += fy[i] * mdDt
+			z[i] += fz[i] * mdDt
+		}
+	}
+	return
+}
+
+// layout: x,y,z,fx,fy,fz then per-i neighbour offset lists.
+func mdLayout(n int) (pos [6]uint64, nbrBase, scratch uint64) {
+	addr := uint64(1 << 20)
+	for i := range pos {
+		pos[i] = addr
+		addr += uint64(n)*8 + 256
+	}
+	nbrBase = addr
+	return
+}
+
+func moldynVector(s Scale) vasm.Kernel {
+	n, steps, maxNbr := moldynN(s)
+	return func(bd *vasm.Builder) {
+		sys := buildMD(n, maxNbr)
+		pos, nbrBase, _ := mdLayout(n)
+		fillF64(bd, pos[0], sys.x)
+		fillF64(bd, pos[1], sys.y)
+		fillF64(bd, pos[2], sys.z)
+		// Neighbour lists as byte offsets, one padded block per molecule.
+		nbrOff := make([]uint64, n)
+		addr := nbrBase
+		for i := 0; i < n; i++ {
+			nbrOff[i] = addr
+			for _, j := range sys.nbr[i] {
+				bd.M.Mem.StoreQ(addr, uint64(j)*8)
+				addr += 8
+			}
+			addr = (addr + 1023) &^ 1023
+		}
+		scratch := (addr + 1023) &^ 1023
+		rs := isa.R(9)
+		cut := constF64(bd, 1, mdCutoff2)
+		c0 := constF64(bd, 2, mdC0)
+		c1 := constF64(bd, 3, mdC1)
+		dt := constF64(bd, 4, mdDt)
+		one := isa.R(10)
+		bd.Li(one, 1)
+		bd.SetVSImm(rs, 8)
+		for t := 0; t < steps; t++ {
+			// Zero forces.
+			vchunks(bd, rs, n, func(o, vl int) {
+				bd.VV(isa.OpVXOR, isa.V(0), isa.V(0), isa.V(0))
+				for a := 3; a < 6; a++ {
+					bd.Li(isa.R(1), int64(pos[a])+int64(o)*8)
+					bd.VStQ(isa.V(0), isa.R(1), 0)
+				}
+			})
+			for i := 0; i < n; i++ {
+				nn := len(sys.nbr[i])
+				if nn == 0 {
+					continue
+				}
+				bd.SetVLImm(rs, nn)
+				bd.Li(isa.R(1), int64(nbrOff[i]))
+				bd.VLdQ(isa.V(1), isa.R(1), 0) // neighbour byte offsets
+				// Gather neighbour positions; i's position as VS scalars.
+				for a := 0; a < 3; a++ {
+					bd.Li(isa.R(2), int64(pos[a]))
+					bd.VGath(isa.V(2+a), isa.V(1), isa.R(2))
+					bd.Li(isa.R(3), int64(pos[a])+int64(i)*8)
+					bd.LdT(isa.F(5+a), isa.R(3), 0)
+				}
+				// d = pos_i - pos_j  (VS reverse-subtract: d = -(pos_j - s))
+				for a := 0; a < 3; a++ {
+					bd.VS(isa.OpVSSUBT, isa.V(2+a), isa.V(2+a), isa.F(5+a))
+					bd.VV(isa.OpVSUBT, isa.V(2+a), isa.VZero, isa.V(2+a))
+				}
+				// r² = dx²+dy²+dz²
+				bd.VV(isa.OpVMULT, isa.V(5), isa.V(2), isa.V(2))
+				bd.VV(isa.OpVMULT, isa.V(6), isa.V(3), isa.V(3))
+				bd.VV(isa.OpVADDT, isa.V(5), isa.V(5), isa.V(6))
+				bd.VV(isa.OpVMULT, isa.V(6), isa.V(4), isa.V(4))
+				bd.VV(isa.OpVADDT, isa.V(5), isa.V(5), isa.V(6))
+				// mask = r² < cutoff²  (the §2 idiom: compare into a vector
+				// register, then setvm)
+				bd.VS(isa.OpVSCMPTLT, isa.V(6), isa.V(5), cut)
+				bd.SetVM(isa.V(6))
+				// f = (c0 - r²)(c1 - r²) under mask
+				bd.VS(isa.OpVSSUBT, isa.V(7), isa.V(5), c0) // r²-c0
+				bd.VV(isa.OpVSUBT, isa.V(7), isa.VZero, isa.V(7))
+				bd.VS(isa.OpVSSUBT, isa.V(8), isa.V(5), c1)
+				bd.VV(isa.OpVSUBT, isa.V(8), isa.VZero, isa.V(8))
+				bd.VV(isa.OpVMULT, isa.V(7), isa.V(7), isa.V(8))
+				// fcomp per axis (v20..v22), with masked-zero copies for
+				// the reduction (v23..v25).
+				for a := 0; a < 3; a++ {
+					bd.VV(isa.OpVMULT, isa.V(20+a), isa.V(7), isa.V(2+a))
+					bd.VV(isa.OpVXOR, isa.V(23+a), isa.V(23+a), isa.V(23+a))
+					bd.VVM(isa.OpVBIS, isa.V(23+a), isa.V(20+a), isa.V(20+a))
+				}
+				// Σ fcomp for molecule i: three interleaved cache folds.
+				hsum3(bd, [3]isa.Reg{isa.V(23), isa.V(24), isa.V(25)}, isa.V(11),
+					[3]isa.Reg{isa.F(7), isa.F(8), isa.F(9)}, scratch, isa.R(4), isa.R(5), nn)
+				bd.SetVSImm(rs, 8)
+				bd.SetVLImm(rs, nn)
+				for a := 0; a < 3; a++ {
+					// f[i] += sum (scalar)
+					bd.Li(isa.R(6), int64(pos[3+a])+int64(i)*8)
+					bd.LdT(isa.F(15), isa.R(6), 0)
+					bd.Op3(isa.OpADDT, isa.F(15), isa.F(15), isa.F(7+a))
+					bd.StT(isa.F(15), isa.R(6), 0)
+					// f[j] -= fcomp: masked gather-modify-scatter.
+					bd.Li(isa.R(7), int64(pos[3+a]))
+					bd.Emit(isa.Inst{Op: isa.OpVGATHQ, Dst: isa.V(12), Idx: isa.V(1), Src2: isa.R(7), Masked: true})
+					bd.VVM(isa.OpVSUBT, isa.V(12), isa.V(12), isa.V(20+a))
+					bd.VScatM(isa.V(12), isa.V(1), isa.R(7))
+				}
+			}
+			// The pair loop updated f[i] with scalar stores sitting in the
+			// store queue / write buffer; the vector loads below must see
+			// them — the scalar-write → vector-read case DrainM exists for
+			// (§3.4). (Within the pair loop no barrier is needed: neighbour
+			// lists hold j > i, so gathers never touch scalar-written
+			// slots.)
+			bd.DrainM()
+			// Position update: x += f·dt (unmasked long vectors).
+			bd.ClrVM()
+			vchunks(bd, rs, n, func(o, vl int) {
+				for a := 0; a < 3; a++ {
+					bd.Li(isa.R(1), int64(pos[a])+int64(o)*8)
+					bd.Li(isa.R(2), int64(pos[3+a])+int64(o)*8)
+					bd.VLdQ(isa.V(0), isa.R(1), 0)
+					bd.VLdQ(isa.V(1), isa.R(2), 0)
+					bd.VS(isa.OpVSMULT, isa.V(1), isa.V(1), dt)
+					bd.VV(isa.OpVADDT, isa.V(0), isa.V(0), isa.V(1))
+					bd.VStQ(isa.V(0), isa.R(1), 0)
+				}
+			})
+		}
+		bd.Halt()
+	}
+}
+
+func moldynScalar(s Scale) vasm.Kernel {
+	n, steps, maxNbr := moldynN(s)
+	return func(bd *vasm.Builder) {
+		sys := buildMD(n, maxNbr)
+		pos, nbrBase, _ := mdLayout(n)
+		fillF64(bd, pos[0], sys.x)
+		fillF64(bd, pos[1], sys.y)
+		fillF64(bd, pos[2], sys.z)
+		nbrOff := make([]uint64, n)
+		addr := nbrBase
+		for i := 0; i < n; i++ {
+			nbrOff[i] = addr
+			for _, j := range sys.nbr[i] {
+				bd.M.Mem.StoreQ(addr, uint64(j)*8)
+				addr += 8
+			}
+			addr = (addr + 1023) &^ 1023
+		}
+		cut := constF64(bd, 1, mdCutoff2)
+		c0 := constF64(bd, 2, mdC0)
+		c1 := constF64(bd, 3, mdC1)
+		dt := constF64(bd, 4, mdDt)
+		for t := 0; t < steps; t++ {
+			// Zero forces.
+			for a := 3; a < 6; a++ {
+				bd.Li(isa.R(1), int64(pos[a]))
+				bd.Loop(isa.R(16), n, func(int) {
+					bd.StT(isa.FZero, isa.R(1), 0)
+					bd.AddImm(isa.R(1), isa.R(1), 8)
+				})
+			}
+			for i := 0; i < n; i++ {
+				nn := len(sys.nbr[i])
+				if nn == 0 {
+					continue
+				}
+				// i's position and force accumulators in registers.
+				for a := 0; a < 3; a++ {
+					bd.Li(isa.R(1), int64(pos[a])+int64(i)*8)
+					bd.LdT(isa.F(10+a), isa.R(1), 0)
+					bd.Op3(isa.OpSUBT, isa.F(13+a), isa.FZero, isa.FZero)
+				}
+				bd.Li(isa.R(2), int64(nbrOff[i]))
+				bd.Loop(isa.R(16), nn, func(int) {
+					bd.LdQ(isa.R(3), isa.R(2), 0) // neighbour offset
+					for a := 0; a < 3; a++ {
+						bd.Li(isa.R(4), int64(pos[a]))
+						bd.Op3(isa.OpADDQ, isa.R(5), isa.R(4), isa.R(3))
+						bd.LdT(isa.F(16+a), isa.R(5), 0) // pos_j
+						bd.Op3(isa.OpSUBT, isa.F(16+a), isa.F(10+a), isa.F(16+a))
+					}
+					// r²
+					bd.Op3(isa.OpMULT, isa.F(20), isa.F(16), isa.F(16))
+					bd.Op3(isa.OpMULT, isa.F(21), isa.F(17), isa.F(17))
+					bd.Op3(isa.OpADDT, isa.F(20), isa.F(20), isa.F(21))
+					bd.Op3(isa.OpMULT, isa.F(21), isa.F(18), isa.F(18))
+					bd.Op3(isa.OpADDT, isa.F(20), isa.F(20), isa.F(21))
+					// The cutoff branch the vector code replaces by a mask —
+					// data-dependent and hard to predict.
+					bd.Op3(isa.OpCMPTLT, isa.R(6), isa.F(20), cut)
+					bd.Emit(isa.Inst{Op: isa.OpBEQ, Src1: isa.R(6), Imm: 1})
+					if ffrom(bd.M.F[20]) < mdCutoff2 {
+						bd.Op3(isa.OpSUBT, isa.F(21), c0, isa.F(20))
+						bd.Op3(isa.OpSUBT, isa.F(22), c1, isa.F(20))
+						bd.Op3(isa.OpMULT, isa.F(21), isa.F(21), isa.F(22))
+						for a := 0; a < 3; a++ {
+							bd.Op3(isa.OpMULT, isa.F(23), isa.F(21), isa.F(16+a))
+							bd.Op3(isa.OpADDT, isa.F(13+a), isa.F(13+a), isa.F(23))
+							bd.Li(isa.R(4), int64(pos[3+a]))
+							bd.Op3(isa.OpADDQ, isa.R(5), isa.R(4), isa.R(3))
+							bd.LdT(isa.F(24), isa.R(5), 0)
+							bd.Op3(isa.OpSUBT, isa.F(24), isa.F(24), isa.F(23))
+							bd.StT(isa.F(24), isa.R(5), 0)
+						}
+					}
+					bd.AddImm(isa.R(2), isa.R(2), 8)
+				})
+				for a := 0; a < 3; a++ {
+					bd.Li(isa.R(1), int64(pos[3+a])+int64(i)*8)
+					bd.LdT(isa.F(25), isa.R(1), 0)
+					bd.Op3(isa.OpADDT, isa.F(25), isa.F(25), isa.F(13+a))
+					bd.StT(isa.F(25), isa.R(1), 0)
+				}
+			}
+			for a := 0; a < 3; a++ {
+				bd.Li(isa.R(1), int64(pos[a]))
+				bd.Li(isa.R(2), int64(pos[3+a]))
+				bd.Loop(isa.R(16), n, func(int) {
+					bd.LdT(isa.F(8), isa.R(1), 0)
+					bd.LdT(isa.F(9), isa.R(2), 0)
+					bd.Op3(isa.OpMULT, isa.F(9), isa.F(9), dt)
+					bd.Op3(isa.OpADDT, isa.F(8), isa.F(8), isa.F(9))
+					bd.StT(isa.F(8), isa.R(1), 0)
+					bd.AddImm(isa.R(1), isa.R(1), 8)
+					bd.AddImm(isa.R(2), isa.R(2), 8)
+				})
+			}
+		}
+		bd.Halt()
+	}
+}
+
+func moldynCheck(m *arch.Machine, s Scale) error {
+	n, steps, maxNbr := moldynN(s)
+	pos, _, _ := mdLayout(n)
+	wx, wy, wz := mdRef(n, steps, maxNbr)
+	for i := 0; i < n; i += 7 {
+		for a, want := range [][]float64{wx, wy, wz} {
+			got := ffrom(m.Mem.LoadQ(pos[a] + uint64(i)*8))
+			if math.Abs(got-want[i]) > 1e-9*math.Max(1, math.Abs(want[i])) {
+				return fmt.Errorf("moldyn: axis %d mol %d = %g, want %g", a, i, got, want[i])
+			}
+		}
+	}
+	return nil
+}
+
+var benchMoldyn = register(&Benchmark{
+	Name:   "moldyn",
+	Class:  "Bioinformatics",
+	Desc:   "molecular dynamics, 500-molecule system, masked pair forces",
+	Pref:   true,
+	DrainM: true,
+	Vector: moldynVector,
+	Scalar: moldynScalar,
+	Check:  moldynCheck,
+})

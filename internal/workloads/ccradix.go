@@ -1,0 +1,287 @@
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/arch"
+	"repro/internal/isa"
+	"repro/internal/vasm"
+)
+
+// ---- ccradix: tiled integer radix sort (Jiménez-González et al. [10]) ----
+//
+// The vector formulation is the classic one for machines with gather/scatter
+// (Zagha & Blelloch): each of the 128 vector element slots owns a logical
+// block of keys, so per-slot histograms keyed by (digit, slot) make the
+// counting and permutation passes collision-free within a vector instruction
+// and the sort stable. Keys live in a slot-transposed physical layout
+// (logical position p at physical index (p mod blk)·128 + p÷blk), so every
+// key load is a stride-1 pump access while the logical order that stability
+// is defined over is preserved; the last pass scatters to natural order.
+// Both passes lean on gather/scatter against the offset table, which is why
+// the paper calls radix sort out as the gather/scatter-intensive case
+// (≈3X over EV8, 15 sustained ops/cycle).
+//
+// The digit-offset table is prefix-summed by scalar code between the vector
+// passes; the scalar writes followed by vector gathers are exactly the
+// DrainM case of §3.4.
+
+const (
+	rxDigits  = 256 // 8-bit digits
+	rxPasses  = 2   // 16-bit keys
+	rxKeyMask = rxDigits*rxDigits - 1
+)
+
+func ccradixN(s Scale) int {
+	switch s {
+	case Test:
+		return 8 * 1024
+	case Full:
+		return 256 * 1024
+	}
+	return 64 * 1024
+}
+
+// layout: in, out (ping-pong), table (128 slots × 256 digits, slot-major),
+// slot-offset vector, per-digit sum/prefix buffers.
+func rxLayout(n int) (in, out, table, slotVec, digitSum uint64) {
+	in = 1 << 20
+	out = in + uint64(n)*8 + 4096
+	table = out + uint64(n)*8 + 4096
+	slotVec = table + uint64(rxDigits*isa.VLMax)*8 + 4096
+	digitSum = slotVec + uint64(isa.VLMax)*8 + 4096
+	return
+}
+
+func rxKeys(n int) []uint64 {
+	rng := newLCG(5)
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = rng.next() & rxKeyMask
+	}
+	return keys
+}
+
+func ccradixVector(s Scale) vasm.Kernel {
+	n := ccradixN(s)
+	blk := n / isa.VLMax // keys per logical slot block
+	lg := 0
+	for 1<<lg < blk {
+		lg++
+	}
+	return func(bd *vasm.Builder) {
+		inB, outB, tblB, slotB, sumB := rxLayout(n)
+		// Pass 0 reads the input array in transposed interpretation:
+		// element (step t, slot s) is physical index t·128+s, logical
+		// position s·blk+t. A fixed input pre-permutation is harmless to a
+		// sort, so the keys go in as-is.
+		fillQ(bd, inB, rxKeys(n))
+		for sl := 0; sl < isa.VLMax; sl++ {
+			// Byte offset of each slot's table row (slot-major layout).
+			bd.M.Mem.StoreQ(slotB+uint64(sl)*8, uint64(sl)*uint64(rxDigits)*8)
+		}
+		rs := isa.R(9)
+		rT, rSrc, rDst := isa.R(1), isa.R(2), isa.R(3)
+		bd.SetVSImm(rs, 8)
+		bd.SetVLImm(rs, isa.VLMax)
+		// Slot-offset constant vector (loaded once).
+		bd.Li(isa.R(4), int64(slotB))
+		bd.VLdQ(isa.V(15), isa.R(4), 0)
+		bd.Li(rT, int64(tblB))
+		src, dst := inB, outB
+		for pass := 0; pass < rxPasses; pass++ {
+			shift := int64(8 * pass)
+			last := pass == rxPasses-1
+			// Zero the (digit, slot) count table with long vector stores.
+			bd.VV(isa.OpVXOR, isa.V(0), isa.V(0), isa.V(0))
+			bd.Loop(isa.R(16), rxDigits, func(c int) {
+				bd.Li(isa.R(4), int64(tblB)+int64(c*isa.VLMax)*8)
+				bd.VStQ(isa.V(0), isa.R(4), 0)
+			})
+			// Counting pass: a stride-1 (pump) key load per step — step t
+			// reads physical [t·128, t·128+128), i.e. logical element t of
+			// every slot's block — then gather/modify/scatter on the
+			// (digit, slot) counters.
+			bd.Li(isa.R(10), 0xff)
+			bd.Li(isa.R(11), 3) // digit·8 within the slot row
+			bd.Li(isa.R(12), 3)
+			bd.Li(isa.R(13), shift)
+			bd.Li(isa.R(14), 1)
+			bd.Li(rSrc, int64(src))
+			bd.Loop(isa.R(16), blk, func(int) {
+				bd.VLdQ(isa.V(0), rSrc, 0) // 128 keys, one per slot
+				bd.VS(isa.OpVSSRL, isa.V(1), isa.V(0), isa.R(13))
+				bd.VS(isa.OpVSAND, isa.V(1), isa.V(1), isa.R(10))
+				bd.VS(isa.OpVSSLL, isa.V(2), isa.V(1), isa.R(11))
+				bd.VV(isa.OpVADDQ, isa.V(2), isa.V(2), isa.V(15)) // + slot·8
+				bd.VGath(isa.V(4), isa.V(2), rT)
+				bd.VS(isa.OpVSADDQ, isa.V(4), isa.V(4), isa.R(14))
+				bd.VScat(isa.V(4), isa.V(2), rT)
+				bd.AddImm(rSrc, rSrc, chunkBytes)
+			})
+			// Two-level exclusive scan over (digit, slot) in lexicographic
+			// order, vectorised over the digit dimension (Zagha & Blelloch
+			// style). Level 1: per-digit totals across the 128 slot rows.
+			rowB := int64(rxDigits) * 8
+			bd.VV(isa.OpVXOR, isa.V(20), isa.V(20), isa.V(20))
+			bd.VV(isa.OpVXOR, isa.V(21), isa.V(21), isa.V(21))
+			bd.Loop(isa.R(16), isa.VLMax, func(sl int) {
+				bd.Li(isa.R(5), int64(tblB)+int64(sl)*rowB)
+				bd.VLdQ(isa.V(0), isa.R(5), 0)
+				bd.VV(isa.OpVADDQ, isa.V(20), isa.V(20), isa.V(0))
+				bd.VLdQ(isa.V(0), isa.R(5), int64(isa.VLMax)*8)
+				bd.VV(isa.OpVADDQ, isa.V(21), isa.V(21), isa.V(0))
+			})
+			bd.Li(isa.R(5), int64(sumB))
+			bd.VStQ(isa.V(20), isa.R(5), 0)
+			bd.VStQ(isa.V(21), isa.R(5), int64(isa.VLMax)*8)
+			// Level 2: scalar exclusive prefix across the 256 digit totals.
+			bd.Li(isa.R(5), int64(sumB))
+			bd.Li(isa.R(6), 0)
+			bd.Loop(isa.R(16), rxDigits, func(int) {
+				bd.LdQ(isa.R(7), isa.R(5), 0)
+				bd.StQ(isa.R(6), isa.R(5), 0)
+				bd.Op3(isa.OpADDQ, isa.R(6), isa.R(6), isa.R(7))
+				bd.AddImm(isa.R(5), isa.R(5), 8)
+			})
+			// The digit bases were scalar-written and the sweep below reads
+			// them with vector loads: the scalar-write → vector-read
+			// barrier of §3.4.
+			bd.DrainM()
+			// Level 3: sweep the slot rows, replacing counts with running
+			// offsets (v22/v23 carry the per-digit running positions).
+			bd.Li(isa.R(5), int64(sumB))
+			bd.VLdQ(isa.V(22), isa.R(5), 0)
+			bd.VLdQ(isa.V(23), isa.R(5), int64(isa.VLMax)*8)
+			bd.Loop(isa.R(16), isa.VLMax, func(sl int) {
+				bd.Li(isa.R(5), int64(tblB)+int64(sl)*rowB)
+				bd.VLdQ(isa.V(0), isa.R(5), 0)
+				bd.VStQ(isa.V(22), isa.R(5), 0)
+				bd.VV(isa.OpVADDQ, isa.V(22), isa.V(22), isa.V(0))
+				bd.VLdQ(isa.V(1), isa.R(5), int64(isa.VLMax)*8)
+				bd.VStQ(isa.V(23), isa.R(5), int64(isa.VLMax)*8)
+				bd.VV(isa.OpVADDQ, isa.V(23), isa.V(23), isa.V(1))
+			})
+			// Permutation pass. Logical destination p maps to physical
+			// (p mod blk)·128 + p÷blk on intermediate passes (so the next
+			// pass reads stride-1) and to p on the last.
+			bd.Li(isa.R(15), int64(lg))
+			bd.Li(isa.R(18), int64(blk-1))
+			bd.Li(isa.R(19), 7+3) // (· mod blk)·128·8 = << 10
+			bd.Li(rSrc, int64(src))
+			bd.Li(rDst, int64(dst))
+			bd.Loop(isa.R(17), blk, func(int) {
+				bd.VLdQ(isa.V(0), rSrc, 0)
+				bd.VS(isa.OpVSSRL, isa.V(1), isa.V(0), isa.R(13))
+				bd.VS(isa.OpVSAND, isa.V(1), isa.V(1), isa.R(10))
+				bd.VS(isa.OpVSSLL, isa.V(2), isa.V(1), isa.R(11))
+				bd.VV(isa.OpVADDQ, isa.V(2), isa.V(2), isa.V(15))
+				bd.VGath(isa.V(4), isa.V(2), rT) // logical index p (elements)
+				if last {
+					bd.VS(isa.OpVSSLL, isa.V(5), isa.V(4), isa.R(12)) // p·8
+				} else {
+					bd.VS(isa.OpVSAND, isa.V(5), isa.V(4), isa.R(18)) // p mod blk
+					bd.VS(isa.OpVSSLL, isa.V(5), isa.V(5), isa.R(19)) // ·1024
+					bd.VS(isa.OpVSSRL, isa.V(6), isa.V(4), isa.R(15)) // p ÷ blk
+					bd.VS(isa.OpVSSLL, isa.V(6), isa.V(6), isa.R(12)) // ·8
+					bd.VV(isa.OpVADDQ, isa.V(5), isa.V(5), isa.V(6))
+				}
+				bd.VScat(isa.V(0), isa.V(5), rDst) // out[phys] = key
+				bd.VS(isa.OpVSADDQ, isa.V(4), isa.V(4), isa.R(14))
+				bd.VScat(isa.V(4), isa.V(2), rT) // bump the counter
+				bd.AddImm(rSrc, rSrc, chunkBytes)
+			})
+			src, dst = dst, src
+		}
+		bd.Halt()
+	}
+}
+
+func ccradixScalar(s Scale) vasm.Kernel {
+	n := ccradixN(s)
+	return func(bd *vasm.Builder) {
+		inB, outB, tblB, _, _ := rxLayout(n)
+		fillQ(bd, inB, rxKeys(n))
+		rT, rSrc, rDst := isa.R(1), isa.R(2), isa.R(3)
+		bd.Li(rT, int64(tblB))
+		src, dst := inB, outB
+		for pass := 0; pass < rxPasses; pass++ {
+			shift := int64(8 * pass)
+			bd.Li(isa.R(13), shift)
+			bd.Li(isa.R(10), 0xff)
+			// Zero 256 counters.
+			bd.Li(isa.R(5), int64(tblB))
+			bd.Loop(isa.R(16), rxDigits, func(int) {
+				bd.StQ(isa.RZero, isa.R(5), 0)
+				bd.AddImm(isa.R(5), isa.R(5), 8)
+			})
+			// Count.
+			bd.Li(rSrc, int64(src))
+			bd.Loop(isa.R(16), n/4, func(int) {
+				for u := 0; u < 4; u++ {
+					bd.LdQ(isa.R(6), rSrc, int64(u*8))
+					bd.Op3(isa.OpSRL, isa.R(6), isa.R(6), isa.R(13))
+					bd.Op3(isa.OpAND, isa.R(6), isa.R(6), isa.R(10))
+					bd.Emit(isa.Inst{Op: isa.OpS8ADDQ, Dst: isa.R(7), Src1: isa.R(6), Src2: rT})
+					bd.LdQ(isa.R(8), isa.R(7), 0)
+					bd.OpImm(isa.OpADDQ, isa.R(8), isa.R(8), 1)
+					bd.StQ(isa.R(8), isa.R(7), 0)
+				}
+				bd.AddImm(rSrc, rSrc, 32)
+			})
+			// Exclusive prefix.
+			bd.Li(isa.R(5), int64(tblB))
+			bd.Li(isa.R(6), 0)
+			bd.Loop(isa.R(16), rxDigits, func(int) {
+				bd.LdQ(isa.R(7), isa.R(5), 0)
+				bd.StQ(isa.R(6), isa.R(5), 0)
+				bd.Op3(isa.OpADDQ, isa.R(6), isa.R(6), isa.R(7))
+				bd.AddImm(isa.R(5), isa.R(5), 8)
+			})
+			// Permute.
+			bd.Li(rSrc, int64(src))
+			bd.Li(rDst, int64(dst))
+			bd.Loop(isa.R(16), n, func(int) {
+				bd.LdQ(isa.R(6), rSrc, 0)
+				bd.Op3(isa.OpSRL, isa.R(7), isa.R(6), isa.R(13))
+				bd.Op3(isa.OpAND, isa.R(7), isa.R(7), isa.R(10))
+				bd.Emit(isa.Inst{Op: isa.OpS8ADDQ, Dst: isa.R(8), Src1: isa.R(7), Src2: rT})
+				bd.LdQ(isa.R(11), isa.R(8), 0) // output index
+				bd.Emit(isa.Inst{Op: isa.OpS8ADDQ, Dst: isa.R(12), Src1: isa.R(11), Src2: rDst})
+				bd.StQ(isa.R(6), isa.R(12), 0)
+				bd.OpImm(isa.OpADDQ, isa.R(11), isa.R(11), 1)
+				bd.StQ(isa.R(11), isa.R(8), 0)
+				bd.AddImm(rSrc, rSrc, 8)
+			})
+			src, dst = dst, src
+		}
+		bd.Halt()
+	}
+}
+
+func ccradixCheck(m *arch.Machine, s Scale) error {
+	n := ccradixN(s)
+	inB, _, _, _, _ := rxLayout(n)
+	// rxPasses is even, so the sorted data is back in the input buffer.
+	want := rxKeys(n)
+	sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+	for i := 0; i < n; i++ {
+		got := m.Mem.LoadQ(inB + uint64(i)*8)
+		if got != want[i] {
+			return fmt.Errorf("ccradix: out[%d] = %d, want %d", i, got, want[i])
+		}
+	}
+	return nil
+}
+
+var benchCcradix = register(&Benchmark{
+	Name:   "ccradix",
+	Class:  "Integer",
+	Desc:   "tiled integer radix sort, slot-blocked counting + permutation",
+	Pref:   true,
+	DrainM: true,
+	Vector: ccradixVector,
+	Scalar: ccradixScalar,
+	Check:  ccradixCheck,
+})

@@ -1,0 +1,64 @@
+package workloads
+
+import (
+	"repro/internal/isa"
+	"repro/internal/vasm"
+)
+
+// dgemm_fma is the §5 extension study in executable form: the same
+// register-tiled matrix multiply as dgemm, but using the VFMAT/VSFMAT
+// multiply-accumulate extension — half the vector arithmetic instructions,
+// double the flops per instruction, so the ablation benchmarks can measure
+// how close "this rate could be doubled" comes on a real kernel.
+//
+// It lives in the Extensions class, which keeps it out of the Figure 6–9
+// sets (those reproduce the paper's machine, which had no FMAC).
+func dgemmFMAVector(s Scale) vasm.Kernel {
+	n := dgemmN(s)
+	const rowTile = 8
+	return func(bd *vasm.Builder) {
+		dgemmInit(bd, n)
+		aB, bB, cB := dgemmLayout(n)
+		rs := isa.R(9)
+		rA, rB, rC := isa.R(1), isa.R(2), isa.R(3)
+		bd.SetVSImm(rs, 8)
+		vchunks(bd, rs, n, func(j0, vl int) {
+			for i0 := 0; i0 < n; i0 += rowTile {
+				for r := 0; r < rowTile; r++ {
+					bd.VV(isa.OpVXOR, isa.V(r), isa.V(r), isa.V(r))
+				}
+				bd.Li(rA, int64(aB+uint64(i0*n)*8))
+				bd.Li(rB, int64(bB+uint64(j0)*8))
+				bd.Loop(isa.R(16), n, func(k int) {
+					if k%8 == 0 {
+						bd.VPref(rB, int64(8*n)*8)
+					}
+					bd.VLdQ(isa.V(10), rB, 0)
+					for r := 0; r < rowTile; r++ {
+						f := isa.F(2 + r)
+						bd.LdT(f, rA, int64(r*n)*8)
+						// One instruction where dgemm needs two.
+						bd.VSFMA(isa.V(r), isa.V(10), f)
+					}
+					bd.AddImm(rA, rA, 8)
+					bd.AddImm(rB, rB, int64(n)*8)
+				})
+				bd.Li(rC, int64(cB+uint64(i0*n+j0)*8))
+				for r := 0; r < rowTile; r++ {
+					bd.VStQ(isa.V(r), rC, int64(r*n)*8)
+				}
+			}
+		})
+		bd.Halt()
+	}
+}
+
+var benchDgemmFMA = register(&Benchmark{
+	Name:   "dgemm_fma",
+	Class:  "Extensions",
+	Desc:   "dgemm using the §5 FMAC extension (VSFMAT)",
+	Pref:   true,
+	Vector: dgemmFMAVector,
+	Scalar: dgemmScalar, // same baseline as dgemm
+	Check:  dgemmCheck,
+})

@@ -1,0 +1,315 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/arch"
+	"repro/internal/isa"
+	"repro/internal/vasm"
+)
+
+// ---- fft: radix-4 decimation-in-frequency, batched across transforms ----
+//
+// The vector form follows the standard batched layout: F independent
+// transforms stored point-major ([point][fft]), so every butterfly operand
+// is a stride-1 vector of length F across the batch and the twiddles are
+// scalars riding the operand buses (VS group). Output is left in
+// digit-reversed order, as the paper's libraries did between passes; the
+// checker applies the digit reversal.
+
+func fftN(s Scale) (points, batch, sets int) {
+	switch s {
+	case Test:
+		return 64, 128, 1
+	case Full:
+		return 1024, 128, 4
+	}
+	return 256, 128, 2
+}
+
+func fftLayout(points, batch int) (re, im, tw uint64) {
+	re = 1 << 20
+	im = re + uint64(points*batch)*8 + 4096
+	tw = im + uint64(points*batch)*8 + 4096
+	return
+}
+
+func fftInitVals(points, batch int) (re, im []float64) {
+	re = make([]float64, points*batch)
+	im = make([]float64, points*batch)
+	for k := 0; k < points; k++ {
+		for f := 0; f < batch; f++ {
+			re[k*batch+f] = math.Sin(float64(k)*0.3 + float64(f)*0.011)
+			im[k*batch+f] = math.Cos(float64(k)*0.7 - float64(f)*0.017)
+		}
+	}
+	return
+}
+
+// fftRef runs the same radix-4 DIF on the host (output digit-reversed).
+func fftRef(points, batch, sets int) (re, im []float64) {
+	re, im = fftInitVals(points, batch)
+	for s := 0; s < sets; s++ {
+		for f := 0; f < batch; f++ {
+			for span := points / 4; span >= 1; span /= 4 {
+				for j0 := 0; j0 < points; j0 += 4 * span {
+					for k := 0; k < span; k++ {
+						i0, i1, i2, i3 := j0+k, j0+k+span, j0+k+2*span, j0+k+3*span
+						ar, ai := re[i0*batch+f], im[i0*batch+f]
+						br, bi := re[i1*batch+f], im[i1*batch+f]
+						cr, ci := re[i2*batch+f], im[i2*batch+f]
+						dr, di := re[i3*batch+f], im[i3*batch+f]
+						t0r, t0i := ar+cr, ai+ci
+						t1r, t1i := ar-cr, ai-ci
+						t2r, t2i := br+dr, bi+di
+						t3r, t3i := bi-di, dr-br // -j(b-d)
+						ang := -2 * math.Pi * float64(k) / float64(4*span)
+						w1r, w1i := math.Cos(ang), math.Sin(ang)
+						w2r, w2i := math.Cos(2*ang), math.Sin(2*ang)
+						w3r, w3i := math.Cos(3*ang), math.Sin(3*ang)
+						re[i0*batch+f], im[i0*batch+f] = t0r+t2r, t0i+t2i
+						u1r, u1i := t1r+t3r, t1i+t3i
+						re[i1*batch+f], im[i1*batch+f] = u1r*w1r-u1i*w1i, u1r*w1i+u1i*w1r
+						u2r, u2i := t0r-t2r, t0i-t2i
+						re[i2*batch+f], im[i2*batch+f] = u2r*w2r-u2i*w2i, u2r*w2i+u2i*w2r
+						u3r, u3i := t1r-t3r, t1i-t3i
+						re[i3*batch+f], im[i3*batch+f] = u3r*w3r-u3i*w3i, u3r*w3i+u3i*w3r
+					}
+				}
+			}
+		}
+	}
+	return
+}
+
+// fftTwiddles writes the per-(stage,k) twiddle table: 6 doubles per entry.
+func fftTwiddles(bd *vasm.Builder, points int, tw uint64) map[[2]int]uint64 {
+	idx := map[[2]int]uint64{}
+	pos := tw
+	for span := points / 4; span >= 1; span /= 4 {
+		for k := 0; k < span; k++ {
+			ang := -2 * math.Pi * float64(k) / float64(4*span)
+			vals := []float64{
+				math.Cos(ang), math.Sin(ang),
+				math.Cos(2 * ang), math.Sin(2 * ang),
+				math.Cos(3 * ang), math.Sin(3 * ang),
+			}
+			idx[[2]int{span, k}] = pos
+			for _, v := range vals {
+				bd.M.Mem.StoreQ(pos, fbits(v))
+				pos += 8
+			}
+		}
+	}
+	return idx
+}
+
+func fftVector(s Scale) vasm.Kernel {
+	points, batch, sets := fftN(s)
+	return func(bd *vasm.Builder) {
+		reB, imB, twB := fftLayout(points, batch)
+		re0, im0 := fftInitVals(points, batch)
+		fillF64(bd, reB, re0)
+		fillF64(bd, imB, im0)
+		twIdx := fftTwiddles(bd, points, twB)
+		rs := isa.R(9)
+		rT := isa.R(8)
+		bd.SetVSImm(rs, 8)
+		bd.SetVLImm(rs, batch)
+		rowB := int64(batch) * 8
+		ld := func(v isa.Reg, base uint64, row int) {
+			bd.Li(isa.R(1), int64(base)+int64(row)*rowB)
+			bd.VLdQ(v, isa.R(1), 0)
+		}
+		st := func(v isa.Reg, base uint64, row int) {
+			bd.Li(isa.R(1), int64(base)+int64(row)*rowB)
+			bd.VStQ(v, isa.R(1), 0)
+		}
+		// Complex multiply helper: (vr,vi) *= scalar (fr,fi); clobbers v14/v15.
+		cmul := func(vr, vi isa.Reg, fr, fi isa.Reg) {
+			bd.VS(isa.OpVSMULT, isa.V(14), vr, fr)
+			bd.VS(isa.OpVSMULT, isa.V(15), vi, fi)
+			bd.VV(isa.OpVSUBT, isa.V(14), isa.V(14), isa.V(15)) // new re
+			bd.VS(isa.OpVSMULT, isa.V(15), vr, fi)
+			bd.VS(isa.OpVSMULT, vr, vi, fr)
+			bd.VV(isa.OpVADDT, vi, isa.V(15), vr) // new im
+			bd.VV(isa.OpVBIS, vr, isa.V(14), isa.V(14))
+		}
+		for set := 0; set < sets; set++ {
+			for span := points / 4; span >= 1; span /= 4 {
+				for j0 := 0; j0 < points; j0 += 4 * span {
+					for k := 0; k < span; k++ {
+						i0, i1, i2, i3 := j0+k, j0+k+span, j0+k+2*span, j0+k+3*span
+						// Load twiddles (6 scalar loads from the table).
+						bd.Li(rT, int64(twIdx[[2]int{span, k}]))
+						for w := 0; w < 6; w++ {
+							bd.LdT(isa.F(1+w), rT, int64(w)*8)
+						}
+						ld(isa.V(0), reB, i0) // a
+						ld(isa.V(1), imB, i0)
+						ld(isa.V(2), reB, i1) // b
+						ld(isa.V(3), imB, i1)
+						ld(isa.V(4), reB, i2) // c
+						ld(isa.V(5), imB, i2)
+						ld(isa.V(6), reB, i3) // d
+						ld(isa.V(7), imB, i3)
+						// t0 = a+c (v8,v9); t1 = a-c (v0,v1 reuse)
+						bd.VV(isa.OpVADDT, isa.V(8), isa.V(0), isa.V(4))
+						bd.VV(isa.OpVADDT, isa.V(9), isa.V(1), isa.V(5))
+						bd.VV(isa.OpVSUBT, isa.V(0), isa.V(0), isa.V(4))
+						bd.VV(isa.OpVSUBT, isa.V(1), isa.V(1), isa.V(5))
+						// t2 = b+d (v10,v11); t3 = -j(b-d) = (bi-di, dr-br) (v12,v13)
+						bd.VV(isa.OpVADDT, isa.V(10), isa.V(2), isa.V(6))
+						bd.VV(isa.OpVADDT, isa.V(11), isa.V(3), isa.V(7))
+						bd.VV(isa.OpVSUBT, isa.V(12), isa.V(3), isa.V(7))
+						bd.VV(isa.OpVSUBT, isa.V(13), isa.V(6), isa.V(2))
+						// x0 = t0 + t2 → rows i0
+						bd.VV(isa.OpVADDT, isa.V(2), isa.V(8), isa.V(10))
+						bd.VV(isa.OpVADDT, isa.V(3), isa.V(9), isa.V(11))
+						st(isa.V(2), reB, i0)
+						st(isa.V(3), imB, i0)
+						// x1 = (t1 + t3)·W1 → rows i1
+						bd.VV(isa.OpVADDT, isa.V(2), isa.V(0), isa.V(12))
+						bd.VV(isa.OpVADDT, isa.V(3), isa.V(1), isa.V(13))
+						cmul(isa.V(2), isa.V(3), isa.F(1), isa.F(2))
+						st(isa.V(2), reB, i1)
+						st(isa.V(3), imB, i1)
+						// x2 = (t0 - t2)·W2 → rows i2
+						bd.VV(isa.OpVSUBT, isa.V(2), isa.V(8), isa.V(10))
+						bd.VV(isa.OpVSUBT, isa.V(3), isa.V(9), isa.V(11))
+						cmul(isa.V(2), isa.V(3), isa.F(3), isa.F(4))
+						st(isa.V(2), reB, i2)
+						st(isa.V(3), imB, i2)
+						// x3 = (t1 - t3)·W3 → rows i3
+						bd.VV(isa.OpVSUBT, isa.V(2), isa.V(0), isa.V(12))
+						bd.VV(isa.OpVSUBT, isa.V(3), isa.V(1), isa.V(13))
+						cmul(isa.V(2), isa.V(3), isa.F(5), isa.F(6))
+						st(isa.V(2), reB, i3)
+						st(isa.V(3), imB, i3)
+					}
+				}
+			}
+		}
+		bd.Halt()
+	}
+}
+
+func fftScalar(s Scale) vasm.Kernel {
+	points, batch, sets := fftN(s)
+	return func(bd *vasm.Builder) {
+		reB, imB, twB := fftLayout(points, batch)
+		re0, im0 := fftInitVals(points, batch)
+		fillF64(bd, reB, re0)
+		fillF64(bd, imB, im0)
+		twIdx := fftTwiddles(bd, points, twB)
+		rowB := int64(batch) * 8
+		rT, rF := isa.R(8), isa.R(7)
+		// cmulS: (f20,f21) *= (fr,fi), clobbers f22/f23.
+		cmulS := func(fr, fi isa.Reg) {
+			bd.Op3(isa.OpMULT, isa.F(22), isa.F(20), fr)
+			bd.Op3(isa.OpMULT, isa.F(23), isa.F(21), fi)
+			bd.Op3(isa.OpSUBT, isa.F(22), isa.F(22), isa.F(23))
+			bd.Op3(isa.OpMULT, isa.F(23), isa.F(20), fi)
+			bd.Op3(isa.OpMULT, isa.F(20), isa.F(21), fr)
+			bd.Op3(isa.OpADDT, isa.F(21), isa.F(23), isa.F(20))
+			bd.Op3(isa.OpADDT, isa.F(20), isa.F(22), isa.FZero)
+		}
+		for set := 0; set < sets; set++ {
+			for span := points / 4; span >= 1; span /= 4 {
+				for j0 := 0; j0 < points; j0 += 4 * span {
+					for k := 0; k < span; k++ {
+						i0, i1, i2, i3 := j0+k, j0+k+span, j0+k+2*span, j0+k+3*span
+						bd.Li(rT, int64(twIdx[[2]int{span, k}]))
+						for w := 0; w < 6; w++ {
+							bd.LdT(isa.F(1+w), rT, int64(w)*8)
+						}
+						// Loop over the batch of transforms.
+						bd.Li(rF, 0)
+						bd.Loop(isa.R(16), batch, func(int) {
+							base := func(b uint64, row int) isa.Reg {
+								bd.Li(isa.R(1), int64(b)+int64(row)*rowB)
+								bd.Op3(isa.OpADDQ, isa.R(1), isa.R(1), rF)
+								return isa.R(1)
+							}
+							ldf := func(f isa.Reg, b uint64, row int) {
+								bd.LdT(f, base(b, row), 0)
+							}
+							stf := func(f isa.Reg, b uint64, row int) {
+								bd.StT(f, base(b, row), 0)
+							}
+							ldf(isa.F(8), reB, i0)  // ar
+							ldf(isa.F(9), imB, i0)  // ai
+							ldf(isa.F(10), reB, i1) // br
+							ldf(isa.F(11), imB, i1)
+							ldf(isa.F(12), reB, i2) // cr
+							ldf(isa.F(13), imB, i2)
+							ldf(isa.F(14), reB, i3) // dr
+							ldf(isa.F(15), imB, i3)
+							// t0 (f16,f17), t1 (f8,f9)
+							bd.Op3(isa.OpADDT, isa.F(16), isa.F(8), isa.F(12))
+							bd.Op3(isa.OpADDT, isa.F(17), isa.F(9), isa.F(13))
+							bd.Op3(isa.OpSUBT, isa.F(8), isa.F(8), isa.F(12))
+							bd.Op3(isa.OpSUBT, isa.F(9), isa.F(9), isa.F(13))
+							// t2 (f18,f19), t3 (f12,f13)
+							bd.Op3(isa.OpADDT, isa.F(18), isa.F(10), isa.F(14))
+							bd.Op3(isa.OpADDT, isa.F(19), isa.F(11), isa.F(15))
+							bd.Op3(isa.OpSUBT, isa.F(12), isa.F(11), isa.F(15))
+							bd.Op3(isa.OpSUBT, isa.F(13), isa.F(14), isa.F(10))
+							// x0
+							bd.Op3(isa.OpADDT, isa.F(20), isa.F(16), isa.F(18))
+							bd.Op3(isa.OpADDT, isa.F(21), isa.F(17), isa.F(19))
+							stf(isa.F(20), reB, i0)
+							stf(isa.F(21), imB, i0)
+							// x1
+							bd.Op3(isa.OpADDT, isa.F(20), isa.F(8), isa.F(12))
+							bd.Op3(isa.OpADDT, isa.F(21), isa.F(9), isa.F(13))
+							cmulS(isa.F(1), isa.F(2))
+							stf(isa.F(20), reB, i1)
+							stf(isa.F(21), imB, i1)
+							// x2
+							bd.Op3(isa.OpSUBT, isa.F(20), isa.F(16), isa.F(18))
+							bd.Op3(isa.OpSUBT, isa.F(21), isa.F(17), isa.F(19))
+							cmulS(isa.F(3), isa.F(4))
+							stf(isa.F(20), reB, i2)
+							stf(isa.F(21), imB, i2)
+							// x3
+							bd.Op3(isa.OpSUBT, isa.F(20), isa.F(8), isa.F(12))
+							bd.Op3(isa.OpSUBT, isa.F(21), isa.F(9), isa.F(13))
+							cmulS(isa.F(5), isa.F(6))
+							stf(isa.F(20), reB, i3)
+							stf(isa.F(21), imB, i3)
+							bd.AddImm(rF, rF, 8)
+						})
+					}
+				}
+			}
+		}
+		bd.Halt()
+	}
+}
+
+func fftCheck(m *arch.Machine, s Scale) error {
+	points, batch, sets := fftN(s)
+	reB, imB, _ := fftLayout(points, batch)
+	wantRe, wantIm := fftRef(points, batch, sets)
+	for idx := 0; idx < points*batch; idx += 271 {
+		gr := ffrom(m.Mem.LoadQ(reB + uint64(idx)*8))
+		gi := ffrom(m.Mem.LoadQ(imB + uint64(idx)*8))
+		if math.Abs(gr-wantRe[idx]) > 1e-6 || math.Abs(gi-wantIm[idx]) > 1e-6 {
+			return fmt.Errorf("fft: elem %d = (%g,%g), want (%g,%g)",
+				idx, gr, gi, wantRe[idx], wantIm[idx])
+		}
+	}
+	return nil
+}
+
+var benchFFT = register(&Benchmark{
+	Name:   "fft",
+	Class:  "Algebra",
+	Desc:   "radix-4 FFT, batched across independent transforms",
+	Pref:   true,
+	Vector: fftVector,
+	Scalar: fftScalar,
+	Check:  fftCheck,
+})

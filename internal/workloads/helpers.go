@@ -1,0 +1,171 @@
+package workloads
+
+import (
+	"math"
+
+	"repro/internal/isa"
+	"repro/internal/vasm"
+)
+
+// Register conventions shared by the kernels, so the hand-written assembly
+// stays readable: r1–r8 pointers/counters, r9–r15 scratch, r16+ loop
+// counters; f1–f7 scalar constants; v0–v15 data, v16+ scratch.
+
+func fbits(v float64) uint64 { return math.Float64bits(v) }
+func ffrom(b uint64) float64 { return math.Float64frombits(b) }
+
+// lcg is a small deterministic generator for index/key arrays so runs are
+// reproducible without package math/rand state.
+type lcg struct{ s uint64 }
+
+func newLCG(seed uint64) *lcg { return &lcg{s: seed*2862933555777941757 + 3037000493} }
+
+func (l *lcg) next() uint64 {
+	l.s = l.s*6364136223846793005 + 1442695040888963407
+	return l.s >> 17
+}
+
+func (l *lcg) intn(n int) int { return int(l.next() % uint64(n)) }
+
+// fillF64 writes vals[i] into the simulated array at base (host-side setup,
+// untimed — initialised memory before the timer starts).
+func fillF64(b *vasm.Builder, base uint64, vals []float64) {
+	for i, v := range vals {
+		b.M.Mem.StoreQ(base+uint64(i)*8, fbits(v))
+	}
+}
+
+// fillQ writes integer values.
+func fillQ(b *vasm.Builder, base uint64, vals []uint64) {
+	for i, v := range vals {
+		b.M.Mem.StoreQ(base+uint64(i)*8, v)
+	}
+}
+
+// constF64 places v in scalar float register f (host-side, stands in for a
+// load from the constant pool outside the timed loop).
+func constF64(b *vasm.Builder, f int, v float64) isa.Reg {
+	b.M.WriteF(f, v)
+	return isa.F(f)
+}
+
+// vchunks iterates a range [0,n) in vector-length chunks, emitting a SETVL
+// when the chunk is shorter than the current one. body receives the element
+// offset and the chunk length. The loop-closing branch uses one static site
+// via b.Loop when chunk counts allow, otherwise bodies are emitted straight.
+func vchunks(b *vasm.Builder, scratch isa.Reg, n int, body func(off, vl int)) {
+	full := n / isa.VLMax
+	if full > 0 {
+		b.SetVLImm(scratch, isa.VLMax)
+		for c := 0; c < full; c++ {
+			body(c*isa.VLMax, isa.VLMax)
+		}
+	}
+	if rem := n % isa.VLMax; rem > 0 {
+		b.SetVLImm(scratch, rem)
+		body(full*isa.VLMax, rem)
+	}
+}
+
+// hsum reduces vector register v horizontally into scalar register fd using
+// the memory-folding idiom (store, reload halves, add) — Tarantula has no
+// reduction instruction and the VEXTR round trip costs 20 cycles, so real
+// kernels fold through the cache. scratch is a 1 KiB aligned buffer, rs an
+// integer scratch register, vl the live length of v. vt is clobbered.
+func hsum(b *vasm.Builder, v, vt isa.Reg, fd isa.Reg, scratch uint64, rs, rbase isa.Reg, vl int) {
+	// Pad the buffer with zeros so folds read zeros beyond vl.
+	for i := 0; i < isa.VLMax; i++ {
+		// Host-side zeroing would be untimed; a real kernel keeps a
+		// persistent zeroed pad. We model that persistent pad.
+		if i >= vl {
+			b.M.Mem.StoreQ(scratch+uint64(i)*8, 0)
+		}
+	}
+	b.Li(rbase, int64(scratch))
+	b.SetVSImm(rs, 8)
+	b.SetVLImm(rs, vl)
+	b.VStQ(v, rbase, 0)
+	for width := 64; width >= 1; width /= 2 {
+		b.SetVLImm(rs, width)
+		b.VLdQ(vt, rbase, 0)
+		b.VLdQ(v, rbase, int64(width)*8)
+		b.VV(isa.OpVADDT, vt, vt, v)
+		b.VStQ(vt, rbase, 0)
+	}
+	b.LdT(fd, rbase, 0)
+}
+
+// reference helpers for Check functions
+
+func refMatMul(a, bm []float64, n, m, p int) []float64 {
+	c := make([]float64, n*p)
+	for i := 0; i < n; i++ {
+		for k := 0; k < m; k++ {
+			av := a[i*m+k]
+			if av == 0 {
+				continue
+			}
+			row := bm[k*p : (k+1)*p]
+			out := c[i*p : (i+1)*p]
+			for j := range row {
+				out[j] += av * row[j]
+			}
+		}
+	}
+	return c
+}
+
+// sampleDistinct draws k distinct values from [0,n) (partial Fisher–Yates
+// over a lazily materialised permutation).
+func (l *lcg) sampleDistinct(n, k int) []int {
+	if k > n {
+		panic("sampleDistinct: k > n")
+	}
+	swapped := map[int]int{}
+	at := func(i int) int {
+		if v, ok := swapped[i]; ok {
+			return v
+		}
+		return i
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		j := i + l.intn(n-i)
+		out[i] = at(j)
+		swapped[j] = at(i)
+	}
+	return out
+}
+
+// hsum3 reduces three vector registers at once, interleaving the
+// memory-fold chains so their L2 latencies overlap (one chain would
+// serialise ~7 dependent round trips). Results land in fd[0..2]. Uses three
+// 1 KiB scratch buffers starting at scratch. Clobbers vt, rs, rbase, vl/vs.
+func hsum3(b *vasm.Builder, v [3]isa.Reg, vt isa.Reg, fd [3]isa.Reg, scratch uint64, rs, rbase isa.Reg, vl int) {
+	for c := 0; c < 3; c++ {
+		buf := scratch + uint64(c)*1024
+		for i := vl; i < isa.VLMax; i++ {
+			b.M.Mem.StoreQ(buf+uint64(i)*8, 0)
+		}
+	}
+	b.SetVSImm(rs, 8)
+	b.SetVLImm(rs, vl)
+	for c := 0; c < 3; c++ {
+		b.Li(rbase, int64(scratch+uint64(c)*1024))
+		b.VStQ(v[c], rbase, 0)
+	}
+	for width := 64; width >= 1; width /= 2 {
+		b.SetVLImm(rs, width)
+		for c := 0; c < 3; c++ {
+			b.Li(rbase, int64(scratch+uint64(c)*1024))
+			b.VLdQ(v[c], rbase, 0)
+			b.VLdQ(vt, rbase, int64(width)*8)
+			b.VV(isa.OpVADDT, v[c], v[c], vt)
+			b.VStQ(v[c], rbase, 0)
+		}
+	}
+	for c := 0; c < 3; c++ {
+		b.Li(rbase, int64(scratch+uint64(c)*1024))
+		b.LdT(fd[c], rbase, 0)
+	}
+}

@@ -1,0 +1,49 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Result is one benchmark execution on one machine.
+type Result struct {
+	Bench  string
+	Config string
+	Scale  Scale
+	Stats  *stats.Stats
+}
+
+// OPC returns the Figure 6 quantities.
+func (r *Result) OPC() (opc, fpc, mpc, other float64) { return r.Stats.OPC() }
+
+// Run executes the benchmark on cfg, using the vector kernel when the
+// machine has a Vbox and the scalar kernel otherwise. The warm-up setup
+// phase (when the benchmark defines one) is excluded from the returned
+// statistics, and the functional result is verified.
+func (b *Benchmark) Run(cfg *sim.Config, s Scale) (*Result, error) {
+	kernelFn := b.Scalar
+	if cfg.HasVbox {
+		kernelFn = b.Vector
+	}
+	var st *stats.Stats
+	var err error
+	if b.Setup != nil {
+		stROI, m := sim.RunROI(cfg, b.Setup(s, cfg.HasVbox), kernelFn(s))
+		st = stROI
+		if b.Check != nil {
+			err = b.Check(m, s)
+		}
+	} else {
+		stRun, m := sim.Run(cfg, kernelFn(s))
+		st = stRun
+		if b.Check != nil {
+			err = b.Check(m, s)
+		}
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%s on %s: %w", b.Name, cfg.Name, err)
+	}
+	return &Result{Bench: b.Name, Config: cfg.Name, Scale: s, Stats: st}, nil
+}

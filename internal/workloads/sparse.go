@@ -1,0 +1,247 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/arch"
+	"repro/internal/isa"
+	"repro/internal/vasm"
+)
+
+// ---- sparse MxV: y = A·x in CSR, vectorised jagged-diagonal style ----
+//
+// The hand-vectorised form is the classic jagged-diagonal (Ellpack-T)
+// transform: rows are sorted by length and processed 128 at a time, one
+// "diagonal" per vector instruction — a stride-1 load of values, a stride-1
+// load of column offsets, and a gather of x. The y results scatter back
+// through the row permutation. Gathers dominate, which is why sparse MxV
+// sits at the low end of Figure 6.
+
+type csrMatrix struct {
+	n      int
+	rowPtr []int
+	cols   []int
+	vals   []float64
+	nnz    int
+	perm   []int // rows sorted by descending length
+}
+
+func sparseN(s Scale) (rows, avgNnz int) {
+	switch s {
+	case Test:
+		return 512, 12
+	case Full:
+		return 24576, 36
+	}
+	return 8192, 36
+}
+
+func buildCSR(rows, avgNnz int) *csrMatrix {
+	rng := newLCG(31)
+	m := &csrMatrix{n: rows, rowPtr: make([]int, rows+1)}
+	for i := 0; i < rows; i++ {
+		nnz := avgNnz/2 + rng.intn(avgNnz)
+		m.rowPtr[i+1] = m.rowPtr[i] + nnz
+		for k := 0; k < nnz; k++ {
+			m.cols = append(m.cols, rng.intn(rows))
+			m.vals = append(m.vals, float64(rng.intn(17))-8)
+		}
+	}
+	m.nnz = len(m.vals)
+	m.perm = make([]int, rows)
+	for i := range m.perm {
+		m.perm[i] = i
+	}
+	sort.SliceStable(m.perm, func(a, b int) bool {
+		la := m.rowPtr[m.perm[a]+1] - m.rowPtr[m.perm[a]]
+		lb := m.rowPtr[m.perm[b]+1] - m.rowPtr[m.perm[b]]
+		return la > lb
+	})
+	return m
+}
+
+func (m *csrMatrix) rowLen(i int) int { return m.rowPtr[i+1] - m.rowPtr[i] }
+
+// sparseJagged lays the matrix out for the vector kernel. For each chunk of
+// 128 sorted rows and each diagonal t, the values and column byte-offsets of
+// every chunk row longer than t are stored contiguously.
+type jagged struct {
+	valBase, colBase, permBase, xBase, yBase uint64
+	chunks                                   []jChunk
+}
+
+type jChunk struct {
+	rows    int
+	diags   []jDiag
+	permOff uint64 // byte offset of this chunk's row-index table
+}
+
+type jDiag struct {
+	off uint64 // byte offset into valBase/colBase
+	cnt int
+}
+
+func buildJagged(bd *vasm.Builder, m *csrMatrix) *jagged {
+	j := &jagged{}
+	j.xBase = 1 << 20
+	j.yBase = j.xBase + uint64(m.n)*8 + 4096
+	j.permBase = j.yBase + uint64(m.n)*8 + 4096
+	j.valBase = j.permBase + uint64(m.n)*8 + 4096
+	j.colBase = j.valBase + uint64(m.nnz)*8 + 4096
+	for i := 0; i < m.n; i++ {
+		bd.M.Mem.StoreQ(j.xBase+uint64(i)*8, fbits(1.0+float64(i%13)*0.25))
+		bd.M.Mem.StoreQ(j.yBase+uint64(i)*8, 0)
+	}
+	for i, p := range m.perm {
+		bd.M.Mem.StoreQ(j.permBase+uint64(i)*8, uint64(p)*8) // byte offsets into y
+	}
+	pos := 0
+	for c0 := 0; c0 < m.n; c0 += isa.VLMax {
+		rows := min(isa.VLMax, m.n-c0)
+		ch := jChunk{rows: rows, permOff: uint64(c0) * 8}
+		maxLen := m.rowLen(m.perm[c0])
+		for t := 0; t < maxLen; t++ {
+			d := jDiag{off: uint64(pos) * 8}
+			for r := 0; r < rows; r++ {
+				row := m.perm[c0+r]
+				if m.rowLen(row) <= t {
+					break // rows sorted descending: the rest are shorter
+				}
+				e := m.rowPtr[row] + t
+				bd.M.Mem.StoreQ(j.valBase+uint64(pos)*8, fbits(m.vals[e]))
+				bd.M.Mem.StoreQ(j.colBase+uint64(pos)*8, uint64(m.cols[e])*8)
+				pos++
+				d.cnt++
+			}
+			ch.diags = append(ch.diags, d)
+		}
+		j.chunks = append(j.chunks, ch)
+	}
+	return j
+}
+
+func sparseVector(s Scale) vasm.Kernel {
+	rows, avg := sparseN(s)
+	return func(bd *vasm.Builder) {
+		m := buildCSR(rows, avg)
+		j := buildJagged(bd, m)
+		rs := isa.R(9)
+		rV, rC, rX, rP, rY := isa.R(1), isa.R(2), isa.R(3), isa.R(4), isa.R(5)
+		bd.Li(rX, int64(j.xBase))
+		bd.Li(rY, int64(j.yBase))
+		bd.SetVSImm(rs, 8)
+		for _, ch := range j.chunks {
+			bd.SetVLImm(rs, ch.rows)
+			bd.VV(isa.OpVXOR, isa.V(4), isa.V(4), isa.V(4)) // y accumulator
+			for _, d := range ch.diags {
+				bd.SetVLImm(rs, d.cnt)
+				bd.Li(rV, int64(j.valBase+d.off))
+				bd.Li(rC, int64(j.colBase+d.off))
+				bd.VPref(rV, chunkBytes)
+				bd.VLdQ(isa.V(0), rV, 0)         // values
+				bd.VLdQ(isa.V(1), rC, 0)         // column byte offsets
+				bd.VGath(isa.V(2), isa.V(1), rX) // x[col]
+				bd.VV(isa.OpVMULT, isa.V(0), isa.V(0), isa.V(2))
+				bd.VV(isa.OpVADDT, isa.V(4), isa.V(4), isa.V(0))
+			}
+			// Scatter the chunk's y values through the row permutation.
+			bd.SetVLImm(rs, ch.rows)
+			bd.Li(rP, int64(j.permBase+ch.permOff))
+			bd.VLdQ(isa.V(5), rP, 0)
+			bd.VScat(isa.V(4), isa.V(5), rY)
+		}
+		bd.Halt()
+	}
+}
+
+func sparseScalar(s Scale) vasm.Kernel {
+	rows, avg := sparseN(s)
+	return func(bd *vasm.Builder) {
+		m := buildCSR(rows, avg)
+		j := buildJagged(bd, m) // same memory image; scalar walks CSR order
+		// Store CSR vals/cols contiguously too (reuse jagged arrays is
+		// wrong for CSR order, so lay down a scalar-friendly copy).
+		csrVal := j.colBase + uint64(m.nnz)*8 + 4096
+		csrCol := csrVal + uint64(m.nnz)*8 + 4096
+		for e := 0; e < m.nnz; e++ {
+			bd.M.Mem.StoreQ(csrVal+uint64(e)*8, fbits(m.vals[e]))
+			bd.M.Mem.StoreQ(csrCol+uint64(e)*8, uint64(m.cols[e])*8)
+		}
+		rV, rC, rX, rY := isa.R(1), isa.R(2), isa.R(3), isa.R(4)
+		bd.Li(rV, int64(csrVal))
+		bd.Li(rC, int64(csrCol))
+		bd.Li(rX, int64(j.xBase))
+		// Four accumulators and 4-way unrolling break the FP-add recurrence
+		// (a compiler-grade CSR inner loop).
+		acc := []isa.Reg{isa.F(1), isa.F(4), isa.F(5), isa.F(6)}
+		for i := 0; i < m.n; i++ {
+			for _, a := range acc {
+				bd.Op3(isa.OpSUBT, a, isa.FZero, isa.FZero)
+			}
+			nnz := m.rowLen(i)
+			elem := func(u int) {
+				off := int64(u * 8)
+				bd.LdT(isa.F(2), rV, off)
+				bd.LdQ(isa.R(10), rC, off)
+				bd.Op3(isa.OpADDQ, isa.R(11), isa.R(10), rX)
+				bd.LdT(isa.F(3), isa.R(11), 0)
+				bd.Op3(isa.OpMULT, isa.F(2), isa.F(2), isa.F(3))
+				bd.Op3(isa.OpADDT, acc[u%4], acc[u%4], isa.F(2))
+			}
+			bd.Loop(isa.R(16), nnz/4, func(int) {
+				bd.Prefetch(rV, 192)
+				for u := 0; u < 4; u++ {
+					elem(u)
+				}
+				bd.AddImm(rV, rV, 32)
+				bd.AddImm(rC, rC, 32)
+			})
+			for u := 0; u < nnz%4; u++ {
+				elem(u)
+			}
+			if r := nnz % 4; r > 0 {
+				bd.AddImm(rV, rV, int64(r)*8)
+				bd.AddImm(rC, rC, int64(r)*8)
+			}
+			bd.Op3(isa.OpADDT, isa.F(1), isa.F(1), isa.F(4))
+			bd.Op3(isa.OpADDT, isa.F(5), isa.F(5), isa.F(6))
+			bd.Op3(isa.OpADDT, isa.F(1), isa.F(1), isa.F(5))
+			bd.Li(rY, int64(j.yBase)+int64(i)*8)
+			bd.StT(isa.F(1), rY, 0)
+		}
+		bd.Halt()
+	}
+}
+
+func sparseCheck(m *arch.Machine, s Scale) error {
+	rows, avg := sparseN(s)
+	mat := buildCSR(rows, avg)
+	x := make([]float64, rows)
+	for i := range x {
+		x[i] = 1.0 + float64(i%13)*0.25
+	}
+	yBase := uint64(1<<20) + uint64(rows)*8 + 4096
+	for i := 0; i < rows; i += 37 {
+		want := 0.0
+		for e := mat.rowPtr[i]; e < mat.rowPtr[i+1]; e++ {
+			want += mat.vals[e] * x[mat.cols[e]]
+		}
+		got := ffrom(m.Mem.LoadQ(yBase + uint64(i)*8))
+		if math.Abs(got-want) > 1e-9*math.Max(1, math.Abs(want)) {
+			return fmt.Errorf("sparsemxv: y[%d] = %g, want %g", i, got, want)
+		}
+	}
+	return nil
+}
+
+var benchSparse = register(&Benchmark{
+	Name:   "sparsemxv",
+	Class:  "Algebra",
+	Desc:   "sparse matrix-vector product, jagged-diagonal vectorisation",
+	Pref:   true,
+	Vector: sparseVector,
+	Scalar: sparseScalar,
+	Check:  sparseCheck,
+})

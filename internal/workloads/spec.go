@@ -1,0 +1,456 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/arch"
+	"repro/internal/isa"
+	"repro/internal/vasm"
+)
+
+// ---- swim: shallow-water model (SPEC FP 2000 171.swim) ----
+//
+// The surrogate keeps swim's structure — two stencil sweeps over a 2-D grid
+// producing intermediate fields (CU, CV, Z, H) and new time-level fields,
+// followed by a copy-back sweep, processed in row blocks (the tiling the
+// paper stresses: the non-tiled version was "almost 2X slower") — with one
+// simplification recorded in EXPERIMENTS.md: the per-point division in the
+// Z field is replaced by a constant scale, because Tarantula's unpipelined
+// vector divide would otherwise dominate the sweep in a way the paper's
+// numbers rule out.
+
+func swimN(s Scale) (n, steps int) {
+	switch s {
+	case Test:
+		return 128, 1
+	case Full:
+		return 512, 2
+	}
+	return 256, 2
+}
+
+const swimBlock = 32 // rows per tile
+
+// swim field layout: 10 arrays of n rows × (n+16) columns (halo pad).
+func swimLayout(n int) (pitch int, bases [10]uint64) {
+	pitch = n + 16
+	sz := uint64(n*pitch) * 8
+	addr := uint64(1 << 20)
+	for i := range bases {
+		bases[i] = addr
+		addr += sz + 4096
+	}
+	return
+}
+
+const (
+	swP, swU, swV, swCU, swCV, swZ, swH, swUN, swVN, swPN = 0, 1, 2, 3, 4, 5, 6, 7, 8, 9
+)
+
+const (
+	swFsdx, swFsdy, swTdts8, swTdtsdx, swTdtsdy = 1.1, 0.9, 0.013, 0.011, 0.009
+)
+
+func swimInitVals(n, pitch int) (p, u, v []float64) {
+	p = make([]float64, n*pitch)
+	u = make([]float64, n*pitch)
+	v = make([]float64, n*pitch)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			p[i*pitch+j] = 2.0 + math.Sin(float64(i)*0.1)*math.Cos(float64(j)*0.1)
+			u[i*pitch+j] = math.Sin(float64(i+j) * 0.05)
+			v[i*pitch+j] = math.Cos(float64(i-j) * 0.05)
+		}
+	}
+	return
+}
+
+func swimInit(bd *vasm.Builder, n int) {
+	pitch, bases := swimLayout(n)
+	p, u, v := swimInitVals(n, pitch)
+	fillF64(bd, bases[swP], p)
+	fillF64(bd, bases[swU], u)
+	fillF64(bd, bases[swV], v)
+}
+
+// swimRef mirrors the kernels' block structure exactly so results compare
+// bit-for-bit.
+func swimRef(n, steps int) [10][]float64 {
+	pitch := n + 16
+	var f [10][]float64
+	for i := range f {
+		f[i] = make([]float64, n*pitch)
+	}
+	f[swP], f[swU], f[swV] = swimInitVals(n, pitch)
+	at := func(a int, i, j int) float64 { return f[a][i*pitch+j] }
+	for s := 0; s < steps; s++ {
+		for lo := 0; lo < n-1; lo += swimBlock {
+			hi := min(lo+swimBlock, n-1) // rows [lo,hi) plus halo row hi
+			for i := lo; i <= hi && i < n-1; i++ {
+				for j := 0; j < n; j++ {
+					f[swCU][i*pitch+j] = 0.5 * (at(swP, i, j) + at(swP, i+1, j)) * at(swU, i, j)
+					f[swCV][i*pitch+j] = 0.5 * (at(swP, i, j) + at(swP, i, j+1)) * at(swV, i, j)
+					f[swZ][i*pitch+j] = swFsdx*(at(swV, i, j+1)-at(swV, i, j)) - swFsdy*(at(swU, i+1, j)-at(swU, i, j))
+					f[swH][i*pitch+j] = at(swP, i, j) + 0.25*(at(swU, i, j)*at(swU, i, j)+at(swV, i, j)*at(swV, i, j))
+				}
+			}
+			for i := lo; i < hi; i++ {
+				for j := 0; j < n; j++ {
+					f[swUN][i*pitch+j] = at(swU, i, j) +
+						swTdts8*(at(swZ, i, j)+at(swZ, i+1, j))*(at(swCV, i, j)+at(swCV, i, j+1)) -
+						swTdtsdx*(at(swH, i, j+1)-at(swH, i, j))
+					f[swVN][i*pitch+j] = at(swV, i, j) -
+						swTdts8*(at(swZ, i, j)+at(swZ, i, j+1))*(at(swCU, i, j)+at(swCU, i+1, j)) -
+						swTdtsdy*(at(swH, i+1, j)-at(swH, i, j))
+					f[swPN][i*pitch+j] = at(swP, i, j) -
+						swTdtsdx*(at(swCU, i, j+1)-at(swCU, i, j)) -
+						swTdtsdy*(at(swCV, i+1, j)-at(swCV, i, j))
+				}
+			}
+			for i := lo; i < hi; i++ {
+				for j := 0; j < n; j++ {
+					f[swU][i*pitch+j] = f[swUN][i*pitch+j]
+					f[swV][i*pitch+j] = f[swVN][i*pitch+j]
+					f[swP][i*pitch+j] = f[swPN][i*pitch+j]
+				}
+			}
+		}
+	}
+	return f
+}
+
+func swimVector(s Scale) vasm.Kernel {
+	n, steps := swimN(s)
+	return swimVectorBlocked(n, steps, swimBlock)
+}
+
+// swimVectorBlocked is the kernel with an explicit tile height; block ≥ n
+// gives the naive (non-tiled) version the paper measured at "almost 2X
+// slower" — each sweep then streams the whole grid before the next starts,
+// so the intermediate fields fall out of the L2 between sweeps once the
+// working set exceeds it.
+func swimVectorBlocked(n, steps, block int) vasm.Kernel {
+	return func(bd *vasm.Builder) {
+		swimInit(bd, n)
+		pitch, bases := swimLayout(n)
+		rowB := int64(pitch) * 8
+		rs := isa.R(9)
+		r := func(k int) isa.Reg { return isa.R(1 + k) } // base pointers
+		bd.SetVSImm(rs, 8)
+		cF := [5]isa.Reg{
+			constF64(bd, 1, swFsdx), constF64(bd, 2, swFsdy),
+			constF64(bd, 3, swTdts8), constF64(bd, 4, swTdtsdx), constF64(bd, 5, swTdtsdy),
+		}
+		half := constF64(bd, 6, 0.5)
+		quarter := constF64(bd, 7, 0.25)
+		ld := func(v isa.Reg, arr, i int, j0 int, colOff int64) {
+			bd.Li(r(0), int64(bases[arr])+int64(i)*rowB+int64(j0)*8+colOff*8)
+			bd.VLdQ(v, r(0), 0)
+		}
+		st := func(v isa.Reg, arr, i, j0 int) {
+			bd.Li(r(0), int64(bases[arr])+int64(i)*rowB+int64(j0)*8)
+			bd.VStQ(v, r(0), 0)
+		}
+		for s := 0; s < steps; s++ {
+			for lo := 0; lo < n-1; lo += block {
+				hi := min(lo+block, n-1)
+				for i := lo; i <= hi && i < n-1; i++ {
+					vchunks(bd, rs, n, func(j0, vl int) {
+						bd.VPref(r(0), rowB)          // prefetch the next row's P
+						ld(isa.V(0), swP, i, j0, 0)   // P
+						ld(isa.V(1), swP, i+1, j0, 0) // P_r
+						ld(isa.V(2), swP, i, j0, 1)   // P_c (misaligned stride-1)
+						ld(isa.V(3), swU, i, j0, 0)   // U
+						ld(isa.V(4), swU, i+1, j0, 0) // U_r
+						ld(isa.V(5), swV, i, j0, 0)   // V
+						ld(isa.V(6), swV, i, j0, 1)   // V_c
+						// CU = 0.5*(P+P_r)*U
+						bd.VV(isa.OpVADDT, isa.V(8), isa.V(0), isa.V(1))
+						bd.VS(isa.OpVSMULT, isa.V(8), isa.V(8), half)
+						bd.VV(isa.OpVMULT, isa.V(8), isa.V(8), isa.V(3))
+						st(isa.V(8), swCU, i, j0)
+						// CV = 0.5*(P+P_c)*V
+						bd.VV(isa.OpVADDT, isa.V(9), isa.V(0), isa.V(2))
+						bd.VS(isa.OpVSMULT, isa.V(9), isa.V(9), half)
+						bd.VV(isa.OpVMULT, isa.V(9), isa.V(9), isa.V(5))
+						st(isa.V(9), swCV, i, j0)
+						// Z = fsdx*(V_c-V) - fsdy*(U_r-U)
+						bd.VV(isa.OpVSUBT, isa.V(10), isa.V(6), isa.V(5))
+						bd.VS(isa.OpVSMULT, isa.V(10), isa.V(10), cF[0])
+						bd.VV(isa.OpVSUBT, isa.V(11), isa.V(4), isa.V(3))
+						bd.VS(isa.OpVSMULT, isa.V(11), isa.V(11), cF[1])
+						bd.VV(isa.OpVSUBT, isa.V(10), isa.V(10), isa.V(11))
+						st(isa.V(10), swZ, i, j0)
+						// H = P + 0.25*(U² + V²)
+						bd.VV(isa.OpVMULT, isa.V(12), isa.V(3), isa.V(3))
+						bd.VV(isa.OpVMULT, isa.V(13), isa.V(5), isa.V(5))
+						bd.VV(isa.OpVADDT, isa.V(12), isa.V(12), isa.V(13))
+						bd.VS(isa.OpVSMULT, isa.V(12), isa.V(12), quarter)
+						bd.VV(isa.OpVADDT, isa.V(12), isa.V(12), isa.V(0))
+						st(isa.V(12), swH, i, j0)
+					})
+				}
+				for i := lo; i < hi; i++ {
+					vchunks(bd, rs, n, func(j0, vl int) {
+						ld(isa.V(0), swZ, i, j0, 0)
+						ld(isa.V(1), swZ, i+1, j0, 0)
+						ld(isa.V(2), swZ, i, j0, 1)
+						ld(isa.V(3), swCV, i, j0, 0)
+						ld(isa.V(4), swCV, i, j0, 1)
+						ld(isa.V(5), swCU, i, j0, 0)
+						ld(isa.V(6), swCU, i+1, j0, 0)
+						ld(isa.V(7), swCU, i, j0, 1)
+						ld(isa.V(8), swH, i, j0, 0)
+						ld(isa.V(9), swH, i, j0, 1)
+						ld(isa.V(10), swH, i+1, j0, 0)
+						ld(isa.V(11), swCV, i+1, j0, 0)
+						// UNEW = U + tdts8*(Z+Z_r)*(CV+CV_c) - tdtsdx*(H_c-H)
+						bd.VV(isa.OpVADDT, isa.V(12), isa.V(0), isa.V(1))
+						bd.VV(isa.OpVADDT, isa.V(13), isa.V(3), isa.V(4))
+						bd.VV(isa.OpVMULT, isa.V(12), isa.V(12), isa.V(13))
+						bd.VS(isa.OpVSMULT, isa.V(12), isa.V(12), cF[2])
+						bd.VV(isa.OpVSUBT, isa.V(13), isa.V(9), isa.V(8))
+						bd.VS(isa.OpVSMULT, isa.V(13), isa.V(13), cF[3])
+						bd.VV(isa.OpVSUBT, isa.V(12), isa.V(12), isa.V(13))
+						ld(isa.V(14), swU, i, j0, 0)
+						bd.VV(isa.OpVADDT, isa.V(12), isa.V(12), isa.V(14))
+						st(isa.V(12), swUN, i, j0)
+						// VNEW = V - tdts8*(Z+Z_c)*(CU+CU_r) - tdtsdy*(H_r-H)
+						bd.VV(isa.OpVADDT, isa.V(12), isa.V(0), isa.V(2))
+						bd.VV(isa.OpVADDT, isa.V(13), isa.V(5), isa.V(6))
+						bd.VV(isa.OpVMULT, isa.V(12), isa.V(12), isa.V(13))
+						bd.VS(isa.OpVSMULT, isa.V(12), isa.V(12), cF[2])
+						bd.VV(isa.OpVSUBT, isa.V(13), isa.V(10), isa.V(8))
+						bd.VS(isa.OpVSMULT, isa.V(13), isa.V(13), cF[4])
+						bd.VV(isa.OpVADDT, isa.V(12), isa.V(12), isa.V(13))
+						ld(isa.V(14), swV, i, j0, 0)
+						bd.VV(isa.OpVSUBT, isa.V(12), isa.V(14), isa.V(12))
+						st(isa.V(12), swVN, i, j0)
+						// PNEW = P - tdtsdx*(CU_c-CU) - tdtsdy*(CV_r-CV)
+						bd.VV(isa.OpVSUBT, isa.V(12), isa.V(7), isa.V(5))
+						bd.VS(isa.OpVSMULT, isa.V(12), isa.V(12), cF[3])
+						bd.VV(isa.OpVSUBT, isa.V(13), isa.V(11), isa.V(3))
+						bd.VS(isa.OpVSMULT, isa.V(13), isa.V(13), cF[4])
+						bd.VV(isa.OpVADDT, isa.V(12), isa.V(12), isa.V(13))
+						ld(isa.V(14), swP, i, j0, 0)
+						bd.VV(isa.OpVSUBT, isa.V(12), isa.V(14), isa.V(12))
+						st(isa.V(12), swPN, i, j0)
+					})
+				}
+				for i := lo; i < hi; i++ {
+					vchunks(bd, rs, n, func(j0, vl int) {
+						ld(isa.V(0), swUN, i, j0, 0)
+						st(isa.V(0), swU, i, j0)
+						ld(isa.V(1), swVN, i, j0, 0)
+						st(isa.V(1), swV, i, j0)
+						ld(isa.V(2), swPN, i, j0, 0)
+						st(isa.V(2), swP, i, j0)
+					})
+				}
+			}
+		}
+		bd.Halt()
+	}
+}
+
+func swimScalar(s Scale) vasm.Kernel {
+	n, steps := swimN(s)
+	return func(bd *vasm.Builder) {
+		swimInit(bd, n)
+		pitch, bases := swimLayout(n)
+		rowB := int64(pitch) * 8
+		cF := [5]isa.Reg{
+			constF64(bd, 1, swFsdx), constF64(bd, 2, swFsdy),
+			constF64(bd, 3, swTdts8), constF64(bd, 4, swTdtsdx), constF64(bd, 5, swTdtsdy),
+		}
+		half := constF64(bd, 6, 0.5)
+		quarter := constF64(bd, 7, 0.25)
+		addr := func(arr, i int) int64 { return int64(bases[arr]) + int64(i)*rowB }
+		ldf := func(f isa.Reg, base isa.Reg, off int64) { bd.LdT(f, base, off) }
+		for s := 0; s < steps; s++ {
+			for lo := 0; lo < n-1; lo += swimBlock {
+				hi := min(lo+swimBlock, n-1)
+				for i := lo; i <= hi && i < n-1; i++ {
+					bd.Li(isa.R(1), addr(swP, i))
+					bd.Li(isa.R(2), addr(swP, i+1))
+					bd.Li(isa.R(3), addr(swU, i))
+					bd.Li(isa.R(4), addr(swU, i+1))
+					bd.Li(isa.R(5), addr(swV, i))
+					bd.Li(isa.R(6), addr(swCU, i))
+					bd.Li(isa.R(7), addr(swCV, i))
+					bd.Li(isa.R(8), addr(swZ, i))
+					bd.Li(isa.R(10), addr(swH, i))
+					bd.Loop(isa.R(16), n, func(int) {
+						bd.Prefetch(isa.R(2), 128)
+						ldf(isa.F(10), isa.R(1), 0) // P
+						ldf(isa.F(11), isa.R(2), 0) // P_r
+						ldf(isa.F(12), isa.R(1), 8) // P_c
+						ldf(isa.F(13), isa.R(3), 0) // U
+						ldf(isa.F(14), isa.R(4), 0) // U_r
+						ldf(isa.F(15), isa.R(5), 0) // V
+						ldf(isa.F(16), isa.R(5), 8) // V_c
+						// CU
+						bd.Op3(isa.OpADDT, isa.F(17), isa.F(10), isa.F(11))
+						bd.Op3(isa.OpMULT, isa.F(17), isa.F(17), half)
+						bd.Op3(isa.OpMULT, isa.F(17), isa.F(17), isa.F(13))
+						bd.StT(isa.F(17), isa.R(6), 0)
+						// CV
+						bd.Op3(isa.OpADDT, isa.F(18), isa.F(10), isa.F(12))
+						bd.Op3(isa.OpMULT, isa.F(18), isa.F(18), half)
+						bd.Op3(isa.OpMULT, isa.F(18), isa.F(18), isa.F(15))
+						bd.StT(isa.F(18), isa.R(7), 0)
+						// Z
+						bd.Op3(isa.OpSUBT, isa.F(19), isa.F(16), isa.F(15))
+						bd.Op3(isa.OpMULT, isa.F(19), isa.F(19), cF[0])
+						bd.Op3(isa.OpSUBT, isa.F(20), isa.F(14), isa.F(13))
+						bd.Op3(isa.OpMULT, isa.F(20), isa.F(20), cF[1])
+						bd.Op3(isa.OpSUBT, isa.F(19), isa.F(19), isa.F(20))
+						bd.StT(isa.F(19), isa.R(8), 0)
+						// H
+						bd.Op3(isa.OpMULT, isa.F(21), isa.F(13), isa.F(13))
+						bd.Op3(isa.OpMULT, isa.F(22), isa.F(15), isa.F(15))
+						bd.Op3(isa.OpADDT, isa.F(21), isa.F(21), isa.F(22))
+						bd.Op3(isa.OpMULT, isa.F(21), isa.F(21), quarter)
+						bd.Op3(isa.OpADDT, isa.F(21), isa.F(21), isa.F(10))
+						bd.StT(isa.F(21), isa.R(10), 0)
+						for _, rr := range []int{1, 2, 3, 4, 5, 6, 7, 8, 10} {
+							bd.AddImm(isa.R(rr), isa.R(rr), 8)
+						}
+					})
+				}
+				for i := lo; i < hi; i++ {
+					bd.Li(isa.R(1), addr(swZ, i))
+					bd.Li(isa.R(2), addr(swZ, i+1))
+					bd.Li(isa.R(3), addr(swCV, i))
+					bd.Li(isa.R(4), addr(swCU, i))
+					bd.Li(isa.R(5), addr(swCU, i+1))
+					bd.Li(isa.R(6), addr(swH, i))
+					bd.Li(isa.R(7), addr(swH, i+1))
+					bd.Li(isa.R(8), addr(swU, i))
+					bd.Li(isa.R(10), addr(swV, i))
+					bd.Li(isa.R(11), addr(swP, i))
+					bd.Li(isa.R(12), addr(swUN, i))
+					bd.Li(isa.R(13), addr(swVN, i))
+					bd.Li(isa.R(14), addr(swPN, i))
+					bd.Li(isa.R(15), addr(swCV, i+1))
+					bd.Loop(isa.R(16), n, func(int) {
+						ldf(isa.F(8), isa.R(1), 0)   // Z
+						ldf(isa.F(9), isa.R(2), 0)   // Z_r
+						ldf(isa.F(10), isa.R(1), 8)  // Z_c
+						ldf(isa.F(11), isa.R(3), 0)  // CV
+						ldf(isa.F(12), isa.R(3), 8)  // CV_c
+						ldf(isa.F(13), isa.R(4), 0)  // CU
+						ldf(isa.F(14), isa.R(5), 0)  // CU_r
+						ldf(isa.F(15), isa.R(4), 8)  // CU_c
+						ldf(isa.F(16), isa.R(6), 0)  // H
+						ldf(isa.F(17), isa.R(6), 8)  // H_c
+						ldf(isa.F(18), isa.R(7), 0)  // H_r
+						ldf(isa.F(19), isa.R(15), 0) // CV_r
+						// UNEW
+						bd.Op3(isa.OpADDT, isa.F(20), isa.F(8), isa.F(9))
+						bd.Op3(isa.OpADDT, isa.F(21), isa.F(11), isa.F(12))
+						bd.Op3(isa.OpMULT, isa.F(20), isa.F(20), isa.F(21))
+						bd.Op3(isa.OpMULT, isa.F(20), isa.F(20), cF[2])
+						bd.Op3(isa.OpSUBT, isa.F(21), isa.F(17), isa.F(16))
+						bd.Op3(isa.OpMULT, isa.F(21), isa.F(21), cF[3])
+						bd.Op3(isa.OpSUBT, isa.F(20), isa.F(20), isa.F(21))
+						ldf(isa.F(22), isa.R(8), 0)
+						bd.Op3(isa.OpADDT, isa.F(20), isa.F(20), isa.F(22))
+						bd.StT(isa.F(20), isa.R(12), 0)
+						// VNEW
+						bd.Op3(isa.OpADDT, isa.F(20), isa.F(8), isa.F(10))
+						bd.Op3(isa.OpADDT, isa.F(21), isa.F(13), isa.F(14))
+						bd.Op3(isa.OpMULT, isa.F(20), isa.F(20), isa.F(21))
+						bd.Op3(isa.OpMULT, isa.F(20), isa.F(20), cF[2])
+						bd.Op3(isa.OpSUBT, isa.F(21), isa.F(18), isa.F(16))
+						bd.Op3(isa.OpMULT, isa.F(21), isa.F(21), cF[4])
+						bd.Op3(isa.OpADDT, isa.F(20), isa.F(20), isa.F(21))
+						ldf(isa.F(22), isa.R(10), 0)
+						bd.Op3(isa.OpSUBT, isa.F(20), isa.F(22), isa.F(20))
+						bd.StT(isa.F(20), isa.R(13), 0)
+						// PNEW
+						bd.Op3(isa.OpSUBT, isa.F(20), isa.F(15), isa.F(13))
+						bd.Op3(isa.OpMULT, isa.F(20), isa.F(20), cF[3])
+						bd.Op3(isa.OpSUBT, isa.F(21), isa.F(19), isa.F(11))
+						bd.Op3(isa.OpMULT, isa.F(21), isa.F(21), cF[4])
+						bd.Op3(isa.OpADDT, isa.F(20), isa.F(20), isa.F(21))
+						ldf(isa.F(22), isa.R(11), 0)
+						bd.Op3(isa.OpSUBT, isa.F(20), isa.F(22), isa.F(20))
+						bd.StT(isa.F(20), isa.R(14), 0)
+						for _, rr := range []int{1, 2, 3, 4, 5, 6, 7, 8, 10, 11, 12, 13, 14, 15} {
+							bd.AddImm(isa.R(rr), isa.R(rr), 8)
+						}
+					})
+				}
+				for i := lo; i < hi; i++ {
+					bd.Li(isa.R(1), addr(swUN, i))
+					bd.Li(isa.R(2), addr(swU, i))
+					bd.Li(isa.R(3), addr(swVN, i))
+					bd.Li(isa.R(4), addr(swV, i))
+					bd.Li(isa.R(5), addr(swPN, i))
+					bd.Li(isa.R(6), addr(swP, i))
+					bd.Loop(isa.R(16), n/4, func(int) {
+						for u := 0; u < 4; u++ {
+							off := int64(u * 8)
+							bd.LdT(isa.F(8), isa.R(1), off)
+							bd.StT(isa.F(8), isa.R(2), off)
+							bd.LdT(isa.F(9), isa.R(3), off)
+							bd.StT(isa.F(9), isa.R(4), off)
+							bd.LdT(isa.F(10), isa.R(5), off)
+							bd.StT(isa.F(10), isa.R(6), off)
+						}
+						for _, rr := range []int{1, 2, 3, 4, 5, 6} {
+							bd.AddImm(isa.R(rr), isa.R(rr), 32)
+						}
+					})
+				}
+			}
+		}
+		bd.Halt()
+	}
+}
+
+func swimCheck(m *arch.Machine, s Scale) error {
+	n, steps := swimN(s)
+	pitch, bases := swimLayout(n)
+	want := swimRef(n, steps)
+	for _, arr := range []int{swP, swU, swV} {
+		for i := 1; i < n-2; i += 17 {
+			for j := 1; j < n-1; j += 13 {
+				got := ffrom(m.Mem.LoadQ(bases[arr] + uint64(i*pitch+j)*8))
+				w := want[arr][i*pitch+j]
+				if math.Abs(got-w) > 1e-9*math.Max(1, math.Abs(w)) {
+					return fmt.Errorf("swim: field %d [%d][%d] = %g, want %g", arr, i, j, got, w)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+var benchSwim = register(&Benchmark{
+	Name:   "swim",
+	Class:  "SpecFP2000",
+	Desc:   "shallow water model, tiled stencil sweeps",
+	Pref:   true,
+	Vector: swimVector,
+	Scalar: swimScalar,
+	Check:  swimCheck,
+})
+
+// swim_untiled is the §6 tiling experiment: the same shallow-water sweeps
+// with no row blocking. Sized above the L2 it shows the paper's "almost 2X
+// slower" result; the ablation benchmark runs the comparison.
+var benchSwimUntiled = register(&Benchmark{
+	Name:  "swim_untiled",
+	Class: "Extensions",
+	Desc:  "swim without tiling (the §6 naive-version experiment)",
+	Pref:  true,
+	Vector: func(s Scale) vasm.Kernel {
+		n, steps := swimN(s)
+		return swimVectorBlocked(n, steps, n) // one block: no tiling
+	},
+	Scalar: swimScalar, // baseline unchanged
+	Check:  swimCheck,  // identical arithmetic, identical result
+})

@@ -1,0 +1,467 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/arch"
+	"repro/internal/isa"
+	"repro/internal/vasm"
+)
+
+// ---- art: image recognition / neural network (SPEC FP 2000 179.art) ----
+//
+// The surrogate keeps art's hot structure: a match phase computing the
+// bottom-up activation of every F2 unit as a long dot product over the F1
+// field, a winner-take-all scan, and a masked resonance update of the
+// winner's weights (elements above the vigilance threshold adapt — the
+// masked execution the paper credits for part of moldyn/art's speedup).
+
+func artN(s Scale) (f1, f2, pres int) {
+	switch s {
+	case Test:
+		return 1024, 16, 1
+	case Full:
+		return 16384, 64, 3
+	}
+	return 8192, 64, 2
+}
+
+func artLayout(f1, f2 int) (in, w, t, scratch uint64) {
+	in = 1 << 20
+	w = in + uint64(f1)*8 + 4096
+	t = w + uint64(f1*f2)*8 + 4096
+	scratch = t + uint64(f2)*8 + 4096
+	return
+}
+
+func artInit(bd *vasm.Builder, f1, f2 int) {
+	in, w, _, _ := artLayout(f1, f2)
+	for i := 0; i < f1; i++ {
+		bd.M.Mem.StoreQ(in+uint64(i)*8, fbits(0.5+0.4*math.Sin(float64(i)*0.01)))
+	}
+	for j := 0; j < f2; j++ {
+		for i := 0; i < f1; i++ {
+			bd.M.Mem.StoreQ(w+uint64(j*f1+i)*8, fbits(0.3+0.6*math.Cos(float64(j*f1+i)*0.003)))
+		}
+	}
+}
+
+const (
+	artLearn = 0.25
+	artVigil = 0.55
+)
+
+// artRef mirrors the kernel.
+func artRef(f1, f2, pres int) (tOut []float64, w []float64) {
+	in := make([]float64, f1)
+	w = make([]float64, f1*f2)
+	for i := range in {
+		in[i] = 0.5 + 0.4*math.Sin(float64(i)*0.01)
+	}
+	for k := range w {
+		w[k] = 0.3 + 0.6*math.Cos(float64(k)*0.003)
+	}
+	tOut = make([]float64, f2)
+	for p := 0; p < pres; p++ {
+		for j := 0; j < f2; j++ {
+			sum := 0.0
+			for i := 0; i < f1; i++ {
+				sum += in[i] * w[j*f1+i]
+			}
+			tOut[j] = sum
+		}
+		win := 0
+		for j := 1; j < f2; j++ {
+			if tOut[j] > tOut[win] {
+				win = j
+			}
+		}
+		for i := 0; i < f1; i++ {
+			if w[win*f1+i] > artVigil {
+				w[win*f1+i] = (1-artLearn)*w[win*f1+i] + artLearn*in[i]
+			}
+		}
+	}
+	return
+}
+
+func artVector(s Scale) vasm.Kernel {
+	f1, f2, pres := artN(s)
+	return func(bd *vasm.Builder) {
+		artInit(bd, f1, f2)
+		inB, wB, tB, scratch := artLayout(f1, f2)
+		rs, rIn, rW, rT := isa.R(9), isa.R(1), isa.R(2), isa.R(3)
+		learn := constF64(bd, 1, artLearn)
+		oneMinus := constF64(bd, 2, 1-artLearn)
+		vigil := constF64(bd, 3, artVigil)
+		bd.SetVSImm(rs, 8)
+		for p := 0; p < pres; p++ {
+			// Match phase: T[j] = Σ_i I[i]·W[j][i].
+			for j := 0; j < f2; j++ {
+				bd.VV(isa.OpVXOR, isa.V(2), isa.V(2), isa.V(2)) // accumulator
+				bd.Li(rIn, int64(inB))
+				bd.Li(rW, int64(wB)+int64(j*f1)*8)
+				bd.Loop(isa.R(16), f1/isa.VLMax, func(int) {
+					bd.VPref(rW, 4*chunkBytes)
+					bd.VLdQ(isa.V(0), rIn, 0)
+					bd.VLdQ(isa.V(1), rW, 0)
+					bd.VV(isa.OpVMULT, isa.V(0), isa.V(0), isa.V(1))
+					bd.VV(isa.OpVADDT, isa.V(2), isa.V(2), isa.V(0))
+					bd.AddImm(rIn, rIn, chunkBytes)
+					bd.AddImm(rW, rW, chunkBytes)
+				})
+				hsum(bd, isa.V(2), isa.V(3), isa.F(4), scratch, rs, isa.R(10), isa.VLMax)
+				bd.Li(rT, int64(tB)+int64(j)*8)
+				bd.StT(isa.F(4), rT, 0)
+				bd.SetVSImm(rs, 8) // hsum changed vl
+				bd.SetVLImm(rs, isa.VLMax)
+			}
+			// Winner-take-all: branchy scalar scan over the f2 activations
+			// (the data-dependent branches art's scalar residue carries).
+			bd.Li(rT, int64(tB))
+			bd.LdT(isa.F(5), rT, 0) // best
+			bd.Li(isa.R(11), 0)     // best index
+			for j := 1; j < f2; j++ {
+				bd.LdT(isa.F(6), rT, int64(j)*8)
+				bd.Op3(isa.OpCMPTLT, isa.R(12), isa.F(5), isa.F(6))
+				bd.Emit(isa.Inst{Op: isa.OpBEQ, Src1: isa.R(12), Imm: 1})
+				if ffrom(bd.M.F[5]) < ffrom(bd.M.F[6]) { // trace follows the taken path
+					bd.OpImm(isa.OpADDQ, isa.R(11), isa.RZero, int64(j))
+					bd.Op3(isa.OpADDT, isa.F(5), isa.F(6), isa.FZero)
+				}
+			}
+			// Resonance: masked weight update of the winner row.
+			winIdx := int(bd.M.R[11])
+			bd.Li(rW, int64(wB)+int64(winIdx*f1)*8)
+			bd.Li(rIn, int64(inB))
+			bd.Loop(isa.R(16), f1/isa.VLMax, func(int) {
+				bd.VLdQ(isa.V(0), rW, 0)
+				bd.VLdQ(isa.V(1), rIn, 0)
+				// mask = W > vigil  ⇔  !(W <= vigil)
+				bd.VS(isa.OpVSCMPTLE, isa.V(4), isa.V(0), vigil)
+				bd.Li(isa.R(12), 1)
+				bd.VS(isa.OpVSXOR, isa.V(4), isa.V(4), isa.R(12))
+				bd.SetVM(isa.V(4))
+				// W = (1-L)·W + L·I under mask
+				bd.VS(isa.OpVSMULT, isa.V(5), isa.V(0), oneMinus)
+				bd.VS(isa.OpVSMULT, isa.V(6), isa.V(1), learn)
+				bd.VV(isa.OpVADDT, isa.V(5), isa.V(5), isa.V(6))
+				bd.VVM(isa.OpVBIS, isa.V(0), isa.V(5), isa.V(5)) // masked move
+				bd.VStQ(isa.V(0), rW, 0)
+				bd.AddImm(rW, rW, chunkBytes)
+				bd.AddImm(rIn, rIn, chunkBytes)
+			})
+		}
+		bd.Halt()
+	}
+}
+
+func artScalar(s Scale) vasm.Kernel {
+	f1, f2, pres := artN(s)
+	return func(bd *vasm.Builder) {
+		artInit(bd, f1, f2)
+		inB, wB, tB, _ := artLayout(f1, f2)
+		rIn, rW, rT := isa.R(1), isa.R(2), isa.R(3)
+		learn := constF64(bd, 1, artLearn)
+		oneMinus := constF64(bd, 2, 1-artLearn)
+		for p := 0; p < pres; p++ {
+			for j := 0; j < f2; j++ {
+				// Four-accumulator dot product.
+				for a := 0; a < 4; a++ {
+					bd.Op3(isa.OpSUBT, isa.F(10+a), isa.FZero, isa.FZero)
+				}
+				bd.Li(rIn, int64(inB))
+				bd.Li(rW, int64(wB)+int64(j*f1)*8)
+				bd.Loop(isa.R(16), f1/4, func(int) {
+					bd.Prefetch(rW, 256)
+					for u := 0; u < 4; u++ {
+						off := int64(u * 8)
+						bd.LdT(isa.F(4), rIn, off)
+						bd.LdT(isa.F(5), rW, off)
+						bd.Op3(isa.OpMULT, isa.F(4), isa.F(4), isa.F(5))
+						bd.Op3(isa.OpADDT, isa.F(10+u), isa.F(10+u), isa.F(4))
+					}
+					bd.AddImm(rIn, rIn, 32)
+					bd.AddImm(rW, rW, 32)
+				})
+				bd.Op3(isa.OpADDT, isa.F(10), isa.F(10), isa.F(11))
+				bd.Op3(isa.OpADDT, isa.F(12), isa.F(12), isa.F(13))
+				bd.Op3(isa.OpADDT, isa.F(10), isa.F(10), isa.F(12))
+				bd.Li(rT, int64(tB)+int64(j)*8)
+				bd.StT(isa.F(10), rT, 0)
+			}
+			// Winner scan (scalar, branchy).
+			bd.Li(rT, int64(tB))
+			bd.LdT(isa.F(5), rT, 0)
+			bd.Li(isa.R(11), 0)
+			for j := 1; j < f2; j++ {
+				bd.LdT(isa.F(6), rT, int64(j)*8)
+				bd.Op3(isa.OpCMPTLT, isa.R(12), isa.F(5), isa.F(6))
+				bd.Emit(isa.Inst{Op: isa.OpBEQ, Src1: isa.R(12), Imm: 1})
+				if ffrom(bd.M.F[5]) < ffrom(bd.M.F[6]) {
+					bd.OpImm(isa.OpADDQ, isa.R(11), isa.RZero, int64(j))
+					bd.Op3(isa.OpADDT, isa.F(5), isa.F(6), isa.FZero)
+				}
+			}
+			winIdx := int(bd.M.R[11])
+			vig := constF64(bd, 3, artVigil)
+			bd.Li(rW, int64(wB)+int64(winIdx*f1)*8)
+			bd.Li(rIn, int64(inB))
+			bd.Loop(isa.R(16), f1, func(int) {
+				bd.LdT(isa.F(6), rW, 0)
+				bd.Op3(isa.OpCMPTLE, isa.R(12), isa.F(6), vig)
+				bd.Emit(isa.Inst{Op: isa.OpBNE, Src1: isa.R(12), Imm: 1})
+				if ffrom(bd.M.F[6]) > artVigil {
+					bd.LdT(isa.F(7), rIn, 0)
+					bd.Op3(isa.OpMULT, isa.F(6), isa.F(6), oneMinus)
+					bd.Op3(isa.OpMULT, isa.F(7), isa.F(7), learn)
+					bd.Op3(isa.OpADDT, isa.F(6), isa.F(6), isa.F(7))
+					bd.StT(isa.F(6), rW, 0)
+				}
+				bd.AddImm(rW, rW, 8)
+				bd.AddImm(rIn, rIn, 8)
+			})
+		}
+		bd.Halt()
+	}
+}
+
+func artCheck(m *arch.Machine, s Scale) error {
+	f1, f2, pres := artN(s)
+	_, wB, tB, _ := artLayout(f1, f2)
+	wantT, wantW := artRef(f1, f2, pres)
+	for j := 0; j < f2; j++ {
+		got := ffrom(m.Mem.LoadQ(tB + uint64(j)*8))
+		if math.Abs(got-wantT[j]) > 1e-6*math.Max(1, math.Abs(wantT[j])) {
+			return fmt.Errorf("art: T[%d] = %g, want %g", j, got, wantT[j])
+		}
+	}
+	for k := 0; k < f1*f2; k += 509 {
+		got := ffrom(m.Mem.LoadQ(wB + uint64(k)*8))
+		if math.Abs(got-wantW[k]) > 1e-6 {
+			return fmt.Errorf("art: W[%d] = %g, want %g", k, got, wantW[k])
+		}
+	}
+	return nil
+}
+
+var benchArt = register(&Benchmark{
+	Name:   "art",
+	Class:  "SpecFP2000",
+	Desc:   "adaptive resonance image recognition (dot products + masked update)",
+	Vector: artVector,
+	Scalar: artScalar,
+	Check:  artCheck,
+})
+
+// ---- sixtrack: high-energy physics particle tracking ----
+//
+// A 6-D phase-space map applied turn by turn: drift, quadrupole and
+// sextupole kicks over the particle arrays, vectorised stride-1, plus the
+// per-turn scalar bookkeeping (RF phase, closed-orbit correction) that
+// keeps the benchmark's vectorisation at 93.7% (Table 2).
+
+func sixtrackN(s Scale) (particles, turns int) {
+	switch s {
+	case Test:
+		return 1024, 4
+	case Full:
+		return 8192, 48
+	}
+	return 4096, 24
+}
+
+const (
+	sixL  = 0.125 // drift length
+	sixK1 = 0.02  // quad strength
+	sixK2 = 0.003 // sextupole strength
+)
+
+func sixLayout(n int) (x, px, y, py [2]uint64, bases [4]uint64) {
+	addr := uint64(1 << 20)
+	for i := range bases {
+		bases[i] = addr
+		addr += uint64(n)*8 + 4096
+	}
+	return [2]uint64{bases[0]}, [2]uint64{bases[1]}, [2]uint64{bases[2]}, [2]uint64{bases[3]}, bases
+}
+
+func sixInitVals(n int) (x, px, y, py []float64) {
+	x = make([]float64, n)
+	px = make([]float64, n)
+	y = make([]float64, n)
+	py = make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = 1e-3 * math.Sin(float64(i)*0.37)
+		px[i] = 1e-4 * math.Cos(float64(i)*0.61)
+		y[i] = 1e-3 * math.Cos(float64(i)*0.23)
+		py[i] = 1e-4 * math.Sin(float64(i)*0.41)
+	}
+	return
+}
+
+func sixRef(n, turns int) (x, px, y, py []float64) {
+	x, px, y, py = sixInitVals(n)
+	for t := 0; t < turns; t++ {
+		for i := 0; i < n; i++ {
+			// drift
+			x[i] += sixL * px[i]
+			y[i] += sixL * py[i]
+			// quad kick
+			px[i] -= sixK1 * x[i]
+			py[i] += sixK1 * y[i]
+			// sextupole kick
+			px[i] -= sixK2 * (x[i]*x[i] - y[i]*y[i])
+			py[i] += 2 * sixK2 * x[i] * y[i]
+		}
+	}
+	return
+}
+
+func sixtrackVector(s Scale) vasm.Kernel {
+	n, turns := sixtrackN(s)
+	return func(bd *vasm.Builder) {
+		_, _, _, _, bases := sixLayout(n)
+		x0, px0, y0, py0 := sixInitVals(n)
+		fillF64(bd, bases[0], x0)
+		fillF64(bd, bases[1], px0)
+		fillF64(bd, bases[2], y0)
+		fillF64(bd, bases[3], py0)
+		rs := isa.R(9)
+		l := constF64(bd, 1, sixL)
+		k1 := constF64(bd, 2, sixK1)
+		k2 := constF64(bd, 3, sixK2)
+		k22 := constF64(bd, 4, 2*sixK2)
+		bd.SetVSImm(rs, 8)
+		rX, rPX, rY, rPY := isa.R(1), isa.R(2), isa.R(3), isa.R(4)
+		for t := 0; t < turns; t++ {
+			// Per-turn scalar bookkeeping: RF phase advance & orbit sums —
+			// the ~6% scalar residue of Table 2.
+			for k := 0; k < 24; k++ {
+				bd.OpImm(isa.OpADDQ, isa.R(20), isa.R(20), int64(k+1))
+				bd.Op3(isa.OpMULT, isa.F(20), isa.F(20), l)
+				bd.Op3(isa.OpADDT, isa.F(21), isa.F(21), isa.F(20))
+			}
+			bd.Li(rX, int64(bases[0]))
+			bd.Li(rPX, int64(bases[1]))
+			bd.Li(rY, int64(bases[2]))
+			bd.Li(rPY, int64(bases[3]))
+			bd.Loop(isa.R(16), n/isa.VLMax, func(int) {
+				bd.VLdQ(isa.V(0), rX, 0)
+				bd.VLdQ(isa.V(1), rPX, 0)
+				bd.VLdQ(isa.V(2), rY, 0)
+				bd.VLdQ(isa.V(3), rPY, 0)
+				// drift
+				bd.VS(isa.OpVSMULT, isa.V(4), isa.V(1), l)
+				bd.VV(isa.OpVADDT, isa.V(0), isa.V(0), isa.V(4))
+				bd.VS(isa.OpVSMULT, isa.V(4), isa.V(3), l)
+				bd.VV(isa.OpVADDT, isa.V(2), isa.V(2), isa.V(4))
+				// quad
+				bd.VS(isa.OpVSMULT, isa.V(4), isa.V(0), k1)
+				bd.VV(isa.OpVSUBT, isa.V(1), isa.V(1), isa.V(4))
+				bd.VS(isa.OpVSMULT, isa.V(4), isa.V(2), k1)
+				bd.VV(isa.OpVADDT, isa.V(3), isa.V(3), isa.V(4))
+				// sextupole
+				bd.VV(isa.OpVMULT, isa.V(5), isa.V(0), isa.V(0))
+				bd.VV(isa.OpVMULT, isa.V(6), isa.V(2), isa.V(2))
+				bd.VV(isa.OpVSUBT, isa.V(5), isa.V(5), isa.V(6))
+				bd.VS(isa.OpVSMULT, isa.V(5), isa.V(5), k2)
+				bd.VV(isa.OpVSUBT, isa.V(1), isa.V(1), isa.V(5))
+				bd.VV(isa.OpVMULT, isa.V(5), isa.V(0), isa.V(2))
+				bd.VS(isa.OpVSMULT, isa.V(5), isa.V(5), k22)
+				bd.VV(isa.OpVADDT, isa.V(3), isa.V(3), isa.V(5))
+				bd.VStQ(isa.V(0), rX, 0)
+				bd.VStQ(isa.V(1), rPX, 0)
+				bd.VStQ(isa.V(2), rY, 0)
+				bd.VStQ(isa.V(3), rPY, 0)
+				for _, rr := range []isa.Reg{rX, rPX, rY, rPY} {
+					bd.AddImm(rr, rr, chunkBytes)
+				}
+			})
+		}
+		bd.Halt()
+	}
+}
+
+func sixtrackScalar(s Scale) vasm.Kernel {
+	n, turns := sixtrackN(s)
+	return func(bd *vasm.Builder) {
+		_, _, _, _, bases := sixLayout(n)
+		x0, px0, y0, py0 := sixInitVals(n)
+		fillF64(bd, bases[0], x0)
+		fillF64(bd, bases[1], px0)
+		fillF64(bd, bases[2], y0)
+		fillF64(bd, bases[3], py0)
+		l := constF64(bd, 1, sixL)
+		k1 := constF64(bd, 2, sixK1)
+		k2 := constF64(bd, 3, sixK2)
+		k22 := constF64(bd, 4, 2*sixK2)
+		rX, rPX, rY, rPY := isa.R(1), isa.R(2), isa.R(3), isa.R(4)
+		for t := 0; t < turns; t++ {
+			for k := 0; k < 24; k++ {
+				bd.OpImm(isa.OpADDQ, isa.R(20), isa.R(20), int64(k+1))
+				bd.Op3(isa.OpMULT, isa.F(20), isa.F(20), l)
+				bd.Op3(isa.OpADDT, isa.F(21), isa.F(21), isa.F(20))
+			}
+			bd.Li(rX, int64(bases[0]))
+			bd.Li(rPX, int64(bases[1]))
+			bd.Li(rY, int64(bases[2]))
+			bd.Li(rPY, int64(bases[3]))
+			bd.Loop(isa.R(16), n, func(int) {
+				bd.LdT(isa.F(10), rX, 0)
+				bd.LdT(isa.F(11), rPX, 0)
+				bd.LdT(isa.F(12), rY, 0)
+				bd.LdT(isa.F(13), rPY, 0)
+				bd.Op3(isa.OpMULT, isa.F(14), isa.F(11), l)
+				bd.Op3(isa.OpADDT, isa.F(10), isa.F(10), isa.F(14))
+				bd.Op3(isa.OpMULT, isa.F(14), isa.F(13), l)
+				bd.Op3(isa.OpADDT, isa.F(12), isa.F(12), isa.F(14))
+				bd.Op3(isa.OpMULT, isa.F(14), isa.F(10), k1)
+				bd.Op3(isa.OpSUBT, isa.F(11), isa.F(11), isa.F(14))
+				bd.Op3(isa.OpMULT, isa.F(14), isa.F(12), k1)
+				bd.Op3(isa.OpADDT, isa.F(13), isa.F(13), isa.F(14))
+				bd.Op3(isa.OpMULT, isa.F(15), isa.F(10), isa.F(10))
+				bd.Op3(isa.OpMULT, isa.F(16), isa.F(12), isa.F(12))
+				bd.Op3(isa.OpSUBT, isa.F(15), isa.F(15), isa.F(16))
+				bd.Op3(isa.OpMULT, isa.F(15), isa.F(15), k2)
+				bd.Op3(isa.OpSUBT, isa.F(11), isa.F(11), isa.F(15))
+				bd.Op3(isa.OpMULT, isa.F(15), isa.F(10), isa.F(12))
+				bd.Op3(isa.OpMULT, isa.F(15), isa.F(15), k22)
+				bd.Op3(isa.OpADDT, isa.F(13), isa.F(13), isa.F(15))
+				bd.StT(isa.F(10), rX, 0)
+				bd.StT(isa.F(11), rPX, 0)
+				bd.StT(isa.F(12), rY, 0)
+				bd.StT(isa.F(13), rPY, 0)
+				for _, rr := range []isa.Reg{rX, rPX, rY, rPY} {
+					bd.AddImm(rr, rr, 8)
+				}
+			})
+		}
+		bd.Halt()
+	}
+}
+
+func sixtrackCheck(m *arch.Machine, s Scale) error {
+	n, turns := sixtrackN(s)
+	_, _, _, _, bases := sixLayout(n)
+	wx, wpx, wy, wpy := sixRef(n, turns)
+	for i := 0; i < n; i += 101 {
+		for k, want := range [][]float64{wx, wpx, wy, wpy} {
+			got := ffrom(m.Mem.LoadQ(bases[k] + uint64(i)*8))
+			if math.Abs(got-want[i]) > 1e-9*math.Max(1e-6, math.Abs(want[i])) {
+				return fmt.Errorf("sixtrack: array %d particle %d = %g, want %g", k, i, got, want[i])
+			}
+		}
+	}
+	return nil
+}
+
+var benchSixtrack = register(&Benchmark{
+	Name:   "sixtrack",
+	Class:  "SpecFP2000",
+	Desc:   "6-D particle tracking map with per-turn scalar residue",
+	Vector: sixtrackVector,
+	Scalar: sixtrackScalar,
+	Check:  sixtrackCheck,
+})

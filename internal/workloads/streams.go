@@ -1,0 +1,388 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/isa"
+	"repro/internal/vasm"
+)
+
+// Sizes for the bandwidth microkernels. STREAMS arrays stream once, so they
+// are memory-bound at any size; RndCopy is L2-resident by design; and
+// RndMemScale's table must exceed the 16 MB L2 to keep "all data from
+// memory" true.
+func streamsN(s Scale) int {
+	switch s {
+	case Test:
+		return 8 * 1024
+	case Full:
+		return 2 * 1024 * 1024
+	}
+	return 512 * 1024
+}
+
+func rndCopyN(s Scale) (elems, accesses int) {
+	switch s {
+	case Test:
+		return 16 * 1024, 16 * 1024
+	case Full:
+		return 512 * 1024, 1024 * 1024
+	}
+	return 128 * 1024, 256 * 1024
+}
+
+func rndMemN(s Scale) (tableElems, accesses int) {
+	switch s {
+	case Test:
+		return 64 * 1024, 8 * 1024
+	case Full:
+		return 8 * 1024 * 1024, 1024 * 1024
+	}
+	return 4 * 1024 * 1024, 256 * 1024
+}
+
+// streamsPad is the paper's Table 2 padding between STREAMS arrays.
+const streamsPad = 65856
+
+// prefDist is the software-prefetch distance in 128-element iterations.
+const prefDist = 8
+
+const chunkBytes = isa.VLMax * 8
+
+// streamsKernelV builds the vector form of one STREAMS kernel. nIn names
+// the input arrays; out is written with WH64 pre-allocation one iteration
+// ahead, and inputs are vector-prefetched prefDist iterations ahead.
+func streamsKernelV(n int, op func(b *vasm.Builder, v0, v1 isa.Reg), nIn int, wantScale bool) vasm.Kernel {
+	return func(b *vasm.Builder) {
+		bases := make([]uint64, nIn+1)
+		for i := range bases {
+			bases[i] = b.AllocF64(n+2*isa.VLMax, streamsPad)
+		}
+		for i := 0; i < nIn; i++ {
+			vals := make([]float64, n)
+			for j := range vals {
+				vals[j] = float64(j%97) + float64(i)
+			}
+			fillF64(b, bases[i], vals)
+		}
+		rs := isa.R(9)
+		if wantScale {
+			constF64(b, 1, 3.0)
+		}
+		regs := []isa.Reg{isa.R(1), isa.R(2), isa.R(3), isa.R(4)}
+		for i := 0; i <= nIn; i++ {
+			b.Li(regs[i], int64(bases[i]))
+		}
+		rout := regs[nIn]
+		b.SetVSImm(rs, 8)
+		b.Loop(isa.R(16), n/isa.VLMax, func(int) {
+			// Prefetch inputs ahead; write-hint the output lines one
+			// iteration ahead so stores never read-for-ownership.
+			for i := 0; i < nIn; i++ {
+				b.VPref(regs[i], prefDist*chunkBytes)
+			}
+			for l := 0; l < 16; l++ {
+				b.WH64(rout, int64(chunkBytes+l*64))
+			}
+			b.VLdQ(isa.V(0), regs[0], 0)
+			if nIn > 1 {
+				b.VLdQ(isa.V(1), regs[1], 0)
+			}
+			op(b, isa.V(0), isa.V(1))
+			b.VStQ(isa.V(0), rout, 0)
+			for i := 0; i <= nIn; i++ {
+				b.AddImm(regs[i], regs[i], chunkBytes)
+			}
+		})
+		b.Halt()
+	}
+}
+
+// streamsKernelS is the scalar (EV8) form, unrolled 8-wide with scalar
+// prefetch and WH64.
+func streamsKernelS(n int, op func(b *vasm.Builder, f0, f1 isa.Reg), nIn int, wantScale bool) vasm.Kernel {
+	return func(b *vasm.Builder) {
+		bases := make([]uint64, nIn+1)
+		for i := range bases {
+			bases[i] = b.AllocF64(n+128, streamsPad)
+		}
+		for i := 0; i < nIn; i++ {
+			vals := make([]float64, n)
+			for j := range vals {
+				vals[j] = float64(j%97) + float64(i)
+			}
+			fillF64(b, bases[i], vals)
+		}
+		if wantScale {
+			constF64(b, 1, 3.0)
+		}
+		regs := []isa.Reg{isa.R(1), isa.R(2), isa.R(3), isa.R(4)}
+		for i := 0; i <= nIn; i++ {
+			b.Li(regs[i], int64(bases[i]))
+		}
+		rout := regs[nIn]
+		b.Loop(isa.R(16), n/8, func(int) {
+			for i := 0; i < nIn; i++ {
+				b.Prefetch(regs[i], 512)
+			}
+			b.WH64(rout, 64)
+			for u := 0; u < 8; u++ {
+				off := int64(u * 8)
+				b.LdT(isa.F(2), regs[0], off)
+				if nIn > 1 {
+					b.LdT(isa.F(3), regs[1], off)
+				}
+				op(b, isa.F(2), isa.F(3))
+				b.StT(isa.F(2), rout, off)
+			}
+			for i := 0; i <= nIn; i++ {
+				b.AddImm(regs[i], regs[i], 64)
+			}
+		})
+		b.Halt()
+	}
+}
+
+func streamsBench(name string, bytesPerElem int, nIn int, wantScale bool,
+	vop func(b *vasm.Builder, v0, v1 isa.Reg), sop func(b *vasm.Builder, f0, f1 isa.Reg)) *Benchmark {
+	return register(&Benchmark{
+		Name:  name,
+		Class: "MicroKernels",
+		Desc:  "STREAMS " + name[8:] + " kernel, reference-style, padding=65856 bytes",
+		Pref:  true,
+		Vector: func(s Scale) vasm.Kernel {
+			return streamsKernelV(streamsN(s), vop, nIn, wantScale)
+		},
+		Scalar: func(s Scale) vasm.Kernel {
+			return streamsKernelS(streamsN(s), sop, nIn, wantScale)
+		},
+		UsefulBytes: func(s Scale) uint64 {
+			return uint64(streamsN(s)) * uint64(bytesPerElem)
+		},
+	})
+}
+
+var (
+	// STREAMS Copy: C = A. 16 useful bytes per element.
+	benchCopy = streamsBench("streams_copy", 16, 1, false,
+		func(b *vasm.Builder, v0, v1 isa.Reg) {},
+		func(b *vasm.Builder, f0, f1 isa.Reg) {})
+
+	// STREAMS Scale: B = s*A.
+	benchScale = streamsBench("streams_scale", 16, 1, true,
+		func(b *vasm.Builder, v0, v1 isa.Reg) { b.VS(isa.OpVSMULT, v0, v0, isa.F(1)) },
+		func(b *vasm.Builder, f0, f1 isa.Reg) { b.Op3(isa.OpMULT, f0, f0, isa.F(1)) })
+
+	// STREAMS Add: C = A + B. 24 useful bytes per element.
+	benchAdd = streamsBench("streams_add", 24, 2, false,
+		func(b *vasm.Builder, v0, v1 isa.Reg) { b.VV(isa.OpVADDT, v0, v0, v1) },
+		func(b *vasm.Builder, f0, f1 isa.Reg) { b.Op3(isa.OpADDT, f0, f0, f1) })
+
+	// STREAMS Triadd: A = B + s*C. 24 useful bytes per element.
+	benchTriad = streamsBench("streams_triadd", 24, 2, true,
+		func(b *vasm.Builder, v0, v1 isa.Reg) {
+			b.VS(isa.OpVSMULT, v1, v1, isa.F(1))
+			b.VV(isa.OpVADDT, v0, v0, v1)
+		},
+		func(b *vasm.Builder, f0, f1 isa.Reg) {
+			b.Op3(isa.OpMULT, f1, f1, isa.F(1))
+			b.Op3(isa.OpADDT, f0, f0, f1)
+		})
+)
+
+// ---- RndCopy: B(i) = A(index(i)), data resident in the L2 ----
+
+// rndLayout fixes the microkernel's addresses so setup and ROI agree.
+func rndCopyLayout(s Scale) (aBase, idxBase, bBase uint64, elems, accesses int) {
+	elems, accesses = rndCopyN(s)
+	aBase = 1 << 20
+	idxBase = aBase + uint64(elems)*8 + 4096
+	bBase = idxBase + uint64(accesses)*8 + 4096
+	return
+}
+
+func rndCopyInit(b *vasm.Builder, s Scale) (aBase, idxBase, bBase uint64, elems, accesses int) {
+	aBase, idxBase, bBase, elems, accesses = rndCopyLayout(s)
+	rng := newLCG(7)
+	for i := 0; i < elems; i++ {
+		b.M.Mem.StoreQ(aBase+uint64(i)*8, fbits(float64(i)))
+	}
+	for i := 0; i < accesses; i++ {
+		// Byte offsets into A, stored directly (the idiom real gather code
+		// uses to avoid a shift in the loop).
+		b.M.Mem.StoreQ(idxBase+uint64(i)*8, uint64(rng.intn(elems))*8)
+	}
+	return
+}
+
+func rndCopySetup(s Scale, vector bool) vasm.Kernel {
+	return func(b *vasm.Builder) {
+		aBase, idxBase, bBase, elems, accesses := rndCopyInit(b, s)
+		// Walk everything once so it is resident in the L2 ("Prefetched
+		// into L2", Table 2).
+		touch := func(base uint64, n int) {
+			b.Li(isa.R(1), int64(base))
+			if vector {
+				b.SetVSImm(isa.R(9), 8)
+				b.Loop(isa.R(16), n/isa.VLMax, func(int) {
+					b.VPref(isa.R(1), 0)
+					b.AddImm(isa.R(1), isa.R(1), chunkBytes)
+				})
+			} else {
+				b.Loop(isa.R(16), n*8/64, func(int) {
+					b.Prefetch(isa.R(1), 0)
+					b.AddImm(isa.R(1), isa.R(1), 64)
+				})
+			}
+		}
+		touch(aBase, elems)
+		touch(idxBase, accesses)
+		touch(bBase, accesses)
+	}
+}
+
+var benchRndCopy = register(&Benchmark{
+	Name:  "rndcopy",
+	Class: "MicroKernels",
+	Desc:  "B(i) = A(index(i)); gather bandwidth from the L2 (no misses)",
+	Pref:  true,
+	Setup: rndCopySetup,
+	Vector: func(s Scale) vasm.Kernel {
+		return func(b *vasm.Builder) {
+			aBase, idxBase, bBase, _, accesses := rndCopyLayout(s)
+			ra, ri, rb, rs := isa.R(1), isa.R(2), isa.R(3), isa.R(9)
+			b.Li(ra, int64(aBase))
+			b.Li(ri, int64(idxBase))
+			b.Li(rb, int64(bBase))
+			b.SetVSImm(rs, 8)
+			b.Loop(isa.R(16), accesses/isa.VLMax, func(int) {
+				b.VLdQ(isa.V(1), ri, 0)         // index vector (byte offsets)
+				b.VGath(isa.V(2), isa.V(1), ra) // gather from A
+				b.VStQ(isa.V(2), rb, 0)         // unit-stride store to B
+				b.AddImm(ri, ri, chunkBytes)
+				b.AddImm(rb, rb, chunkBytes)
+			})
+			b.Halt()
+		}
+	},
+	Scalar: func(s Scale) vasm.Kernel {
+		return func(b *vasm.Builder) {
+			aBase, idxBase, bBase, _, accesses := rndCopyLayout(s)
+			_ = aBase
+			ra, ri, rb := isa.R(1), isa.R(2), isa.R(3)
+			b.Li(ra, int64(aBase))
+			b.Li(ri, int64(idxBase))
+			b.Li(rb, int64(bBase))
+			b.Loop(isa.R(16), accesses/4, func(int) {
+				for u := 0; u < 4; u++ {
+					off := int64(u * 8)
+					b.LdQ(isa.R(10), ri, off)                   // offset
+					b.Op3(isa.OpADDQ, isa.R(11), isa.R(10), ra) // &A[idx]
+					b.LdT(isa.F(2), isa.R(11), 0)
+					b.StT(isa.F(2), rb, off)
+				}
+				b.AddImm(ri, ri, 32)
+				b.AddImm(rb, rb, 32)
+			})
+			b.Halt()
+		}
+	},
+	UsefulBytes: func(s Scale) uint64 {
+		// The paper's RndCopy row counts gathered bytes (73.4 GB/s equals
+		// its quoted 4.3 addresses/cycle × 8 B at 2.13 GHz), so we follow
+		// that convention: 8 bytes per access.
+		_, accesses := rndCopyN(s)
+		return uint64(accesses) * 8
+	},
+	Check: func(m *arch.Machine, s Scale) error {
+		aBase, idxBase, bBase, _, accesses := rndCopyLayout(s)
+		for i := 0; i < accesses; i += 997 {
+			off := m.Mem.LoadQ(idxBase + uint64(i)*8)
+			want := m.Mem.LoadQ(aBase + off)
+			got := m.Mem.LoadQ(bBase + uint64(i)*8)
+			if got != want {
+				return fmt.Errorf("rndcopy: B[%d]=%#x, want %#x", i, got, want)
+			}
+		}
+		return nil
+	},
+})
+
+// ---- RndMemScale: B(index(i)) += 1, all data from memory ----
+
+func rndMemLayout(s Scale) (bBase, idxBase uint64, tableElems, accesses int) {
+	tableElems, accesses = rndMemN(s)
+	bBase = 1 << 20
+	idxBase = bBase + uint64(tableElems)*8 + 4096
+	return
+}
+
+var benchRndMemScale = register(&Benchmark{
+	Name:  "rndmemscale",
+	Class: "MicroKernels",
+	Desc:  "B(index(i)) += 1 over a table larger than the L2 (RAMBUS page behaviour)",
+	Vector: func(s Scale) vasm.Kernel {
+		return func(b *vasm.Builder) {
+			bBase, idxBase, tableElems, accesses := rndMemLayout(s)
+			rng := newLCG(11)
+			// Sample table slots without replacement so no two updates
+			// collide (GEN_RANDOM_PERMUT in the paper's semantics).
+			perm := rng.sampleDistinct(tableElems, accesses)
+			for i, p := range perm {
+				b.M.Mem.StoreQ(idxBase+uint64(i)*8, uint64(p)*8)
+			}
+			rb, ri, rs, rone := isa.R(1), isa.R(2), isa.R(9), isa.R(10)
+			b.Li(rb, int64(bBase))
+			b.Li(ri, int64(idxBase))
+			b.Li(rone, 1)
+			b.SetVSImm(rs, 8)
+			b.Loop(isa.R(16), accesses/isa.VLMax, func(int) {
+				b.VLdQ(isa.V(1), ri, 0)
+				b.VGath(isa.V(2), isa.V(1), rb)
+				b.VS(isa.OpVSADDQ, isa.V(2), isa.V(2), rone)
+				b.VScat(isa.V(2), isa.V(1), rb)
+				b.AddImm(ri, ri, chunkBytes)
+			})
+			b.Halt()
+		}
+	},
+	Scalar: func(s Scale) vasm.Kernel {
+		return func(b *vasm.Builder) {
+			bBase, idxBase, tableElems, accesses := rndMemLayout(s)
+			rng := newLCG(11)
+			perm := rng.sampleDistinct(tableElems, accesses)
+			for i, p := range perm {
+				b.M.Mem.StoreQ(idxBase+uint64(i)*8, uint64(p)*8)
+			}
+			rb, ri := isa.R(1), isa.R(2)
+			b.Li(rb, int64(bBase))
+			b.Li(ri, int64(idxBase))
+			b.Loop(isa.R(16), accesses/4, func(int) {
+				for u := 0; u < 4; u++ {
+					b.LdQ(isa.R(10), ri, int64(u*8))
+					b.Op3(isa.OpADDQ, isa.R(11), isa.R(10), rb)
+					b.LdQ(isa.R(12), isa.R(11), 0)
+					b.OpImm(isa.OpADDQ, isa.R(12), isa.R(12), 1)
+					b.StQ(isa.R(12), isa.R(11), 0)
+				}
+				b.AddImm(ri, ri, 32)
+			})
+			b.Halt()
+		}
+	},
+	UsefulBytes: func(s Scale) uint64 {
+		_, accesses := rndMemN(s)
+		return uint64(accesses) * 16
+	},
+	Check: func(m *arch.Machine, s Scale) error {
+		bBase, idxBase, _, accesses := rndMemLayout(s)
+		for i := 0; i < accesses; i += 503 {
+			off := m.Mem.LoadQ(idxBase + uint64(i)*8)
+			if got := m.Mem.LoadQ(bBase + off); got != 1 {
+				return fmt.Errorf("rndmemscale: B[%d] = %d, want 1", off/8, got)
+			}
+		}
+		return nil
+	},
+})

@@ -1,0 +1,136 @@
+// Package workloads contains every benchmark of the paper's Table 2, each
+// hand-coded twice against the functional machine: a vector (Tarantula)
+// kernel in the new ISA and a scalar (EV8) kernel in the Alpha subset,
+// mirroring the paper's methodology of hand-vectorising the hot routines.
+//
+// Inputs are scaled relative to the paper's so simulations finish in
+// seconds while each kernel stays in the same memory-hierarchy regime
+// (L2-resident vs memory-bound); EXPERIMENTS.md records the scaling.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/arch"
+	"repro/internal/vasm"
+)
+
+// Scale selects input sizes.
+type Scale int
+
+const (
+	// Test is tiny: functional verification in unit tests.
+	Test Scale = iota
+	// Bench is the default evaluation size (seconds per simulation).
+	Bench
+	// Full is closer to the paper's inputs (minutes per simulation).
+	Full
+)
+
+func (s Scale) String() string {
+	switch s {
+	case Test:
+		return "test"
+	case Bench:
+		return "bench"
+	case Full:
+		return "full"
+	}
+	return "scale?"
+}
+
+// Benchmark is one Table 2 entry.
+type Benchmark struct {
+	Name  string
+	Class string // MicroKernels / SpecFP2000 / Algebra / Bioinformatics / Integer
+	Desc  string
+
+	Pref   bool // uses software prefetching (Table 2 column)
+	DrainM bool // uses the DrainM barrier (Table 2 column)
+
+	// Setup returns an untimed warm-up kernel (e.g. "prefetched into L2"),
+	// or nil. vector selects vector or scalar-only code (the scalar
+	// machines have no Vbox to prefetch with).
+	Setup func(s Scale, vector bool) vasm.Kernel
+	// Vector is the Tarantula kernel.
+	Vector func(s Scale) vasm.Kernel
+	// Scalar is the EV8 kernel for the same computation.
+	Scalar func(s Scale) vasm.Kernel
+
+	// UsefulBytes gives the STREAMS-convention byte count for bandwidth
+	// rows (Table 4); zero for non-bandwidth benchmarks.
+	UsefulBytes func(s Scale) uint64
+
+	// Check verifies the functional result after a run; nil means the
+	// kernel self-checks some other way.
+	Check func(m *arch.Machine, s Scale) error
+}
+
+var registry = map[string]*Benchmark{}
+
+// table2Order is the paper's Table 2 ordering.
+var table2Order = []string{
+	"streams_copy", "streams_scale", "streams_add", "streams_triadd",
+	"rndcopy", "rndmemscale",
+	"swim", "art", "sixtrack",
+	"dgemm", "dtrmm", "sparsemxv", "fft", "lu", "linpack100", "linpacktpp",
+	"moldyn",
+	"ccradix",
+	"dgemm_fma",    // §5 FMAC extension study (Extensions class)
+	"swim_untiled", // §6 tiling experiment (Extensions class)
+}
+
+func register(b *Benchmark) *Benchmark {
+	if _, dup := registry[b.Name]; dup {
+		panic("workloads: duplicate benchmark " + b.Name)
+	}
+	registry[b.Name] = b
+	return b
+}
+
+// Get returns a benchmark by name.
+func Get(name string) (*Benchmark, error) {
+	b, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("workloads: unknown benchmark %q (have %v)", name, Names())
+	}
+	return b, nil
+}
+
+// Names lists all benchmarks in the paper's Table 2 order.
+func Names() []string {
+	var out []string
+	for _, n := range table2Order {
+		if _, ok := registry[n]; ok {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// ByClass returns benchmark names grouped and ordered by Table 2 class.
+func ByClass() map[string][]string {
+	m := map[string][]string{}
+	for _, n := range Names() {
+		b := registry[n]
+		m[b.Class] = append(m[b.Class], n)
+	}
+	for _, v := range m {
+		sort.Strings(v)
+	}
+	return m
+}
+
+// Figure6Set lists the benchmarks shown in Figures 6–9 (everything except
+// the pure bandwidth microkernels).
+func Figure6Set() []string {
+	var out []string
+	for _, n := range Names() {
+		if c := registry[n].Class; c == "MicroKernels" || c == "Extensions" {
+			continue
+		}
+		out = append(out, n)
+	}
+	return out
+}

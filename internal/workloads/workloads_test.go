@@ -1,0 +1,131 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func simT() *sim.Config { return sim.T() }
+
+// runBoth executes a benchmark at Test scale on Tarantula and EV8, checking
+// functional correctness on both, and returns the two results.
+func runBoth(t *testing.T, name string) (vec, sc *Result) {
+	t.Helper()
+	b, err := Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec, err = b.Run(sim.T(), Test)
+	if err != nil {
+		t.Fatalf("vector run: %v", err)
+	}
+	sc, err = b.Run(sim.EV8(), Test)
+	if err != nil {
+		t.Fatalf("scalar run: %v", err)
+	}
+	if vec.Stats.VectorIns == 0 {
+		t.Errorf("%s vector kernel retired no vector instructions", name)
+	}
+	if sc.Stats.VectorIns != 0 {
+		t.Errorf("%s scalar kernel retired vector instructions", name)
+	}
+	opcV, _, _, _ := vec.OPC()
+	opcS, _, _, _ := sc.OPC()
+	t.Logf("%s: T %d cy (opc %.2f) | EV8 %d cy (opc %.2f) | speedup %.2fx",
+		name, vec.Stats.Cycles, opcV, sc.Stats.Cycles, opcS,
+		float64(sc.Stats.Cycles)/float64(vec.Stats.Cycles))
+	return vec, sc
+}
+
+func TestRegistryComplete(t *testing.T) {
+	// Table 2 lists fifteen benchmarks.
+	want := []string{
+		"streams_copy", "streams_scale", "streams_add", "streams_triadd",
+		"rndcopy", "rndmemscale",
+		"swim", "art", "sixtrack",
+		"dgemm", "dtrmm", "sparsemxv", "fft", "lu", "linpack100", "linpacktpp",
+		"moldyn", "ccradix",
+	}
+	for _, n := range want {
+		if _, err := Get(n); err != nil {
+			t.Errorf("missing benchmark %s", n)
+		}
+	}
+}
+
+func TestDgemm(t *testing.T)      { runBoth(t, "dgemm") }
+func TestDtrmm(t *testing.T)      { runBoth(t, "dtrmm") }
+func TestLU(t *testing.T)         { runBoth(t, "lu") }
+func TestLinpack100(t *testing.T) { runBoth(t, "linpack100") }
+func TestLinpackTPP(t *testing.T) { runBoth(t, "linpacktpp") }
+
+func TestStreamsCopy(t *testing.T)  { runBoth(t, "streams_copy") }
+func TestStreamsTriad(t *testing.T) { runBoth(t, "streams_triadd") }
+func TestRndCopy(t *testing.T)      { runBoth(t, "rndcopy") }
+func TestRndMemScale(t *testing.T)  { runBoth(t, "rndmemscale") }
+
+func TestSwim(t *testing.T) { runBoth(t, "swim") }
+
+func TestArt(t *testing.T)      { runBoth(t, "art") }
+func TestSixtrack(t *testing.T) { runBoth(t, "sixtrack") }
+
+func TestSparseMxV(t *testing.T) { runBoth(t, "sparsemxv") }
+func TestFFT(t *testing.T)       { runBoth(t, "fft") }
+
+func TestMoldyn(t *testing.T) { runBoth(t, "moldyn") }
+
+func TestCcradix(t *testing.T) { runBoth(t, "ccradix") }
+
+func TestDgemmFMA(t *testing.T) {
+	fma, _ := runBoth(t, "dgemm_fma")
+	base, err := Get("dgemm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := base.Run(simT(), Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speed := float64(ref.Stats.Cycles) / float64(fma.Stats.Cycles)
+	t.Logf("FMA over mul+add on dgemm: %.2fx (paper §5: ≈2x peak)", speed)
+	if speed < 1.4 {
+		t.Fatalf("FMA kernel only %.2fx faster; expected a large win", speed)
+	}
+	if fma.Stats.Flops != ref.Stats.Flops {
+		t.Fatalf("flop counts differ: fma %d vs base %d", fma.Stats.Flops, ref.Stats.Flops)
+	}
+}
+
+func TestSwimUntiledCorrect(t *testing.T) {
+	b, err := Get("swim_untiled")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.Run(sim.T(), Test)
+	if err != nil {
+		t.Fatalf("untiled swim functional check failed: %v", err)
+	}
+	tiled, _ := Get("swim")
+	ref, err := tiled.Run(sim.T(), Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("untiled %d cy vs tiled %d cy at Test scale (L2-resident: expect parity)",
+		res.Stats.Cycles, ref.Stats.Cycles)
+}
+
+func TestVectorPctColumn(t *testing.T) {
+	// Table 2's Vect.% column: every vector kernel should be dominantly
+	// vectorised (>90%).
+	for _, name := range Figure6Set() {
+		b, _ := Get(name)
+		res, err := b.Run(sim.T(), Test)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if pct := res.Stats.VectorPct(); pct < 90 {
+			t.Errorf("%s: vectorisation %.1f%% — kernel is not vector-dominated", name, pct)
+		}
+	}
+}
