@@ -11,6 +11,8 @@ package repro
 
 import (
 	"os"
+	"runtime"
+	"strconv"
 	"testing"
 
 	"repro/internal/power"
@@ -27,6 +29,15 @@ func benchScale() workloads.Scale {
 		return workloads.Full
 	}
 	return workloads.Bench
+}
+
+// benchParallel reads REPRO_BENCH_PARALLEL (default GOMAXPROCS, 1 =
+// sequential) — the worker-pool width BenchmarkSweepAll hands the Runner.
+func benchParallel() int {
+	if v, err := strconv.Atoi(os.Getenv("REPRO_BENCH_PARALLEL")); err == nil && v > 0 {
+		return v
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // runOn executes a benchmark on one machine once per b.N iteration and
@@ -147,6 +158,43 @@ func BenchmarkFig9(b *testing.B) {
 			b.ReportMetric(float64(t.Stats.Cycles)/float64(np.Stats.Cycles), "rel-perf")
 		})
 	}
+}
+
+// ---- Whole-sweep wall clock ----
+
+// BenchmarkSweepAll times the complete evaluation (Tables 2 and 4, Figures
+// 6–9) through the memoising Runner — the same work `tartables -all` does.
+// Every iteration uses a fresh Runner so nothing carries over. Compare
+// REPRO_BENCH_PARALLEL=1 against the default (GOMAXPROCS) to measure the
+// worker-pool speedup on a multi-core host.
+func BenchmarkSweepAll(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := tables.NewRunner(benchScale())
+		r.Quiet = true
+		r.Parallel = benchParallel()
+		if r.Parallel > 1 {
+			r.Prewarm()
+		}
+		if _, err := r.Table2(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.Table4(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.Fig6(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.Fig7(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.Fig8(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.Fig9(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(benchParallel()), "workers")
 }
 
 // ---- Table 3 (configuration self-check, not a measurement) ----

@@ -15,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/arch"
 	"repro/internal/mem"
@@ -31,7 +33,25 @@ func main() {
 	verbose := flag.Bool("v", false, "print the full counter table")
 	sample := flag.Uint64("sample", 0, "print a utilization sample every N cycles")
 	list := flag.Bool("list", false, "list benchmarks and exit")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		fatalIf(err)
+		fatalIf(pprof.StartCPUProfile(f))
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			fatalIf(err)
+			defer f.Close()
+			runtime.GC()
+			fatalIf(pprof.Lookup("allocs").WriteTo(f, 0))
+		}()
+	}
 
 	if *list {
 		for _, n := range workloads.Names() {
@@ -119,3 +139,10 @@ func runSampled(cfg *sim.Config, b *workloads.Benchmark, scale workloads.Scale, 
 }
 
 func archNew() *arch.Machine { return arch.New(mem.New()) }
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tarsim:", err)
+		os.Exit(1)
+	}
+}

@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/floorplan"
 	"repro/internal/tables"
@@ -27,7 +29,26 @@ func main() {
 	table := flag.Int("table", 0, "regenerate one table (1, 2, 3 or 4)")
 	fig := flag.Int("fig", 0, "regenerate one figure (5, 6, 7, 8 or 9)")
 	all := flag.Bool("all", false, "regenerate everything")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "max simulations to run concurrently (1 = sequential)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		check(err)
+		check(pprof.StartCPUProfile(f))
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			check(err)
+			defer f.Close()
+			runtime.GC()
+			check(pprof.Lookup("allocs").WriteTo(f, 0))
+		}()
+	}
 
 	var scale workloads.Scale
 	switch *scaleFlag {
@@ -42,6 +63,12 @@ func main() {
 		os.Exit(2)
 	}
 	r := tables.NewRunner(scale)
+	r.Parallel = *parallel
+	if *all {
+		// Schedule the whole sweep up front so the worker pool stays full
+		// across table/figure boundaries.
+		r.Prewarm()
+	}
 
 	if *all || *table == 1 {
 		section("Table 1: power and area estimates")

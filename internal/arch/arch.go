@@ -23,6 +23,14 @@ type Machine struct {
 	VL uint64                // vector length, 1..128 (8-bit register)
 	VS int64                 // vector stride in bytes (64-bit register)
 	VM [isa.VLMax]bool       // vector mask
+
+	// Bump arenas behind Effect.Addrs / Effect.ElemIdx. Timing models keep
+	// those slice headers inside in-flight uops, so carved-out regions are
+	// never rewritten — a full arena is abandoned to the collector and a
+	// fresh chunk started. This amortises what used to be one (or two)
+	// slice allocations on every memory instruction in the trace hot path.
+	addrArena []uint64
+	idxArena  []uint8
 }
 
 // New returns a machine with vl=128, vs=8 (unit stride over quadwords) and
@@ -58,6 +66,46 @@ type Effect struct {
 	// Active is the number of elements that actually executed (vl minus
 	// masked-off elements).
 	Active int
+}
+
+// arenaChunk is the arena granularity in elements; the retained window is
+// bounded by the uops in flight plus the trace's channel buffer, so at most
+// a handful of chunks are live at once.
+const arenaChunk = 4096
+
+// newAddrs reserves room for n addresses and returns it as an empty slice to
+// append into. The region is exclusively the caller's: the arena only ever
+// advances past it.
+func (m *Machine) newAddrs(n int) []uint64 {
+	if len(m.addrArena)+n > cap(m.addrArena) {
+		c := arenaChunk
+		if n > c {
+			c = n
+		}
+		m.addrArena = make([]uint64, 0, c)
+	}
+	base := len(m.addrArena)
+	m.addrArena = m.addrArena[:base+n]
+	return m.addrArena[base:base : base+n]
+}
+
+// newIdxs is newAddrs for element indices.
+func (m *Machine) newIdxs(n int) []uint8 {
+	if len(m.idxArena)+n > cap(m.idxArena) {
+		c := arenaChunk
+		if n > c {
+			c = n
+		}
+		m.idxArena = make([]uint8, 0, c)
+	}
+	base := len(m.idxArena)
+	m.idxArena = m.idxArena[:base+n]
+	return m.idxArena[base:base : base+n]
+}
+
+// addr1 wraps a scalar memory address in an arena-backed one-element slice.
+func (m *Machine) addr1(ea uint64) []uint64 {
+	return append(m.newAddrs(1), ea)
 }
 
 func (m *Machine) rr(r isa.Reg) uint64 {
@@ -220,18 +268,18 @@ func (m *Machine) stepScalar(in *isa.Inst, info *isa.Info) Effect {
 	case isa.OpLDQ, isa.OpLDT:
 		ea := m.rr(in.Src2) + uint64(in.Imm)
 		m.wr(in.Dst, m.Mem.LoadQ(ea))
-		return Effect{Addrs: []uint64{ea}, Active: 1}
+		return Effect{Addrs: m.addr1(ea), Active: 1}
 	case isa.OpPREFQ:
 		ea := m.rr(in.Src2) + uint64(in.Imm)
-		return Effect{Addrs: []uint64{ea}, Active: 1}
+		return Effect{Addrs: m.addr1(ea), Active: 1}
 	case isa.OpSTQ, isa.OpSTT:
 		ea := m.rr(in.Src2) + uint64(in.Imm)
 		m.Mem.StoreQ(ea, m.rr(in.Src1))
-		return Effect{Addrs: []uint64{ea}, Active: 1}
+		return Effect{Addrs: m.addr1(ea), Active: 1}
 	case isa.OpWH64:
 		ea := (m.rr(in.Src2) + uint64(in.Imm)) &^ 63
 		m.Mem.ZeroLine(ea)
-		return Effect{Addrs: []uint64{ea}, Active: 1}
+		return Effect{Addrs: m.addr1(ea), Active: 1}
 
 	case isa.OpBR:
 		return Effect{Taken: true}
@@ -380,8 +428,8 @@ func (m *Machine) stepVS(in *isa.Inst) Effect {
 func (m *Machine) stepSM(in *isa.Inst, info *isa.Info) Effect {
 	vl := int(m.VL)
 	base := m.rr(in.Src2) + uint64(in.Imm)
-	addrs := make([]uint64, 0, vl)
-	idxs := make([]uint8, 0, vl)
+	addrs := m.newAddrs(vl)
+	idxs := m.newIdxs(vl)
 	for i := 0; i < vl; i++ {
 		if !m.active(in, i) {
 			continue
@@ -403,8 +451,8 @@ func (m *Machine) stepSM(in *isa.Inst, info *isa.Info) Effect {
 func (m *Machine) stepRM(in *isa.Inst, info *isa.Info) Effect {
 	vl := int(m.VL)
 	base := m.rr(in.Src2) + uint64(in.Imm)
-	addrs := make([]uint64, 0, vl)
-	idxs := make([]uint8, 0, vl)
+	addrs := m.newAddrs(vl)
+	idxs := m.newIdxs(vl)
 	for i := 0; i < vl; i++ {
 		if !m.active(in, i) {
 			continue

@@ -97,6 +97,19 @@ func (w *EventWheel) Advance(c uint64) {
 // Pending reports whether any events remain scheduled.
 func (w *EventWheel) Pending() bool { return len(w.events) > 0 }
 
+// Next returns the earliest cycle with a scheduled event, or ^uint64(0) when
+// the wheel is empty. The idle-cycle fast-forward uses it to bound how far
+// the simulator may jump without missing a completion.
+func (w *EventWheel) Next() uint64 {
+	next := ^uint64(0)
+	for c := range w.events {
+		if c < next {
+			next = c
+		}
+	}
+	return next
+}
+
 // ---- ready queue (oldest-first issue policy) ----
 
 // ReadyQueue is a min-heap of ready ops ordered by sequence number, so the

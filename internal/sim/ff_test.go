@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/stats"
+	"repro/internal/vasm"
+)
+
+// ffCase pairs a kernel with the configurations able to run it (vector
+// kernels need a Vbox).
+type ffCase struct {
+	name    string
+	kernel  vasm.Kernel
+	configs []*Config
+}
+
+// ffCases exercise every wake-up source the fast-forward hints must model:
+// vector port occupancy, Vbox dispatch backpressure, the L1/MSHR scalar load
+// path, write-buffer drains (DRAINM), branches, and the memory controller's
+// queuing. The mixed scalar-FP + vector-scalar kernel mirrors the pattern
+// (fft) that exposed the V-bus staging bug during development.
+func ffCases() []ffCase {
+	return []ffCase{
+		{"vector-arith", func(b *vasm.Builder) {
+			for i := 0; i < 64; i++ {
+				b.VV(isa.OpVADDQ, isa.V(i%8), isa.V(8+i%8), isa.V(16+i%8))
+			}
+			b.Halt()
+		}, []*Config{T()}},
+		{"mixed-scalar-vector", func(b *vasm.Builder) {
+			base := b.AllocF64(4096, 0)
+			b.Li(isa.R(1), int64(base))
+			b.SetVLImm(isa.R(9), 64)
+			b.Loop(isa.R(2), 16, func(iter int) {
+				b.LdT(isa.F(1), isa.R(1), int64(iter*8))
+				b.Op3(isa.OpADDT, isa.F(2), isa.F(1), isa.F(1))
+				b.Op3(isa.OpMULT, isa.F(3), isa.F(2), isa.F(1))
+				b.VLdQ(isa.V(1), isa.R(1), int64(iter*512))
+				b.VS(isa.OpVSMULT, isa.V(2), isa.V(1), isa.F(3))
+				b.VV(isa.OpVADDT, isa.V(3), isa.V(2), isa.V(1))
+				b.VStQ(isa.V(3), isa.R(1), int64(iter*512))
+				b.StT(isa.F(3), isa.R(1), int64(iter*8))
+			})
+			b.DrainM()
+			b.Halt()
+		}, []*Config{T()}},
+		{"vector-memory-bound", func(b *vasm.Builder) {
+			// Strided traffic well past the L2: long Zbox waits are exactly
+			// the windows the fast-forward jumps over.
+			base := b.AllocF64(1<<17, 0)
+			b.Li(isa.R(1), int64(base))
+			b.SetVLImm(isa.R(9), 128)
+			b.SetVSImm(isa.R(10), 1024)
+			b.Loop(isa.R(2), 8, func(iter int) {
+				b.VLdQ(isa.V(1), isa.R(1), int64(iter*8))
+				b.VV(isa.OpVADDT, isa.V(2), isa.V(1), isa.V(1))
+				b.VStQ(isa.V(2), isa.R(1), int64(iter*8))
+			})
+			b.Halt()
+		}, []*Config{T()}},
+		{"scalar-loads-and-stores", func(b *vasm.Builder) {
+			base := b.AllocF64(1<<15, 0)
+			b.Li(isa.R(1), int64(base))
+			b.Loop(isa.R(2), 64, func(iter int) {
+				b.LdT(isa.F(1), isa.R(1), int64(iter*512))
+				b.Op3(isa.OpADDT, isa.F(2), isa.F(1), isa.F(1))
+				b.StT(isa.F(2), isa.R(1), int64(iter*512+8))
+			})
+			b.DrainM()
+			b.Halt()
+		}, []*Config{T(), EV8()}},
+	}
+}
+
+func runFF(cfg *Config, k vasm.Kernel, ff bool) *stats.Stats {
+	chip := New(cfg)
+	chip.SetFastForward(ff)
+	m := arch.New(mem.New())
+	tr := vasm.NewTrace(m, k)
+	defer tr.Close()
+	chip.RunTrace(tr)
+	return chip.Stats
+}
+
+// TestFastForwardHintsSound single-steps each kernel while auditing every
+// fast-forward hint: if any statistic changes inside a window a NextWake
+// claimed was idle, a real jump would have skipped real work.
+func TestFastForwardHintsSound(t *testing.T) {
+	for _, c := range ffCases() {
+		for _, cfg := range c.configs {
+			setFFVerify(true)
+			runFF(cfg, c.kernel, false) // single-step so the audit sees every cycle
+			for _, v := range setFFVerify(false) {
+				t.Errorf("%s/%s: %s", cfg.Name, c.name, v)
+			}
+		}
+	}
+}
+
+// TestFastForwardBitIdentical runs each kernel with the fast-forward on and
+// off and requires the complete statistics records to match exactly — the
+// optimisation must be invisible in simulated time.
+func TestFastForwardBitIdentical(t *testing.T) {
+	for _, c := range ffCases() {
+		for _, cfg := range c.configs {
+			on := runFF(cfg, c.kernel, true)
+			off := runFF(cfg, c.kernel, false)
+			if *on != *off {
+				t.Errorf("%s/%s: fast-forward changed the statistics:\n  on:  %+v\n  off: %+v",
+					cfg.Name, c.name, *on, *off)
+			}
+		}
+	}
+}

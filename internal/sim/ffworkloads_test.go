@@ -1,0 +1,40 @@
+// The fast-forward A/B guard over real paper workloads lives in an external
+// test package: workloads imports sim, so an in-package test could not.
+package sim_test
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// TestFastForwardABOnWorkloads runs full paper benchmarks with the
+// fast-forward on and off and requires identical cycle and retired-operation
+// counts. The set covers an L2-resident kernel (rndcopy), a memory-bound
+// stream (streams_copy), and fft — whose mixed scalar/vector dispatch
+// pattern caught a wake-hint bug during development.
+func TestFastForwardABOnWorkloads(t *testing.T) {
+	defer func() { sim.FastForward = true }()
+	for _, name := range []string{"rndcopy", "streams_copy", "fft"} {
+		b, err := workloads.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cfg := range []*sim.Config{sim.T(), sim.EV8()} {
+			run := func(ff bool) *workloads.Result {
+				sim.FastForward = ff
+				res, err := b.Run(cfg, workloads.Test)
+				if err != nil {
+					t.Fatalf("%s on %s (ff=%v): %v", name, cfg.Name, ff, err)
+				}
+				return res
+			}
+			on, off := run(true), run(false)
+			if *on.Stats != *off.Stats {
+				t.Errorf("%s on %s: fast-forward changed the statistics:\n  on:  %+v\n  off: %+v",
+					name, cfg.Name, *on.Stats, *off.Stats)
+			}
+		}
+	}
+}

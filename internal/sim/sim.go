@@ -43,8 +43,41 @@ type Chip struct {
 
 	now uint64 // global cycle, shared across RunTrace phases
 
+	ff bool // idle-cycle fast-forward enabled
+
 	sampleEvery uint64
 	onSample    func(Sample)
+}
+
+// FastForward is the package-wide default for the idle-cycle fast-forward:
+// when every component reports it is blocked on a scheduled completion event,
+// the simulator jumps the clock straight to the earliest such event instead
+// of ticking through dead cycles. The optimisation is a pure wall-clock win —
+// retired-instruction counts, Stats.Cycles and every queue-contention effect
+// are bit-identical to single-stepping (see the A/B guard test). Chips
+// snapshot the value at New; flip a single chip with SetFastForward.
+var FastForward = true
+
+// ffVerify, when enabled (tests only), runs the simulator single-stepped but
+// still computes every fast-forward hint, checking that no statistic changes
+// inside a window the hints claimed was idle. A violation means a NextWake
+// returned a too-late cycle — exactly the class of bug that would silently
+// skew results.
+var (
+	ffVerify     bool
+	ffViolations []string
+	ffSkipFrom   uint64
+	ffSkipTo     uint64
+	ffStatsAt    stats.Stats
+)
+
+// setFFVerify arms or disarms hint verification and returns the violations
+// recorded so far (used by the soundness guard test).
+func setFFVerify(on bool) []string {
+	ffVerify, ffSkipFrom = on, 0
+	v := ffViolations
+	ffViolations = nil
+	return v
 }
 
 // New assembles a chip from cfg.
@@ -62,8 +95,12 @@ func New(cfg *Config) *Chip {
 	if vb != nil {
 		vb.OnDone = c.VectorDone
 	}
-	return &Chip{Cfg: cfg, Stats: st, z: z, l2: l2c, vb: vb, c: c}
+	return &Chip{Cfg: cfg, Stats: st, z: z, l2: l2c, vb: vb, c: c, ff: FastForward}
 }
+
+// SetFastForward overrides the package default for this chip (the sampler
+// also disables it implicitly, since samples are taken on fixed cycles).
+func (ch *Chip) SetFastForward(on bool) { ch.ff = on }
 
 // watchdogWindow is how many cycles of zero progress trip the deadlock
 // detector.
@@ -87,10 +124,43 @@ func (ch *Chip) RunTrace(tr *vasm.Trace) {
 	ch.runBound()
 }
 
+// nextWake returns the earliest cycle after now at which any component can
+// change state, short-circuiting as soon as one component wants the very next
+// cycle. All completion wheels key events by exact cycle, so jumping the
+// clock to this value (and no further) fires every event single-stepping
+// would have fired, in the same order.
+func (ch *Chip) nextWake(now uint64) uint64 {
+	wake := ch.c.NextWake(now)
+	if wake == now+1 {
+		return wake
+	}
+	if w := ch.z.NextWake(now); w < wake {
+		wake = w
+	}
+	if wake == now+1 {
+		return wake
+	}
+	if w := ch.l2.NextWake(now); w < wake {
+		wake = w
+	}
+	if wake == now+1 {
+		return wake
+	}
+	if ch.vb != nil {
+		if w := ch.vb.NextWake(now); w < wake {
+			wake = w
+		}
+	}
+	return wake
+}
+
 func (ch *Chip) runBound() {
 	start := ch.now
 	lastProgress := ch.now
 	lastRetired := uint64(0)
+	// The sampler observes the machine on fixed cycles, so fast-forwarding
+	// (which skips observably-idle cycles) would drop samples.
+	ff := ch.ff && !(ch.onSample != nil && ch.sampleEvery > 0)
 	for !ch.c.Halted() {
 		ch.now++
 		cy := ch.now
@@ -109,6 +179,40 @@ func (ch *Chip) runBound() {
 			panic(fmt.Sprintf("sim(%s): no retirement progress for %d cycles at cycle %d (%d insts retired)",
 				ch.Cfg.Name, watchdogWindow, cy, lastRetired))
 		}
+
+		if ffVerify {
+			if ffSkipFrom != 0 {
+				if *ch.Stats != ffStatsAt && cy < ffSkipTo {
+					ffViolations = append(ffViolations,
+						fmt.Sprintf("%s: hint at cy=%d claimed idle until %d, but stats changed at cy=%d",
+							ch.Cfg.Name, ffSkipFrom, ffSkipTo, cy))
+					ffSkipFrom = 0
+				} else if cy >= ffSkipTo-1 {
+					ffSkipFrom = 0
+				}
+			}
+			if ffSkipFrom == 0 && !ch.c.Halted() {
+				if wake := ch.nextWake(cy); wake > cy+1 {
+					ffSkipFrom, ffSkipTo = cy, wake
+					ffStatsAt = *ch.Stats
+				}
+			}
+		}
+		// The jump must not move the clock once the loop is about to exit —
+		// HALT retiring this very cycle means the machine is done, not idle.
+		if ff && !ch.c.Halted() {
+			if wake := ch.nextWake(cy); wake > cy+1 {
+				// Never jump past the watchdog boundary: a genuinely wedged
+				// machine must still trip the panic at the same cycle a
+				// single-stepped run would.
+				if limit := lastProgress + watchdogWindow + 1; wake > limit {
+					wake = limit
+				}
+				if wake > cy+1 {
+					ch.now = wake - 1 // the loop header ticks cycle `wake`
+				}
+			}
+		}
 	}
 	// Timing stops when HALT retires, like a STREAM timer. Phase cycles are
 	// accumulated so an ROI phase reports only its own duration.
@@ -126,6 +230,19 @@ func (ch *Chip) runBound() {
 			ch.vb.Tick(cy)
 		}
 		ch.c.Tick(cy)
+		// Same exit guard as above: once the machine goes quiescent the loop
+		// must stop with ch.now exactly where single-stepping would leave it
+		// (ch.now seeds the next ROI phase's clock).
+		if ff && (ch.z.Busy() || ch.l2.Busy() || ch.c.Busy() || (ch.vb != nil && ch.vb.Busy())) {
+			if wake := ch.nextWake(cy); wake > cy+1 {
+				if limit := haltCy + 10_000_000; wake > limit {
+					wake = limit
+				}
+				if wake > cy+1 {
+					ch.now = wake - 1
+				}
+			}
+		}
 	}
 }
 

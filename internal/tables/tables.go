@@ -8,7 +8,9 @@ package tables
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
 
 	"repro/internal/power"
 	"repro/internal/sim"
@@ -17,41 +19,139 @@ import (
 )
 
 // Runner executes benchmarks on demand and memoises results, since Figures
-// 6–9 share many (benchmark, machine) pairs.
+// 6–9 share many (benchmark, machine) pairs. Distinct pairs run concurrently
+// on a bounded worker pool; each pair runs exactly once (duplicate requests
+// wait for the first), and every table/figure assembles its rows in the same
+// deterministic order as a sequential run.
 type Runner struct {
-	Scale   workloads.Scale
-	results map[string]*workloads.Result
+	Scale workloads.Scale
 	// Quiet suppresses progress output.
 	Quiet bool
+	// Parallel caps how many simulations run concurrently. NewRunner
+	// defaults it to GOMAXPROCS; set 1 to run everything sequentially on
+	// the calling goroutine.
+	Parallel int
+
+	mu      sync.Mutex
+	results map[string]*call
+	sem     chan struct{}
+	semOnce sync.Once
+	outMu   sync.Mutex // serialises progress lines from the workers
+}
+
+// call is a singleflight slot for one (benchmark, machine) pair: the first
+// requester computes, everyone else waits on done.
+type call struct {
+	done chan struct{}
+	res  *workloads.Result
+	err  error
 }
 
 // NewRunner returns a memoising runner at the given scale.
 func NewRunner(s workloads.Scale) *Runner {
-	return &Runner{Scale: s, results: make(map[string]*workloads.Result)}
+	return &Runner{Scale: s, Parallel: runtime.GOMAXPROCS(0), results: make(map[string]*call)}
 }
 
-func (r *Runner) run(bench string, cfg *sim.Config) (*workloads.Result, error) {
+// lookup returns the pair's singleflight slot, creating it if needed; owner
+// reports whether the caller created it (and so must execute the run).
+func (r *Runner) lookup(bench string, cfg *sim.Config) (c *call, owner bool) {
 	key := bench + "@" + cfg.Name
-	if res, ok := r.results[key]; ok {
-		return res, nil
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.results[key]; ok {
+		return c, false
 	}
+	c = &call{done: make(chan struct{})}
+	r.results[key] = c
+	return c, true
+}
+
+// exec runs the pair and publishes the result into its slot.
+func (r *Runner) exec(c *call, bench string, cfg *sim.Config) {
+	defer close(c.done)
 	b, err := workloads.Get(bench)
 	if err != nil {
-		return nil, err
+		c.err = err
+		return
 	}
-	if !r.Quiet {
+	seq := r.Parallel <= 1
+	if !r.Quiet && seq {
 		fmt.Printf("  running %-14s on %-10s ...", bench, cfg.Name)
 	}
 	res, err := b.Run(cfg, r.Scale)
 	if err != nil {
-		return nil, err
+		c.err = err
+		return
 	}
 	if !r.Quiet {
 		opc, _, _, _ := res.OPC()
-		fmt.Printf(" %12d cycles  opc %6.2f\n", res.Stats.Cycles, opc)
+		if seq {
+			fmt.Printf(" %12d cycles  opc %6.2f\n", res.Stats.Cycles, opc)
+		} else {
+			// Concurrent runs report a whole line at completion so lines
+			// never interleave mid-row (order across pairs may vary).
+			r.outMu.Lock()
+			fmt.Printf("  running %-14s on %-10s ... %12d cycles  opc %6.2f\n",
+				bench, cfg.Name, res.Stats.Cycles, opc)
+			r.outMu.Unlock()
+		}
 	}
-	r.results[key] = res
-	return res, nil
+	c.res = res
+}
+
+// start schedules the pair on the worker pool if it is not already running
+// or memoised. A no-op in sequential mode — run computes inline there.
+func (r *Runner) start(bench string, cfg *sim.Config) {
+	if r.Parallel <= 1 {
+		return
+	}
+	c, owner := r.lookup(bench, cfg)
+	if !owner {
+		return
+	}
+	r.semOnce.Do(func() { r.sem = make(chan struct{}, r.Parallel) })
+	go func() {
+		r.sem <- struct{}{}
+		defer func() { <-r.sem }()
+		r.exec(c, bench, cfg)
+	}()
+}
+
+// run blocks until the pair's result is available, computing it inline when
+// nothing has scheduled it yet.
+func (r *Runner) run(bench string, cfg *sim.Config) (*workloads.Result, error) {
+	if r.Parallel > 1 {
+		r.start(bench, cfg)
+	}
+	c, owner := r.lookup(bench, cfg)
+	if owner { // sequential mode only: start() owns the slot otherwise
+		r.exec(c, bench, cfg)
+	}
+	<-c.done
+	return c.res, c.err
+}
+
+// Prewarm schedules every (benchmark, machine) pair the full evaluation
+// (tartables -all) needs, so the worker pool crosses section boundaries
+// instead of draining at the end of each table. A no-op in sequential mode.
+func (r *Runner) Prewarm() {
+	for _, name := range table4Kernels {
+		r.start(name, sim.T())
+	}
+	for _, name := range workloads.Names() {
+		if b, _ := workloads.Get(name); b != nil && b.Class == "Extensions" {
+			continue
+		}
+		r.start(name, sim.T())
+	}
+	for _, name := range workloads.Figure6Set() {
+		r.start(name, sim.EV8())
+		r.start(name, sim.EV8Plus())
+		r.start(name, sim.T())
+		r.start(name, sim.T4())
+		r.start(name, sim.T10())
+		r.start(name, sim.NoPump(sim.T()))
+	}
 }
 
 // ---- Table 1 ----
@@ -133,6 +233,12 @@ type Table4Row struct {
 	PaperStreams, PaperRaw float64
 }
 
+// table4Kernels lists the bandwidth microkernels in presentation order.
+var table4Kernels = []string{
+	"streams_copy", "streams_scale", "streams_add", "streams_triadd",
+	"rndcopy", "rndmemscale",
+}
+
 var table4Paper = map[string][2]float64{
 	"streams_copy":   {42983, 64475},
 	"streams_scale":  {41689, 62492},
@@ -146,11 +252,11 @@ var table4Paper = map[string][2]float64{
 // bandwidth in the STREAMS convention and raw controller traffic.
 func (r *Runner) Table4() ([]Table4Row, error) {
 	cfg := sim.T()
+	for _, name := range table4Kernels {
+		r.start(name, cfg)
+	}
 	var rows []Table4Row
-	for _, name := range []string{
-		"streams_copy", "streams_scale", "streams_add", "streams_triadd",
-		"rndcopy", "rndmemscale",
-	} {
+	for _, name := range table4Kernels {
 		res, err := r.run(name, cfg)
 		if err != nil {
 			return nil, err
@@ -196,6 +302,9 @@ type Fig6Row struct {
 
 // Fig6 runs every evaluation benchmark on Tarantula.
 func (r *Runner) Fig6() ([]Fig6Row, error) {
+	for _, name := range workloads.Figure6Set() {
+		r.start(name, sim.T())
+	}
 	var rows []Fig6Row
 	for _, name := range workloads.Figure6Set() {
 		res, err := r.run(name, sim.T())
@@ -229,6 +338,11 @@ type Fig7Row struct {
 
 // Fig7 runs each benchmark on EV8, EV8+ and T.
 func (r *Runner) Fig7() ([]Fig7Row, error) {
+	for _, name := range workloads.Figure6Set() {
+		r.start(name, sim.EV8())
+		r.start(name, sim.EV8Plus())
+		r.start(name, sim.T())
+	}
 	var rows []Fig7Row
 	for _, name := range workloads.Figure6Set() {
 		base, err := r.run(name, sim.EV8())
@@ -278,6 +392,11 @@ type Fig8Row struct {
 
 // Fig8 runs each benchmark on T, T4 and T10.
 func (r *Runner) Fig8() ([]Fig8Row, error) {
+	for _, name := range workloads.Figure6Set() {
+		r.start(name, sim.T())
+		r.start(name, sim.T4())
+		r.start(name, sim.T10())
+	}
 	var rows []Fig8Row
 	for _, name := range workloads.Figure6Set() {
 		t, err := r.run(name, sim.T())
@@ -325,6 +444,10 @@ type Fig9Row struct {
 
 // Fig9 disables stride-1 double-bandwidth mode and reruns on T.
 func (r *Runner) Fig9() ([]Fig9Row, error) {
+	for _, name := range workloads.Figure6Set() {
+		r.start(name, sim.T())
+		r.start(name, sim.NoPump(sim.T()))
+	}
 	var rows []Fig9Row
 	for _, name := range workloads.Figure6Set() {
 		t, err := r.run(name, sim.T())
@@ -377,6 +500,11 @@ var table2Paper = map[string]float64{
 // Table2 runs every benchmark on Tarantula and reports the measured
 // vectorisation percentage next to the paper's column.
 func (r *Runner) Table2() ([]Table2Row, error) {
+	for _, name := range workloads.Names() {
+		if b, _ := workloads.Get(name); b != nil && b.Class != "Extensions" {
+			r.start(name, sim.T())
+		}
+	}
 	var rows []Table2Row
 	for _, name := range workloads.Names() {
 		b, _ := workloads.Get(name)

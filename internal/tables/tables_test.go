@@ -80,3 +80,36 @@ func TestFig9SubsetShape(t *testing.T) {
 			rel["linpack100"], rel["dgemm"])
 	}
 }
+
+// TestParallelSweepDeterministic runs the same sweep sequentially and on a
+// 4-worker pool and requires byte-identical formatted output and identical
+// memoised statistics — parallelism must be invisible in the results.
+func TestParallelSweepDeterministic(t *testing.T) {
+	seq := NewRunner(workloads.Test)
+	seq.Quiet, seq.Parallel = true, 1
+	par := NewRunner(workloads.Test)
+	par.Quiet, par.Parallel = true, 4
+
+	seqRows, err := seq.Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parRows, err := par.Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, p := FormatTable4(seqRows), FormatTable4(parRows); s != p {
+		t.Errorf("parallel Table 4 differs from sequential:\nseq:\n%s\npar:\n%s", s, p)
+	}
+	for key, sc := range seq.results {
+		pc, ok := par.results[key]
+		if !ok {
+			t.Errorf("parallel runner never ran %s", key)
+			continue
+		}
+		if *sc.res.Stats != *pc.res.Stats {
+			t.Errorf("%s: parallel run changed the statistics:\nseq: %+v\npar: %+v",
+				key, *sc.res.Stats, *pc.res.Stats)
+		}
+	}
+}

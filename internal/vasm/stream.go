@@ -16,6 +16,7 @@ const batchSize = 4096
 // abandons the trace early; Next returning nil means the kernel finished.
 type Trace struct {
 	ch   chan []DynInst
+	free chan []DynInst // exhausted batches recycled back to the producer
 	done chan struct{}
 	cur  []DynInst
 	pos  int
@@ -28,6 +29,7 @@ type traceAbort struct{}
 func NewTrace(m *arch.Machine, kernel Kernel) *Trace {
 	t := &Trace{
 		ch:   make(chan []DynInst, 2),
+		free: make(chan []DynInst, 2),
 		done: make(chan struct{}),
 	}
 	go func() {
@@ -39,7 +41,15 @@ func NewTrace(m *arch.Machine, kernel Kernel) *Trace {
 				}
 			}
 		}()
-		batch := make([]DynInst, 0, batchSize)
+		newBatch := func() []DynInst {
+			select {
+			case b := <-t.free:
+				return b[:0]
+			default:
+				return make([]DynInst, 0, batchSize)
+			}
+		}
+		batch := newBatch()
 		b := NewBuilder(m, func(d *DynInst) {
 			batch = append(batch, *d)
 			if len(batch) == batchSize {
@@ -48,7 +58,7 @@ func NewTrace(m *arch.Machine, kernel Kernel) *Trace {
 				case <-t.done:
 					panic(traceAbort{})
 				}
-				batch = make([]DynInst, 0, batchSize)
+				batch = newBatch()
 			}
 		})
 		kernel(b)
@@ -63,13 +73,20 @@ func NewTrace(m *arch.Machine, kernel Kernel) *Trace {
 }
 
 // Next returns the next dynamic instruction, or nil at end of trace. The
-// returned pointer is valid until the following batch boundary is crossed;
-// the timing models copy what they retain.
+// returned pointer is valid only until the following batch boundary is
+// crossed — the exhausted batch is handed back to the producer for reuse
+// there — so the timing models copy what they retain.
 func (t *Trace) Next() *DynInst {
 	for t.pos >= len(t.cur) {
 		batch, ok := <-t.ch
 		if !ok {
 			return nil
+		}
+		if t.cur != nil {
+			select {
+			case t.free <- t.cur:
+			default:
+			}
 		}
 		t.cur, t.pos = batch, 0
 	}

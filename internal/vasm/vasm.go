@@ -28,6 +28,11 @@ type Builder struct {
 	seq      uint64
 	nextSite uint32
 	heap     uint64 // bump allocator over simulated memory
+
+	// scratch is the DynInst handed to the sink; routing every emit through
+	// one field keeps the per-instruction record off the heap (the sink
+	// copies it, per the Trace.Next contract).
+	scratch DynInst
 }
 
 // NewBuilder returns a Builder bound to machine m; every executed
@@ -57,7 +62,8 @@ func (b *Builder) EmitAt(in isa.Inst, site uint32) arch.Effect {
 func (b *Builder) emitAt(in isa.Inst, site uint32) arch.Effect {
 	eff := b.M.Step(&in)
 	b.seq++
-	b.emit(&DynInst{Seq: b.seq, Site: site, Inst: in, Eff: eff})
+	b.scratch = DynInst{Seq: b.seq, Site: site, Inst: in, Eff: eff}
+	b.emit(&b.scratch)
 	return eff
 }
 
