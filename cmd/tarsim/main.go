@@ -9,6 +9,10 @@
 //
 // Configurations: EV8, EV8+, T, T4, T10 (Table 3); add -nopump to disable
 // stride-1 double-bandwidth mode (the Figure 9 ablation).
+//
+// Integrity flags: -check runs the microarchitectural invariant checker,
+// -deadline bounds the run's wall-clock time, and -faults N arms the
+// deterministic latency-jitter fault campaign with seed N (0 = off).
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 	"runtime/pprof"
 
 	"repro/internal/arch"
+	"repro/internal/faults"
 	"repro/internal/mem"
 	"repro/internal/sim"
 	"repro/internal/vasm"
@@ -35,6 +40,9 @@ func main() {
 	list := flag.Bool("list", false, "list benchmarks and exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	checkFlag := flag.Bool("check", false, "run the microarchitectural invariant checker (single-stepped)")
+	deadline := flag.Duration("deadline", 0, "wall-clock budget for the run (0 = none), e.g. 2m")
+	faultSeed := flag.Int64("faults", 0, "seed for the deterministic latency-jitter fault campaign (0 = off)")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -84,6 +92,15 @@ func main() {
 	if *nopump {
 		cfg = sim.NoPump(cfg)
 	}
+	if *checkFlag || *deadline > 0 || *faultSeed != 0 {
+		cc := *cfg
+		cc.Check = *checkFlag
+		cc.Deadline = *deadline
+		if *faultSeed != 0 {
+			cc.Faults = faults.Jitter(*faultSeed)
+		}
+		cfg = &cc
+	}
 	b, err := workloads.Get(*bench)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -95,7 +112,7 @@ func main() {
 	}
 	res, err := b.Run(cfg, scale)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "functional check failed:", err)
+		fmt.Fprintln(os.Stderr, "tarsim:", err)
 		os.Exit(1)
 	}
 	opc, fpc, mpc, other := res.OPC()

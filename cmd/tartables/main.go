@@ -10,6 +10,11 @@
 // Scales: test (seconds), bench (default, tens of seconds to minutes),
 // full (minutes to tens of minutes). See EXPERIMENTS.md for the recorded
 // bench-scale outputs and the paper comparison.
+//
+// Integrity flags: -check runs every cell under the invariant checker,
+// -deadline bounds each cell's wall-clock time (wedged cells become error
+// rows), and -faults N arms a seeded stall-storm campaign against a
+// deterministic quarter of the cells to exercise that isolation.
 package main
 
 import (
@@ -19,6 +24,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 
+	"repro/internal/faults"
 	"repro/internal/floorplan"
 	"repro/internal/tables"
 	"repro/internal/workloads"
@@ -32,6 +38,10 @@ func main() {
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "max simulations to run concurrently (1 = sequential)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	checkFlag := flag.Bool("check", false, "run every cell under the invariant checker (single-stepped, slower)")
+	deadline := flag.Duration("deadline", 0, "wall-clock budget per cell (0 = none), e.g. 90s")
+	faultSeed := flag.Int64("faults", 0, "seed for the stall-storm fault campaign (0 = off)")
+	watchdog := flag.Uint64("watchdog", 0, "cycles without retirement before a cell is declared wedged (0 = default)")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -64,6 +74,12 @@ func main() {
 	}
 	r := tables.NewRunner(scale)
 	r.Parallel = *parallel
+	r.Check = *checkFlag
+	r.Deadline = *deadline
+	r.Watchdog = *watchdog
+	if *faultSeed != 0 {
+		r.Faults = faults.Storm(*faultSeed, 0)
+	}
 	if *all {
 		// Schedule the whole sweep up front so the worker pool stays full
 		// across table/figure boundaries.

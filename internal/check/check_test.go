@@ -1,0 +1,95 @@
+package check
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestNilCheckerNoOps: components call every method unconditionally, so the
+// disabled (nil) checker must accept all of them.
+func TestNilCheckerNoOps(t *testing.T) {
+	var c *Checker
+	if c.Enabled() {
+		t.Error("nil checker reports enabled")
+	}
+	c.Record("event %d", 1)
+	c.Failf("x", 10, "boom")
+	c.RetireInOrder(10, 0, 1)
+	if c.Violated() || c.Violation() != nil {
+		t.Error("nil checker recorded a violation")
+	}
+}
+
+// TestFirstViolationWins: knock-on failures must not overwrite the original
+// divergence.
+func TestFirstViolationWins(t *testing.T) {
+	c := New()
+	c.Failf("store-queue", 100, "first")
+	c.Failf("retire-order", 200, "second")
+	v := c.Violation()
+	if v == nil || v.Invariant != "store-queue" || v.Cycle != 100 || v.Detail != "first" {
+		t.Errorf("got %+v, want the first violation", v)
+	}
+	if !strings.Contains(v.Error(), "store-queue") || !strings.Contains(v.Error(), "cycle 100") {
+		t.Errorf("Error() = %q missing invariant or cycle", v.Error())
+	}
+}
+
+// TestHistoryBounded: the ring keeps only the newest 64 events, oldest first.
+func TestHistoryBounded(t *testing.T) {
+	c := New()
+	for i := 0; i < 200; i++ {
+		c.Record("event %d", i)
+	}
+	c.Failf("x", 1, "overflow check")
+	h := c.Violation().History
+	if len(h) != 64 {
+		t.Fatalf("history length %d, want 64", len(h))
+	}
+	if h[0] != "event 136" || h[63] != "event 199" {
+		t.Errorf("history window [%q .. %q], want [event 136 .. event 199]", h[0], h[63])
+	}
+}
+
+// TestHistoryFrozenAtViolation: events after the verdict must not rotate the
+// evidence out of the ring.
+func TestHistoryFrozenAtViolation(t *testing.T) {
+	c := New()
+	c.Record("before")
+	c.Failf("x", 1, "stop")
+	c.Record("after")
+	h := c.Violation().History
+	if len(h) != 1 || h[0] != "before" {
+		t.Errorf("history = %v, want the single pre-violation event", h)
+	}
+}
+
+// TestRetireInOrder validates the ROB contract check: strictly increasing
+// per-thread sequence numbers, with threads independent of each other.
+func TestRetireInOrder(t *testing.T) {
+	c := New()
+	c.RetireInOrder(10, 0, 5)
+	c.RetireInOrder(11, 1, 3) // other thread, lower global seq: fine
+	c.RetireInOrder(12, 0, 6)
+	if c.Violated() {
+		t.Fatalf("in-order retirement flagged: %v", c.Violation())
+	}
+	c.RetireInOrder(13, 0, 6) // duplicate seq on thread 0
+	v := c.Violation()
+	if v == nil || v.Invariant != "retire-order" {
+		t.Fatalf("out-of-order retirement not caught: %+v", v)
+	}
+	if len(v.History) == 0 {
+		t.Error("violation carries no event history")
+	}
+	for i, want := range []string{
+		fmt.Sprintf("cy=%d t0 retire seq=5", 10),
+		fmt.Sprintf("cy=%d t1 retire seq=3", 11),
+		fmt.Sprintf("cy=%d t0 retire seq=6", 12),
+	} {
+		if v.History[i] != want {
+			t.Errorf("history[%d] = %q, want %q", i, v.History[i], want)
+		}
+	}
+}

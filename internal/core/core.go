@@ -15,6 +15,8 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/check"
+	"repro/internal/faults"
 	"repro/internal/isa"
 	"repro/internal/l2"
 	"repro/internal/pipe"
@@ -47,6 +49,10 @@ type Config struct {
 	DrainPenalty int // replay-trap cost after a DrainM completes
 
 	VBusWidth int // vector instructions dispatched to the Vbox per cycle
+
+	// Faults, when non-nil, is the chip's deterministic fault injector
+	// (sim.New installs it); it can freeze the issue stage for a cycle.
+	Faults *faults.Injector
 }
 
 // VectorUnit is the Vbox as the core sees it across the narrow interface.
@@ -124,6 +130,12 @@ type Core struct {
 	mshrPref map[uint64]bool        // lines with a prefetch-only fill in flight
 
 	uopPool []*pipe.UOp // recycled records (safe: all references cleared at retire)
+
+	// Invariant checking (nil when disabled).
+	chk         *check.Checker
+	lastRetSeq  uint64 // sequence number of the most recently retired op
+	lastRetSite uint32 // static-site id (PC stand-in) of that op
+	retCount    uint64 // retirements since checking began (paces inclusion walks)
 }
 
 type wbEntry struct {
@@ -168,6 +180,25 @@ func (c *Core) BindSMT(trs []*vasm.Trace) {
 			addrOffset:  uint64(i) << 44,
 		})
 	}
+}
+
+// SetChecker attaches the invariant checker. The core owns the invariant
+// logic (it has the microarchitectural state); the checker owns the verdict
+// and the event history.
+func (c *Core) SetChecker(chk *check.Checker) { c.chk = chk }
+
+// Depths reports the core's queue occupancy for failure diagnostics.
+func (c *Core) Depths() (rob, ready, blocked, writeBuf, mshr int) {
+	for _, t := range c.threads {
+		rob += len(t.rob)
+	}
+	return rob, c.ready.Len(), len(c.blocked), len(c.writeBuf), len(c.mshr)
+}
+
+// LastRetired returns the sequence number and static-site id (the PC
+// stand-in) of the most recently retired instruction.
+func (c *Core) LastRetired() (seq uint64, site uint32) {
+	return c.lastRetSeq, c.lastRetSite
 }
 
 // Halted reports whether every thread's HALT marker has retired.
@@ -336,6 +367,18 @@ func (c *Core) retire(cy uint64) {
 				}
 				if len(u.Eff.Addrs) > 0 {
 					addr := u.Eff.Addrs[0]
+					if c.chk.Enabled() {
+						// Store-queue consistency: the disambiguation map
+						// holds the YOUNGEST in-flight store per address. The
+						// retiring store is its thread's oldest in-flight op,
+						// so an older mapped store means forwarding could
+						// have supplied stale data to some load.
+						if st, ok := t.storeByAddr[addr]; ok && st.Seq < u.Seq {
+							c.chk.Failf("store-queue", cy,
+								"retiring store seq %d finds older store seq %d still mapped at %#x",
+								u.Seq, st.Seq, addr)
+						}
+					}
 					c.writeBuf = append(c.writeBuf, wbEntry{addr: addr, wh64: in.Op == isa.OpWH64})
 					if st, ok := t.storeByAddr[addr]; ok && st == u {
 						delete(t.storeByAddr, addr)
@@ -346,6 +389,16 @@ func (c *Core) retire(cy uint64) {
 				break
 			}
 			c.countRetired(u)
+			c.lastRetSeq, c.lastRetSite = u.Seq, u.Site
+			if c.chk.Enabled() {
+				c.chk.RetireInOrder(cy, int(t.id), u.Seq)
+				c.retCount++
+				// L1⊆L2 inclusion is a whole-cache property; walking it per
+				// retirement would swamp the run, so sample every 256th.
+				if c.retCount&255 == 0 {
+					c.checkInclusion(cy)
+				}
+			}
 			u.State = pipe.StateRetired
 			t.rob = t.rob[1:]
 			retired++
@@ -403,9 +456,25 @@ func (c *Core) recycle(t *threadState, u *pipe.UOp) {
 	c.uopPool = append(c.uopPool, u)
 }
 
+// checkInclusion validates L1 ⊆ L2: every non-prefetch scalar access marks
+// its L2 line with the P-bit, and evicting a P-bit line invalidates the L1
+// copy — so a valid L1 line with no L2 backing means that protocol broke.
+func (c *Core) checkInclusion(cy uint64) {
+	c.l1.walk(func(line uint64) bool {
+		if !c.l2.Present(line) {
+			c.chk.Failf("l1-inclusion", cy, "L1 holds line %#x but the L2 does not", line)
+			return false
+		}
+		return true
+	})
+}
+
 // ---- issue ----
 
 func (c *Core) issue(cy uint64) {
+	if c.cfg.Faults.StallFUs(cy) {
+		return // injected issue-logic stall: every FU pool frozen this cycle
+	}
 	issued := 0
 	budget := c.cfg.FetchWidth // total issue width (8, Table 3 "Core Issue")
 	// Structurally blocked ops from earlier cycles are oldest: retry them

@@ -93,6 +93,19 @@ func (c *l1cache) fill(line uint64, dirty bool) (victim uint64, victimDirty bool
 	return victim, victimDirty
 }
 
+// walk calls fn for every valid line, stopping early if fn returns false.
+// It reads tags only — no LRU touch — so the invariant checker's inclusion
+// sweep cannot perturb replacement order.
+func (c *l1cache) walk(fn func(line uint64) bool) {
+	for _, s := range c.sets {
+		for i := range s {
+			if s[i].valid && !fn(s[i].tag) {
+				return
+			}
+		}
+	}
+}
+
 // invalidate removes the line if present, returning whether it was dirty
 // (a dirty copy is written through to the L2 by the protocol).
 func (c *l1cache) invalidate(line uint64) bool {

@@ -1,0 +1,209 @@
+// Package faults is the simulator's deterministic fault-injection harness.
+// It exists to prove a negative: that the timing model's safety nets — the
+// retirement watchdog, the post-HALT drain loops, the idle-cycle
+// fast-forward clamps — degrade gracefully under perturbation instead of
+// hanging the process or silently corrupting statistics.
+//
+// Every decision is a pure function of (seed, cycle, stream): the injector
+// carries no mutable state, so the same seed reproduces the same fault
+// pattern regardless of how many times a hook is consulted, in which order
+// components tick, or whether the fast-forward skips the surrounding idle
+// cycles. That purity is what makes "same seed, same Stats" a testable
+// contract.
+package faults
+
+import (
+	"hash/fnv"
+	"time"
+)
+
+// Config describes one fault campaign. The zero value injects nothing.
+type Config struct {
+	// Seed selects the deterministic perturbation pattern.
+	Seed int64
+
+	// MemJitter adds 0..MemJitter extra occupancy cycles to each memory
+	// controller transaction (RAMBUS timing noise).
+	MemJitter int
+
+	// L2Jitter adds 0..L2Jitter extra cycles to each L2 response latency.
+	L2Jitter int
+
+	// FUStallPct freezes every core functional-unit pool for a cycle with
+	// the given percent probability (transient issue-logic stalls).
+	FUStallPct int
+
+	// VPortStallPct freezes the Vbox issue ports for a cycle with the given
+	// percent probability.
+	VPortStallPct int
+
+	// StallStormFrom, when non-zero, permanently stalls every core FU pool
+	// from that cycle on: the machine is guaranteed to wedge, and the
+	// watchdog must convert the wedge into a WedgeError instead of a hang.
+	StallStormFrom uint64
+
+	// DropWakePct inflates idle-cycle fast-forward wake hints with the given
+	// percent probability — the "too-late NextWake" bug class, seeded
+	// deliberately so the invariant checker can prove it catches it.
+	DropWakePct int
+	// DropWakeSpan bounds the inflation in cycles (default 64).
+	DropWakeSpan int
+
+	// Cells, when non-empty, restricts a sweep-level campaign to these
+	// exact (benchmark@config) keys. When empty, Targets selects a seeded
+	// pseudo-random subset of cells instead.
+	Cells []string
+}
+
+// Targets reports whether a sweep cell (keyed "bench@config") is under
+// attack in this campaign. With an explicit Cells list the match is exact;
+// otherwise roughly one cell in four is selected, deterministically from
+// the seed, so a fault drill always hits a reproducible subset.
+func (c *Config) Targets(key string) bool {
+	if c == nil {
+		return false
+	}
+	if len(c.Cells) > 0 {
+		for _, k := range c.Cells {
+			if k == key {
+				return true
+			}
+		}
+		return false
+	}
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return splitmix64(uint64(c.Seed)^h.Sum64())%4 == 0
+}
+
+// Jitter is the canned single-run campaign (tarsim -faults): latency noise
+// on the memory system plus transient issue stalls. Runs complete — slower
+// and with different counters, but without wedging.
+func Jitter(seed int64) *Config {
+	return &Config{Seed: seed, MemJitter: 24, L2Jitter: 12, FUStallPct: 5, VPortStallPct: 5}
+}
+
+// Storm is the canned sweep campaign (tartables -faults): targeted cells
+// have every core FU pool frozen from cycle `from` on, guaranteeing a wedge
+// the per-cell hardening must report as an error row.
+func Storm(seed int64, from uint64) *Config {
+	if from == 0 {
+		from = 100_000
+	}
+	return &Config{Seed: seed, StallStormFrom: from}
+}
+
+// Injector is the per-chip view of a Config. A nil *Injector is valid and
+// injects nothing, so components call the hooks unconditionally.
+type Injector struct {
+	cfg Config
+}
+
+// New returns an injector for cfg, or nil when cfg is nil (no faults).
+func New(cfg *Config) *Injector {
+	if cfg == nil {
+		return nil
+	}
+	return &Injector{cfg: *cfg}
+}
+
+// Streams namespace the hash so the same cycle rolls independently per hook.
+const (
+	streamMem   uint64 = 0x9e3779b97f4a7c15
+	streamL2    uint64 = 0xd1b54a32d192ed03
+	streamFU    uint64 = 0x8cb92ba72f3d8dd7
+	streamVPort uint64 = 0xaef17502108ef2d9
+	streamWake  uint64 = 0xf1357aea2e62a9c5
+)
+
+// splitmix64 is the standard 64-bit finalizer; one application is enough to
+// decorrelate consecutive cycles.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// roll returns the deterministic 64-bit draw for (seed, stream, cy, lane).
+func (i *Injector) roll(stream, cy, lane uint64) uint64 {
+	return splitmix64(uint64(i.cfg.Seed) ^ stream ^ splitmix64(cy*0x2545f4914f6cdd1d+lane))
+}
+
+// MemLatency returns the extra occupancy cycles for a memory transaction
+// starting at cycle cy on the given controller port.
+func (i *Injector) MemLatency(port int, cy uint64) uint64 {
+	if i == nil || i.cfg.MemJitter <= 0 {
+		return 0
+	}
+	return i.roll(streamMem, cy, uint64(port)) % uint64(i.cfg.MemJitter+1)
+}
+
+// L2Latency returns the extra response cycles for an L2 lookup at cycle cy.
+func (i *Injector) L2Latency(cy uint64) uint64 {
+	if i == nil || i.cfg.L2Jitter <= 0 {
+		return 0
+	}
+	return i.roll(streamL2, cy, 0) % uint64(i.cfg.L2Jitter+1)
+}
+
+// StallFUs reports whether every core functional-unit pool is frozen at
+// cycle cy (transient stall or permanent storm).
+func (i *Injector) StallFUs(cy uint64) bool {
+	if i == nil {
+		return false
+	}
+	if i.cfg.StallStormFrom > 0 && cy >= i.cfg.StallStormFrom {
+		return true
+	}
+	if i.cfg.FUStallPct <= 0 {
+		return false
+	}
+	return i.roll(streamFU, cy, 0)%100 < uint64(i.cfg.FUStallPct)
+}
+
+// StallVPorts reports whether the Vbox issue ports are frozen at cycle cy.
+func (i *Injector) StallVPorts(cy uint64) bool {
+	if i == nil || i.cfg.VPortStallPct <= 0 {
+		return false
+	}
+	return i.roll(streamVPort, cy, 0)%100 < uint64(i.cfg.VPortStallPct)
+}
+
+// InflateWake perturbs a fast-forward wake hint, returning a possibly later
+// cycle — a seeded model of the "hint claims idle too long" bug class. The
+// caller's watchdog clamp is what keeps this a detectable fault rather than
+// a hang.
+func (i *Injector) InflateWake(now, wake uint64) uint64 {
+	if i == nil || i.cfg.DropWakePct <= 0 {
+		return wake
+	}
+	if i.roll(streamWake, now, 0)%100 >= uint64(i.cfg.DropWakePct) {
+		return wake
+	}
+	span := i.cfg.DropWakeSpan
+	if span <= 0 {
+		span = 64
+	}
+	return wake + 1 + i.roll(streamWake, now, 1)%uint64(span)
+}
+
+// Active reports whether the injector perturbs anything at all.
+func (i *Injector) Active() bool { return i != nil }
+
+// String summarises the campaign for log lines and error rows.
+func (i *Injector) String() string {
+	if i == nil {
+		return "faults: off"
+	}
+	return "faults: seeded campaign"
+}
+
+// Deadline is a small helper shared by the run harnesses: zero means no
+// deadline, anything else converts to an absolute wall-clock instant.
+func Deadline(d time.Duration) time.Time {
+	if d <= 0 {
+		return time.Time{}
+	}
+	return time.Now().Add(d)
+}

@@ -1,0 +1,115 @@
+package faults_test
+
+import (
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// runJittered executes one real benchmark under a fault campaign and returns
+// its statistics; the workload layer (not a synthetic kernel) is used so the
+// determinism contract is tested across every injection hook at once.
+func runJittered(t *testing.T, fc *faults.Config) *stats.Stats {
+	t.Helper()
+	b, err := workloads.Get("streams_add")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := *sim.T()
+	cfg.Faults = fc
+	res, err := b.Run(&cfg, workloads.Test)
+	if err != nil {
+		t.Fatalf("jittered run failed: %v", err)
+	}
+	return res.Stats
+}
+
+// TestSameSeedSameStats is the harness's core contract: a fault campaign is
+// a pure function of its seed, so two runs with the same seed must produce
+// bit-identical statistics, and the perturbation must actually perturb.
+func TestSameSeedSameStats(t *testing.T) {
+	clean := runJittered(t, nil)
+	a := runJittered(t, faults.Jitter(7))
+	b := runJittered(t, faults.Jitter(7))
+	c := runJittered(t, faults.Jitter(8))
+	if *a != *b {
+		t.Errorf("same seed diverged:\n  a: %+v\n  b: %+v", *a, *b)
+	}
+	if *a == *clean {
+		t.Error("Jitter(7) left the statistics identical to a fault-free run; the campaign injected nothing")
+	}
+	if *a == *c {
+		t.Error("seeds 7 and 8 produced identical statistics; the seed is not reaching the hash")
+	}
+}
+
+// TestTargetsExactCells verifies the explicit cell list is an exact match.
+func TestTargetsExactCells(t *testing.T) {
+	fc := &faults.Config{Cells: []string{"streams_add@T"}}
+	if !fc.Targets("streams_add@T") {
+		t.Error("listed cell not targeted")
+	}
+	if fc.Targets("streams_copy@T") || fc.Targets("streams_add@EV8") {
+		t.Error("unlisted cell targeted")
+	}
+}
+
+// TestTargetsSeededSubset checks the seeded selection is deterministic and
+// lands near the documented one-in-four rate.
+func TestTargetsSeededSubset(t *testing.T) {
+	fc := &faults.Config{Seed: 3}
+	again := &faults.Config{Seed: 3}
+	hit := 0
+	for i := 0; i < 400; i++ {
+		key := string(rune('a'+i%26)) + "@" + string(rune('A'+i%7))
+		key += string(rune('0' + i/26%10))
+		if fc.Targets(key) != again.Targets(key) {
+			t.Fatalf("selection for %q not deterministic", key)
+		}
+		if fc.Targets(key) {
+			hit++
+		}
+	}
+	if hit < 50 || hit > 160 {
+		t.Errorf("seeded selection hit %d/400 cells; want roughly 1 in 4", hit)
+	}
+	if (*faults.Config)(nil).Targets("x@T") {
+		t.Error("nil campaign targeted a cell")
+	}
+}
+
+// TestNilInjectorSafe proves every hook is callable through a nil injector —
+// the components rely on this to avoid branching on the fault config.
+func TestNilInjectorSafe(t *testing.T) {
+	var i *faults.Injector
+	if i.MemLatency(0, 1) != 0 || i.L2Latency(1) != 0 {
+		t.Error("nil injector added latency")
+	}
+	if i.StallFUs(1) || i.StallVPorts(1) {
+		t.Error("nil injector stalled a unit")
+	}
+	if i.InflateWake(5, 9) != 9 {
+		t.Error("nil injector perturbed a wake hint")
+	}
+	if i.Active() {
+		t.Error("nil injector reports active")
+	}
+}
+
+// TestInflateWakeOnlyDelays checks the hint perturbation models exactly the
+// too-late bug class: hints may move later, never earlier.
+func TestInflateWakeOnlyDelays(t *testing.T) {
+	i := faults.New(&faults.Config{Seed: 1, DropWakePct: 100, DropWakeSpan: 16})
+	for cy := uint64(0); cy < 1000; cy++ {
+		w := i.InflateWake(cy, cy+4)
+		if w <= cy+4 {
+			t.Fatalf("cy=%d: 100%% campaign returned hint %d, want strictly later than %d", cy, w, cy+4)
+		}
+		if w > cy+4+17 {
+			t.Fatalf("cy=%d: inflation %d exceeds span bound", cy, w-(cy+4))
+		}
+	}
+}

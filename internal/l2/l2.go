@@ -11,6 +11,7 @@ package l2
 
 import (
 	"repro/internal/creorder"
+	"repro/internal/faults"
 	"repro/internal/stats"
 	"repro/internal/zbox"
 )
@@ -34,6 +35,10 @@ type Config struct {
 	// PBitPenalty is the extra latency a vector access pays when it must
 	// send invalidates to the L1 for a P-bit line.
 	PBitPenalty int
+
+	// Faults, when non-nil, adds deterministic jitter to response latencies
+	// (sim.New installs the chip's injector).
+	Faults *faults.Injector
 }
 
 // SliceOp is a vector slice request walking the memory pipeline.
@@ -134,6 +139,11 @@ func (c *L2) probe(line uint64) *way {
 	}
 	return nil
 }
+
+// Present reports whether line is cached, without touching LRU or P-bit
+// state — the invariant checker's L1-inclusion sweep must observe the cache
+// without perturbing replacement order.
+func (c *L2) Present(line uint64) bool { return c.probe(line) != nil }
 
 func (c *L2) touch(w *way) {
 	c.lruClock++
@@ -369,6 +379,7 @@ func (c *L2) lookupSlice(cy uint64, op *SliceOp) {
 		if pbitHit {
 			lat += uint64(c.cfg.PBitPenalty)
 		}
+		lat += c.cfg.Faults.L2Latency(cy)
 		done := op.Done
 		if done != nil {
 			c.wheel.at(cy+lat, func() { done(cy + lat) })
@@ -493,7 +504,7 @@ func (c *L2) lookupScalar(cy uint64, req scalarReq) {
 			w.pbit = true
 		}
 		if req.done != nil {
-			lat := uint64(c.cfg.ScalarLat)
+			lat := uint64(c.cfg.ScalarLat) + c.cfg.Faults.L2Latency(cy)
 			done := req.done
 			c.wheel.at(cy+lat, func() { done(cy + lat) })
 		}
@@ -518,7 +529,7 @@ func (c *L2) lookupScalar(cy uint64, req scalarReq) {
 	write := req.write
 	addr := req.addr
 	done := req.done
-	lat := uint64(c.cfg.ScalarLat)
+	lat := uint64(c.cfg.ScalarLat) + c.cfg.Faults.L2Latency(cy)
 	pf.scalar = append(pf.scalar, func(cycle uint64) {
 		if w := c.probe(addr); w != nil {
 			if write {

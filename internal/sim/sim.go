@@ -7,9 +7,12 @@ package sim
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/arch"
+	"repro/internal/check"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/l2"
 	"repro/internal/mem"
 	"repro/internal/stats"
@@ -29,6 +32,25 @@ type Config struct {
 	Vbox vbox.Config
 	L2   l2.Config
 	Zbox zbox.Config
+
+	// ---- integrity layer (all optional; zero values = today's behavior) ----
+
+	// Check enables the microarchitectural invariant checker: per-retirement
+	// validation of ROB order, store-queue consistency and L1/L2 inclusion,
+	// plus NextWake hint-soundness auditing. Checked runs single-step (no
+	// idle-cycle fast-forward) so the audit can observe every cycle.
+	Check bool
+
+	// Deadline bounds one run's wall-clock time; exceeding it aborts with a
+	// WedgeError (ReasonDeadline). Zero means no deadline.
+	Deadline time.Duration
+
+	// Watchdog overrides the no-retirement-progress window in cycles. Zero
+	// selects the default (2M cycles).
+	Watchdog uint64
+
+	// Faults configures deterministic fault injection; nil injects nothing.
+	Faults *faults.Config
 }
 
 // Chip is one assembled machine.
@@ -41,9 +63,18 @@ type Chip struct {
 	vb *vbox.VBox
 	c  *core.Core
 
+	chk *check.Checker   // nil unless Cfg.Check
+	inj *faults.Injector // nil unless Cfg.Faults
+
 	now uint64 // global cycle, shared across RunTrace phases
 
 	ff bool // idle-cycle fast-forward enabled
+
+	// Checker-mode hint audit state (per chip, unlike the test-only ffVerify
+	// globals): the window the last fast-forward hint claimed was idle, and
+	// the statistics at its start.
+	ckSkipFrom, ckSkipTo uint64
+	ckStatsAt            stats.Stats
 
 	sampleEvery uint64
 	onSample    func(Sample)
@@ -83,19 +114,36 @@ func setFFVerify(on bool) []string {
 // New assembles a chip from cfg.
 func New(cfg *Config) *Chip {
 	st := &stats.Stats{}
-	z := zbox.New(cfg.Zbox, st)
-	l2c := l2.New(cfg.L2, st, z)
+	inj := faults.New(cfg.Faults)
+	// The injector rides into each component on a local copy of its config,
+	// so the caller's Config literal stays untouched (tables share them
+	// across cells).
+	zc := cfg.Zbox
+	zc.Faults = inj
+	z := zbox.New(zc, st)
+	l2cfg := cfg.L2
+	l2cfg.Faults = inj
+	l2c := l2.New(l2cfg, st, z)
 	var vb *vbox.VBox
 	var vu core.VectorUnit
 	if cfg.HasVbox {
-		vb = vbox.New(cfg.Vbox, st, l2c)
+		vc := cfg.Vbox
+		vc.Faults = inj
+		vb = vbox.New(vc, st, l2c)
 		vu = vb
 	}
-	c := core.New(cfg.Core, st, l2c, vu)
+	cc := cfg.Core
+	cc.Faults = inj
+	c := core.New(cc, st, l2c, vu)
 	if vb != nil {
 		vb.OnDone = c.VectorDone
 	}
-	return &Chip{Cfg: cfg, Stats: st, z: z, l2: l2c, vb: vb, c: c, ff: FastForward}
+	ch := &Chip{Cfg: cfg, Stats: st, z: z, l2: l2c, vb: vb, c: c, inj: inj, ff: FastForward}
+	if cfg.Check {
+		ch.chk = check.New()
+		c.SetChecker(ch.chk)
+	}
+	return ch
 }
 
 // SetFastForward overrides the package default for this chip (the sampler
@@ -108,20 +156,43 @@ const watchdogWindow = 2_000_000
 
 // Run executes the kernel on a fresh machine state and returns the
 // statistics. The kernel runs functionally in a streaming trace; the chip
-// model consumes it cycle by cycle until the HALT marker retires.
+// model consumes it cycle by cycle until the HALT marker retires. Run
+// panics on a wedge; RunChecked is the error-returning variant.
 func Run(cfg *Config, kernel vasm.Kernel) (*stats.Stats, *arch.Machine) {
+	st, m, err := RunChecked(cfg, kernel)
+	if err != nil {
+		panic(err)
+	}
+	return st, m
+}
+
+// RunChecked is Run with a structured error surface: a wedged machine, a
+// blown deadline, a failed invariant or a dead trace returns a typed
+// *WedgeError instead of panicking.
+func RunChecked(cfg *Config, kernel vasm.Kernel) (*stats.Stats, *arch.Machine, error) {
 	m := arch.New(mem.New())
 	chip := New(cfg)
 	tr := vasm.NewTrace(m, kernel)
 	defer tr.Close()
-	chip.RunTrace(tr)
-	return chip.Stats, m
+	if err := chip.RunTraceChecked(tr); err != nil {
+		return chip.Stats, m, err
+	}
+	return chip.Stats, m, nil
 }
 
-// RunTrace drives the chip with an existing trace until HALT.
+// RunTrace drives the chip with an existing trace until HALT, panicking on
+// a wedge (legacy surface; RunTraceChecked returns the error instead).
 func (ch *Chip) RunTrace(tr *vasm.Trace) {
+	if err := ch.RunTraceChecked(tr); err != nil {
+		panic(err)
+	}
+}
+
+// RunTraceChecked drives the chip with an existing trace until HALT,
+// returning a *WedgeError if the run fails.
+func (ch *Chip) RunTraceChecked(tr *vasm.Trace) error {
 	ch.c.Bind(tr)
-	ch.runBound()
+	return ch.runBound([]*vasm.Trace{tr})
 }
 
 // nextWake returns the earliest cycle after now at which any component can
@@ -154,13 +225,44 @@ func (ch *Chip) nextWake(now uint64) uint64 {
 	return wake
 }
 
-func (ch *Chip) runBound() {
+// wake is nextWake plus fault injection: a campaign with DropWakePct
+// inflates hints here, modelling the too-late-NextWake bug class both for
+// the checker's audit (which must catch it) and for the fast-forward path
+// (whose watchdog clamp must keep it from hanging).
+func (ch *Chip) wake(now uint64) uint64 {
+	w := ch.nextWake(now)
+	if ch.inj != nil {
+		w = ch.inj.InflateWake(now, w)
+	}
+	return w
+}
+
+// deadlineCheckMask throttles the wall-clock and trace-health polls to one
+// every 4096 loop iterations; time.Now on every cycle would dominate the
+// simulator's own work.
+const deadlineCheckMask = 4095
+
+// runBound drives the machine until every thread halts, then drains
+// background traffic. trs are the bound traces, polled for producer-side
+// errors so a kernel that dies mid-trace (and will therefore never emit
+// HALT) is reported promptly rather than after a full watchdog window.
+func (ch *Chip) runBound(trs []*vasm.Trace) error {
 	start := ch.now
 	lastProgress := ch.now
 	lastRetired := uint64(0)
+	wd := ch.Cfg.Watchdog
+	if wd == 0 {
+		wd = watchdogWindow
+	}
+	var deadline time.Time
+	if ch.Cfg.Deadline > 0 {
+		deadline = time.Now().Add(ch.Cfg.Deadline)
+	}
 	// The sampler observes the machine on fixed cycles, so fast-forwarding
-	// (which skips observably-idle cycles) would drop samples.
-	ff := ch.ff && !(ch.onSample != nil && ch.sampleEvery > 0)
+	// (which skips observably-idle cycles) would drop samples; the checker
+	// single-steps so its hint audit can watch the claimed-idle windows.
+	ff := ch.ff && !(ch.onSample != nil && ch.sampleEvery > 0) && ch.chk == nil
+	iter := uint64(0)
 	for !ch.c.Halted() {
 		ch.now++
 		cy := ch.now
@@ -175,10 +277,20 @@ func (ch *Chip) runBound() {
 		if retired := ch.Stats.ScalarIns + ch.Stats.VectorIns; retired != lastRetired {
 			lastRetired = retired
 			lastProgress = cy
-		} else if cy-lastProgress > watchdogWindow {
-			panic(fmt.Sprintf("sim(%s): no retirement progress for %d cycles at cycle %d (%d insts retired)",
-				ch.Cfg.Name, watchdogWindow, cy, lastRetired))
+		} else if cy-lastProgress > wd {
+			return ch.wedge(ReasonWatchdog, wd)
 		}
+
+		if ch.chk.Violated() {
+			return ch.wedge(ReasonInvariant, wd)
+		}
+
+		if iter&deadlineCheckMask == 0 {
+			if err := ch.checkHealth(trs, deadline, wd); err != nil {
+				return err
+			}
+		}
+		iter++
 
 		if ffVerify {
 			if ffSkipFrom != 0 {
@@ -192,20 +304,42 @@ func (ch *Chip) runBound() {
 				}
 			}
 			if ffSkipFrom == 0 && !ch.c.Halted() {
-				if wake := ch.nextWake(cy); wake > cy+1 {
+				if wake := ch.wake(cy); wake > cy+1 {
 					ffSkipFrom, ffSkipTo = cy, wake
 					ffStatsAt = *ch.Stats
+				}
+			}
+		}
+		if ch.chk != nil {
+			// Same audit as ffVerify, but per-chip and reported through the
+			// checker: single-step while checking that no statistic changes
+			// inside a window the hints claimed was idle. This is what
+			// catches a seeded (or real) too-late NextWake.
+			if ch.ckSkipFrom != 0 {
+				if *ch.Stats != ch.ckStatsAt && cy < ch.ckSkipTo {
+					ch.chk.Failf("nextwake", cy,
+						"hint at cy=%d claimed idle until %d, but stats changed at cy=%d",
+						ch.ckSkipFrom, ch.ckSkipTo, cy)
+					return ch.wedge(ReasonInvariant, wd)
+				} else if cy >= ch.ckSkipTo-1 {
+					ch.ckSkipFrom = 0
+				}
+			}
+			if ch.ckSkipFrom == 0 && !ch.c.Halted() {
+				if wake := ch.wake(cy); wake > cy+1 {
+					ch.ckSkipFrom, ch.ckSkipTo = cy, wake
+					ch.ckStatsAt = *ch.Stats
 				}
 			}
 		}
 		// The jump must not move the clock once the loop is about to exit —
 		// HALT retiring this very cycle means the machine is done, not idle.
 		if ff && !ch.c.Halted() {
-			if wake := ch.nextWake(cy); wake > cy+1 {
+			if wake := ch.wake(cy); wake > cy+1 {
 				// Never jump past the watchdog boundary: a genuinely wedged
-				// machine must still trip the panic at the same cycle a
+				// machine must still trip the watchdog at the same cycle a
 				// single-stepped run would.
-				if limit := lastProgress + watchdogWindow + 1; wake > limit {
+				if limit := lastProgress + wd + 1; wake > limit {
 					wake = limit
 				}
 				if wake > cy+1 {
@@ -230,11 +364,15 @@ func (ch *Chip) runBound() {
 			ch.vb.Tick(cy)
 		}
 		ch.c.Tick(cy)
+		if iter&deadlineCheckMask == 0 && !deadline.IsZero() && time.Now().After(deadline) {
+			return ch.wedge(ReasonDeadline, wd)
+		}
+		iter++
 		// Same exit guard as above: once the machine goes quiescent the loop
 		// must stop with ch.now exactly where single-stepping would leave it
 		// (ch.now seeds the next ROI phase's clock).
 		if ff && (ch.z.Busy() || ch.l2.Busy() || ch.c.Busy() || (ch.vb != nil && ch.vb.Busy())) {
-			if wake := ch.nextWake(cy); wake > cy+1 {
+			if wake := ch.wake(cy); wake > cy+1 {
 				if limit := haltCy + 10_000_000; wake > limit {
 					wake = limit
 				}
@@ -244,27 +382,60 @@ func (ch *Chip) runBound() {
 			}
 		}
 	}
+	return nil
+}
+
+// checkHealth is the periodic (every-4096-iterations) poll for conditions
+// the cycle loop itself cannot see: a blown wall-clock deadline and a trace
+// whose producer died (which would otherwise spin until the watchdog).
+func (ch *Chip) checkHealth(trs []*vasm.Trace, deadline time.Time, wd uint64) error {
+	if !deadline.IsZero() && time.Now().After(deadline) {
+		return ch.wedge(ReasonDeadline, wd)
+	}
+	for _, tr := range trs {
+		if err := tr.Err(); err != nil {
+			w := ch.wedge(ReasonTrace, wd)
+			w.Cause = err
+			return w
+		}
+	}
+	return nil
 }
 
 // RunROI runs setup (cache warmup, data preloading) and then the region of
 // interest on the same chip, returning statistics for the ROI alone — the
 // equivalent of starting the STREAM timer after the warm-up pass. Either
-// kernel may be nil.
+// kernel may be nil. RunROI panics on a wedge; RunROIChecked returns it.
 func RunROI(cfg *Config, setup, roi vasm.Kernel) (*stats.Stats, *arch.Machine) {
+	st, m, err := RunROIChecked(cfg, setup, roi)
+	if err != nil {
+		panic(err)
+	}
+	return st, m
+}
+
+// RunROIChecked is RunROI with the structured error surface. A failure in
+// either phase (setup or ROI) returns a *WedgeError.
+func RunROIChecked(cfg *Config, setup, roi vasm.Kernel) (*stats.Stats, *arch.Machine, error) {
 	m := arch.New(mem.New())
 	chip := New(cfg)
 	if setup != nil {
 		tr := vasm.NewTrace(m, func(b *vasm.Builder) { setup(b); b.Halt() })
-		chip.RunTrace(tr)
+		err := chip.RunTraceChecked(tr)
 		tr.Close()
+		if err != nil {
+			return chip.Stats, m, err
+		}
 		chip.c.ResetHalt()
 	}
 	before := *chip.Stats
 	tr := vasm.NewTrace(m, roi)
 	defer tr.Close()
-	chip.RunTrace(tr)
+	if err := chip.RunTraceChecked(tr); err != nil {
+		return chip.Stats, m, err
+	}
 	roiStats := stats.Sub(chip.Stats, &before)
-	return roiStats, m
+	return roiStats, m, nil
 }
 
 // RunSMT runs one kernel per hardware thread simultaneously on a single
@@ -272,8 +443,17 @@ func RunROI(cfg *Config, setup, roi vasm.Kernel) (*stats.Stats, *arch.Machine) {
 // operating system, the Vbox was also multithreaded") exercised. Each
 // thread gets its own architectural machine and address space; caches,
 // Vbox and memory system are shared. Returns the shared statistics and the
-// per-thread machines.
+// per-thread machines. RunSMT panics on a wedge; RunSMTChecked returns it.
 func RunSMT(cfg *Config, kernels []vasm.Kernel) (*stats.Stats, []*arch.Machine) {
+	st, ms, err := RunSMTChecked(cfg, kernels)
+	if err != nil {
+		panic(err)
+	}
+	return st, ms
+}
+
+// RunSMTChecked is RunSMT with the structured error surface.
+func RunSMTChecked(cfg *Config, kernels []vasm.Kernel) (*stats.Stats, []*arch.Machine, error) {
 	chip := New(cfg)
 	machines := make([]*arch.Machine, len(kernels))
 	traces := make([]*vasm.Trace, len(kernels))
@@ -282,15 +462,24 @@ func RunSMT(cfg *Config, kernels []vasm.Kernel) (*stats.Stats, []*arch.Machine) 
 		traces[i] = vasm.NewTrace(machines[i], k)
 		defer traces[i].Close()
 	}
-	chip.RunTraces(traces)
-	return chip.Stats, machines
+	if err := chip.RunTracesChecked(traces); err != nil {
+		return chip.Stats, machines, err
+	}
+	return chip.Stats, machines, nil
 }
 
 // RunTraces drives the chip with one trace per hardware thread until every
-// thread halts.
+// thread halts, panicking on a wedge.
 func (ch *Chip) RunTraces(trs []*vasm.Trace) {
+	if err := ch.RunTracesChecked(trs); err != nil {
+		panic(err)
+	}
+}
+
+// RunTracesChecked is RunTraces with the structured error surface.
+func (ch *Chip) RunTracesChecked(trs []*vasm.Trace) error {
 	ch.c.BindSMT(trs)
-	ch.runBound()
+	return ch.runBound(trs)
 }
 
 // Sample is a periodic utilization snapshot for profiling (tarsim -sample).

@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/check"
+)
+
+// Occupancy is a per-component queue snapshot taken when a run fails. It is
+// the first thing to read when diagnosing a wedge: the component whose
+// queues are full (or suspiciously empty) is where progress stopped.
+type Occupancy struct {
+	// Core.
+	ROB, Ready, Blocked, WriteBuf, MSHR int
+	// Vbox (zero for pure-EV8 configurations).
+	VPortsBusy, VMemInFly, VQueued, VSlicesWait int
+	// L2.
+	L2ReadQ, L2WriteQ, L2Retry, MAF int
+	// Memory controller.
+	MemQueue int
+}
+
+func (o Occupancy) String() string {
+	return fmt.Sprintf(
+		"core[rob=%d ready=%d blocked=%d wb=%d mshr=%d] vbox[ports=%d mem=%d q=%d slices=%d] l2[rd=%d wr=%d retry=%d maf=%d] mem[q=%d]",
+		o.ROB, o.Ready, o.Blocked, o.WriteBuf, o.MSHR,
+		o.VPortsBusy, o.VMemInFly, o.VQueued, o.VSlicesWait,
+		o.L2ReadQ, o.L2WriteQ, o.L2Retry, o.MAF,
+		o.MemQueue)
+}
+
+// Wedge reasons.
+const (
+	ReasonWatchdog  = "watchdog"  // no retirement progress for a full window
+	ReasonDeadline  = "deadline"  // wall-clock budget exhausted
+	ReasonInvariant = "invariant" // the checker caught a broken invariant
+	ReasonTrace     = "trace"     // the kernel's functional execution died
+)
+
+// WedgeError is the structured failure report of a checked run: which
+// machine, why it stopped, the simulated cycle, how far the program got
+// (retired count plus the last-retired instruction's sequence number and
+// static-site id — the PC stand-in), and the queue occupancy of every
+// component at the moment of failure.
+type WedgeError struct {
+	Config   string // machine configuration name
+	Reason   string // one of the Reason* constants
+	Cycle    uint64 // simulated cycle at failure
+	Window   uint64 // watchdog window in effect (ReasonWatchdog)
+	Retired  uint64 // instructions retired before the failure
+	LastSeq  uint64 // sequence number of the last retired instruction
+	LastSite uint32 // static-site id of the last retired instruction
+
+	Occ Occupancy
+
+	// Violation is set for ReasonInvariant.
+	Violation *check.Violation
+	// Cause is set for ReasonTrace (typically a *vasm.BuildError).
+	Cause error
+}
+
+func (e *WedgeError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sim(%s): %s at cycle %d", e.Config, e.reasonText(), e.Cycle)
+	fmt.Fprintf(&b, " (%d insts retired, last seq=%d site=%d)", e.Retired, e.LastSeq, e.LastSite)
+	fmt.Fprintf(&b, "; occupancy %s", e.Occ)
+	if e.Violation != nil {
+		fmt.Fprintf(&b, "; %s", e.Violation.Error())
+	}
+	if e.Cause != nil {
+		fmt.Fprintf(&b, "; cause: %s", e.Cause.Error())
+	}
+	return b.String()
+}
+
+func (e *WedgeError) reasonText() string {
+	switch e.Reason {
+	case ReasonWatchdog:
+		return fmt.Sprintf("no retirement progress for %d cycles", e.Window)
+	case ReasonDeadline:
+		return "wall-clock deadline exceeded"
+	case ReasonInvariant:
+		return "invariant violation"
+	case ReasonTrace:
+		return "trace generation failed"
+	default:
+		return e.Reason
+	}
+}
+
+// Unwrap exposes the underlying cause (a trace BuildError or a checker
+// Violation) to errors.Is/As.
+func (e *WedgeError) Unwrap() error {
+	if e.Cause != nil {
+		return e.Cause
+	}
+	if e.Violation != nil {
+		return e.Violation
+	}
+	return nil
+}
+
+// occupancy snapshots every component's queues at the current cycle.
+func (ch *Chip) occupancy() Occupancy {
+	var o Occupancy
+	o.ROB, o.Ready, o.Blocked, o.WriteBuf, o.MSHR = ch.c.Depths()
+	if ch.vb != nil {
+		u := ch.vb.Snapshot(ch.now)
+		o.VPortsBusy, o.VMemInFly, o.VQueued, o.VSlicesWait =
+			u.PortsBusy, u.MemInFly, u.Queued, u.SlicesWait
+	}
+	o.L2ReadQ, o.L2WriteQ, o.L2Retry, o.MAF = ch.l2.Depths()
+	o.MemQueue = ch.z.QueueDepth()
+	return o
+}
+
+// wedge assembles the failure report for the current machine state.
+func (ch *Chip) wedge(reason string, window uint64) *WedgeError {
+	seq, site := ch.c.LastRetired()
+	return &WedgeError{
+		Config:    ch.Cfg.Name,
+		Reason:    reason,
+		Cycle:     ch.now,
+		Window:    window,
+		Retired:   ch.Stats.ScalarIns + ch.Stats.VectorIns,
+		LastSeq:   seq,
+		LastSite:  site,
+		Occ:       ch.occupancy(),
+		Violation: ch.chk.Violation(),
+	}
+}

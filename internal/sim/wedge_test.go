@@ -1,0 +1,209 @@
+package sim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/faults"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/vasm"
+)
+
+// wedgeKernel is a long-running memory-bound vector kernel: plenty of
+// pre-storm retirement, plenty of idle windows for the hint audit, and far
+// too much remaining work to halt before an injected stall storm lands.
+func wedgeKernel(b *vasm.Builder) {
+	base := b.AllocF64(1<<16, 0)
+	b.Li(isa.R(1), int64(base))
+	b.SetVLImm(isa.R(9), 128)
+	b.Loop(isa.R(2), 64, func(iter int) {
+		b.VLdQ(isa.V(1), isa.R(1), int64(iter%8*1024))
+		b.VV(isa.OpVADDT, isa.V(2), isa.V(1), isa.V(1))
+		b.VStQ(isa.V(2), isa.R(1), int64(iter%8*1024))
+	})
+	b.Halt()
+}
+
+// TestWatchdogWedgeError: a stall storm guarantees a wedge; the watchdog
+// must convert it into a diagnosable WedgeError instead of a hang or panic.
+func TestWatchdogWedgeError(t *testing.T) {
+	cfg := *T()
+	cfg.Faults = &faults.Config{StallStormFrom: 300}
+	cfg.Watchdog = 30_000
+	_, _, err := RunChecked(&cfg, wedgeKernel)
+	var w *WedgeError
+	if !errors.As(err, &w) {
+		t.Fatalf("err = %v (%T), want *WedgeError", err, err)
+	}
+	if w.Reason != ReasonWatchdog {
+		t.Errorf("Reason = %q, want %q", w.Reason, ReasonWatchdog)
+	}
+	if w.Window != 30_000 {
+		t.Errorf("Window = %d, want the configured 30000", w.Window)
+	}
+	if w.Cycle < 300 {
+		t.Errorf("Cycle = %d, want after the cy-300 storm start", w.Cycle)
+	}
+	if w.Retired == 0 {
+		t.Error("Retired = 0, want the pre-storm retirement count")
+	}
+	if !strings.Contains(w.Error(), "no retirement progress") {
+		t.Errorf("Error() = %q missing the watchdog explanation", w.Error())
+	}
+	if !strings.Contains(w.Error(), "rob=") {
+		t.Errorf("Error() = %q missing the occupancy snapshot", w.Error())
+	}
+}
+
+// TestWatchdogWedgeFastForwardAgrees: the idle-cycle fast-forward clamps its
+// jumps at the watchdog boundary, so a wedged machine reports the same
+// verdict with the optimisation on or off.
+func TestWatchdogWedgeFastForwardAgrees(t *testing.T) {
+	run := func(ff bool) *WedgeError {
+		cfg := *T()
+		cfg.Faults = &faults.Config{StallStormFrom: 300}
+		cfg.Watchdog = 30_000
+		chip := New(&cfg)
+		chip.SetFastForward(ff)
+		m := arch.New(mem.New())
+		tr := vasm.NewTrace(m, wedgeKernel)
+		defer tr.Close()
+		err := chip.RunTraceChecked(tr)
+		var w *WedgeError
+		if !errors.As(err, &w) {
+			t.Fatalf("ff=%v: err = %v, want *WedgeError", ff, err)
+		}
+		return w
+	}
+	on, off := run(true), run(false)
+	if on.Reason != off.Reason || on.Retired != off.Retired {
+		t.Errorf("fast-forward changed the wedge verdict:\n  on:  %+v\n  off: %+v", on, off)
+	}
+}
+
+// TestLegacyRunPanicsOnWedge: the historical surface is preserved — Run is a
+// thin wrapper that panics with the same typed error RunChecked returns.
+func TestLegacyRunPanicsOnWedge(t *testing.T) {
+	cfg := *T()
+	cfg.Faults = &faults.Config{StallStormFrom: 300}
+	cfg.Watchdog = 30_000
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Run did not panic on a wedge")
+		}
+		if _, ok := r.(*WedgeError); !ok {
+			t.Fatalf("Run panicked with %T, want *WedgeError", r)
+		}
+	}()
+	Run(&cfg, wedgeKernel)
+}
+
+// TestDeadlineWedge: an expired wall-clock budget aborts promptly with the
+// deadline reason, even on a healthy machine.
+func TestDeadlineWedge(t *testing.T) {
+	cfg := *T()
+	cfg.Deadline = time.Nanosecond
+	_, _, err := RunChecked(&cfg, wedgeKernel)
+	var w *WedgeError
+	if !errors.As(err, &w) {
+		t.Fatalf("err = %v, want *WedgeError", err)
+	}
+	if w.Reason != ReasonDeadline {
+		t.Errorf("Reason = %q, want %q", w.Reason, ReasonDeadline)
+	}
+}
+
+// TestBrokenHintCaughtByChecker is the regression demanded by the integrity
+// layer: seed the too-late-NextWake bug class and require the checker's
+// hint audit to convict it as an invariant violation.
+func TestBrokenHintCaughtByChecker(t *testing.T) {
+	cfg := *T()
+	cfg.Check = true
+	cfg.Faults = &faults.Config{Seed: 42, DropWakePct: 100, DropWakeSpan: 64}
+	_, _, err := RunChecked(&cfg, wedgeKernel)
+	var w *WedgeError
+	if !errors.As(err, &w) {
+		t.Fatalf("seeded broken hints went undetected: err = %v", err)
+	}
+	if w.Reason != ReasonInvariant {
+		t.Fatalf("Reason = %q, want %q", w.Reason, ReasonInvariant)
+	}
+	if w.Violation == nil || w.Violation.Invariant != "nextwake" {
+		t.Fatalf("Violation = %+v, want the nextwake audit", w.Violation)
+	}
+}
+
+// TestTraceDeathSurfacesAsWedge: a kernel that dies mid-trace never emits
+// HALT; the health poll must report the positional build error promptly
+// instead of spinning until the watchdog.
+func TestTraceDeathSurfacesAsWedge(t *testing.T) {
+	cfg := *T()
+	_, _, err := RunChecked(&cfg, func(b *vasm.Builder) {
+		b.Li(isa.R(1), 1234) // not 8-aligned
+		b.LdT(isa.F(1), isa.R(1), 0)
+		b.Halt()
+	})
+	var w *WedgeError
+	if !errors.As(err, &w) {
+		t.Fatalf("err = %v, want *WedgeError", err)
+	}
+	if w.Reason != ReasonTrace {
+		t.Errorf("Reason = %q, want %q", w.Reason, ReasonTrace)
+	}
+	var be *vasm.BuildError
+	if !errors.As(err, &be) {
+		t.Fatalf("wedge does not wrap the *vasm.BuildError: %v", err)
+	}
+	if be.Seq != 2 {
+		t.Errorf("BuildError.Seq = %d, want 2 (the ldt)", be.Seq)
+	}
+	if !strings.Contains(be.Error(), "unaligned") {
+		t.Errorf("BuildError = %q missing the cause", be.Error())
+	}
+}
+
+// TestCheckerCleanOnFFCases: the invariant checker must pass every kernel of
+// the fast-forward soundness suite without a violation — the checker exists
+// to catch bugs, not to manufacture them.
+func TestCheckerCleanOnFFCases(t *testing.T) {
+	for _, c := range ffCases() {
+		for _, base := range c.configs {
+			cfg := *base
+			cfg.Check = true
+			chip := New(&cfg)
+			m := arch.New(mem.New())
+			tr := vasm.NewTrace(m, c.kernel)
+			if err := chip.RunTraceChecked(tr); err != nil {
+				t.Errorf("%s/%s: %v", cfg.Name, c.name, err)
+			}
+			tr.Close()
+		}
+	}
+}
+
+// TestCheckedRunBitIdentical: enabling the checker must not change simulated
+// time — it only observes.
+func TestCheckedRunBitIdentical(t *testing.T) {
+	for _, c := range ffCases() {
+		base := c.configs[0]
+		plain := runFF(base, c.kernel, false)
+		cfg := *base
+		cfg.Check = true
+		chip := New(&cfg)
+		m := arch.New(mem.New())
+		tr := vasm.NewTrace(m, c.kernel)
+		if err := chip.RunTraceChecked(tr); err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		tr.Close()
+		if *chip.Stats != *plain {
+			t.Errorf("%s: checker changed the statistics:\n  checked: %+v\n  plain:   %+v",
+				c.name, *chip.Stats, *plain)
+		}
+	}
+}

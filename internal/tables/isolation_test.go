@@ -1,0 +1,125 @@
+package tables
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/faults"
+	"repro/internal/isa"
+	"repro/internal/sim"
+	"repro/internal/vasm"
+	"repro/internal/workloads"
+)
+
+// TestSweepIsolation is the fault drill the per-cell hardening exists for: a
+// campaign wedges exactly one cell of the Table 4 sweep, which must come
+// back as an error row carrying the watchdog diagnostics while every other
+// row stays bit-identical to a fault-free sequential run.
+func TestSweepIsolation(t *testing.T) {
+	clean := NewRunner(workloads.Test)
+	clean.Quiet = true
+	want, err := clean.Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewRunner(workloads.Test)
+	r.Quiet = true
+	r.Watchdog = 30_000
+	r.Faults = &faults.Config{Cells: []string{"streams_add@T"}, StallStormFrom: 300}
+	got, err := r.Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d rows, want %d", len(got), len(want))
+	}
+	for i, row := range got {
+		if row.Name == "streams_add" {
+			if row.Err == "" {
+				t.Fatal("wedged cell streams_add did not produce an error row")
+			}
+			if !strings.Contains(row.Err, "no retirement progress") {
+				t.Errorf("error row %q missing the watchdog diagnostics", row.Err)
+			}
+			continue
+		}
+		if row != want[i] {
+			t.Errorf("untargeted cell %s diverged from the fault-free run:\n  got:  %+v\n  want: %+v",
+				row.Name, row, want[i])
+		}
+	}
+}
+
+// TestSweepIsolationParallel repeats the drill through the worker pool: the
+// wedge verdict and the surviving rows must not depend on scheduling.
+func TestSweepIsolationParallel(t *testing.T) {
+	seq := NewRunner(workloads.Test)
+	seq.Quiet = true
+	seq.Watchdog = 30_000
+	seq.Faults = &faults.Config{Cells: []string{"streams_add@T"}, StallStormFrom: 300}
+	want, err := seq.Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	par := NewRunner(workloads.Test)
+	par.Quiet = true
+	par.Parallel = 4
+	par.Watchdog = 30_000
+	par.Faults = &faults.Config{Cells: []string{"streams_add@T"}, StallStormFrom: 300}
+	got, err := par.Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("row %s differs between sequential and parallel fault runs:\n  seq: %+v\n  par: %+v",
+				want[i].Name, want[i], got[i])
+		}
+	}
+}
+
+// TestCellPanicIsolated: a cell whose code panics outright (here a broken
+// functional Check) must yield an error, not take the sweep down.
+func TestCellPanicIsolated(t *testing.T) {
+	r := NewRunner(workloads.Test)
+	r.Quiet = true
+	bad := &workloads.Benchmark{
+		Name: "boom",
+		Vector: func(s workloads.Scale) vasm.Kernel {
+			return func(b *vasm.Builder) {
+				b.VV(isa.OpVADDQ, isa.V(1), isa.V(2), isa.V(3))
+				b.Halt()
+			}
+		},
+		Check: func(m *arch.Machine, s workloads.Scale) error { panic("kaboom") },
+	}
+	_, err := r.runCell(bad, "boom", sim.T())
+	if err == nil {
+		t.Fatal("panicking cell returned no error")
+	}
+	if !strings.Contains(err.Error(), "cell panicked") || !strings.Contains(err.Error(), "kaboom") {
+		t.Errorf("error %q missing the panic diagnostics", err)
+	}
+}
+
+// TestDecorateLeavesUntargetedCellsAlone: with only a fault campaign set,
+// untargeted cells must receive the original *sim.Config pointer — that is
+// what makes their rows bit-identical by construction.
+func TestDecorateLeavesUntargetedCellsAlone(t *testing.T) {
+	r := NewRunner(workloads.Test)
+	r.Faults = &faults.Config{Cells: []string{"streams_add@T"}}
+	cfg := sim.T()
+	if got := r.decorate("streams_copy", cfg); got != cfg {
+		t.Error("untargeted cell's config was copied or decorated")
+	}
+	dec := r.decorate("streams_add", cfg)
+	if dec == cfg || dec.Faults != r.Faults {
+		t.Error("targeted cell's config not decorated with the campaign")
+	}
+	if cfg.Faults != nil {
+		t.Error("decorate mutated the shared config literal")
+	}
+}

@@ -11,7 +11,9 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"time"
 
+	"repro/internal/faults"
 	"repro/internal/power"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -31,6 +33,20 @@ type Runner struct {
 	// defaults it to GOMAXPROCS; set 1 to run everything sequentially on
 	// the calling goroutine.
 	Parallel int
+
+	// ---- per-cell integrity knobs (zero values = no hardening) ----
+
+	// Deadline bounds each cell's wall-clock time; a run that exceeds it is
+	// reported as an error row instead of hanging the sweep.
+	Deadline time.Duration
+	// Check enables the invariant checker on every cell.
+	Check bool
+	// Watchdog overrides the per-cell no-progress window in cycles.
+	Watchdog uint64
+	// Faults arms deterministic fault injection on the cells the campaign
+	// targets (Config.Targets); untargeted cells run fault-free and must
+	// produce bit-identical results to an uninjected sweep.
+	Faults *faults.Config
 
 	mu      sync.Mutex
 	results map[string]*call
@@ -66,6 +82,41 @@ func (r *Runner) lookup(bench string, cfg *sim.Config) (c *call, owner bool) {
 	return c, true
 }
 
+// decorate applies the runner's integrity knobs to a cell's machine
+// configuration. The original Config literal is never mutated (cells share
+// them); a shallow copy carries the per-cell settings. Fault campaigns
+// attach only to targeted cells so the rest of the sweep stays bit-exact.
+func (r *Runner) decorate(bench string, cfg *sim.Config) *sim.Config {
+	injected := r.Faults.Targets(bench + "@" + cfg.Name)
+	if r.Deadline == 0 && !r.Check && r.Watchdog == 0 && !injected {
+		return cfg
+	}
+	cc := *cfg
+	cc.Deadline = r.Deadline
+	cc.Check = r.Check
+	cc.Watchdog = r.Watchdog
+	if injected {
+		cc.Faults = r.Faults
+	}
+	return &cc
+}
+
+// runCell executes one (benchmark, machine) pair with panic isolation: a
+// cell that panics (a model bug, a broken benchmark Check) yields an error
+// for its own rows while the rest of the sweep completes.
+func (r *Runner) runCell(b *workloads.Benchmark, bench string, cfg *sim.Config) (res *workloads.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			if e, ok := p.(error); ok {
+				err = fmt.Errorf("%s on %s: cell panicked: %w", bench, cfg.Name, e)
+			} else {
+				err = fmt.Errorf("%s on %s: cell panicked: %v", bench, cfg.Name, p)
+			}
+		}
+	}()
+	return b.Run(r.decorate(bench, cfg), r.Scale)
+}
+
 // exec runs the pair and publishes the result into its slot.
 func (r *Runner) exec(c *call, bench string, cfg *sim.Config) {
 	defer close(c.done)
@@ -78,9 +129,18 @@ func (r *Runner) exec(c *call, bench string, cfg *sim.Config) {
 	if !r.Quiet && seq {
 		fmt.Printf("  running %-14s on %-10s ...", bench, cfg.Name)
 	}
-	res, err := b.Run(cfg, r.Scale)
+	res, err := r.runCell(b, bench, cfg)
 	if err != nil {
 		c.err = err
+		if !r.Quiet {
+			r.outMu.Lock()
+			if seq {
+				fmt.Printf(" FAILED: %v\n", err)
+			} else {
+				fmt.Printf("  running %-14s on %-10s ... FAILED: %v\n", bench, cfg.Name, err)
+			}
+			r.outMu.Unlock()
+		}
 		return
 	}
 	if !r.Quiet {
@@ -231,6 +291,20 @@ type Table4Row struct {
 	RawMBs     float64
 	// Paper values for the comparison column (MB/s).
 	PaperStreams, PaperRaw float64
+	// Err, when non-empty, marks a failed cell (wedge, deadline, panic);
+	// the numeric columns are meaningless and the message carries the
+	// WedgeError diagnostics.
+	Err string
+}
+
+// firstErr returns the first non-nil error among errs.
+func firstErr(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // table4Kernels lists the bandwidth microkernels in presentation order.
@@ -259,7 +333,9 @@ func (r *Runner) Table4() ([]Table4Row, error) {
 	for _, name := range table4Kernels {
 		res, err := r.run(name, cfg)
 		if err != nil {
-			return nil, err
+			p := table4Paper[name]
+			rows = append(rows, Table4Row{Name: name, PaperStreams: p[0], PaperRaw: p[1], Err: err.Error()})
+			continue
 		}
 		b, _ := workloads.Get(name)
 		res.Stats.UsefulBytes = b.UsefulBytes(r.Scale)
@@ -281,6 +357,10 @@ func FormatTable4(rows []Table4Row) string {
 	fmt.Fprintf(&b, "%-16s %12s %12s   %12s %12s\n",
 		"Kernel", "Streams MB/s", "Raw MB/s", "paper strm", "paper raw")
 	for _, r := range rows {
+		if r.Err != "" {
+			fmt.Fprintf(&b, "%-16s ERROR: %s\n", r.Name, r.Err)
+			continue
+		}
 		raw := fmt.Sprintf("%12.0f", r.RawMBs)
 		praw := fmt.Sprintf("%12.0f", r.PaperRaw)
 		if r.PaperRaw == 0 {
@@ -298,6 +378,7 @@ func FormatTable4(rows []Table4Row) string {
 type Fig6Row struct {
 	Name                 string
 	OPC, FPC, MPC, Other float64
+	Err                  string // non-empty marks a failed cell
 }
 
 // Fig6 runs every evaluation benchmark on Tarantula.
@@ -309,7 +390,8 @@ func (r *Runner) Fig6() ([]Fig6Row, error) {
 	for _, name := range workloads.Figure6Set() {
 		res, err := r.run(name, sim.T())
 		if err != nil {
-			return nil, err
+			rows = append(rows, Fig6Row{Name: name, Err: err.Error()})
+			continue
 		}
 		opc, fpc, mpc, other := res.OPC()
 		rows = append(rows, Fig6Row{Name: name, OPC: opc, FPC: fpc, MPC: mpc, Other: other})
@@ -322,6 +404,10 @@ func FormatFig6(rows []Fig6Row) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-12s %7s %7s %7s %7s\n", "Benchmark", "OPC", "FPC", "MPC", "Other")
 	for _, r := range rows {
+		if r.Err != "" {
+			fmt.Fprintf(&b, "%-12s ERROR: %s\n", r.Name, r.Err)
+			continue
+		}
 		bar := strings.Repeat("#", int(r.OPC+0.5))
 		fmt.Fprintf(&b, "%-12s %7.2f %7.2f %7.2f %7.2f  %s\n", r.Name, r.OPC, r.FPC, r.MPC, r.Other, bar)
 	}
@@ -334,6 +420,7 @@ func FormatFig6(rows []Fig6Row) string {
 type Fig7Row struct {
 	Name       string
 	EV8Plus, T float64 // speedups over EV8
+	Err        string  // non-empty marks a failed cell
 }
 
 // Fig7 runs each benchmark on EV8, EV8+ and T.
@@ -345,17 +432,12 @@ func (r *Runner) Fig7() ([]Fig7Row, error) {
 	}
 	var rows []Fig7Row
 	for _, name := range workloads.Figure6Set() {
-		base, err := r.run(name, sim.EV8())
-		if err != nil {
-			return nil, err
-		}
-		plus, err := r.run(name, sim.EV8Plus())
-		if err != nil {
-			return nil, err
-		}
-		tar, err := r.run(name, sim.T())
-		if err != nil {
-			return nil, err
+		base, errB := r.run(name, sim.EV8())
+		plus, errP := r.run(name, sim.EV8Plus())
+		tar, errT := r.run(name, sim.T())
+		if err := firstErr(errB, errP, errT); err != nil {
+			rows = append(rows, Fig7Row{Name: name, Err: err.Error()})
+			continue
 		}
 		rows = append(rows, Fig7Row{
 			Name:    name,
@@ -372,6 +454,10 @@ func FormatFig7(rows []Fig7Row) string {
 	fmt.Fprintf(&b, "%-12s %8s %8s\n", "Benchmark", "EV8+", "T")
 	var ts, ps []float64
 	for _, r := range rows {
+		if r.Err != "" {
+			fmt.Fprintf(&b, "%-12s ERROR: %s\n", r.Name, r.Err)
+			continue
+		}
 		fmt.Fprintf(&b, "%-12s %8.2f %8.2f  %s\n", r.Name, r.EV8Plus, r.T,
 			strings.Repeat("#", int(r.T+0.5)))
 		ts = append(ts, r.T)
@@ -388,6 +474,7 @@ func FormatFig7(rows []Fig7Row) string {
 type Fig8Row struct {
 	Name    string
 	T4, T10 float64 // speedup relative to T
+	Err     string  // non-empty marks a failed cell
 }
 
 // Fig8 runs each benchmark on T, T4 and T10.
@@ -399,17 +486,12 @@ func (r *Runner) Fig8() ([]Fig8Row, error) {
 	}
 	var rows []Fig8Row
 	for _, name := range workloads.Figure6Set() {
-		t, err := r.run(name, sim.T())
-		if err != nil {
-			return nil, err
-		}
-		t4, err := r.run(name, sim.T4())
-		if err != nil {
-			return nil, err
-		}
-		t10, err := r.run(name, sim.T10())
-		if err != nil {
-			return nil, err
+		t, errT := r.run(name, sim.T())
+		t4, err4 := r.run(name, sim.T4())
+		t10, err10 := r.run(name, sim.T10())
+		if err := firstErr(errT, err4, err10); err != nil {
+			rows = append(rows, Fig8Row{Name: name, Err: err.Error()})
+			continue
 		}
 		// Speedup in wall-clock time: cycles scale by frequency.
 		wall := func(res *workloads.Result, ghz float64) float64 {
@@ -429,6 +511,10 @@ func FormatFig8(rows []Fig8Row) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-12s %8s %8s   (frequency ratios: 2.25x, 5.0x)\n", "Benchmark", "T4", "T10")
 	for _, r := range rows {
+		if r.Err != "" {
+			fmt.Fprintf(&b, "%-12s ERROR: %s\n", r.Name, r.Err)
+			continue
+		}
 		fmt.Fprintf(&b, "%-12s %8.2f %8.2f\n", r.Name, r.T4, r.T10)
 	}
 	return b.String()
@@ -440,6 +526,7 @@ func FormatFig8(rows []Fig8Row) string {
 type Fig9Row struct {
 	Name     string
 	Relative float64 // performance with the pump disabled, relative to T (≤1)
+	Err      string  // non-empty marks a failed cell
 }
 
 // Fig9 disables stride-1 double-bandwidth mode and reruns on T.
@@ -450,13 +537,11 @@ func (r *Runner) Fig9() ([]Fig9Row, error) {
 	}
 	var rows []Fig9Row
 	for _, name := range workloads.Figure6Set() {
-		t, err := r.run(name, sim.T())
-		if err != nil {
-			return nil, err
-		}
-		np, err := r.run(name, sim.NoPump(sim.T()))
-		if err != nil {
-			return nil, err
+		t, errT := r.run(name, sim.T())
+		np, errN := r.run(name, sim.NoPump(sim.T()))
+		if err := firstErr(errT, errN); err != nil {
+			rows = append(rows, Fig9Row{Name: name, Err: err.Error()})
+			continue
 		}
 		rows = append(rows, Fig9Row{
 			Name:     name,
@@ -471,6 +556,10 @@ func FormatFig9(rows []Fig9Row) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-12s %10s\n", "Benchmark", "Rel. perf")
 	for _, r := range rows {
+		if r.Err != "" {
+			fmt.Fprintf(&b, "%-12s ERROR: %s\n", r.Name, r.Err)
+			continue
+		}
 		fmt.Fprintf(&b, "%-12s %10.2f  %s\n", r.Name, r.Relative,
 			strings.Repeat("#", int(r.Relative*20+0.5)))
 	}
@@ -485,6 +574,7 @@ type Table2Row struct {
 	Pref, DrainM      bool
 	VectPct           float64 // measured on the Tarantula run
 	PaperVectPct      float64
+	Err               string // non-empty marks a failed cell
 }
 
 // table2Paper is the "Vect. %" column of Table 2.
@@ -513,7 +603,13 @@ func (r *Runner) Table2() ([]Table2Row, error) {
 		}
 		res, err := r.run(name, sim.T())
 		if err != nil {
-			return nil, err
+			rows = append(rows, Table2Row{
+				Name: name, Class: b.Class, Desc: b.Desc,
+				Pref: b.Pref, DrainM: b.DrainM,
+				PaperVectPct: table2Paper[name],
+				Err:          err.Error(),
+			})
+			continue
 		}
 		rows = append(rows, Table2Row{
 			Name: name, Class: b.Class, Desc: b.Desc,
@@ -537,6 +633,10 @@ func FormatTable2(rows []Table2Row) string {
 		return ""
 	}
 	for _, r := range rows {
+		if r.Err != "" {
+			fmt.Fprintf(&b, "%-14s %-14s ERROR: %s\n", r.Name, r.Class, r.Err)
+			continue
+		}
 		fmt.Fprintf(&b, "%-14s %-14s %5s %7s %8.1f %10.1f\n",
 			r.Name, r.Class, yn(r.Pref), yn(r.DrainM), r.VectPct, r.PaperVectPct)
 	}

@@ -1,6 +1,9 @@
 package vasm
 
 import (
+	"fmt"
+	"sync"
+
 	"repro/internal/arch"
 )
 
@@ -13,7 +16,10 @@ const batchSize = 4096
 // Trace streams the dynamic instructions of a kernel to a consumer without
 // materialising the whole run. The kernel executes in a producer goroutine;
 // instruction batches cross a channel. Close must be called if the consumer
-// abandons the trace early; Next returning nil means the kernel finished.
+// abandons the trace early; Next returning nil means the kernel finished —
+// or died: check Err to distinguish, because a trace that aborts mid-kernel
+// never emits HALT and would otherwise leave the timing model waiting for
+// one.
 type Trace struct {
 	ch   chan []DynInst
 	free chan []DynInst // exhausted batches recycled back to the producer
@@ -21,6 +27,9 @@ type Trace struct {
 	cur  []DynInst
 	pos  int
 	n    uint64
+
+	mu  sync.Mutex
+	err error
 }
 
 type traceAbort struct{}
@@ -35,10 +44,20 @@ func NewTrace(m *arch.Machine, kernel Kernel) *Trace {
 	go func() {
 		defer close(t.ch)
 		defer func() {
-			if r := recover(); r != nil {
-				if _, ok := r.(traceAbort); !ok {
-					panic(r)
-				}
+			r := recover()
+			if r == nil {
+				return
+			}
+			switch ab := r.(type) {
+			case traceAbort:
+				// Consumer abandoned the trace; nothing to report.
+			case buildAbort:
+				t.setErr(ab.err)
+			default:
+				// A Go panic inside the kernel function itself (not the
+				// functional machine) — surface it as an error instead of
+				// crashing the process from a goroutine nobody can recover.
+				t.setErr(&BuildError{Cause: "kernel panic: " + fmt.Sprint(r)})
 			}
 		}()
 		newBatch := func() []DynInst {
@@ -70,6 +89,22 @@ func NewTrace(m *arch.Machine, kernel Kernel) *Trace {
 		}
 	}()
 	return t
+}
+
+func (t *Trace) setErr(err error) {
+	t.mu.Lock()
+	t.err = err
+	t.mu.Unlock()
+}
+
+// Err returns the error that aborted the producer, or nil. Safe to call
+// from the consumer while the producer is still running — the simulator
+// polls it mid-run so a dead trace (which will never emit HALT) is reported
+// promptly instead of after a multi-million-cycle watchdog window.
+func (t *Trace) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
 }
 
 // Next returns the next dynamic instruction, or nil at end of trace. The
@@ -111,11 +146,30 @@ func (t *Trace) Close() {
 	}
 }
 
-// Collect runs kernel to completion and returns the full trace. Intended
-// for tests and small kernels only.
-func Collect(m *arch.Machine, kernel Kernel) []DynInst {
-	var out []DynInst
+// CollectChecked runs kernel to completion and returns the full trace, or
+// the positional error of the first failing instruction. Intended for tests
+// and small kernels only.
+func CollectChecked(m *arch.Machine, kernel Kernel) (out []DynInst, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			ab, ok := r.(buildAbort)
+			if !ok {
+				panic(r)
+			}
+			err = ab.err
+		}
+	}()
 	b := NewBuilder(m, func(d *DynInst) { out = append(out, *d) })
 	kernel(b)
+	return out, nil
+}
+
+// Collect is CollectChecked for callers that treat a bad kernel as a
+// programming error; it panics with the positional BuildError.
+func Collect(m *arch.Machine, kernel Kernel) []DynInst {
+	out, err := CollectChecked(m, kernel)
+	if err != nil {
+		panic(err)
+	}
 	return out
 }

@@ -8,9 +8,35 @@
 package vasm
 
 import (
+	"fmt"
+
 	"repro/internal/arch"
 	"repro/internal/isa"
 )
+
+// BuildError reports an assembly/execution failure with its position in the
+// dynamic instruction stream: the sequence number, the static-site id (the
+// PC stand-in), and the offending instruction. It replaces the functional
+// machine's raw panics so harnesses can print *which* instruction of
+// *which* kernel died instead of a bare stack trace.
+type BuildError struct {
+	Seq   uint64   // dynamic sequence number of the failing instruction
+	Site  uint32   // static-site id (PC stand-in); 0 when unknown
+	Inst  isa.Inst // the instruction being executed; zero when the kernel itself panicked
+	Cause string   // the underlying panic message
+}
+
+func (e *BuildError) Error() string {
+	if e.Inst.Op == 0 && e.Seq == 0 {
+		return fmt.Sprintf("vasm: kernel panic: %s", e.Cause)
+	}
+	return fmt.Sprintf("vasm: seq %d site %d [%s]: %s", e.Seq, e.Site, e.Inst.String(), e.Cause)
+}
+
+// buildAbort unwinds a kernel after the first BuildError: the functional
+// state is garbage past that point, so execution cannot meaningfully
+// continue. It is recovered by the Trace producer and by CollectChecked.
+type buildAbort struct{ err *BuildError }
 
 // DynInst is one dynamic (executed) instruction.
 type DynInst struct {
@@ -28,6 +54,7 @@ type Builder struct {
 	seq      uint64
 	nextSite uint32
 	heap     uint64 // bump allocator over simulated memory
+	err      *BuildError
 
 	// scratch is the DynInst handed to the sink; routing every emit through
 	// one field keeps the per-instruction record off the heap (the sink
@@ -60,11 +87,35 @@ func (b *Builder) EmitAt(in isa.Inst, site uint32) arch.Effect {
 }
 
 func (b *Builder) emitAt(in isa.Inst, site uint32) arch.Effect {
-	eff := b.M.Step(&in)
+	eff := b.step(&in, site)
 	b.seq++
 	b.scratch = DynInst{Seq: b.seq, Site: site, Inst: in, Eff: eff}
 	b.emit(&b.scratch)
 	return eff
+}
+
+// step executes in on the functional machine, converting a machine panic
+// (unimplemented op, bad register class, bad memory access) into a
+// positional BuildError and unwinding the kernel via buildAbort.
+func (b *Builder) step(in *isa.Inst, site uint32) arch.Effect {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(buildAbort); ok {
+				panic(r) // already positional; keep unwinding
+			}
+			b.err = &BuildError{Seq: b.seq + 1, Site: site, Inst: *in, Cause: fmt.Sprint(r)}
+			panic(buildAbort{b.err})
+		}
+	}()
+	return b.M.Step(in)
+}
+
+// Err returns the positional error of the first failed instruction, or nil.
+func (b *Builder) Err() error {
+	if b.err == nil {
+		return nil
+	}
+	return b.err
 }
 
 // Count returns the number of instructions emitted so far.

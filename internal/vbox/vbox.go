@@ -12,6 +12,7 @@ package vbox
 
 import (
 	"repro/internal/creorder"
+	"repro/internal/faults"
 	"repro/internal/isa"
 	"repro/internal/l2"
 	"repro/internal/pipe"
@@ -52,6 +53,10 @@ type Config struct {
 	// the Vbox multithreaded "forced using a much larger register file".
 	// Zero means unlimited.
 	PhysVRegs int
+
+	// Faults, when non-nil, can freeze the issue ports for a cycle
+	// (sim.New installs the chip's injector).
+	Faults *faults.Injector
 }
 
 // VBox is the vector engine model. It satisfies core.VectorUnit.
@@ -229,6 +234,9 @@ func (v *VBox) NextWake(now uint64) uint64 {
 // ---- issue ----
 
 func (v *VBox) issue(cy uint64) {
+	if v.cfg.Faults.StallVPorts(cy) {
+		return // injected port stall: nothing issues this cycle
+	}
 	// One memory instruction can enter the address generators per cycle;
 	// head-of-line only, since the AG stage serialises them anyway.
 	if len(v.readyMem) > 0 && v.issueMem(cy, v.readyMem[0]) {

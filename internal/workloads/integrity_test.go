@@ -1,0 +1,43 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestInvariantCheckerCleanAllWorkloads runs every registered benchmark at
+// test scale under the microarchitectural invariant checker on the full
+// Tarantula machine. The checker single-steps and audits every fast-forward
+// hint, so a clean pass here means the paper's workloads exercise no latent
+// retire-order, store-queue, inclusion or NextWake bug.
+func TestInvariantCheckerCleanAllWorkloads(t *testing.T) {
+	cfg := *sim.T()
+	cfg.Check = true
+	for _, name := range Names() {
+		b, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.Run(&cfg, Test); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// TestInvariantCheckerCleanScalarMachine repeats the drill on the EV8
+// scalar-only machine for one L2-resident and one memory-bound kernel, the
+// pair the CI smoke job also exercises.
+func TestInvariantCheckerCleanScalarMachine(t *testing.T) {
+	cfg := *sim.EV8()
+	cfg.Check = true
+	for _, name := range []string{"dgemm", "streams_copy"} {
+		b, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.Run(&cfg, Test); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}

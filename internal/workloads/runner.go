@@ -21,7 +21,9 @@ func (r *Result) OPC() (opc, fpc, mpc, other float64) { return r.Stats.OPC() }
 // Run executes the benchmark on cfg, using the vector kernel when the
 // machine has a Vbox and the scalar kernel otherwise. The warm-up setup
 // phase (when the benchmark defines one) is excluded from the returned
-// statistics, and the functional result is verified.
+// statistics, and the functional result is verified. A wedged, deadlined
+// or invariant-violating run comes back as an error (a *sim.WedgeError
+// wrapped with the benchmark/machine pair), not a panic.
 func (b *Benchmark) Run(cfg *sim.Config, s Scale) (*Result, error) {
 	kernelFn := b.Scalar
 	if cfg.HasVbox {
@@ -30,13 +32,19 @@ func (b *Benchmark) Run(cfg *sim.Config, s Scale) (*Result, error) {
 	var st *stats.Stats
 	var err error
 	if b.Setup != nil {
-		stROI, m := sim.RunROI(cfg, b.Setup(s, cfg.HasVbox), kernelFn(s))
+		stROI, m, rerr := sim.RunROIChecked(cfg, b.Setup(s, cfg.HasVbox), kernelFn(s))
+		if rerr != nil {
+			return nil, fmt.Errorf("%s on %s: %w", b.Name, cfg.Name, rerr)
+		}
 		st = stROI
 		if b.Check != nil {
 			err = b.Check(m, s)
 		}
 	} else {
-		stRun, m := sim.Run(cfg, kernelFn(s))
+		stRun, m, rerr := sim.RunChecked(cfg, kernelFn(s))
+		if rerr != nil {
+			return nil, fmt.Errorf("%s on %s: %w", b.Name, cfg.Name, rerr)
+		}
 		st = stRun
 		if b.Check != nil {
 			err = b.Check(m, s)

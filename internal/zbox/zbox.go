@@ -9,7 +9,10 @@
 // how the frequency-scaling study (Figure 8) changes memory behaviour.
 package zbox
 
-import "repro/internal/stats"
+import (
+	"repro/internal/faults"
+	"repro/internal/stats"
+)
 
 // Kind is the transaction type.
 type Kind uint8
@@ -35,6 +38,10 @@ type Config struct {
 	DevicesPerPort int    // open-row trackers per port
 	RowMissCycles  int    // activate+precharge cost on a row miss
 	TurnCycles     int    // penalty when a port switches read↔write
+
+	// Faults, when non-nil, adds deterministic occupancy jitter per
+	// transaction (sim.New installs the chip's injector).
+	Faults *faults.Injector
 }
 
 type request struct {
@@ -98,7 +105,7 @@ func (z *Zbox) Busy() bool {
 // starts at most one new transaction per idle port.
 func (z *Zbox) Tick(c uint64) {
 	z.wheel.advance(c)
-	for _, p := range z.ports {
+	for pi, p := range z.ports {
 		if p.busyUntil > c || len(p.queue) == 0 {
 			continue
 		}
@@ -127,6 +134,9 @@ func (z *Zbox) Tick(c uint64) {
 			z.st.Turnarounds++
 		}
 		p.lastKind = req.kind
+
+		// Injected RAMBUS timing noise (deterministic per port and cycle).
+		occ += int(z.cfg.Faults.MemLatency(pi, c))
 
 		p.busyUntil = c + uint64(occ)
 		switch req.kind {
