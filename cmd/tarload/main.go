@@ -1,0 +1,212 @@
+// Command tarload is the load generator for tarserved: it hammers the job
+// API with overlapping submissions drawn from a benchmark × configuration
+// set, waits for every job to finish, and reports client-side throughput
+// and latency next to the server's own cache counters.
+//
+// Usage:
+//
+//	tarload -addr http://127.0.0.1:8077 -c 32 -n 128 \
+//	        -benches streams_copy -configs EV8,EV8+,T,T4 -scale test
+//
+// Because the server deduplicates by content address, a -n much larger than
+// the distinct set size is the interesting regime: the run above performs
+// exactly 4 simulations no matter how many of the 128 requests overlap.
+// -out writes a machine-readable JSON report (the BENCH_serve baseline).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+type report struct {
+	Addr        string   `json:"addr"`
+	Concurrency int      `json:"concurrency"`
+	Requests    int      `json:"requests"`
+	Benches     []string `json:"benches"`
+	Configs     []string `json:"configs"`
+	Scale       string   `json:"scale"`
+
+	WallSeconds   float64 `json:"wall_seconds"`
+	Throughput    float64 `json:"throughput_jobs_per_sec"`
+	P50Ms         float64 `json:"p50_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	Done          int     `json:"done"`
+	Failed        int     `json:"failed"`
+	ClientErrors  int     `json:"client_errors"`
+	CacheHits     float64 `json:"server_cache_hits"`
+	CacheMisses   float64 `json:"server_cache_misses"`
+	DedupJoined   float64 `json:"server_dedup_joined"`
+	SimsStarted   float64 `json:"server_sims_started"`
+	SimsCompleted float64 `json:"server_sims_completed"`
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8077", "tarserved base URL")
+	conc := flag.Int("c", 32, "concurrent clients")
+	n := flag.Int("n", 128, "total job submissions")
+	benches := flag.String("benches", "streams_copy", "comma-separated benchmark names")
+	configs := flag.String("configs", "EV8,EV8+,T,T4", "comma-separated machine configurations")
+	scale := flag.String("scale", "test", "input scale: test, bench or full")
+	wait := flag.Duration("wait", 30*time.Second, "long-poll interval per status request")
+	out := flag.String("out", "", "write the JSON report to this file (default stdout)")
+	flag.Parse()
+
+	bs := strings.Split(*benches, ",")
+	cs := strings.Split(*configs, ",")
+	type pair struct{ bench, config string }
+	var set []pair
+	for _, b := range bs {
+		for _, c := range cs {
+			set = append(set, pair{strings.TrimSpace(b), strings.TrimSpace(c)})
+		}
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []float64
+		done      int
+		failed    int
+		clientErr int
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < *conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				p := set[i%len(set)]
+				t0 := time.Now()
+				state, err := runJob(*addr, p.bench, p.config, *scale, *wait)
+				lat := time.Since(t0)
+				mu.Lock()
+				switch {
+				case err != nil:
+					clientErr++
+					fmt.Fprintf(os.Stderr, "tarload: job %d (%s@%s): %v\n", i, p.bench, p.config, err)
+				case state == "done":
+					done++
+					latencies = append(latencies, float64(lat.Milliseconds()))
+				default:
+					failed++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := 0; i < *n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	wall := time.Since(start)
+
+	rep := report{
+		Addr: *addr, Concurrency: *conc, Requests: *n,
+		Benches: bs, Configs: cs, Scale: *scale,
+		WallSeconds: wall.Seconds(),
+		Throughput:  float64(*n) / wall.Seconds(),
+		Done:        done, Failed: failed, ClientErrors: clientErr,
+	}
+	sort.Float64s(latencies)
+	if len(latencies) > 0 {
+		rep.P50Ms = latencies[len(latencies)/2]
+		rep.P99Ms = latencies[int(0.99*float64(len(latencies)-1))]
+	}
+	if m, err := scrapeMetrics(*addr); err == nil {
+		rep.CacheHits = m["tarserved_cache_hits_total"]
+		rep.CacheMisses = m["tarserved_cache_misses_total"]
+		rep.DedupJoined = m["tarserved_dedup_joined_total"]
+		rep.SimsStarted = m["tarserved_sims_started_total"]
+		rep.SimsCompleted = m["tarserved_sims_completed_total"]
+	} else {
+		fmt.Fprintln(os.Stderr, "tarload: metrics scrape failed:", err)
+	}
+
+	fmt.Fprintf(os.Stderr,
+		"tarload: %d requests (%d done, %d failed, %d client errors) in %.2fs — %.1f jobs/s, p50 %.0fms p99 %.0fms, server ran %.0f sims (%.0f cache hits, %.0f dedup joins)\n",
+		*n, done, failed, clientErr, wall.Seconds(), rep.Throughput, rep.P50Ms, rep.P99Ms,
+		rep.SimsStarted, rep.CacheHits, rep.DedupJoined)
+
+	enc, _ := json.MarshalIndent(rep, "", "  ")
+	enc = append(enc, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "tarload:", err)
+			os.Exit(1)
+		}
+	} else {
+		os.Stdout.Write(enc)
+	}
+	if failed > 0 || clientErr > 0 {
+		os.Exit(1)
+	}
+}
+
+// runJob submits one experiment and long-polls until it reaches a terminal
+// state, returning that state.
+func runJob(addr, bench, config, scale string, wait time.Duration) (string, error) {
+	body, _ := json.Marshal(map[string]any{"bench": bench, "config": config, "scale": scale})
+	resp, err := http.Post(addr+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	var st struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return "", fmt.Errorf("submit: HTTP %d", resp.StatusCode)
+	}
+	for st.State != "done" && st.State != "failed" {
+		resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s?wait=%s", addr, st.ID, wait))
+		if err != nil {
+			return "", err
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			return "", err
+		}
+	}
+	return st.State, nil
+}
+
+// scrapeMetrics pulls the plain counters (no labels) out of /metrics.
+func scrapeMetrics(addr string) (map[string]float64, error) {
+	resp, err := http.Get(addr + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]float64{}
+	re := regexp.MustCompile(`(?m)^([a-z_]+) (\S+)$`)
+	for _, m := range re.FindAllStringSubmatch(string(body), -1) {
+		if v, err := strconv.ParseFloat(m[2], 64); err == nil {
+			out[m[1]] = v
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,82 @@
+// Command tarserved runs the Tarantula simulator as a long-lived job
+// service: a JSON-over-HTTP API to submit experiments, poll or long-poll
+// their status, and fetch results, backed by a bounded worker pool, a
+// content-addressed LRU result cache with in-flight deduplication, and a
+// Prometheus /metrics endpoint.
+//
+// Usage:
+//
+//	tarserved -addr :8077
+//	tarserved -addr :8077 -workers 8 -cache 4096 -max-deadline 5m
+//
+// API sketch (see DESIGN.md for the full contract):
+//
+//	POST /v1/jobs                {"bench":"dgemm","config":"T","scale":"test"}
+//	GET  /v1/jobs/{id}?wait=30s  long-poll job status
+//	GET  /v1/jobs/{id}/result    200 result | 422 structured wedge | 404
+//	GET  /v1/jobs                list retained jobs
+//	GET  /v1/benches, /v1/configs, /metrics, /healthz
+//
+// SIGTERM/SIGINT drains: intake returns 503, queued and in-flight
+// simulations complete (bounded by -drain-timeout), then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8077", "listen address")
+	workers := flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 1024, "max simulations waiting for a worker")
+	cache := flag.Int("cache", 4096, "result-cache entries (LRU)")
+	jobDeadline := flag.Duration("job-deadline", 10*time.Minute, "default wall-clock budget per simulation (0 = none)")
+	maxDeadline := flag.Duration("max-deadline", 30*time.Minute, "upper bound a request may ask for (0 = uncapped)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Minute, "how long shutdown waits for in-flight simulations")
+	flag.Parse()
+
+	s := serve.New(serve.Options{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		CacheEntries:    *cache,
+		DefaultDeadline: *jobDeadline,
+		MaxDeadline:     *maxDeadline,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "tarserved: listening on %s\n", *addr)
+
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "tarserved: %v — draining in-flight simulations\n", sig)
+	case err := <-serveErr:
+		fmt.Fprintln(os.Stderr, "tarserved:", err)
+		os.Exit(1)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "tarserved:", err)
+		httpSrv.Close()
+		os.Exit(1)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "tarserved: shutdown:", err)
+	}
+	fmt.Fprintln(os.Stderr, "tarserved: drained, exiting")
+}

@@ -72,16 +72,9 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	var scale workloads.Scale
-	switch *scaleFlag {
-	case "test":
-		scale = workloads.Test
-	case "bench":
-		scale = workloads.Bench
-	case "full":
-		scale = workloads.Full
-	default:
-		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleFlag)
+	scale, err := workloads.ParseScale(*scaleFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 	cfg := sim.ByName(*config)

@@ -15,9 +15,16 @@
 // -deadline bounds each cell's wall-clock time (wedged cells become error
 // rows), and -faults N arms a seeded stall-storm campaign against a
 // deterministic quarter of the cells to exercise that isolation.
+//
+// -json replaces the text rendering with one deterministic JSON document:
+// the requested tables/figures as row arrays plus every underlying
+// (benchmark, machine) cell in the same result encoding the tarserved API
+// returns, stamped with its confhash content key — so a CLI artifact and a
+// server response for the same experiment are byte-comparable.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,9 +33,26 @@ import (
 
 	"repro/internal/faults"
 	"repro/internal/floorplan"
+	"repro/internal/serve"
 	"repro/internal/tables"
 	"repro/internal/workloads"
 )
+
+// jsonReport is the -json document. Field order here fixes the artifact's
+// byte layout; encoding/json never reorders struct fields.
+type jsonReport struct {
+	Scale  string             `json:"scale"`
+	Table1 string             `json:"table1,omitempty"`
+	Table2 []tables.Table2Row `json:"table2,omitempty"`
+	Table3 string             `json:"table3,omitempty"`
+	Table4 []tables.Table4Row `json:"table4,omitempty"`
+	Fig5   string             `json:"fig5,omitempty"`
+	Fig6   []tables.Fig6Row   `json:"fig6,omitempty"`
+	Fig7   []tables.Fig7Row   `json:"fig7,omitempty"`
+	Fig8   []tables.Fig8Row   `json:"fig8,omitempty"`
+	Fig9   []tables.Fig9Row   `json:"fig9,omitempty"`
+	Cells  []*serve.JobResult `json:"cells,omitempty"`
+}
 
 func main() {
 	scaleFlag := flag.String("scale", "bench", "input scale: test, bench or full")
@@ -42,6 +66,7 @@ func main() {
 	deadline := flag.Duration("deadline", 0, "wall-clock budget per cell (0 = none), e.g. 90s")
 	faultSeed := flag.Int64("faults", 0, "seed for the stall-storm fault campaign (0 = off)")
 	watchdog := flag.Uint64("watchdog", 0, "cycles without retirement before a cell is declared wedged (0 = default)")
+	jsonOut := flag.Bool("json", false, "emit one deterministic JSON document instead of text")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -60,20 +85,18 @@ func main() {
 		}()
 	}
 
-	var scale workloads.Scale
-	switch *scaleFlag {
-	case "test":
-		scale = workloads.Test
-	case "bench":
-		scale = workloads.Bench
-	case "full":
-		scale = workloads.Full
-	default:
-		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleFlag)
+	scale, err := workloads.ParseScale(*scaleFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 	r := tables.NewRunner(scale)
 	r.Parallel = *parallel
+	var rep *jsonReport
+	if *jsonOut {
+		rep = &jsonReport{Scale: scale.String()}
+		r.Quiet = true
+	}
 	r.Check = *checkFlag
 	r.Deadline = *deadline
 	r.Watchdog = *watchdog
@@ -87,56 +110,121 @@ func main() {
 	}
 
 	if *all || *table == 1 {
-		section("Table 1: power and area estimates")
-		fmt.Println(tables.Table1())
+		if rep != nil {
+			rep.Table1 = tables.Table1()
+		} else {
+			section("Table 1: power and area estimates")
+			fmt.Println(tables.Table1())
+		}
 	}
 	if *all || *table == 2 {
-		section("Table 2: benchmarks and measured vectorisation")
+		if rep == nil {
+			section("Table 2: benchmarks and measured vectorisation")
+		}
 		rows, err := r.Table2()
 		check(err)
-		fmt.Println(tables.FormatTable2(rows))
+		if rep != nil {
+			rep.Table2 = rows
+		} else {
+			fmt.Println(tables.FormatTable2(rows))
+		}
 	}
 	if *all || *table == 3 {
-		section("Table 3: machine configurations")
-		fmt.Println(tables.Table3())
+		if rep != nil {
+			rep.Table3 = tables.Table3()
+		} else {
+			section("Table 3: machine configurations")
+			fmt.Println(tables.Table3())
+		}
 	}
 	if *all || *table == 4 {
-		section("Table 4: sustained memory bandwidth (MB/s)")
+		if rep == nil {
+			section("Table 4: sustained memory bandwidth (MB/s)")
+		}
 		rows, err := r.Table4()
 		check(err)
-		fmt.Println(tables.FormatTable4(rows))
+		if rep != nil {
+			rep.Table4 = rows
+		} else {
+			fmt.Println(tables.FormatTable4(rows))
+		}
 	}
 	if *all || *fig == 5 {
-		section("Figure 5: Tarantula floorplan")
-		fmt.Println(floorplan.Compute().Render())
+		if rep != nil {
+			rep.Fig5 = floorplan.Compute().Render()
+		} else {
+			section("Figure 5: Tarantula floorplan")
+			fmt.Println(floorplan.Compute().Render())
+		}
 	}
 	if *all || *fig == 6 {
-		section("Figure 6: sustained operations per cycle on Tarantula")
+		if rep == nil {
+			section("Figure 6: sustained operations per cycle on Tarantula")
+		}
 		rows, err := r.Fig6()
 		check(err)
-		fmt.Println(tables.FormatFig6(rows))
+		if rep != nil {
+			rep.Fig6 = rows
+		} else {
+			fmt.Println(tables.FormatFig6(rows))
+		}
 	}
 	if *all || *fig == 7 {
-		section("Figure 7: speedup of EV8+ and Tarantula over EV8")
+		if rep == nil {
+			section("Figure 7: speedup of EV8+ and Tarantula over EV8")
+		}
 		rows, err := r.Fig7()
 		check(err)
-		fmt.Println(tables.FormatFig7(rows))
+		if rep != nil {
+			rep.Fig7 = rows
+		} else {
+			fmt.Println(tables.FormatFig7(rows))
+		}
 	}
 	if *all || *fig == 8 {
-		section("Figure 8: performance scaling with frequency (T4, T10)")
+		if rep == nil {
+			section("Figure 8: performance scaling with frequency (T4, T10)")
+		}
 		rows, err := r.Fig8()
 		check(err)
-		fmt.Println(tables.FormatFig8(rows))
+		if rep != nil {
+			rep.Fig8 = rows
+		} else {
+			fmt.Println(tables.FormatFig8(rows))
+		}
 	}
 	if *all || *fig == 9 {
-		section("Figure 9: slowdown with stride-1 double-bandwidth disabled")
+		if rep == nil {
+			section("Figure 9: slowdown with stride-1 double-bandwidth disabled")
+		}
 		rows, err := r.Fig9()
 		check(err)
-		fmt.Println(tables.FormatFig9(rows))
+		if rep != nil {
+			rep.Fig9 = rows
+		} else {
+			fmt.Println(tables.FormatFig9(rows))
+		}
 	}
 	if !*all && *table == 0 && *fig == 0 {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if rep != nil {
+		// Every memoised cell rides along in the server's result encoding,
+		// keyed by content address, so a CLI artifact and an API response
+		// for the same experiment compare byte-for-byte.
+		for _, c := range r.Cells() {
+			if c.Err != "" {
+				rep.Cells = append(rep.Cells, &serve.JobResult{
+					Key: c.Key, Bench: c.Bench, Config: c.Config, Scale: scale.String(), Err: c.Err,
+				})
+				continue
+			}
+			rep.Cells = append(rep.Cells, serve.EncodeResult(c.Key, c.Res))
+		}
+		out, err := json.MarshalIndent(rep, "", "  ")
+		check(err)
+		fmt.Println(string(out))
 	}
 }
 

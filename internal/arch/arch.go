@@ -86,7 +86,7 @@ func (m *Machine) newAddrs(n int) []uint64 {
 	}
 	base := len(m.addrArena)
 	m.addrArena = m.addrArena[:base+n]
-	return m.addrArena[base:base : base+n]
+	return m.addrArena[base : base : base+n]
 }
 
 // newIdxs is newAddrs for element indices.
@@ -100,7 +100,7 @@ func (m *Machine) newIdxs(n int) []uint8 {
 	}
 	base := len(m.idxArena)
 	m.idxArena = m.idxArena[:base+n]
-	return m.idxArena[base:base : base+n]
+	return m.idxArena[base : base : base+n]
 }
 
 // addr1 wraps a scalar memory address in an arena-backed one-element slice.

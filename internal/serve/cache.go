@@ -1,0 +1,69 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/workloads"
+)
+
+// lru is the content-addressed result cache: confhash key → completed
+// Result, bounded by entry count with least-recently-used eviction. Only
+// successful runs are cached — failures like a blown wall-clock deadline
+// depend on the machine the server happens to run on, so replaying them is
+// the honest choice.
+type lru struct {
+	mu      sync.Mutex
+	max     int
+	order   *list.List // front = most recent; values are *lruEntry
+	entries map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	res *workloads.Result
+}
+
+func newLRU(max int) *lru {
+	if max <= 0 {
+		max = 4096
+	}
+	return &lru{max: max, order: list.New(), entries: make(map[string]*list.Element)}
+}
+
+// get returns the cached result and refreshes its recency.
+func (c *lru) get(key string) (*workloads.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).res, true
+}
+
+// add inserts (or refreshes) a result, evicting the coldest entry past the
+// bound.
+func (c *lru) add(key string, res *workloads.Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*lruEntry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&lruEntry{key: key, res: res})
+	for c.order.Len() > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// len reports the current entry count.
+func (c *lru) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,49 @@
+package serve
+
+import (
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// JobResult is the canonical result encoding, shared between the server's
+// GET /v1/jobs/{id}/result endpoint and cmd/tartables -json. Field order is
+// fixed by this struct declaration and encoding/json preserves it, so the
+// same experiment produces byte-identical artifacts whether it ran through
+// the CLI or the service — the content key makes the equivalence checkable.
+type JobResult struct {
+	Key    string `json:"key"`
+	Bench  string `json:"bench"`
+	Config string `json:"config"`
+	Scale  string `json:"scale"`
+
+	Cycles  uint64  `json:"cycles,omitempty"`
+	OPC     float64 `json:"opc,omitempty"`
+	FPC     float64 `json:"fpc,omitempty"`
+	MPC     float64 `json:"mpc,omitempty"`
+	Other   float64 `json:"other,omitempty"`
+	VectPct float64 `json:"vect_pct,omitempty"`
+
+	Stats *stats.Stats `json:"stats,omitempty"`
+
+	// Err marks a failed cell (CLI artifacts only; the API reports
+	// failures through ErrorJSON with an HTTP 422 instead).
+	Err string `json:"error,omitempty"`
+}
+
+// EncodeResult builds the wire form of one completed experiment.
+func EncodeResult(key string, res *workloads.Result) *JobResult {
+	opc, fpc, mpc, other := res.OPC()
+	return &JobResult{
+		Key:     key,
+		Bench:   res.Bench,
+		Config:  res.Config,
+		Scale:   res.Scale.String(),
+		Cycles:  res.Stats.Cycles,
+		OPC:     opc,
+		FPC:     fpc,
+		MPC:     mpc,
+		Other:   other,
+		VectPct: res.Stats.VectorPct(),
+		Stats:   res.Stats,
+	}
+}

@@ -1,0 +1,179 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// Job states. A job is terminal in StateDone or StateFailed; everything
+// else is still moving through the queue/worker pipeline.
+const (
+	StateQueued  = "queued"
+	StateRunning = "running"
+	StateDone    = "done"
+	StateFailed  = "failed"
+)
+
+// SubmitRequest is the POST /v1/jobs body: one experiment, described with
+// exactly the vocabulary of the CLI tools (tarsim flags map 1:1 onto these
+// fields). The zero value of every optional field means "the default the
+// CLI would use".
+type SubmitRequest struct {
+	Bench  string `json:"bench"`
+	Config string `json:"config"`
+	// Scale is test, bench or full (default bench).
+	Scale string `json:"scale,omitempty"`
+	// NoPump disables stride-1 double-bandwidth mode (Figure 9 ablation).
+	NoPump bool `json:"nopump,omitempty"`
+	// Check runs the cell under the microarchitectural invariant checker.
+	Check bool `json:"check,omitempty"`
+	// DeadlineMs caps the simulation's wall-clock time; 0 inherits the
+	// server default, and values above the server maximum are clamped.
+	DeadlineMs int64 `json:"deadline_ms,omitempty"`
+	// Watchdog overrides the no-retirement-progress window in cycles.
+	Watchdog uint64 `json:"watchdog,omitempty"`
+	// FaultSeed arms a deterministic fault campaign (0 = off);
+	// FaultCampaign selects it: "jitter" (default) or "storm".
+	FaultSeed     int64  `json:"fault_seed,omitempty"`
+	FaultCampaign string `json:"fault_campaign,omitempty"`
+}
+
+// buildConfig validates the request and assembles the decorated machine
+// configuration plus the parsed scale. Validation failures are client
+// errors (HTTP 400).
+func (s *Server) buildConfig(req *SubmitRequest) (*sim.Config, workloads.Scale, error) {
+	if req.Bench == "" {
+		return nil, 0, errors.New("missing bench")
+	}
+	if _, err := workloads.Get(req.Bench); err != nil {
+		return nil, 0, err
+	}
+	cfg := sim.ByName(req.Config)
+	if cfg == nil {
+		return nil, 0, fmt.Errorf("unknown config %q (have %v)", req.Config, sim.Names())
+	}
+	scaleStr := req.Scale
+	if scaleStr == "" {
+		scaleStr = "bench"
+	}
+	scale, err := workloads.ParseScale(scaleStr)
+	if err != nil {
+		return nil, 0, err
+	}
+	if req.NoPump {
+		cfg = sim.NoPump(cfg)
+	}
+	cc := *cfg
+	cc.Check = req.Check
+	cc.Watchdog = req.Watchdog
+	cc.Deadline = s.opts.DefaultDeadline
+	if req.DeadlineMs > 0 {
+		cc.Deadline = time.Duration(req.DeadlineMs) * time.Millisecond
+	}
+	if max := s.opts.MaxDeadline; max > 0 && (cc.Deadline == 0 || cc.Deadline > max) {
+		cc.Deadline = max
+	}
+	if req.FaultSeed != 0 {
+		switch req.FaultCampaign {
+		case "", "jitter":
+			cc.Faults = faults.Jitter(req.FaultSeed)
+		case "storm":
+			cc.Faults = faults.Storm(req.FaultSeed, 0)
+		default:
+			return nil, 0, fmt.Errorf("unknown fault campaign %q (want jitter or storm)", req.FaultCampaign)
+		}
+	}
+	return &cc, scale, nil
+}
+
+// job is the server-side record of one submission. Fields are guarded by
+// the server mutex until the job reaches a terminal state (done is closed),
+// after which they are immutable.
+type job struct {
+	id        string
+	key       string
+	bench     string
+	config    string
+	scaleStr  string
+	cacheHit  bool
+	submitted time.Time
+	state     string
+	res       *workloads.Result
+	err       error
+	elapsed   time.Duration
+	done      chan struct{}
+}
+
+// flight is one in-flight simulation: the single execution N deduplicated
+// jobs are waiting on.
+type flight struct {
+	key   string
+	bench string
+	cfg   *sim.Config
+	scale workloads.Scale
+	jobs  []*job
+}
+
+// JobStatus is the wire form of a job, returned by the submit and poll
+// endpoints.
+type JobStatus struct {
+	ID        string     `json:"id"`
+	Key       string     `json:"key"`
+	Bench     string     `json:"bench"`
+	Config    string     `json:"config"`
+	Scale     string     `json:"scale"`
+	State     string     `json:"state"`
+	CacheHit  bool       `json:"cache_hit"`
+	ElapsedMs int64      `json:"elapsed_ms,omitempty"`
+	Result    *JobResult `json:"result,omitempty"`
+	Error     *ErrorJSON `json:"error,omitempty"`
+}
+
+// ErrorJSON is the structured failure attached to a failed job. Kind
+// "wedge" carries the full *sim.WedgeError diagnostics and maps to HTTP
+// 422 (the experiment is well-formed but cannot complete — a watchdog
+// trip, a blown deadline, an invariant violation or a dead trace); kind
+// "check" is a functional miscompare (also 422); kind "internal" is a
+// server-side fault (500).
+type ErrorJSON struct {
+	Kind      string `json:"kind"`
+	Message   string `json:"message"`
+	Reason    string `json:"reason,omitempty"`
+	Config    string `json:"config,omitempty"`
+	Cycle     uint64 `json:"cycle,omitempty"`
+	Retired   uint64 `json:"retired,omitempty"`
+	Occupancy string `json:"occupancy,omitempty"`
+}
+
+// encodeError maps a job failure onto the wire form plus its HTTP status.
+func encodeError(err error) (*ErrorJSON, int) {
+	var w *sim.WedgeError
+	if errors.As(err, &w) {
+		return &ErrorJSON{
+			Kind:      "wedge",
+			Message:   err.Error(),
+			Reason:    w.Reason,
+			Config:    w.Config,
+			Cycle:     w.Cycle,
+			Retired:   w.Retired,
+			Occupancy: w.Occ.String(),
+		}, 422
+	}
+	var p panicError
+	if errors.As(err, &p) {
+		return &ErrorJSON{Kind: "internal", Message: err.Error()}, 500
+	}
+	// Anything else from the workload harness is a functional check
+	// failure: the simulation ran but computed the wrong answer.
+	return &ErrorJSON{Kind: "check", Message: err.Error()}, 422
+}
+
+// panicError wraps a recovered worker panic so it maps to kind "internal".
+type panicError struct{ v any }
+
+func (p panicError) Error() string { return fmt.Sprintf("worker panicked: %v", p.v) }

@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// metrics is the server's counter set, exported in Prometheus text format
+// on /metrics. Everything is guarded by one mutex — the counters are
+// touched once per job transition, not per simulated cycle, so contention
+// is irrelevant next to a simulation's runtime.
+type metrics struct {
+	mu sync.Mutex
+
+	submitted   uint64 // jobs accepted
+	rejected    uint64 // jobs refused (drain, queue overflow)
+	done        uint64 // jobs reaching StateDone
+	failed      uint64 // jobs reaching StateFailed
+	wedged      uint64 // subset of failed whose cause is a *sim.WedgeError
+	cacheHits   uint64 // submissions answered straight from the LRU
+	cacheMisses uint64
+	dedupJoined uint64 // submissions that attached to an in-flight run
+	simsStarted uint64 // underlying simulations begun
+	simsDone    uint64 // underlying simulations finished (either way)
+
+	queued  int // jobs waiting for a worker
+	running int // jobs whose simulation is executing
+
+	// latencies is a ring of recent job latencies (seconds, submit →
+	// terminal state, cache hits included) from which the quantile lines
+	// are computed at scrape time.
+	latencies [2048]float64
+	latN      uint64
+}
+
+func (m *metrics) recordLatency(sec float64) {
+	m.latencies[m.latN%uint64(len(m.latencies))] = sec
+	m.latN++
+}
+
+// quantiles returns the p50/p99 of the retained latency window.
+func (m *metrics) quantiles() (p50, p99 float64, n uint64) {
+	n = m.latN
+	fill := int(n)
+	if fill > len(m.latencies) {
+		fill = len(m.latencies)
+	}
+	if fill == 0 {
+		return 0, 0, 0
+	}
+	window := make([]float64, fill)
+	copy(window, m.latencies[:fill])
+	sort.Float64s(window)
+	at := func(q float64) float64 {
+		i := int(q * float64(fill-1))
+		return window[i]
+	}
+	return at(0.50), at(0.99), n
+}
+
+// render writes the Prometheus exposition. cacheLen is sampled by the
+// caller (the cache has its own lock).
+func (m *metrics) render(w io.Writer, cacheLen int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("tarserved_jobs_submitted_total", "Jobs accepted by POST /v1/jobs.", m.submitted)
+	counter("tarserved_jobs_rejected_total", "Jobs refused (draining or queue overflow).", m.rejected)
+	counter("tarserved_jobs_done_total", "Jobs that completed successfully.", m.done)
+	counter("tarserved_jobs_failed_total", "Jobs that reached a failure state.", m.failed)
+	counter("tarserved_jobs_wedged_total", "Failed jobs whose cause was a simulator wedge.", m.wedged)
+	counter("tarserved_cache_hits_total", "Submissions answered from the result cache.", m.cacheHits)
+	counter("tarserved_cache_misses_total", "Submissions that missed the result cache.", m.cacheMisses)
+	counter("tarserved_dedup_joined_total", "Submissions deduplicated onto an in-flight simulation.", m.dedupJoined)
+	counter("tarserved_sims_started_total", "Underlying simulations started.", m.simsStarted)
+	counter("tarserved_sims_completed_total", "Underlying simulations finished.", m.simsDone)
+	gauge("tarserved_jobs_queued", "Jobs waiting for a worker.", m.queued)
+	gauge("tarserved_jobs_running", "Jobs whose simulation is executing.", m.running)
+	gauge("tarserved_cache_entries", "Entries resident in the result cache.", cacheLen)
+	p50, p99, n := m.quantiles()
+	fmt.Fprintf(w, "# HELP tarserved_job_latency_seconds Job latency, submit to terminal state.\n")
+	fmt.Fprintf(w, "# TYPE tarserved_job_latency_seconds summary\n")
+	fmt.Fprintf(w, "tarserved_job_latency_seconds{quantile=\"0.5\"} %g\n", p50)
+	fmt.Fprintf(w, "tarserved_job_latency_seconds{quantile=\"0.99\"} %g\n", p99)
+	fmt.Fprintf(w, "tarserved_job_latency_seconds_count %d\n", n)
+}

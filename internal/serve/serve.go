@@ -1,0 +1,490 @@
+// Package serve turns the Tarantula simulator into a long-lived,
+// multi-tenant job service: experiments are submitted over JSON/HTTP, keyed
+// by their confhash content address, deduplicated against in-flight runs,
+// answered from a bounded LRU result cache when possible, and executed on a
+// bounded worker pool otherwise. The server exposes Prometheus metrics and
+// drains in-flight simulations on shutdown, so a deploy never truncates a
+// half-finished experiment.
+//
+// The design deliberately reuses the battle-tested layers below it: job
+// execution is workloads.Benchmark.Run over sim.RunChecked, so every
+// integrity feature (watchdog, deadline, invariant checker, fault
+// campaigns) is a request knob, and a wedged machine surfaces as a
+// structured HTTP 422 — never a hung connection or a 500.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/confhash"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// RunFunc executes one experiment. The default runs the real simulator;
+// tests substitute counting or failing stubs.
+type RunFunc func(bench string, cfg *sim.Config, scale workloads.Scale) (*workloads.Result, error)
+
+func defaultRun(bench string, cfg *sim.Config, scale workloads.Scale) (*workloads.Result, error) {
+	b, err := workloads.Get(bench)
+	if err != nil {
+		return nil, err
+	}
+	return b.Run(cfg, scale)
+}
+
+// Options configures a Server. Zero values select sensible defaults.
+type Options struct {
+	// Workers bounds concurrent simulations (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds flights waiting for a worker (default 1024);
+	// overflow rejects the submission with 503 rather than queueing
+	// unboundedly.
+	QueueDepth int
+	// CacheEntries bounds the LRU result cache (default 4096).
+	CacheEntries int
+	// DefaultDeadline is applied to jobs that do not set deadline_ms;
+	// MaxDeadline clamps what a request may ask for. Zero disables each.
+	DefaultDeadline time.Duration
+	MaxDeadline     time.Duration
+	// MaxJobs bounds retained job records (default 16384); the oldest
+	// terminal jobs are forgotten past it.
+	MaxJobs int
+	// Run substitutes the execution function (tests only).
+	Run RunFunc
+}
+
+// Server is the simulation-as-a-service layer. Create with New, mount via
+// Handler, stop with Drain.
+type Server struct {
+	opts  Options
+	run   RunFunc
+	cache *lru
+	m     *metrics
+	mux   *http.ServeMux
+
+	mu       sync.Mutex
+	seq      int
+	jobs     map[string]*job
+	order    []string // job ids, submission order (listing + record GC)
+	flights  map[string]*flight
+	queue    chan *flight
+	draining bool
+
+	workersWG sync.WaitGroup
+}
+
+// New builds a server and starts its worker pool.
+func New(opts Options) *Server {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 1024
+	}
+	if opts.MaxJobs <= 0 {
+		opts.MaxJobs = 16384
+	}
+	s := &Server{
+		opts:    opts,
+		run:     opts.Run,
+		cache:   newLRU(opts.CacheEntries),
+		m:       &metrics{},
+		jobs:    make(map[string]*job),
+		flights: make(map[string]*flight),
+		queue:   make(chan *flight, opts.QueueDepth),
+	}
+	if s.run == nil {
+		s.run = defaultRun
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /v1/benches", s.handleBenches)
+	s.mux.HandleFunc("GET /v1/configs", s.handleConfigs)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	for i := 0; i < opts.Workers; i++ {
+		s.workersWG.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the HTTP surface.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain stops intake (new submissions get 503), lets queued and in-flight
+// simulations finish, and returns when the pool is idle or ctx expires.
+// Safe to call more than once.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	idle := make(chan struct{})
+	go func() {
+		s.workersWG.Wait()
+		close(idle)
+	}()
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("drain: %d simulations still in flight: %w", s.inFlight(), ctx.Err())
+	}
+}
+
+func (s *Server) inFlight() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.flights)
+}
+
+// ---- execution ----
+
+func (s *Server) worker() {
+	defer s.workersWG.Done()
+	for f := range s.queue {
+		s.mu.Lock()
+		wereQueued := 0
+		for _, j := range f.jobs {
+			if j.state == StateQueued {
+				wereQueued++
+			}
+			j.state = StateRunning
+		}
+		n := len(f.jobs)
+		s.mu.Unlock()
+		s.m.mu.Lock()
+		s.m.simsStarted++
+		s.m.queued -= wereQueued
+		s.m.running += n
+		s.m.mu.Unlock()
+		res, err := s.runFlight(f)
+		s.complete(f, res, err)
+	}
+}
+
+// runFlight executes one simulation with panic isolation, mirroring the
+// sweep runner's per-cell recovery: a model bug in one experiment must not
+// take the service down.
+func (s *Server) runFlight(f *flight) (res *workloads.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			res, err = nil, panicError{p}
+		}
+	}()
+	return s.run(f.bench, f.cfg, f.scale)
+}
+
+// complete publishes a flight's outcome to every attached job, feeds the
+// cache, and updates the metrics.
+func (s *Server) complete(f *flight, res *workloads.Result, err error) {
+	if err == nil {
+		s.cache.add(f.key, res)
+	}
+	now := time.Now()
+	s.mu.Lock()
+	delete(s.flights, f.key)
+	for _, j := range f.jobs {
+		j.res, j.err = res, err
+		j.elapsed = now.Sub(j.submitted)
+		if err == nil {
+			j.state = StateDone
+		} else {
+			j.state = StateFailed
+		}
+		close(j.done)
+	}
+	s.mu.Unlock()
+	s.m.mu.Lock()
+	s.m.simsDone++
+	s.m.running -= len(f.jobs)
+	var w *sim.WedgeError
+	for _, j := range f.jobs {
+		if err == nil {
+			s.m.done++
+		} else {
+			s.m.failed++
+			if errors.As(err, &w) {
+				s.m.wedged++
+			}
+		}
+		s.m.recordLatency(j.elapsed.Seconds())
+	}
+	s.m.mu.Unlock()
+}
+
+// ---- submission ----
+
+// Submit registers one experiment and returns its status: answered from the
+// cache (terminal immediately), attached to an identical in-flight run, or
+// queued as a fresh flight. Exported for in-process embedding; the HTTP
+// handler is a thin wrapper.
+func (s *Server) Submit(req *SubmitRequest) (*JobStatus, int, error) {
+	cfg, scale, err := s.buildConfig(req)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	key := confhash.Key(req.Bench, scale.String(), cfg)
+	now := time.Now()
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.m.mu.Lock()
+		s.m.rejected++
+		s.m.mu.Unlock()
+		return nil, http.StatusServiceUnavailable, errors.New("server is draining")
+	}
+	s.seq++
+	j := &job{
+		id:        fmt.Sprintf("job-%d", s.seq),
+		key:       key,
+		bench:     req.Bench,
+		config:    cfg.Name,
+		scaleStr:  scale.String(),
+		submitted: now,
+		done:      make(chan struct{}),
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.gcLocked()
+
+	if res, ok := s.cache.get(key); ok {
+		j.state, j.res, j.cacheHit = StateDone, res, true
+		close(j.done)
+		s.mu.Unlock()
+		s.m.mu.Lock()
+		s.m.submitted++
+		s.m.cacheHits++
+		s.m.done++
+		s.m.recordLatency(0)
+		s.m.mu.Unlock()
+		return s.status(j), http.StatusOK, nil
+	}
+
+	if f, ok := s.flights[key]; ok {
+		f.jobs = append(f.jobs, j)
+		j.state = f.jobs[0].state // queued or running, same as the leader
+		s.mu.Unlock()
+		s.m.mu.Lock()
+		s.m.submitted++
+		s.m.cacheMisses++
+		s.m.dedupJoined++
+		if j.state == StateRunning {
+			s.m.running++
+		} else {
+			s.m.queued++
+		}
+		s.m.mu.Unlock()
+		return s.status(j), http.StatusAccepted, nil
+	}
+
+	f := &flight{key: key, bench: req.Bench, cfg: cfg, scale: scale, jobs: []*job{j}}
+	j.state = StateQueued
+	select {
+	case s.queue <- f:
+	default:
+		delete(s.jobs, j.id)
+		s.order = s.order[:len(s.order)-1]
+		s.mu.Unlock()
+		s.m.mu.Lock()
+		s.m.rejected++
+		s.m.mu.Unlock()
+		return nil, http.StatusServiceUnavailable, errors.New("job queue is full")
+	}
+	s.flights[key] = f
+	s.mu.Unlock()
+	s.m.mu.Lock()
+	s.m.submitted++
+	s.m.cacheMisses++
+	s.m.queued++
+	s.m.mu.Unlock()
+	return s.status(j), http.StatusAccepted, nil
+}
+
+// gcLocked forgets the oldest terminal job records past the retention
+// bound. Requires s.mu.
+func (s *Server) gcLocked() {
+	for len(s.order) > s.opts.MaxJobs {
+		id := s.order[0]
+		j := s.jobs[id]
+		select {
+		case <-j.done:
+			s.order = s.order[1:]
+			delete(s.jobs, id)
+		default:
+			return // oldest record still live; keep everything behind it
+		}
+	}
+}
+
+// status renders a job's wire form. Terminal jobs are immutable; live ones
+// are read under the server mutex.
+func (s *Server) status(j *job) *JobStatus {
+	s.mu.Lock()
+	st := &JobStatus{
+		ID:        j.id,
+		Key:       j.key,
+		Bench:     j.bench,
+		Config:    j.config,
+		Scale:     j.scaleStr,
+		State:     j.state,
+		CacheHit:  j.cacheHit,
+		ElapsedMs: j.elapsed.Milliseconds(),
+	}
+	res, err := j.res, j.err
+	s.mu.Unlock()
+	if st.State == StateDone && res != nil {
+		st.Result = EncodeResult(j.key, res)
+	}
+	if st.State == StateFailed && err != nil {
+		st.Error, _ = encodeError(err)
+	}
+	return st
+}
+
+// ---- HTTP handlers ----
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]any{"error": map[string]any{"kind": "request", "message": msg}})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	st, code, err := s.Submit(&req)
+	if err != nil {
+		writeError(w, code, err.Error())
+		return
+	}
+	writeJSON(w, code, st)
+}
+
+// handleStatus reports one job; ?wait=10s long-polls until the job reaches
+// a terminal state or the wait expires (capped at 60s), which is how
+// clients "stream" status without a busy loop.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	if waitStr := r.URL.Query().Get("wait"); waitStr != "" {
+		wait, err := time.ParseDuration(waitStr)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad wait duration: "+err.Error())
+			return
+		}
+		if wait > time.Minute {
+			wait = time.Minute
+		}
+		select {
+		case <-j.done:
+		case <-time.After(wait):
+		case <-r.Context().Done():
+		}
+	}
+	writeJSON(w, http.StatusOK, s.status(j))
+}
+
+// handleResult returns the completed result (200), the job's progress (202
+// while not terminal), or the structured failure — 422 for wedges and
+// functional check failures, 500 only for server-side faults.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	select {
+	case <-j.done:
+	default:
+		writeJSON(w, http.StatusAccepted, s.status(j))
+		return
+	}
+	if j.err != nil {
+		ej, code := encodeError(j.err)
+		writeJSON(w, code, map[string]any{"error": ej})
+		return
+	}
+	writeJSON(w, http.StatusOK, EncodeResult(j.key, j.res))
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	s.mu.Unlock()
+	out := make([]*JobStatus, 0, len(ids))
+	for _, id := range ids {
+		s.mu.Lock()
+		j := s.jobs[id]
+		s.mu.Unlock()
+		if j != nil {
+			out = append(out, s.status(j))
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+func (s *Server) handleBenches(w http.ResponseWriter, r *http.Request) {
+	type benchInfo struct {
+		Name  string `json:"name"`
+		Class string `json:"class"`
+		Desc  string `json:"desc"`
+	}
+	var out []benchInfo
+	for _, n := range workloads.Names() {
+		b, _ := workloads.Get(n)
+		out = append(out, benchInfo{Name: n, Class: b.Class, Desc: b.Desc})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"benches": out})
+}
+
+func (s *Server) handleConfigs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"configs": sim.Names()})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.m.render(w, s.cache.len())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

@@ -161,6 +161,12 @@ func NoPump(cfg *Config) *Config {
 	return &c
 }
 
+// Names lists the canonical Table 3 configurations in presentation order —
+// the set a service layer can offer without inventing machines.
+func Names() []string {
+	return []string{"EV8", "EV8+", "T", "T4", "T10"}
+}
+
 // Configs returns the named configuration, or nil.
 func ByName(name string) *Config {
 	switch name {

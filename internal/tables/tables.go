@@ -9,10 +9,12 @@ package tables
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/confhash"
 	"repro/internal/faults"
 	"repro/internal/power"
 	"repro/internal/sim"
@@ -58,9 +60,11 @@ type Runner struct {
 // call is a singleflight slot for one (benchmark, machine) pair: the first
 // requester computes, everyone else waits on done.
 type call struct {
-	done chan struct{}
-	res  *workloads.Result
-	err  error
+	done          chan struct{}
+	bench, config string // display identity (the key is the content hash)
+	key           string
+	res           *workloads.Result
+	err           error
 }
 
 // NewRunner returns a memoising runner at the given scale.
@@ -68,18 +72,73 @@ func NewRunner(s workloads.Scale) *Runner {
 	return &Runner{Scale: s, Parallel: runtime.GOMAXPROCS(0), results: make(map[string]*call)}
 }
 
+// CellKey is the content address of one sweep cell: the confhash over the
+// benchmark, the runner's scale, and the cell's fully decorated machine
+// configuration. Decorating first means a fault-targeted cell or a
+// checker-enabled sweep occupies different cache lines than a plain run of
+// the same machine — identical inputs dedupe, perturbed ones never alias.
+func (r *Runner) CellKey(bench string, cfg *sim.Config) string {
+	return confhash.Key(bench, r.Scale.String(), r.decorate(bench, cfg))
+}
+
 // lookup returns the pair's singleflight slot, creating it if needed; owner
 // reports whether the caller created it (and so must execute the run).
 func (r *Runner) lookup(bench string, cfg *sim.Config) (c *call, owner bool) {
-	key := bench + "@" + cfg.Name
+	key := r.CellKey(bench, cfg)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if c, ok := r.results[key]; ok {
 		return c, false
 	}
-	c = &call{done: make(chan struct{})}
+	c = &call{done: make(chan struct{}), bench: bench, config: cfg.Name, key: key}
 	r.results[key] = c
 	return c, true
+}
+
+// CellResult is one memoised cell, exported for artifact emission
+// (tartables -json): the content key plus the display identity and the
+// outcome. Err is non-empty for failed cells.
+type CellResult struct {
+	Key           string
+	Bench, Config string
+	Res           *workloads.Result
+	Err           string
+}
+
+// Cells snapshots every completed cell in deterministic order (benchmark,
+// then machine, then key). Cells still running are skipped, so callers
+// should invoke it only after the tables/figures they requested have
+// returned.
+func (r *Runner) Cells() []CellResult {
+	r.mu.Lock()
+	calls := make([]*call, 0, len(r.results))
+	for _, c := range r.results {
+		calls = append(calls, c)
+	}
+	r.mu.Unlock()
+	var out []CellResult
+	for _, c := range calls {
+		select {
+		case <-c.done:
+		default:
+			continue // still in flight
+		}
+		cell := CellResult{Key: c.key, Bench: c.bench, Config: c.config, Res: c.res}
+		if c.err != nil {
+			cell.Err = c.err.Error()
+		}
+		out = append(out, cell)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Bench != out[j].Bench {
+			return out[i].Bench < out[j].Bench
+		}
+		if out[i].Config != out[j].Config {
+			return out[i].Config < out[j].Config
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
 }
 
 // decorate applies the runner's integrity knobs to a cell's machine
@@ -286,15 +345,16 @@ func Table3() string {
 
 // Table4Row is one bandwidth microkernel result.
 type Table4Row struct {
-	Name       string
-	StreamsMBs float64
-	RawMBs     float64
+	Name       string  `json:"name"`
+	StreamsMBs float64 `json:"streams_mbs"`
+	RawMBs     float64 `json:"raw_mbs"`
 	// Paper values for the comparison column (MB/s).
-	PaperStreams, PaperRaw float64
+	PaperStreams float64 `json:"paper_streams"`
+	PaperRaw     float64 `json:"paper_raw"`
 	// Err, when non-empty, marks a failed cell (wedge, deadline, panic);
 	// the numeric columns are meaningless and the message carries the
 	// WedgeError diagnostics.
-	Err string
+	Err string `json:"error,omitempty"`
 }
 
 // firstErr returns the first non-nil error among errs.
@@ -376,9 +436,12 @@ func FormatTable4(rows []Table4Row) string {
 
 // Fig6Row is one benchmark's sustained operations-per-cycle breakdown.
 type Fig6Row struct {
-	Name                 string
-	OPC, FPC, MPC, Other float64
-	Err                  string // non-empty marks a failed cell
+	Name  string  `json:"name"`
+	OPC   float64 `json:"opc"`
+	FPC   float64 `json:"fpc"`
+	MPC   float64 `json:"mpc"`
+	Other float64 `json:"other"`
+	Err   string  `json:"error,omitempty"` // non-empty marks a failed cell
 }
 
 // Fig6 runs every evaluation benchmark on Tarantula.
@@ -418,9 +481,10 @@ func FormatFig6(rows []Fig6Row) string {
 
 // Fig7Row is one benchmark's speedup over EV8.
 type Fig7Row struct {
-	Name       string
-	EV8Plus, T float64 // speedups over EV8
-	Err        string  // non-empty marks a failed cell
+	Name    string  `json:"name"`
+	EV8Plus float64 `json:"ev8plus"`         // speedup over EV8
+	T       float64 `json:"t"`               // speedup over EV8
+	Err     string  `json:"error,omitempty"` // non-empty marks a failed cell
 }
 
 // Fig7 runs each benchmark on EV8, EV8+ and T.
@@ -472,9 +536,10 @@ func FormatFig7(rows []Fig7Row) string {
 
 // Fig8Row is one benchmark's frequency-scaling behaviour.
 type Fig8Row struct {
-	Name    string
-	T4, T10 float64 // speedup relative to T
-	Err     string  // non-empty marks a failed cell
+	Name string  `json:"name"`
+	T4   float64 `json:"t4"`              // speedup relative to T
+	T10  float64 `json:"t10"`             // speedup relative to T
+	Err  string  `json:"error,omitempty"` // non-empty marks a failed cell
 }
 
 // Fig8 runs each benchmark on T, T4 and T10.
@@ -524,9 +589,9 @@ func FormatFig8(rows []Fig8Row) string {
 
 // Fig9Row is one benchmark's pump ablation.
 type Fig9Row struct {
-	Name     string
-	Relative float64 // performance with the pump disabled, relative to T (≤1)
-	Err      string  // non-empty marks a failed cell
+	Name     string  `json:"name"`
+	Relative float64 `json:"relative"`        // performance with the pump disabled, relative to T (≤1)
+	Err      string  `json:"error,omitempty"` // non-empty marks a failed cell
 }
 
 // Fig9 disables stride-1 double-bandwidth mode and reruns on T.
@@ -570,11 +635,14 @@ func FormatFig9(rows []Fig9Row) string {
 
 // Table2Row describes one benchmark with its measured vectorisation.
 type Table2Row struct {
-	Name, Class, Desc string
-	Pref, DrainM      bool
-	VectPct           float64 // measured on the Tarantula run
-	PaperVectPct      float64
-	Err               string // non-empty marks a failed cell
+	Name         string  `json:"name"`
+	Class        string  `json:"class"`
+	Desc         string  `json:"desc"`
+	Pref         bool    `json:"pref"`
+	DrainM       bool    `json:"drainm"`
+	VectPct      float64 `json:"vect_pct"` // measured on the Tarantula run
+	PaperVectPct float64 `json:"paper_vect_pct"`
+	Err          string  `json:"error,omitempty"` // non-empty marks a failed cell
 }
 
 // table2Paper is the "Vect. %" column of Table 2.

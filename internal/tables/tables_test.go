@@ -3,7 +3,10 @@ package tables
 import (
 	"strings"
 	"testing"
+	"time"
 
+	"repro/internal/faults"
+	"repro/internal/sim"
 	"repro/internal/workloads"
 )
 
@@ -110,6 +113,88 @@ func TestParallelSweepDeterministic(t *testing.T) {
 		if *sc.res.Stats != *pc.res.Stats {
 			t.Errorf("%s: parallel run changed the statistics:\nseq: %+v\npar: %+v",
 				key, *sc.res.Stats, *pc.res.Stats)
+		}
+	}
+}
+
+// ---- confhash memoisation key (PR 3) ----
+
+// TestCellKeyContentAddressed proves the memo key is the experiment's
+// content, not its display name: identical configs collide (dedup) and any
+// integrity knob — deadline, checker, watchdog, fault campaign — separates
+// them.
+func TestCellKeyContentAddressed(t *testing.T) {
+	r := NewRunner(workloads.Test)
+	base := r.CellKey("dgemm", sim.T())
+	if got := r.CellKey("dgemm", sim.T()); got != base {
+		t.Fatal("two identical cells got different keys")
+	}
+	renamed := sim.T()
+	renamed.Name = "T-alias"
+	if got := r.CellKey("dgemm", renamed); got != base {
+		t.Fatal("renaming a config changed its cell key")
+	}
+	if got := r.CellKey("dtrmm", sim.T()); got == base {
+		t.Fatal("different benchmarks share a cell key")
+	}
+
+	rd := NewRunner(workloads.Test)
+	rd.Deadline = 90 * time.Second
+	if got := rd.CellKey("dgemm", sim.T()); got == base {
+		t.Fatal("a deadline-decorated cell aliases the plain one")
+	}
+	rc := NewRunner(workloads.Test)
+	rc.Check = true
+	if got := rc.CellKey("dgemm", sim.T()); got == base {
+		t.Fatal("a checker-decorated cell aliases the plain one")
+	}
+	rw := NewRunner(workloads.Test)
+	rw.Watchdog = 12345
+	if got := rw.CellKey("dgemm", sim.T()); got == base {
+		t.Fatal("a watchdog-decorated cell aliases the plain one")
+	}
+	rf := NewRunner(workloads.Test)
+	rf.Faults = &faults.Config{Seed: 1, MemJitter: 8, Cells: []string{"dgemm@T"}}
+	if got := rf.CellKey("dgemm", sim.T()); got == base {
+		t.Fatal("a fault-targeted cell aliases the plain one")
+	}
+	// The same campaign NOT targeting this cell must leave the key alone,
+	// or an injected sweep would never share work with a clean one.
+	if got := rf.CellKey("dtrmm", sim.T()); got != r.CellKey("dtrmm", sim.T()) {
+		t.Fatal("an untargeted cell's key changed under a fault campaign")
+	}
+
+	rs := NewRunner(workloads.Bench)
+	if got := rs.CellKey("dgemm", sim.T()); got == base {
+		t.Fatal("different scales share a cell key")
+	}
+}
+
+// TestCellsSnapshotDeterministic runs two cells and checks the exported
+// snapshot carries keys, display identity and results in sorted order.
+func TestCellsSnapshotDeterministic(t *testing.T) {
+	r := NewRunner(workloads.Test)
+	r.Quiet = true
+	r.Parallel = 1
+	if _, err := r.run("streams_copy", sim.T()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.run("streams_copy", sim.EV8()); err != nil {
+		t.Fatal(err)
+	}
+	cells := r.Cells()
+	if len(cells) != 2 {
+		t.Fatalf("got %d cells, want 2", len(cells))
+	}
+	if cells[0].Config != "EV8" || cells[1].Config != "T" {
+		t.Fatalf("cells not sorted: %q, %q", cells[0].Config, cells[1].Config)
+	}
+	for _, c := range cells {
+		if c.Key == "" || c.Res == nil || c.Err != "" {
+			t.Fatalf("bad cell %+v", c)
+		}
+		if c.Key != r.CellKey(c.Bench, sim.ByName(c.Config)) {
+			t.Fatalf("cell key mismatch for %s@%s", c.Bench, c.Config)
 		}
 	}
 }

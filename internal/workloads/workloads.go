@@ -28,6 +28,21 @@ const (
 	Full
 )
 
+// ParseScale maps the user-facing scale names ("test", "bench", "full") to
+// a Scale; every entry point (tarsim, tartables, the tarserved job API)
+// shares this one parser so they accept exactly the same vocabulary.
+func ParseScale(s string) (Scale, error) {
+	switch s {
+	case "test":
+		return Test, nil
+	case "bench":
+		return Bench, nil
+	case "full":
+		return Full, nil
+	}
+	return Test, fmt.Errorf("workloads: unknown scale %q (want test, bench or full)", s)
+}
+
 func (s Scale) String() string {
 	switch s {
 	case Test:
