@@ -50,6 +50,23 @@ type report struct {
 	DedupJoined   float64 `json:"server_dedup_joined"`
 	SimsStarted   float64 `json:"server_sims_started"`
 	SimsCompleted float64 `json:"server_sims_completed"`
+
+	// Experiments carries the server's per-experiment series summaries
+	// (the labeled tarserved_experiment_* gauges): one row per distinct
+	// simulation the load run touched, with its sim-internal cycle count
+	// and IPC next to the client-side latencies above.
+	Experiments []expSeries `json:"experiments,omitempty"`
+}
+
+// expSeries is one scraped tarserved_experiment_* label set.
+type expSeries struct {
+	Key          string  `json:"key"`
+	Bench        string  `json:"bench"`
+	Config       string  `json:"config"`
+	Cycles       float64 `json:"cycles"`
+	IPC          float64 `json:"ipc"`
+	SamplePoints float64 `json:"sample_points"`
+	CacheHits    float64 `json:"cache_hits"`
 }
 
 func main() {
@@ -126,12 +143,13 @@ func main() {
 		rep.P50Ms = latencies[len(latencies)/2]
 		rep.P99Ms = latencies[int(0.99*float64(len(latencies)-1))]
 	}
-	if m, err := scrapeMetrics(*addr); err == nil {
+	if m, exps, err := scrapeMetrics(*addr); err == nil {
 		rep.CacheHits = m["tarserved_cache_hits_total"]
 		rep.CacheMisses = m["tarserved_cache_misses_total"]
 		rep.DedupJoined = m["tarserved_dedup_joined_total"]
 		rep.SimsStarted = m["tarserved_sims_started_total"]
 		rep.SimsCompleted = m["tarserved_sims_completed_total"]
+		rep.Experiments = exps
 	} else {
 		fmt.Fprintln(os.Stderr, "tarload: metrics scrape failed:", err)
 	}
@@ -190,16 +208,17 @@ func runJob(addr, bench, config, scale string, wait time.Duration) (string, erro
 	return st.State, nil
 }
 
-// scrapeMetrics pulls the plain counters (no labels) out of /metrics.
-func scrapeMetrics(addr string) (map[string]float64, error) {
+// scrapeMetrics pulls the plain counters and the labeled per-experiment
+// series summaries out of /metrics.
+func scrapeMetrics(addr string) (map[string]float64, []expSeries, error) {
 	resp, err := http.Get(addr + "/metrics")
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	out := map[string]float64{}
 	re := regexp.MustCompile(`(?m)^([a-z_]+) (\S+)$`)
@@ -208,5 +227,41 @@ func scrapeMetrics(addr string) (map[string]float64, error) {
 			out[m[1]] = v
 		}
 	}
-	return out, nil
+	return out, scrapeExperiments(string(body)), nil
+}
+
+// scrapeExperiments parses the tarserved_experiment_* label sets into rows,
+// one per distinct (key, bench, config), sorted by key for a deterministic
+// report.
+func scrapeExperiments(body string) []expSeries {
+	re := regexp.MustCompile(`(?m)^tarserved_experiment_([a-z_]+)\{key="([^"]*)",bench="([^"]*)",config="([^"]*)"\} (\S+)$`)
+	byKey := map[string]*expSeries{}
+	for _, m := range re.FindAllStringSubmatch(body, -1) {
+		field, key, bench, config := m[1], m[2], m[3], m[4]
+		v, err := strconv.ParseFloat(m[5], 64)
+		if err != nil {
+			continue
+		}
+		e, ok := byKey[key]
+		if !ok {
+			e = &expSeries{Key: key, Bench: bench, Config: config}
+			byKey[key] = e
+		}
+		switch field {
+		case "cycles":
+			e.Cycles = v
+		case "ipc":
+			e.IPC = v
+		case "sample_points":
+			e.SamplePoints = v
+		case "cache_hits":
+			e.CacheHits = v
+		}
+	}
+	var exps []expSeries
+	for _, e := range byKey {
+		exps = append(exps, *e)
+	}
+	sort.Slice(exps, func(i, j int) bool { return exps[i].Key < exps[j].Key })
+	return exps
 }

@@ -43,6 +43,8 @@ func main() {
 	jobDeadline := flag.Duration("job-deadline", 10*time.Minute, "default wall-clock budget per simulation (0 = none)")
 	maxDeadline := flag.Duration("max-deadline", 30*time.Minute, "upper bound a request may ask for (0 = uncapped)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Minute, "how long shutdown waits for in-flight simulations")
+	sample := flag.Uint64("sample", 0, "sample IPC/bandwidth/occupancy every N cycles on every simulation; results carry the series and /metrics exposes per-experiment summaries (0 = off)")
+	sampleCap := flag.Int("sample-cap", 0, "max retained sample points per simulation (0 = default)")
 	flag.Parse()
 
 	s := serve.New(serve.Options{
@@ -51,6 +53,8 @@ func main() {
 		CacheEntries:    *cache,
 		DefaultDeadline: *jobDeadline,
 		MaxDeadline:     *maxDeadline,
+		SampleEvery:     *sample,
+		SampleCap:       *sampleCap,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
 

@@ -13,6 +13,11 @@
 // Integrity flags: -check runs the microarchitectural invariant checker,
 // -deadline bounds the run's wall-clock time, and -faults N arms the
 // deterministic latency-jitter fault campaign with seed N (0 = off).
+//
+// Profiling flags: -sample N snapshots interval IPC, memory bandwidth and
+// every registered occupancy gauge each N cycles and prints the series;
+// -trace-out FILE exports the same series as a Chrome trace-event file for
+// chrome://tracing or https://ui.perfetto.dev.
 package main
 
 import (
@@ -25,6 +30,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/faults"
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/vasm"
 	"repro/internal/workloads"
@@ -36,7 +42,9 @@ func main() {
 	scaleFlag := flag.String("scale", "bench", "input scale: test, bench or full")
 	nopump := flag.Bool("nopump", false, "disable stride-1 double-bandwidth mode")
 	verbose := flag.Bool("v", false, "print the full counter table")
-	sample := flag.Uint64("sample", 0, "print a utilization sample every N cycles")
+	sample := flag.Uint64("sample", 0, "sample IPC/bandwidth/occupancy every N cycles and print the series")
+	sampleCap := flag.Int("sample-cap", 0, "series ring capacity (0 = default 4096, oldest overwritten)")
+	traceOut := flag.String("trace-out", "", "write the sampled series as Chrome trace-event JSON to this file")
 	list := flag.Bool("list", false, "list benchmarks and exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -99,8 +107,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	if *traceOut != "" && *sample == 0 {
+		*sample = 10_000 // tracing needs a sampling interval; pick a sane default
+	}
 	if *sample > 0 {
-		runSampled(cfg, b, scale, *sample)
+		runSampled(cfg, b, scale, *sample, *sampleCap, *traceOut)
 		return
 	}
 	res, err := b.Run(cfg, scale)
@@ -123,29 +134,52 @@ func main() {
 	}
 }
 
-// runSampled executes the benchmark printing a periodic utilization trace:
-// Vbox port/memory occupancy and the memory system's queue depths — the
-// quick way to see what a kernel is bound on.
-func runSampled(cfg *sim.Config, b *workloads.Benchmark, scale workloads.Scale, every uint64) {
-	fmt.Printf("%10s %6s %6s %6s %6s %6s %6s %6s %10s\n",
-		"cycle", "vports", "vmem", "vqueue", "l2rdq", "l2wrq", "maf", "memq", "retired")
-	chipRun := func() {
-		m := archNew()
-		chip := sim.New(cfg)
-		chip.SetSampler(every, func(s sim.Sample) {
-			fmt.Printf("%10d %6d %6d %6d %6d %6d %6d %6d %10d\n",
-				s.Cycle, s.VPortsBusy, s.VMemInFly, s.VQueued,
-				s.L2ReadQ, s.L2WriteQ, s.MAF, s.MemQueue, s.Retired)
-		})
-		kernelFn := b.Scalar
-		if cfg.HasVbox {
-			kernelFn = b.Vector
-		}
-		tr := vasm.NewTrace(m, kernelFn(scale))
-		defer tr.Close()
-		chip.RunTrace(tr)
+// runSampled executes the benchmark with the registry's cycle-interval
+// sampler armed, prints the series — interval IPC, interval raw memory
+// bandwidth and every registered occupancy gauge — and optionally exports it
+// as a Chrome trace-event file (-trace-out).
+func runSampled(cfg *sim.Config, b *workloads.Benchmark, scale workloads.Scale, every uint64, capacity int, traceOut string) {
+	m := archNew()
+	chip := sim.New(cfg)
+	chip.EnableSampling(every, capacity)
+	kernelFn := b.Scalar
+	if cfg.HasVbox {
+		kernelFn = b.Vector
 	}
-	chipRun()
+	tr := vasm.NewTrace(m, kernelFn(scale))
+	defer tr.Close()
+	chip.RunTrace(tr)
+
+	d := chip.Series()
+	if d == nil {
+		fatalIf(fmt.Errorf("no samples taken (run shorter than %d cycles?)", every))
+	}
+	fmt.Printf("%10s %8s %10s %10s", "cycle", "ipc", "mbs_raw", "retired")
+	for _, g := range d.Gauges {
+		fmt.Printf(" %*s", max(len(g), 6), g)
+	}
+	fmt.Println()
+	secsPerInterval := float64(every) / (cfg.CPUGHz * 1e9)
+	for _, pt := range d.Points {
+		fmt.Printf("%10d %8.3f %10.0f %10d", pt.Cycle, pt.IPC,
+			float64(pt.RawBytes)/secsPerInterval/1e6, pt.Retired)
+		for i, g := range d.Gauges {
+			fmt.Printf(" %*d", max(len(g), 6), pt.Gauges[i])
+		}
+		fmt.Println()
+	}
+	if d.Dropped > 0 {
+		fmt.Printf("(%d older points dropped by the ring bound; raise -sample-cap)\n", d.Dropped)
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		fatalIf(err)
+		name := fmt.Sprintf("%s on %s (%s scale)", b.Name, cfg.Name, scale)
+		err = metrics.WriteChromeTrace(f, name, cfg.CPUGHz, d)
+		fatalIf(err)
+		fatalIf(f.Close())
+		fmt.Printf("trace written to %s (load in chrome://tracing or ui.perfetto.dev)\n", traceOut)
+	}
 }
 
 func archNew() *arch.Machine { return arch.New(mem.New()) }

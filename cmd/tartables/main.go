@@ -67,6 +67,8 @@ func main() {
 	faultSeed := flag.Int64("faults", 0, "seed for the stall-storm fault campaign (0 = off)")
 	watchdog := flag.Uint64("watchdog", 0, "cycles without retirement before a cell is declared wedged (0 = default)")
 	jsonOut := flag.Bool("json", false, "emit one deterministic JSON document instead of text")
+	sample := flag.Uint64("sample", 0, "sample IPC/bandwidth/occupancy every N cycles; the series rides along in each -json cell (0 = off)")
+	sampleCap := flag.Int("sample-cap", 0, "max retained sample points per cell (0 = default)")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -100,6 +102,8 @@ func main() {
 	r.Check = *checkFlag
 	r.Deadline = *deadline
 	r.Watchdog = *watchdog
+	r.SampleEvery = *sample
+	r.SampleCap = *sampleCap
 	if *faultSeed != 0 {
 		r.Faults = faults.Storm(*faultSeed, 0)
 	}
@@ -216,7 +220,8 @@ func main() {
 		for _, c := range r.Cells() {
 			if c.Err != "" {
 				rep.Cells = append(rep.Cells, &serve.JobResult{
-					Key: c.Key, Bench: c.Bench, Config: c.Config, Scale: scale.String(), Err: c.Err,
+					Schema: serve.SchemaVersion,
+					Key:    c.Key, Bench: c.Bench, Config: c.Config, Scale: scale.String(), Err: c.Err,
 				})
 				continue
 			}

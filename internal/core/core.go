@@ -19,8 +19,8 @@ import (
 	"repro/internal/faults"
 	"repro/internal/isa"
 	"repro/internal/l2"
+	"repro/internal/metrics"
 	"repro/internal/pipe"
-	"repro/internal/stats"
 	"repro/internal/vasm"
 )
 
@@ -104,9 +104,16 @@ type threadState struct {
 // Core is the scalar core model.
 type Core struct {
 	cfg Config
-	st  *stats.Stats
 	l2  *l2.L2
 	vu  VectorUnit // nil for pure-EV8 configurations
+
+	// Registered counter handles (core.* namespace).
+	flops, memOps, otherOps metrics.Counter
+	scalarIns, vectorIns    metrics.Counter
+	vecOps                  metrics.Counter
+	l1Hits, l1Misses        metrics.Counter
+	branches, mispredicts   metrics.Counter
+	drainMs                 metrics.Counter
 
 	threads  []*threadState
 	rrFetch  int // round-robin fetch pointer
@@ -143,11 +150,11 @@ type wbEntry struct {
 	wh64 bool
 }
 
-// New builds a core bound to an L2 and an optional vector unit.
-func New(cfg Config, st *stats.Stats, l2c *l2.L2, vu VectorUnit) *Core {
+// New builds a core bound to an L2 and an optional vector unit, registering
+// its counters and occupancy gauges under the registry's core namespace.
+func New(cfg Config, reg *metrics.Registry, l2c *l2.L2, vu VectorUnit) *Core {
 	c := &Core{
 		cfg:      cfg,
-		st:       st,
 		l2:       l2c,
 		vu:       vu,
 		wheel:    pipe.NewEventWheel(),
@@ -161,6 +168,28 @@ func New(cfg Config, st *stats.Stats, l2c *l2.L2, vu VectorUnit) *Core {
 		mshrPref: make(map[uint64]bool),
 	}
 	l2c.OnPBitInvalidate = c.invalidateL1
+	m := reg.Scope("core")
+	c.flops = m.Counter("flops")
+	c.memOps = m.Counter("mem_ops")
+	c.otherOps = m.Counter("other_ops")
+	c.scalarIns = m.Counter("scalar_ins")
+	c.vectorIns = m.Counter("vector_ins")
+	c.vecOps = m.Counter("vec_ops")
+	c.l1Hits = m.Counter("l1_hits")
+	c.l1Misses = m.Counter("l1_misses")
+	c.branches = m.Counter("branches")
+	c.mispredicts = m.Counter("branch_mispredicts")
+	c.drainMs = m.Counter("drain_ms")
+	m.Gauge("rob", "Reorder-buffer entries in flight (all threads).",
+		func(uint64) int { rob, _, _, _, _ := c.Depths(); return rob })
+	m.Gauge("ready", "Uops ready to issue.",
+		func(uint64) int { return c.ready.Len() })
+	m.Gauge("blocked", "Ready uops structurally stalled this cycle.",
+		func(uint64) int { return len(c.blocked) })
+	m.Gauge("writebuf", "Retired stores draining to the cache hierarchy.",
+		func(uint64) int { return len(c.writeBuf) })
+	m.Gauge("mshr", "Outstanding L1 miss-status registers.",
+		func(uint64) int { return len(c.mshr) })
 	return c
 }
 
@@ -411,32 +440,32 @@ func (c *Core) countRetired(u *pipe.UOp) {
 	in := &u.Inst
 	info := in.Info()
 	if in.IsVector() {
-		c.st.VectorIns++
+		c.vectorIns.Inc()
 		n := uint64(u.Eff.Active)
-		c.st.VecOps += max(n, 1)
+		c.vecOps.Add(max(n, 1))
 		switch {
 		case info.IsLoad || info.IsStore:
-			c.st.MemOps += n
+			c.memOps.Add(n)
 		case info.IsFlop:
-			c.st.Flops += n * info.Flops()
+			c.flops.Add(n * info.Flops())
 		case info.Group == isa.GVC:
-			c.st.OtherOps++
+			c.otherOps.Inc()
 		default:
-			c.st.OtherOps += n // vector integer/logical ops count as "other"
+			c.otherOps.Add(n) // vector integer/logical ops count as "other"
 		}
 		return
 	}
-	c.st.ScalarIns++
+	c.scalarIns.Inc()
 	switch {
 	case info.IsLoad || info.IsStore:
-		c.st.MemOps++
+		c.memOps.Inc()
 	case info.IsFlop:
-		c.st.Flops++
+		c.flops.Inc()
 	default:
-		c.st.OtherOps++
+		c.otherOps.Inc()
 	}
 	if info.IsBranch {
-		c.st.Branches++
+		c.branches.Inc()
 	}
 }
 
@@ -589,7 +618,7 @@ func (c *Core) issueLoad(cy uint64, u *pipe.UOp) bool {
 		return true
 	}
 	if c.l1.probe(line) {
-		c.st.L1Hits++
+		c.l1Hits.Inc()
 		c.complete(cy+uint64(c.cfg.L1Lat), u)
 		return true
 	}
@@ -598,7 +627,7 @@ func (c *Core) issueLoad(cy uint64, u *pipe.UOp) bool {
 	if len(c.mshr) >= c.cfg.MSHRs {
 		return false // stall: retry next cycle
 	}
-	c.st.L1Misses++
+	c.l1Misses.Inc()
 	c.mshr[line] = []*pipe.UOp{u}
 	c.l2.ScalarRead(cy, addr, func(fillCy uint64) { c.fillL1(fillCy, line) })
 	u.State = pipe.StateIssued
@@ -759,13 +788,13 @@ func (c *Core) fetchThread(cy uint64, t *threadState) {
 		switch {
 		case info.IsBranch:
 			if c.pred.Predict(u.Site^(uint32(t.id)<<28), u.Eff.Taken) {
-				c.st.BranchMispredicts++
+				c.mispredicts.Inc()
 				t.pendingRedirect = u
 				c.finishRename(cy, u)
 				return // no fetch past a mispredicted branch
 			}
 		case u.Inst.Op == isa.OpDRAINM:
-			c.st.DrainMs++
+			c.drainMs.Inc()
 			t.drainOp = u
 			c.finishRename(cy, u)
 			return

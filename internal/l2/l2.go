@@ -12,7 +12,7 @@ package l2
 import (
 	"repro/internal/creorder"
 	"repro/internal/faults"
-	"repro/internal/stats"
+	"repro/internal/metrics"
 	"repro/internal/zbox"
 )
 
@@ -76,10 +76,19 @@ type pendingFill struct {
 // L2 is the cache model.
 type L2 struct {
 	cfg  Config
-	st   *stats.Stats
 	z    *zbox.Zbox
 	sets []set
 	mask uint64
+
+	// Registered counter handles (l2.* namespace).
+	hits, misses           metrics.Counter
+	scalarReqs             metrics.Counter
+	vecSlices, pumpSlices  metrics.Counter
+	sliceReplays           metrics.Counter
+	panicEvents            metrics.Counter
+	pbitInvalidates        metrics.Counter
+	writebacks             metrics.Counter
+	mafPeak, mafFullStalls metrics.Counter
 
 	lruClock uint64
 
@@ -108,12 +117,12 @@ type scalarReq struct {
 	done  func(cycle uint64)
 }
 
-// New returns an L2 backed by the given memory controller.
-func New(cfg Config, st *stats.Stats, z *zbox.Zbox) *L2 {
+// New returns an L2 backed by the given memory controller, registering its
+// counters and queue-depth gauges under the registry's l2 namespace.
+func New(cfg Config, reg *metrics.Registry, z *zbox.Zbox) *L2 {
 	nsets := cfg.Bytes / (cfg.LineBytes * cfg.Assoc)
 	c := &L2{
 		cfg:   cfg,
-		st:    st,
 		z:     z,
 		sets:  make([]set, nsets),
 		mask:  uint64(nsets - 1),
@@ -123,6 +132,26 @@ func New(cfg Config, st *stats.Stats, z *zbox.Zbox) *L2 {
 	for i := range c.sets {
 		c.sets[i].ways = make([]way, cfg.Assoc)
 	}
+	m := reg.Scope("l2")
+	c.hits = m.Counter("hits")
+	c.misses = m.Counter("misses")
+	c.scalarReqs = m.Counter("scalar_reqs")
+	c.vecSlices = m.Counter("vec_slices")
+	c.pumpSlices = m.Counter("pump_slices")
+	c.sliceReplays = m.Counter("slice_replays")
+	c.panicEvents = m.Counter("panic_events")
+	c.pbitInvalidates = m.Counter("pbit_invalidates")
+	c.writebacks = m.Counter("writebacks")
+	c.mafPeak = m.Counter("maf_peak")
+	c.mafFullStalls = m.Counter("maf_full_stalls")
+	m.Gauge("read_q", "Vector read slices queued at the L2.",
+		func(uint64) int { return len(c.readQ) })
+	m.Gauge("write_q", "Vector write slices queued at the L2.",
+		func(uint64) int { return len(c.writeQ) })
+	m.Gauge("retry_q", "Woken slices awaiting replay.",
+		func(uint64) int { return len(c.retryQ) })
+	m.Gauge("maf", "Occupied miss-address-file entries.",
+		func(uint64) int { return len(c.fills) })
 	return c
 }
 
@@ -190,13 +219,13 @@ func (c *L2) install(line uint64, dirty bool) *way {
 	if w.valid {
 		if w.pbit && c.OnPBitInvalidate != nil {
 			// Evicting a P-bit line invalidates the L1 copy (§3.4).
-			c.st.L2PBitInvalidates++
+			c.pbitInvalidates.Inc()
 			if c.OnPBitInvalidate(w.tag) {
 				w.dirty = true // L1 write-through merged into the victim
 			}
 		}
 		if w.dirty {
-			c.st.L2Writebacks++
+			c.writebacks.Inc()
 			c.z.Request(w.tag, zbox.Write, nil)
 		}
 	}
@@ -291,7 +320,7 @@ func (c *L2) Tick(cy uint64) {
 		op := c.retryQ[0]
 		if c.tryBus(cy, op) {
 			c.retryQ = c.retryQ[1:]
-			c.st.L2SliceReplays++
+			c.sliceReplays.Inc()
 			c.lookupSlice(cy, op)
 		}
 	}
@@ -341,9 +370,9 @@ func (c *L2) tryBus(cy uint64, op *SliceOp) bool {
 }
 
 func (c *L2) lookupSlice(cy uint64, op *SliceOp) {
-	c.st.L2VecSlices++
+	c.vecSlices.Inc()
 	if op.Slice.Pump {
-		c.st.L2PumpSlices++
+		c.pumpSlices.Inc()
 	}
 	var missing []uint64
 	pbitHit := false
@@ -357,7 +386,7 @@ func (c *L2) lookupSlice(cy uint64, op *SliceOp) {
 		c.touch(w)
 		if w.pbit {
 			pbitHit = true
-			c.st.L2PBitInvalidates++
+			c.pbitInvalidates.Inc()
 			if c.OnPBitInvalidate != nil && c.OnPBitInvalidate(line) {
 				w.dirty = true
 			}
@@ -368,7 +397,7 @@ func (c *L2) lookupSlice(cy uint64, op *SliceOp) {
 		}
 	}
 	if len(missing) == 0 {
-		c.st.L2Hits++
+		c.hits.Inc()
 		if op.panic_ {
 			c.exitPanic(op)
 		}
@@ -389,7 +418,7 @@ func (c *L2) lookupSlice(cy uint64, op *SliceOp) {
 
 	// Miss: the slice sleeps in the MAF with a waiting bit per missing
 	// line (§3.4 "Servicing Vector Misses").
-	c.st.L2Misses++
+	c.misses.Inc()
 	op.replays++
 	if op.replays > c.cfg.ReplayThreshold && !op.panic_ {
 		c.enterPanic(op)
@@ -402,7 +431,7 @@ func (c *L2) lookupSlice(cy uint64, op *SliceOp) {
 	}
 	if op.waiting == 0 {
 		// Every fill was NACKed (MAF exhausted): retry later.
-		c.st.MAFFullStalls++
+		c.mafFullStalls.Inc()
 		c.wheel.at(cy+uint64(c.cfg.RetryDelay), func() { c.retryQ = append(c.retryQ, op) })
 	}
 }
@@ -425,9 +454,7 @@ func (c *L2) requestFill(line uint64, op *SliceOp, forWrite bool) bool {
 		pf.sleepers = append(pf.sleepers, op)
 	}
 	c.fills[line] = pf
-	if uint64(len(c.fills)) > c.st.MAFPeak {
-		c.st.MAFPeak = uint64(len(c.fills))
-	}
+	c.mafPeak.Peak(uint64(len(c.fills)))
 	c.z.Request(line, zbox.Read, func(cycle uint64) { c.fillArrived(cycle, line) })
 	return true
 }
@@ -461,7 +488,7 @@ func (c *L2) fillArrived(cy uint64, line uint64) {
 // §3.4 — we model the effect: guaranteed completion on the next replay).
 func (c *L2) enterPanic(op *SliceOp) {
 	op.panic_ = true
-	c.st.L2PanicEvents++
+	c.panicEvents.Inc()
 	for _, e := range op.Slice.Elems {
 		if w := c.probe(c.line(e.Addr)); w != nil {
 			w.locked = true
@@ -479,7 +506,7 @@ func (c *L2) exitPanic(op *SliceOp) {
 }
 
 func (c *L2) lookupScalar(cy uint64, req scalarReq) {
-	c.st.L2ScalarReqs++
+	c.scalarReqs.Inc()
 	w := c.probe(req.addr)
 	if req.wh64 {
 		if w == nil {
@@ -495,7 +522,7 @@ func (c *L2) lookupScalar(cy uint64, req scalarReq) {
 		return
 	}
 	if w != nil {
-		c.st.L2Hits++
+		c.hits.Inc()
 		c.touch(w)
 		if req.write {
 			c.markDirty(w)
@@ -510,7 +537,7 @@ func (c *L2) lookupScalar(cy uint64, req scalarReq) {
 		}
 		return
 	}
-	c.st.L2Misses++
+	c.misses.Inc()
 	if req.pref {
 		// Prefetches are dropped rather than stalled when the MAF is full.
 		c.requestFill(req.addr, nil, false)
@@ -520,7 +547,7 @@ func (c *L2) lookupScalar(cy uint64, req scalarReq) {
 	if !ok {
 		if !c.requestFill(req.addr, nil, req.write) {
 			// MAF full: retry the scalar request next cycle.
-			c.st.MAFFullStalls++
+			c.mafFullStalls.Inc()
 			c.wheel.at(cy+1, func() { c.scalarQ = append(c.scalarQ, req) })
 			return
 		}

@@ -4,23 +4,24 @@ import (
 	"testing"
 
 	"repro/internal/creorder"
+	"repro/internal/metrics"
 	"repro/internal/stats"
 	"repro/internal/zbox"
 )
 
 func testSetup() (*L2, *zbox.Zbox, *stats.Stats) {
-	st := &stats.Stats{}
+	reg := metrics.NewRegistry()
 	z := zbox.New(zbox.Config{
 		Ports: 8, LineCycles: 16, BaseLatency: 100,
 		RowBytes: 2048, DevicesPerPort: 32, RowMissCycles: 12, TurnCycles: 5,
-	}, st)
+	}, reg)
 	c := New(Config{
 		Bytes: 1 << 20, Assoc: 8, LineBytes: 64,
 		ScalarLat: 12, VecLatPump: 34, VecLatOdd: 38,
 		MAFSize: 64, ReplayThreshold: 8, RetryDelay: 6,
 		SliceQueue: 16, PBitPenalty: 12,
-	}, st, z)
-	return c, z, st
+	}, reg, z)
+	return c, z, reg.Stats()
 }
 
 func drive(c *L2, z *zbox.Zbox, from, max uint64) uint64 {

@@ -1,0 +1,99 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// traceEvent is one entry of the Chrome trace-event format ("JSON Object
+// Format"), loadable by chrome://tracing and Perfetto. We emit only counter
+// events (ph "C") — one track per metric — plus process/thread metadata so
+// the viewer labels the tracks.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace renders a sampled series as a Chrome trace-event file.
+// Each sample becomes a set of counter events at the sample's wall-clock
+// time (simulated cycle / clock): the interval IPC, the interval memory
+// bandwidth in MB/s, and every occupancy gauge grouped by component. name
+// labels the process track ("dgemm on T"); cpuGHz converts cycles to
+// microseconds (0 falls back to 1 GHz so the file is still valid).
+func WriteChromeTrace(w io.Writer, name string, cpuGHz float64, d *SeriesDump) error {
+	if d == nil {
+		return fmt.Errorf("metrics: no series to trace (was sampling enabled?)")
+	}
+	if cpuGHz <= 0 {
+		cpuGHz = 1
+	}
+	tf := traceFile{DisplayTimeUnit: "ms", TraceEvents: []traceEvent{
+		{Name: "process_name", Ph: "M", Pid: 1, Tid: 1, Args: map[string]any{"name": name}},
+	}}
+	// Group gauges by component so each component renders as one multi-line
+	// counter track ("l2" with read_q/write_q/... series) instead of a dozen
+	// single-line tracks.
+	type group struct {
+		name string
+		idx  []int
+		key  []string
+	}
+	var groups []group
+	byComp := map[string]int{}
+	for i, g := range d.Gauges {
+		comp, metric, ok := strings.Cut(g, ".")
+		if !ok {
+			comp, metric = "chip", g
+		}
+		gi, seen := byComp[comp]
+		if !seen {
+			gi = len(groups)
+			byComp[comp] = gi
+			groups = append(groups, group{name: comp + " occupancy"})
+		}
+		groups[gi].idx = append(groups[gi].idx, i)
+		groups[gi].key = append(groups[gi].key, metric)
+	}
+	usToCycle := 1 / (cpuGHz * 1e3) // microseconds per cycle
+	for _, p := range d.Points {
+		ts := float64(p.Cycle) * usToCycle
+		tf.TraceEvents = append(tf.TraceEvents,
+			traceEvent{Name: "ipc", Ph: "C", Ts: ts, Pid: 1, Tid: 1,
+				Args: map[string]any{"ipc": p.IPC}},
+			traceEvent{Name: "memory bandwidth (MB/s)", Ph: "C", Ts: ts, Pid: 1, Tid: 1,
+				Args: map[string]any{"mbs": intervalMBs(p.RawBytes, d.Every, cpuGHz)}},
+		)
+		for _, g := range groups {
+			args := make(map[string]any, len(g.idx))
+			for k, i := range g.idx {
+				if i < len(p.Gauges) {
+					args[g.key[k]] = p.Gauges[i]
+				}
+			}
+			tf.TraceEvents = append(tf.TraceEvents,
+				traceEvent{Name: g.name, Ph: "C", Ts: ts, Pid: 1, Tid: 1, Args: args})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&tf)
+}
+
+// intervalMBs converts bytes moved over an every-cycle interval into MB/s.
+func intervalMBs(bytes, every uint64, cpuGHz float64) float64 {
+	if every == 0 {
+		return 0
+	}
+	secs := float64(every) / (cpuGHz * 1e9)
+	return float64(bytes) / secs / 1e6
+}

@@ -1,9 +1,25 @@
 package serve
 
 import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	// Aliased: this package's Prometheus counter set is a type named
+	// metrics.
+	chipmetrics "repro/internal/metrics"
+
 	"repro/internal/stats"
 	"repro/internal/workloads"
 )
+
+// SchemaVersion identifies the JobResult wire layout. It must be bumped on
+// any change to the encoding (field added, removed, renamed or reordered):
+// the byte-equality contract between CLI artifacts and API responses is only
+// meaningful within one schema, and CompareArtifacts refuses to compare
+// across versions. Version 1 was the pre-metrics encoding (no schema field,
+// no series); version 2 added both.
+const SchemaVersion = 2
 
 // JobResult is the canonical result encoding, shared between the server's
 // GET /v1/jobs/{id}/result endpoint and cmd/tartables -json. Field order is
@@ -11,6 +27,9 @@ import (
 // same experiment produces byte-identical artifacts whether it ran through
 // the CLI or the service — the content key makes the equivalence checkable.
 type JobResult struct {
+	// Schema stamps the encoding version so artifacts from different
+	// builds fail comparison loudly instead of diffing byte-by-byte.
+	Schema int    `json:"schema"`
 	Key    string `json:"key"`
 	Bench  string `json:"bench"`
 	Config string `json:"config"`
@@ -25,6 +44,12 @@ type JobResult struct {
 
 	Stats *stats.Stats `json:"stats,omitempty"`
 
+	// Series carries the cycle-interval sample series when the run was
+	// executed with the sampler armed (tartables -sample, tarserved
+	// -sample). Absent otherwise, so unsampled artifacts keep the same
+	// bytes whether or not the build supports sampling.
+	Series *chipmetrics.SeriesDump `json:"series,omitempty"`
+
 	// Err marks a failed cell (CLI artifacts only; the API reports
 	// failures through ErrorJSON with an HTTP 422 instead).
 	Err string `json:"error,omitempty"`
@@ -34,6 +59,7 @@ type JobResult struct {
 func EncodeResult(key string, res *workloads.Result) *JobResult {
 	opc, fpc, mpc, other := res.OPC()
 	return &JobResult{
+		Schema:  SchemaVersion,
 		Key:     key,
 		Bench:   res.Bench,
 		Config:  res.Config,
@@ -45,5 +71,44 @@ func EncodeResult(key string, res *workloads.Result) *JobResult {
 		Other:   other,
 		VectPct: res.Stats.VectorPct(),
 		Stats:   res.Stats,
+		Series:  res.Series,
 	}
+}
+
+// CompareArtifacts checks that two serialized JobResult artifacts are
+// byte-identical, guarding the CLI↔API equivalence contract. It first
+// extracts each artifact's schema stamp: artifacts from different encoding
+// versions (or from a pre-versioning build, schema 0) produce a loud
+// schema-skew error naming both versions, never a misleading byte diff.
+// Same-schema artifacts that still differ report a plain mismatch.
+func CompareArtifacts(a, b []byte) error {
+	sa, err := artifactSchema(a)
+	if err != nil {
+		return fmt.Errorf("artifact A: %w", err)
+	}
+	sb, err := artifactSchema(b)
+	if err != nil {
+		return fmt.Errorf("artifact B: %w", err)
+	}
+	if sa != sb {
+		return fmt.Errorf("schema skew: artifact A is schema %d, artifact B is schema %d (this build writes schema %d) — byte comparison across encodings is meaningless, regenerate both with one build",
+			sa, sb, SchemaVersion)
+	}
+	if !bytes.Equal(a, b) {
+		return fmt.Errorf("artifacts differ despite matching schema %d", sa)
+	}
+	return nil
+}
+
+// artifactSchema pulls the schema stamp out of one artifact. A missing
+// field decodes as 0, identifying a pre-versioning (schema 1) artifact;
+// that still skews against this build's encoding, which is the point.
+func artifactSchema(raw []byte) (int, error) {
+	var v struct {
+		Schema int `json:"schema"`
+	}
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return 0, fmt.Errorf("not a JobResult artifact: %w", err)
+	}
+	return v.Schema, nil
 }

@@ -71,6 +71,11 @@ func (s *Server) buildConfig(req *SubmitRequest) (*sim.Config, workloads.Scale, 
 	cc := *cfg
 	cc.Check = req.Check
 	cc.Watchdog = req.Watchdog
+	if s.opts.SampleEvery > 0 {
+		// Server-side observability knob; lives outside the confhash
+		// identity so sampled and unsampled runs share a content key.
+		cc.EnableSampling(s.opts.SampleEvery, s.opts.SampleCap)
+	}
 	cc.Deadline = s.opts.DefaultDeadline
 	if req.DeadlineMs > 0 {
 		cc.Deadline = time.Duration(req.DeadlineMs) * time.Millisecond

@@ -5,7 +5,26 @@ import (
 	"io"
 	"sort"
 	"sync"
+
+	"repro/internal/workloads"
 )
+
+// maxExperimentSeries bounds the per-experiment summary table on /metrics:
+// past it, the oldest experiment's labels are dropped (insertion order).
+// The bound keeps the scrape surface finite no matter how many distinct
+// experiments a long-lived server executes.
+const maxExperimentSeries = 512
+
+// expSeries is one experiment's series summary, labeled on /metrics by
+// content key, benchmark and configuration. samplePoints is zero when the
+// server runs with sampling disabled.
+type expSeries struct {
+	key, bench, config string
+	cycles             uint64
+	ipc                float64
+	samplePoints       int
+	cacheHits          uint64
+}
 
 // metrics is the server's counter set, exported in Prometheus text format
 // on /metrics. Everything is guarded by one mutex — the counters are
@@ -33,6 +52,52 @@ type metrics struct {
 	// are computed at scrape time.
 	latencies [2048]float64
 	latN      uint64
+
+	// experiments holds one series summary per completed experiment,
+	// keyed by content address, bounded at maxExperimentSeries with
+	// insertion-order eviction (expOrder).
+	experiments map[string]*expSeries
+	expOrder    []string
+}
+
+// recordExperiment captures one completed simulation's series summary for
+// the /metrics per-experiment table. A re-run of the same key (cache
+// eviction and resubmission) overwrites the summary in place, keeping its
+// accumulated cache-hit count.
+func (m *metrics) recordExperiment(key, bench, config string, res *workloads.Result) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.experiments == nil {
+		m.experiments = make(map[string]*expSeries)
+	}
+	e, ok := m.experiments[key]
+	if !ok {
+		e = &expSeries{key: key, bench: bench, config: config}
+		m.experiments[key] = e
+		m.expOrder = append(m.expOrder, key)
+		for len(m.expOrder) > maxExperimentSeries {
+			delete(m.experiments, m.expOrder[0])
+			m.expOrder = m.expOrder[1:]
+		}
+	}
+	e.cycles = res.Stats.Cycles
+	if res.Stats.Cycles > 0 {
+		e.ipc = float64(res.Stats.ScalarIns+res.Stats.VectorIns) / float64(res.Stats.Cycles)
+	}
+	if res.Series != nil {
+		e.samplePoints = len(res.Series.Points)
+		if ipc := res.Series.MeanIPC(); ipc > 0 {
+			e.ipc = ipc
+		}
+	}
+}
+
+// bumpExperimentHitLocked counts a cache-served submission against its
+// experiment's summary. Requires m.mu.
+func (m *metrics) bumpExperimentHitLocked(key string) {
+	if e, ok := m.experiments[key]; ok {
+		e.cacheHits++
+	}
 }
 
 func (m *metrics) recordLatency(sec float64) {
@@ -90,4 +155,40 @@ func (m *metrics) render(w io.Writer, cacheLen int) {
 	fmt.Fprintf(w, "tarserved_job_latency_seconds{quantile=\"0.5\"} %g\n", p50)
 	fmt.Fprintf(w, "tarserved_job_latency_seconds{quantile=\"0.99\"} %g\n", p99)
 	fmt.Fprintf(w, "tarserved_job_latency_seconds_count %d\n", n)
+	m.renderExperimentsLocked(w)
+}
+
+// renderExperimentsLocked writes the per-experiment series summaries as
+// labeled gauges, in insertion order so the scrape is deterministic.
+// Requires m.mu.
+func (m *metrics) renderExperimentsLocked(w io.Writer) {
+	if len(m.expOrder) == 0 {
+		return
+	}
+	help := func(name, help string) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+	}
+	labels := func(e *expSeries) string {
+		return fmt.Sprintf("{key=%q,bench=%q,config=%q}", e.key, e.bench, e.config)
+	}
+	help("tarserved_experiment_cycles", "Simulated cycles of the experiment's last run.")
+	for _, k := range m.expOrder {
+		e := m.experiments[k]
+		fmt.Fprintf(w, "tarserved_experiment_cycles%s %d\n", labels(e), e.cycles)
+	}
+	help("tarserved_experiment_ipc", "Retired instructions per cycle (series mean when sampled).")
+	for _, k := range m.expOrder {
+		e := m.experiments[k]
+		fmt.Fprintf(w, "tarserved_experiment_ipc%s %g\n", labels(e), e.ipc)
+	}
+	help("tarserved_experiment_sample_points", "Retained cycle-interval sample points (0 = sampler off).")
+	for _, k := range m.expOrder {
+		e := m.experiments[k]
+		fmt.Fprintf(w, "tarserved_experiment_sample_points%s %d\n", labels(e), e.samplePoints)
+	}
+	help("tarserved_experiment_cache_hits", "Submissions of this experiment answered from the result cache.")
+	for _, k := range m.expOrder {
+		e := m.experiments[k]
+		fmt.Fprintf(w, "tarserved_experiment_cache_hits%s %d\n", labels(e), e.cacheHits)
+	}
 }

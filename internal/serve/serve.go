@@ -57,6 +57,15 @@ type Options struct {
 	// MaxJobs bounds retained job records (default 16384); the oldest
 	// terminal jobs are forgotten past it.
 	MaxJobs int
+	// SampleEvery arms the cycle-interval sampler on every simulation the
+	// server runs: results carry a metrics.SeriesDump and /metrics exposes
+	// per-experiment series summaries. Zero (the default) disables
+	// sampling, keeping result bytes identical to an unsampled CLI run.
+	// The knob lives outside the confhash identity, so sampled and
+	// unsampled runs of one experiment share a content key.
+	SampleEvery uint64
+	// SampleCap bounds retained points per run (0 = the sampler default).
+	SampleCap int
 	// Run substitutes the execution function (tests only).
 	Run RunFunc
 }
@@ -194,6 +203,7 @@ func (s *Server) runFlight(f *flight) (res *workloads.Result, err error) {
 func (s *Server) complete(f *flight, res *workloads.Result, err error) {
 	if err == nil {
 		s.cache.add(f.key, res)
+		s.m.recordExperiment(f.key, f.bench, f.cfg.Name, res)
 	}
 	now := time.Now()
 	s.mu.Lock()
@@ -272,6 +282,7 @@ func (s *Server) Submit(req *SubmitRequest) (*JobStatus, int, error) {
 		s.m.cacheHits++
 		s.m.done++
 		s.m.recordLatency(0)
+		s.m.bumpExperimentHitLocked(key)
 		s.m.mu.Unlock()
 		return s.status(j), http.StatusOK, nil
 	}

@@ -393,3 +393,110 @@ func TestMetricsQuantiles(t *testing.T) {
 		}
 	}
 }
+
+// TestCompareArtifactsSchemaSkew is the schema-versioning guarantee: the
+// byte-equality check between CLI and API artifacts fails loudly — naming
+// both versions — when the encodings skew, instead of producing a
+// misleading byte diff.
+func TestCompareArtifactsSchemaSkew(t *testing.T) {
+	res := fakeResult("dgemm", "T")
+	good, err := json.Marshal(EncodeResult("cell-1", res))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dec JobResult
+	if err := json.Unmarshal(good, &dec); err != nil {
+		t.Fatal(err)
+	}
+	if dec.Schema != SchemaVersion {
+		t.Fatalf("EncodeResult stamped schema %d, want %d", dec.Schema, SchemaVersion)
+	}
+	if err := CompareArtifacts(good, good); err != nil {
+		t.Fatalf("identical artifacts: %v", err)
+	}
+
+	// Same experiment serialized by an older build: only the stamp differs.
+	old := bytes.Replace(good, []byte(`"schema":2`), []byte(`"schema":1`), 1)
+	if bytes.Equal(old, good) {
+		t.Fatal("test bug: schema stamp not rewritten")
+	}
+	err = CompareArtifacts(good, old)
+	if err == nil {
+		t.Fatal("schema skew not detected")
+	}
+	for _, want := range []string{"schema skew", "schema 2", "schema 1"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("skew error %q does not mention %q", err, want)
+		}
+	}
+
+	// A pre-versioning artifact has no stamp at all: that decodes as
+	// schema 0 and must also skew, not byte-diff.
+	legacy := bytes.Replace(good, []byte(`"schema":2,`), nil, 1)
+	if err := CompareArtifacts(good, legacy); err == nil || !strings.Contains(err.Error(), "schema skew") {
+		t.Fatalf("unversioned artifact: err = %v, want schema skew", err)
+	}
+
+	// Same schema, different content: a plain mismatch, not a skew.
+	other, _ := json.Marshal(EncodeResult("cell-2", res))
+	if err := CompareArtifacts(good, other); err == nil || strings.Contains(err.Error(), "skew") {
+		t.Fatalf("content mismatch: err = %v, want plain difference", err)
+	}
+
+	if err := CompareArtifacts([]byte("not json"), good); err == nil {
+		t.Fatal("garbage artifact accepted")
+	}
+}
+
+// TestSampledServerCarriesSeries runs a real (tiny) simulation on a server
+// with the sampler armed: the result carries the cycle-interval series, the
+// content key is unchanged by the sampling knob, and /metrics exposes the
+// labeled per-experiment summary with a cache-hit count that moves on
+// resubmission.
+func TestSampledServerCarriesSeries(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, SampleEvery: 200}) // real simulator
+	st, _ := submit(t, ts.URL, SubmitRequest{Bench: "streams_copy", Config: "T", Scale: "test"})
+	fin := waitDone(t, ts.URL, st.ID)
+	if fin.State != StateDone {
+		t.Fatalf("job failed: %+v", fin.Error)
+	}
+	if fin.Key != confhash.Key("streams_copy", "test", sim.T()) {
+		t.Fatalf("sampling knob changed the content key: %s", fin.Key)
+	}
+	if fin.Result == nil || fin.Result.Series == nil || len(fin.Result.Series.Points) == 0 {
+		t.Fatalf("sampled run returned no series: %+v", fin.Result)
+	}
+	if fin.Result.Series.Every != 200 {
+		t.Fatalf("series period %d, want 200", fin.Result.Series.Every)
+	}
+
+	st2, _ := submit(t, ts.URL, SubmitRequest{Bench: "streams_copy", Config: "T", Scale: "test"})
+	if !st2.CacheHit {
+		t.Fatal("resubmission missed the cache")
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	labels := fmt.Sprintf(`{key=%q,bench="streams_copy",config="T"}`, fin.Key)
+	for _, name := range []string{
+		"tarserved_experiment_cycles", "tarserved_experiment_ipc",
+		"tarserved_experiment_sample_points", "tarserved_experiment_cache_hits",
+	} {
+		if !strings.Contains(string(body), name+labels) {
+			t.Errorf("/metrics missing %s%s in:\n%s", name, labels, body)
+		}
+	}
+	re := regexp.MustCompile(`(?m)^tarserved_experiment_cache_hits\{[^}]*\} (\d+)$`)
+	m := re.FindSubmatch(body)
+	if m == nil || string(m[1]) != "1" {
+		t.Errorf("experiment cache_hits = %s, want 1", m)
+	}
+	re = regexp.MustCompile(`(?m)^tarserved_experiment_sample_points\{[^}]*\} (\d+)$`)
+	if m := re.FindSubmatch(body); m == nil || string(m[1]) == "0" {
+		t.Errorf("experiment sample_points = %s, want > 0", m)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/l2"
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/stats"
 	"repro/internal/vasm"
 	"repro/internal/vbox"
@@ -51,11 +52,42 @@ type Config struct {
 
 	// Faults configures deterministic fault injection; nil injects nothing.
 	Faults *faults.Config
+
+	// Sampling knobs are unexported on purpose: confhash walks exported
+	// fields only (and panics on funcs), so observation settings must never
+	// leak into the configuration identity. Use EnableSampling/SetOnSeries.
+	sampleEvery uint64
+	sampleCap   int
+	onSeries    func(*metrics.SeriesDump)
 }
+
+// EnableSampling turns on the cycle-interval sampler for chips built from
+// this configuration: every `every` cycles the chip snapshots interval IPC,
+// memory traffic and every registered occupancy gauge into a bounded ring
+// (capacity 0 selects metrics.DefaultSeriesCap). Sampling observes fixed
+// cycles, so it implicitly disables the idle-cycle fast-forward; it never
+// changes simulated timing or counters.
+func (c *Config) EnableSampling(every uint64, capacity int) {
+	c.sampleEvery = every
+	c.sampleCap = capacity
+}
+
+// SetOnSeries installs the harness callback that receives the sampled series
+// after a successful RunChecked/RunROIChecked/RunSMTChecked.
+func (c *Config) SetOnSeries(fn func(*metrics.SeriesDump)) { c.onSeries = fn }
+
+// Sampling reports the sampler setting.
+func (c *Config) Sampling() (every uint64, capacity int) { return c.sampleEvery, c.sampleCap }
 
 // Chip is one assembled machine.
 type Chip struct {
-	Cfg   *Config
+	Cfg *Config
+
+	// Reg is the chip's metric registry: every component registered its
+	// counters and occupancy gauges against it at construction. Stats is the
+	// registry's live flat compat view (the same storage), kept for ROI
+	// deltas, the evaluation tables and the byte-comparable serve encoding.
+	Reg   *metrics.Registry
 	Stats *stats.Stats
 
 	z  *zbox.Zbox
@@ -72,12 +104,15 @@ type Chip struct {
 
 	// Checker-mode hint audit state (per chip, unlike the test-only ffVerify
 	// globals): the window the last fast-forward hint claimed was idle, and
-	// the statistics at its start.
+	// the registry epoch at its start.
 	ckSkipFrom, ckSkipTo uint64
-	ckStatsAt            stats.Stats
+	ckEpochAt            uint64
 
-	sampleEvery uint64
-	onSample    func(Sample)
+	// Cycle-interval sampler state (nil series = sampling off).
+	series       *metrics.Series
+	gaugeScratch []int
+	lastRetired  uint64 // at the previous sample point
+	lastRawBytes uint64
 }
 
 // FastForward is the package-wide default for the idle-cycle fast-forward:
@@ -99,7 +134,7 @@ var (
 	ffViolations []string
 	ffSkipFrom   uint64
 	ffSkipTo     uint64
-	ffStatsAt    stats.Stats
+	ffEpochAt    uint64
 )
 
 // setFFVerify arms or disarms hint verification and returns the violations
@@ -111,39 +146,64 @@ func setFFVerify(on bool) []string {
 	return v
 }
 
-// New assembles a chip from cfg.
+// New assembles a chip from cfg. Every component registers its counters and
+// gauges against one fresh per-chip registry; the chip's Stats field is the
+// registry's live compat view.
 func New(cfg *Config) *Chip {
-	st := &stats.Stats{}
+	reg := metrics.NewRegistry()
 	inj := faults.New(cfg.Faults)
 	// The injector rides into each component on a local copy of its config,
 	// so the caller's Config literal stays untouched (tables share them
 	// across cells).
 	zc := cfg.Zbox
 	zc.Faults = inj
-	z := zbox.New(zc, st)
+	z := zbox.New(zc, reg)
 	l2cfg := cfg.L2
 	l2cfg.Faults = inj
-	l2c := l2.New(l2cfg, st, z)
+	l2c := l2.New(l2cfg, reg, z)
 	var vb *vbox.VBox
 	var vu core.VectorUnit
 	if cfg.HasVbox {
 		vc := cfg.Vbox
 		vc.Faults = inj
-		vb = vbox.New(vc, st, l2c)
+		vb = vbox.New(vc, reg, l2c)
 		vu = vb
 	}
 	cc := cfg.Core
 	cc.Faults = inj
-	c := core.New(cc, st, l2c, vu)
+	c := core.New(cc, reg, l2c, vu)
 	if vb != nil {
 		vb.OnDone = c.VectorDone
 	}
-	ch := &Chip{Cfg: cfg, Stats: st, z: z, l2: l2c, vb: vb, c: c, inj: inj, ff: FastForward}
+	ch := &Chip{Cfg: cfg, Reg: reg, Stats: reg.Stats(), z: z, l2: l2c, vb: vb, c: c, inj: inj, ff: FastForward}
 	if cfg.Check {
 		ch.chk = check.New()
 		c.SetChecker(ch.chk)
 	}
+	if cfg.sampleEvery > 0 {
+		ch.EnableSampling(cfg.sampleEvery, cfg.sampleCap)
+	}
 	return ch
+}
+
+// EnableSampling arms the chip's cycle-interval sampler: every `every`
+// cycles the current interval IPC, interval memory-controller bytes and all
+// registered occupancy gauges are pushed into a bounded ring (capacity 0
+// selects metrics.DefaultSeriesCap; the ring overwrites oldest-first).
+func (ch *Chip) EnableSampling(every uint64, capacity int) {
+	if every == 0 {
+		ch.series = nil
+		return
+	}
+	ch.series = metrics.NewSeries(every, capacity, ch.Reg.GaugeNames())
+}
+
+// Series returns the sampled series, or nil when sampling was never enabled.
+func (ch *Chip) Series() *metrics.SeriesDump {
+	if ch.series == nil {
+		return nil
+	}
+	return ch.series.Dump()
 }
 
 // SetFastForward overrides the package default for this chip (the sampler
@@ -176,6 +236,9 @@ func RunChecked(cfg *Config, kernel vasm.Kernel) (*stats.Stats, *arch.Machine, e
 	defer tr.Close()
 	if err := chip.RunTraceChecked(tr); err != nil {
 		return chip.Stats, m, err
+	}
+	if cfg.onSeries != nil {
+		cfg.onSeries(chip.Series())
 	}
 	return chip.Stats, m, nil
 }
@@ -261,7 +324,7 @@ func (ch *Chip) runBound(trs []*vasm.Trace) error {
 	// The sampler observes the machine on fixed cycles, so fast-forwarding
 	// (which skips observably-idle cycles) would drop samples; the checker
 	// single-steps so its hint audit can watch the claimed-idle windows.
-	ff := ch.ff && !(ch.onSample != nil && ch.sampleEvery > 0) && ch.chk == nil
+	ff := ch.ff && ch.series == nil && ch.chk == nil
 	iter := uint64(0)
 	for !ch.c.Halted() {
 		ch.now++
@@ -294,7 +357,7 @@ func (ch *Chip) runBound(trs []*vasm.Trace) error {
 
 		if ffVerify {
 			if ffSkipFrom != 0 {
-				if *ch.Stats != ffStatsAt && cy < ffSkipTo {
+				if ch.Reg.Epoch() != ffEpochAt && cy < ffSkipTo {
 					ffViolations = append(ffViolations,
 						fmt.Sprintf("%s: hint at cy=%d claimed idle until %d, but stats changed at cy=%d",
 							ch.Cfg.Name, ffSkipFrom, ffSkipTo, cy))
@@ -306,17 +369,19 @@ func (ch *Chip) runBound(trs []*vasm.Trace) error {
 			if ffSkipFrom == 0 && !ch.c.Halted() {
 				if wake := ch.wake(cy); wake > cy+1 {
 					ffSkipFrom, ffSkipTo = cy, wake
-					ffStatsAt = *ch.Stats
+					ffEpochAt = ch.Reg.Epoch()
 				}
 			}
 		}
 		if ch.chk != nil {
 			// Same audit as ffVerify, but per-chip and reported through the
-			// checker: single-step while checking that no statistic changes
-			// inside a window the hints claimed was idle. This is what
-			// catches a seeded (or real) too-late NextWake.
+			// checker: single-step while checking that no counter moves
+			// inside a window the hints claimed was idle (the registry epoch
+			// advances on every counter mutation, so one compare replaces the
+			// old whole-struct equality). This is what catches a seeded (or
+			// real) too-late NextWake.
 			if ch.ckSkipFrom != 0 {
-				if *ch.Stats != ch.ckStatsAt && cy < ch.ckSkipTo {
+				if ch.Reg.Epoch() != ch.ckEpochAt && cy < ch.ckSkipTo {
 					ch.chk.Failf("nextwake", cy,
 						"hint at cy=%d claimed idle until %d, but stats changed at cy=%d",
 						ch.ckSkipFrom, ch.ckSkipTo, cy)
@@ -328,7 +393,7 @@ func (ch *Chip) runBound(trs []*vasm.Trace) error {
 			if ch.ckSkipFrom == 0 && !ch.c.Halted() {
 				if wake := ch.wake(cy); wake > cy+1 {
 					ch.ckSkipFrom, ch.ckSkipTo = cy, wake
-					ch.ckStatsAt = *ch.Stats
+					ch.ckEpochAt = ch.Reg.Epoch()
 				}
 			}
 		}
@@ -435,6 +500,9 @@ func RunROIChecked(cfg *Config, setup, roi vasm.Kernel) (*stats.Stats, *arch.Mac
 		return chip.Stats, m, err
 	}
 	roiStats := stats.Sub(chip.Stats, &before)
+	if cfg.onSeries != nil {
+		cfg.onSeries(chip.Series())
+	}
 	return roiStats, m, nil
 }
 
@@ -465,6 +533,9 @@ func RunSMTChecked(cfg *Config, kernels []vasm.Kernel) (*stats.Stats, []*arch.Ma
 	if err := chip.RunTracesChecked(traces); err != nil {
 		return chip.Stats, machines, err
 	}
+	if cfg.onSeries != nil {
+		cfg.onSeries(chip.Series())
+	}
 	return chip.Stats, machines, nil
 }
 
@@ -482,32 +553,25 @@ func (ch *Chip) RunTracesChecked(trs []*vasm.Trace) error {
 	return ch.runBound(trs)
 }
 
-// Sample is a periodic utilization snapshot for profiling (tarsim -sample).
-type Sample struct {
-	Cycle                           uint64
-	VPortsBusy, VMemInFly, VQueued  int
-	L2ReadQ, L2WriteQ, L2Retry, MAF int
-	MemQueue                        int
-	Retired                         uint64
-}
-
-// OnSample, when set together with SampleEvery, receives a snapshot every
-// SampleEvery cycles during RunTrace.
-func (ch *Chip) SetSampler(every uint64, fn func(Sample)) {
-	ch.sampleEvery = every
-	ch.onSample = fn
-}
-
+// sample pushes one cycle-interval point into the series ring when the
+// sampler is armed and the clock sits on a sample boundary. IPC and RawBytes
+// are interval quantities (since the previous boundary); gauges are read
+// through the registry, in registration order.
 func (ch *Chip) sample() {
-	if ch.onSample == nil || ch.sampleEvery == 0 || ch.now%ch.sampleEvery != 0 {
+	if ch.series == nil || ch.now%ch.series.Every() != 0 {
 		return
 	}
-	s := Sample{Cycle: ch.now, Retired: ch.Stats.ScalarIns + ch.Stats.VectorIns}
-	if ch.vb != nil {
-		u := ch.vb.Snapshot(ch.now)
-		s.VPortsBusy, s.VMemInFly, s.VQueued = u.PortsBusy, u.MemInFly, u.Queued
-	}
-	s.L2ReadQ, s.L2WriteQ, s.L2Retry, s.MAF = ch.l2.Depths()
-	s.MemQueue = ch.z.QueueDepth()
-	ch.onSample(s)
+	every := ch.series.Every()
+	retired := ch.Stats.ScalarIns + ch.Stats.VectorIns
+	raw := ch.Stats.RawMemBytes()
+	ch.gaugeScratch = ch.Reg.ReadGaugeValues(ch.now, ch.gaugeScratch)
+	ch.series.Add(metrics.Point{
+		Cycle:    ch.now,
+		Retired:  retired,
+		IPC:      float64(retired-ch.lastRetired) / float64(every),
+		RawBytes: raw - ch.lastRawBytes,
+		Gauges:   ch.gaugeScratch,
+	})
+	ch.lastRetired = retired
+	ch.lastRawBytes = raw
 }

@@ -5,29 +5,43 @@ import (
 	"strings"
 
 	"repro/internal/check"
+	"repro/internal/metrics"
 )
 
-// Occupancy is a per-component queue snapshot taken when a run fails. It is
-// the first thing to read when diagnosing a wedge: the component whose
-// queues are full (or suspiciously empty) is where progress stopped.
-type Occupancy struct {
-	// Core.
-	ROB, Ready, Blocked, WriteBuf, MSHR int
-	// Vbox (zero for pure-EV8 configurations).
-	VPortsBusy, VMemInFly, VQueued, VSlicesWait int
-	// L2.
-	L2ReadQ, L2WriteQ, L2Retry, MAF int
-	// Memory controller.
-	MemQueue int
-}
+// Occupancy is a per-component queue snapshot taken when a run fails: every
+// occupancy gauge registered against the chip's metric registry, read at the
+// failure cycle, in registration order. It is the first thing to read when
+// diagnosing a wedge: the component whose queues are full (or suspiciously
+// empty) is where progress stopped.
+type Occupancy []metrics.GaugeSample
 
+// String renders the samples grouped by component namespace:
+// "zbox[queue=0] l2[read_q=3 ...] ... core[rob=126 ...]". Components appear
+// in gauge-registration order, so the format tracks whatever the components
+// register without this package enumerating their queues.
 func (o Occupancy) String() string {
-	return fmt.Sprintf(
-		"core[rob=%d ready=%d blocked=%d wb=%d mshr=%d] vbox[ports=%d mem=%d q=%d slices=%d] l2[rd=%d wr=%d retry=%d maf=%d] mem[q=%d]",
-		o.ROB, o.Ready, o.Blocked, o.WriteBuf, o.MSHR,
-		o.VPortsBusy, o.VMemInFly, o.VQueued, o.VSlicesWait,
-		o.L2ReadQ, o.L2WriteQ, o.L2Retry, o.MAF,
-		o.MemQueue)
+	var b strings.Builder
+	lastComp := ""
+	for _, g := range o {
+		comp, metric, ok := strings.Cut(g.Name, ".")
+		if !ok {
+			comp, metric = "chip", g.Name
+		}
+		switch {
+		case comp == lastComp:
+			b.WriteByte(' ')
+		case lastComp != "":
+			fmt.Fprintf(&b, "] %s[", comp)
+		default:
+			fmt.Fprintf(&b, "%s[", comp)
+		}
+		fmt.Fprintf(&b, "%s=%d", metric, g.Value)
+		lastComp = comp
+	}
+	if lastComp != "" {
+		b.WriteByte(']')
+	}
+	return b.String()
 }
 
 // Wedge reasons.
@@ -101,18 +115,9 @@ func (e *WedgeError) Unwrap() error {
 	return nil
 }
 
-// occupancy snapshots every component's queues at the current cycle.
+// occupancy snapshots every registered occupancy gauge at the current cycle.
 func (ch *Chip) occupancy() Occupancy {
-	var o Occupancy
-	o.ROB, o.Ready, o.Blocked, o.WriteBuf, o.MSHR = ch.c.Depths()
-	if ch.vb != nil {
-		u := ch.vb.Snapshot(ch.now)
-		o.VPortsBusy, o.VMemInFly, o.VQueued, o.VSlicesWait =
-			u.PortsBusy, u.MemInFly, u.Queued, u.SlicesWait
-	}
-	o.L2ReadQ, o.L2WriteQ, o.L2Retry, o.MAF = ch.l2.Depths()
-	o.MemQueue = ch.z.QueueDepth()
-	return o
+	return Occupancy(ch.Reg.ReadGauges(ch.now))
 }
 
 // wedge assembles the failure report for the current machine state.

@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -105,6 +106,40 @@ func TestTableListsEveryCounterGroup(t *testing.T) {
 	for _, want := range []string{"cycles", "L2 vector slices", "CR rounds", "mem dir ops", "TLB misses"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("table missing %q", want)
+		}
+	}
+}
+
+// TestSubCoversEveryCounterField walks the struct with reflection so a
+// counter added to Stats can never silently escape ROI accounting: every
+// field must be uint64 (Sub skips other kinds), and Sub must subtract each
+// one — except MAFPeak, which keeps the later value by design. The matching
+// guarantee for the registry's compat view lives in
+// internal/metrics.TestNamespaceCoversEveryStatsField (metrics imports
+// stats, not the reverse).
+func TestSubCoversEveryCounterField(t *testing.T) {
+	typ := reflect.TypeOf(Stats{})
+	s, base := &Stats{}, &Stats{}
+	sv := reflect.ValueOf(s).Elem()
+	bv := reflect.ValueOf(base).Elem()
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		if f.Type.Kind() != reflect.Uint64 {
+			t.Fatalf("field %s is %s, not uint64: Sub and the metrics registry both skip it — extend them before adding non-counter state", f.Name, f.Type)
+		}
+		sv.Field(i).SetUint(1000 + uint64(i))
+		bv.Field(i).SetUint(uint64(i))
+	}
+	d := Sub(s, base)
+	dv := reflect.ValueOf(d).Elem()
+	for i := 0; i < typ.NumField(); i++ {
+		name := typ.Field(i).Name
+		want := uint64(1000)
+		if name == "MAFPeak" {
+			want = 1000 + uint64(i) // peak keeps the later value
+		}
+		if got := dv.Field(i).Uint(); got != want {
+			t.Errorf("Sub dropped field %s: got %d, want %d", name, got, want)
 		}
 	}
 }

@@ -1,0 +1,154 @@
+package tables
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// goldenCells loads the pre-refactor full test-scale sweep captured in
+// testdata: every (benchmark, machine) cell's counters as they were before
+// the typed metrics registry replaced direct stats.Stats mutation.
+func goldenCells(t *testing.T) map[[2]string]*stats.Stats {
+	t.Helper()
+	raw, err := os.ReadFile("testdata/golden_cells_test_scale.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Scale string `json:"scale"`
+		Cells []struct {
+			Bench  string       `json:"bench"`
+			Config string       `json:"config"`
+			Stats  *stats.Stats `json:"stats"`
+		} `json:"cells"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Scale != "test" {
+		t.Fatalf("golden scale %q, want test", doc.Scale)
+	}
+	out := make(map[[2]string]*stats.Stats, len(doc.Cells))
+	for _, c := range doc.Cells {
+		out[[2]string{c.Bench, c.Config}] = c.Stats
+	}
+	return out
+}
+
+// fullSweep reproduces the tartables -all cell set on r: every table and
+// figure that runs simulations, in the CLI's order (Table 4 stamps
+// UsefulBytes into its kernels' stats, so ordering is part of the contract).
+func fullSweep(t *testing.T, r *Runner) []CellResult {
+	t.Helper()
+	r.Prewarm()
+	if _, err := r.Table2(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Table4(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Fig6(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Fig7(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Fig8(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Fig9(); err != nil {
+		t.Fatal(err)
+	}
+	return r.Cells()
+}
+
+// TestSweepMatchesPreRefactorGolden is the refactor's central guarantee,
+// checked against a committed artifact rather than a same-build A/B: every
+// counter of every cell in the full test-scale sweep is bit-identical to
+// the sweep captured before counters moved behind the metrics registry.
+func TestSweepMatchesPreRefactorGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full test-scale sweep (~10s) skipped in -short mode")
+	}
+	golden := goldenCells(t)
+	r := NewRunner(workloads.Test)
+	r.Quiet = true
+	r.Parallel = runtime.GOMAXPROCS(0)
+	cells := fullSweep(t, r)
+	if len(cells) != len(golden) {
+		t.Errorf("sweep produced %d cells, golden has %d", len(cells), len(golden))
+	}
+	seen := map[[2]string]bool{}
+	for _, c := range cells {
+		id := [2]string{c.Bench, c.Config}
+		seen[id] = true
+		want, ok := golden[id]
+		if !ok {
+			t.Errorf("%s on %s: not in the golden capture", c.Bench, c.Config)
+			continue
+		}
+		if c.Err != "" {
+			t.Errorf("%s on %s: failed: %s", c.Bench, c.Config, c.Err)
+			continue
+		}
+		if *c.Res.Stats != *want {
+			t.Errorf("%s on %s: counters drifted from the pre-refactor golden:\n  got:  %+v\n  want: %+v",
+				c.Bench, c.Config, *c.Res.Stats, *want)
+		}
+	}
+	for id := range golden {
+		if !seen[id] {
+			t.Errorf("%s on %s: in the golden capture but missing from the sweep", id[0], id[1])
+		}
+	}
+}
+
+// TestSampledSweepBitIdentical is the observation-only contract at sweep
+// granularity: running the identical sweep with the cycle-interval sampler
+// armed leaves every cell's counters bit-identical to the golden while
+// attaching a series to every successful cell — and the sampling knob does
+// not move any cell's content key.
+func TestSampledSweepBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full test-scale sweep (~10s) skipped in -short mode")
+	}
+	golden := goldenCells(t)
+	plain := NewRunner(workloads.Test)
+	sampled := NewRunner(workloads.Test)
+	sampled.Quiet = true
+	sampled.Parallel = runtime.GOMAXPROCS(0)
+	sampled.SampleEvery = 1000
+	cells := fullSweep(t, sampled)
+	for _, c := range cells {
+		if c.Err != "" {
+			t.Errorf("%s on %s: failed: %s", c.Bench, c.Config, c.Err)
+			continue
+		}
+		if want, ok := golden[[2]string{c.Bench, c.Config}]; ok && *c.Res.Stats != *want {
+			t.Errorf("%s on %s: sampling changed the counters:\n  got:  %+v\n  want: %+v",
+				c.Bench, c.Config, *c.Res.Stats, *want)
+		}
+		if c.Res.Series == nil || len(c.Res.Series.Points) == 0 {
+			t.Errorf("%s on %s: sampled cell carries no series", c.Bench, c.Config)
+		}
+	}
+	// Spot-check the key invariance on one cell of each kind.
+	for _, probe := range []struct{ bench, config string }{
+		{"streams_copy", "T"}, {"dgemm", "EV8"},
+	} {
+		cfg := sim.ByName(probe.config)
+		if cfg == nil {
+			t.Fatalf("unknown config %q", probe.config)
+		}
+		if pk, sk := plain.CellKey(probe.bench, cfg), sampled.CellKey(probe.bench, cfg); pk != sk {
+			t.Errorf("%s on %s: sampling knob moved the cell key %s -> %s",
+				probe.bench, probe.config, pk, sk)
+		}
+	}
+}

@@ -49,6 +49,13 @@ type Runner struct {
 	// targets (Config.Targets); untargeted cells run fault-free and must
 	// produce bit-identical results to an uninjected sweep.
 	Faults *faults.Config
+	// SampleEvery arms the cycle-interval sampler on every cell (0 = off):
+	// results carry a metrics.SeriesDump that rides along in the -json
+	// artifact. Sampling is observation-only — it lives outside the
+	// confhash cell key and leaves every counter bit-identical.
+	SampleEvery uint64
+	// SampleCap bounds retained points per cell (0 = the sampler default).
+	SampleCap int
 
 	mu      sync.Mutex
 	results map[string]*call
@@ -147,7 +154,7 @@ func (r *Runner) Cells() []CellResult {
 // attach only to targeted cells so the rest of the sweep stays bit-exact.
 func (r *Runner) decorate(bench string, cfg *sim.Config) *sim.Config {
 	injected := r.Faults.Targets(bench + "@" + cfg.Name)
-	if r.Deadline == 0 && !r.Check && r.Watchdog == 0 && !injected {
+	if r.Deadline == 0 && !r.Check && r.Watchdog == 0 && !injected && r.SampleEvery == 0 {
 		return cfg
 	}
 	cc := *cfg
@@ -156,6 +163,9 @@ func (r *Runner) decorate(bench string, cfg *sim.Config) *sim.Config {
 	cc.Watchdog = r.Watchdog
 	if injected {
 		cc.Faults = r.Faults
+	}
+	if r.SampleEvery > 0 {
+		cc.EnableSampling(r.SampleEvery, r.SampleCap)
 	}
 	return &cc
 }

@@ -15,8 +15,8 @@ import (
 	"repro/internal/faults"
 	"repro/internal/isa"
 	"repro/internal/l2"
+	"repro/internal/metrics"
 	"repro/internal/pipe"
-	"repro/internal/stats"
 	"repro/internal/vm"
 )
 
@@ -62,8 +62,16 @@ type Config struct {
 // VBox is the vector engine model. It satisfies core.VectorUnit.
 type VBox struct {
 	cfg Config
-	st  *stats.Stats
 	l2c *l2.L2
+
+	// Registered counter handles (vbox.* namespace).
+	vsBusTransfers metrics.Counter
+	addrGenCycles  metrics.Counter
+	reorderSlices  metrics.Counter
+	crRounds       metrics.Counter
+	crSlices       metrics.Counter
+	tlbMisses      metrics.Counter
+	tlbRefills     metrics.Counter
 
 	// Space is the address space whose page table PALcode walks on TLB
 	// refills; the simulator runs identity-mapped.
@@ -103,11 +111,11 @@ type pendingSlice struct {
 	availCy uint64 // cycle the address generators produce it
 }
 
-// New returns a Vbox bound to the L2.
-func New(cfg Config, st *stats.Stats, l2c *l2.L2) *VBox {
+// New returns a Vbox bound to the L2, registering its counters and
+// occupancy gauges under the registry's vbox namespace.
+func New(cfg Config, reg *metrics.Registry, l2c *l2.L2) *VBox {
 	v := &VBox{
 		cfg:      cfg,
-		st:       st,
 		l2c:      l2c,
 		portFree: make([]uint64, cfg.Ports),
 		tlb:      make([]laneTLB, cfg.Lanes),
@@ -117,6 +125,22 @@ func New(cfg Config, st *stats.Stats, l2c *l2.L2) *VBox {
 		v.tlb[i] = laneTLB{cap: cfg.TLBEntries, pages: map[uint64]uint64{}}
 	}
 	v.Space = vm.NewIdentity()
+	m := reg.Scope("vbox")
+	v.vsBusTransfers = m.Counter("vs_bus_transfers")
+	v.addrGenCycles = m.Counter("addr_gen_cycles")
+	v.reorderSlices = m.Counter("reorder_slices")
+	v.crRounds = m.Counter("cr_rounds")
+	v.crSlices = m.Counter("cr_slices")
+	v.tlbMisses = m.Counter("tlb_misses")
+	v.tlbRefills = m.Counter("tlb_refills")
+	m.Gauge("ports_busy", "Issue ports mid-instruction.",
+		func(cy uint64) int { return v.Snapshot(cy).PortsBusy })
+	m.Gauge("mem_in_fly", "Vector memory instructions in the pipeline.",
+		func(uint64) int { return v.memInFly })
+	m.Gauge("queued", "Dispatched, waiting vector instructions.",
+		func(uint64) int { return v.queued })
+	m.Gauge("slices_wait", "Slices generated but not yet accepted by the L2.",
+		func(uint64) int { return len(v.readSubQ) + len(v.writeSubQ) })
 	return v
 }
 
@@ -276,7 +300,7 @@ func (v *VBox) takeOperandBus(cy uint64, n int) bool {
 		return false
 	}
 	v.opBusUsed += n
-	v.st.VSBusTransfers += uint64(n)
+	v.vsBusTransfers.Add(uint64(n))
 	return true
 }
 
@@ -344,7 +368,7 @@ func (v *VBox) issueMem(cy uint64, u *pipe.UOp) bool {
 	}
 
 	slices, agCycles := v.buildSlices(u)
-	v.st.AddrGenCycles += uint64(agCycles)
+	v.addrGenCycles.Add(uint64(agCycles))
 	v.agFree = agStart + uint64(agCycles)
 	v.queued--
 	v.memInFly++
@@ -427,7 +451,7 @@ func (v *VBox) buildSlices(u *pipe.UOp) ([]creorder.Slice, int) {
 			// directly: one cycle per pump slice.
 			return slices, len(slices)
 		case creorder.ModeReorder:
-			v.st.ReorderSlices += uint64(len(slices))
+			v.reorderSlices.Add(uint64(len(slices)))
 			v.tagSeq += len(slices)
 			// Eight address-generation cycles regardless of vl (§3.4).
 			ag := 8
@@ -440,8 +464,8 @@ func (v *VBox) buildSlices(u *pipe.UOp) ([]creorder.Slice, int) {
 			// gather/scatter and run through the CR box" (§3.4).
 			slices, rounds := v.cr.PackStrided(eff.Base, eff.Stride, active, tag0)
 			v.tagSeq += len(slices)
-			v.st.CRRounds += uint64(rounds)
-			v.st.CRSlices += uint64(len(slices))
+			v.crRounds.Add(uint64(rounds))
+			v.crSlices.Add(uint64(len(slices)))
 			return slices, rounds
 		}
 	}
@@ -453,8 +477,8 @@ func (v *VBox) buildSlices(u *pipe.UOp) ([]creorder.Slice, int) {
 	}
 	slices, rounds := v.cr.Pack(elems, tag0)
 	v.tagSeq += len(slices)
-	v.st.CRRounds += uint64(rounds)
-	v.st.CRSlices += uint64(len(slices))
+	v.crRounds.Add(uint64(rounds))
+	v.crSlices.Add(uint64(len(slices)))
 	return slices, rounds
 }
 
@@ -526,7 +550,7 @@ func (v *VBox) tlbCheck(u *pipe.UOp) uint64 {
 		page := a >> v.cfg.PageBits
 		if !v.tlb[lane].lookup(page) {
 			misses++
-			v.st.TLBMisses++
+			v.tlbMisses.Inc()
 			// PALcode walks the page table; only valid PTEs enter the TLB
 			// (an invalid mapping would be an access fault — the workloads
 			// run identity-mapped, so it cannot arise here).
@@ -556,7 +580,7 @@ func (v *VBox) tlbCheck(u *pipe.UOp) uint64 {
 	if misses == 0 {
 		return 0
 	}
-	v.st.TLBRefills++
+	v.tlbRefills.Inc()
 	if v.cfg.TLBRefillAll {
 		return uint64(v.cfg.TLBRefillCycles)
 	}

@@ -4,29 +4,29 @@ import (
 	"testing"
 
 	"repro/internal/l2"
+	"repro/internal/metrics"
 	"repro/internal/pipe"
-	"repro/internal/stats"
 	"repro/internal/zbox"
 )
 
 func testVBox(queue int) *VBox {
-	st := &stats.Stats{}
+	reg := metrics.NewRegistry()
 	z := zbox.New(zbox.Config{
 		Ports: 8, LineCycles: 16, BaseLatency: 100,
 		RowBytes: 2048, DevicesPerPort: 32, RowMissCycles: 12, TurnCycles: 5,
-	}, st)
+	}, reg)
 	l2c := l2.New(l2.Config{
 		Bytes: 1 << 20, Assoc: 8, LineBytes: 64,
 		ScalarLat: 12, VecLatPump: 34, VecLatOdd: 38,
 		MAFSize: 64, ReplayThreshold: 8, RetryDelay: 6,
 		SliceQueue: 16, PBitPenalty: 12,
-	}, st, z)
+	}, reg, z)
 	v := New(Config{
 		Lanes: 16, Queue: queue, DispatchWidth: 3, OperandBuses: 2,
 		Ports: 2, MemInsts: 16, PumpEnabled: true,
 		TLBEntries: 32, PageBits: 29, TLBRefillCycles: 200, TLBRefillAll: true,
 		WritebackLat: 2,
-	}, st, l2c)
+	}, reg, l2c)
 	v.OnDone = func(uint64, *pipe.UOp) {}
 	return v
 }

@@ -3,6 +3,7 @@ package workloads
 import (
 	"fmt"
 
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -13,6 +14,11 @@ type Result struct {
 	Config string
 	Scale  Scale
 	Stats  *stats.Stats
+	// Series is the cycle-interval sample series, present only when the
+	// configuration armed the sampler (Config.EnableSampling). For ROI
+	// benchmarks it covers the whole run including warm-up, since the
+	// sampler observes the chip, not the ROI window.
+	Series *metrics.SeriesDump
 }
 
 // OPC returns the Figure 6 quantities.
@@ -25,6 +31,14 @@ func (r *Result) OPC() (opc, fpc, mpc, other float64) { return r.Stats.OPC() }
 // or invariant-violating run comes back as an error (a *sim.WedgeError
 // wrapped with the benchmark/machine pair), not a panic.
 func (b *Benchmark) Run(cfg *sim.Config, s Scale) (*Result, error) {
+	var series *metrics.SeriesDump
+	if every, _ := cfg.Sampling(); every > 0 {
+		// Capture the series through a private copy so the caller's
+		// config (often shared across cells) keeps its own callback.
+		cc := *cfg
+		cc.SetOnSeries(func(d *metrics.SeriesDump) { series = d })
+		cfg = &cc
+	}
 	kernelFn := b.Scalar
 	if cfg.HasVbox {
 		kernelFn = b.Vector
@@ -53,5 +67,5 @@ func (b *Benchmark) Run(cfg *sim.Config, s Scale) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%s on %s: %w", b.Name, cfg.Name, err)
 	}
-	return &Result{Bench: b.Name, Config: cfg.Name, Scale: s, Stats: st}, nil
+	return &Result{Bench: b.Name, Config: cfg.Name, Scale: s, Stats: st, Series: series}, nil
 }

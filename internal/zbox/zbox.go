@@ -11,7 +11,7 @@ package zbox
 
 import (
 	"repro/internal/faults"
-	"repro/internal/stats"
+	"repro/internal/metrics"
 )
 
 // Kind is the transaction type.
@@ -61,13 +61,18 @@ type port struct {
 type Zbox struct {
 	cfg   Config
 	ports []*port
-	st    *stats.Stats
 	wheel eventWheel
+
+	// Registered counter handles (zbox.* namespace).
+	reads, writes, dirOps metrics.Counter
+	rowActivates, rowHits metrics.Counter
+	turnarounds           metrics.Counter
 }
 
-// New returns a controller with the given configuration.
-func New(cfg Config, st *stats.Stats) *Zbox {
-	z := &Zbox{cfg: cfg, st: st, wheel: eventWheel{m: map[uint64][]func(){}}}
+// New returns a controller with the given configuration, registering its
+// counters and queue-depth gauge under the registry's zbox namespace.
+func New(cfg Config, reg *metrics.Registry) *Zbox {
+	z := &Zbox{cfg: cfg, wheel: eventWheel{m: map[uint64][]func(){}}}
 	for i := 0; i < cfg.Ports; i++ {
 		p := &port{openRow: make([]uint64, cfg.DevicesPerPort)}
 		for j := range p.openRow {
@@ -75,6 +80,15 @@ func New(cfg Config, st *stats.Stats) *Zbox {
 		}
 		z.ports = append(z.ports, p)
 	}
+	m := reg.Scope("zbox")
+	z.reads = m.Counter("reads")
+	z.writes = m.Counter("writes")
+	z.dirOps = m.Counter("dir_ops")
+	z.rowActivates = m.Counter("row_activates")
+	z.rowHits = m.Counter("row_hits")
+	z.turnarounds = m.Counter("turnarounds")
+	m.Gauge("queue", "Queued (not yet started) memory transactions.",
+		func(uint64) int { return z.QueueDepth() })
 	return z
 }
 
@@ -121,9 +135,9 @@ func (z *Zbox) Tick(c uint64) {
 		if p.openRow[dev] != row {
 			p.openRow[dev] = row
 			occ += z.cfg.RowMissCycles
-			z.st.RowActivates++
+			z.rowActivates.Inc()
 		} else {
-			z.st.RowHits++
+			z.rowHits.Inc()
 		}
 
 		// Read↔write turnaround: the bus direction change costs dead
@@ -131,7 +145,7 @@ func (z *Zbox) Tick(c uint64) {
 		// post-directory peak, §6).
 		if req.kind != p.lastKind && (req.kind == Write) != (p.lastKind == Write) {
 			occ += z.cfg.TurnCycles
-			z.st.Turnarounds++
+			z.turnarounds.Inc()
 		}
 		p.lastKind = req.kind
 
@@ -141,11 +155,11 @@ func (z *Zbox) Tick(c uint64) {
 		p.busyUntil = c + uint64(occ)
 		switch req.kind {
 		case Read:
-			z.st.MemReads++
+			z.reads.Inc()
 		case Write:
-			z.st.MemWrites++
+			z.writes.Inc()
 		case DirOp:
-			z.st.MemDirOps++
+			z.dirOps.Inc()
 		}
 		if req.done != nil {
 			z.wheel.at(c+uint64(occ)+uint64(z.cfg.BaseLatency), func(cy uint64) { req.done(cy) })

@@ -3,7 +3,7 @@ package zbox
 import (
 	"testing"
 
-	"repro/internal/stats"
+	"repro/internal/metrics"
 )
 
 func testCfg() Config {
@@ -29,8 +29,9 @@ func drive(z *Zbox, from uint64, max uint64) uint64 {
 }
 
 func TestSingleReadLatency(t *testing.T) {
-	st := &stats.Stats{}
-	z := New(testCfg(), st)
+	reg := metrics.NewRegistry()
+	z := New(testCfg(), reg)
+	st := reg.Stats()
 	var done uint64
 	z.Request(0x1000, Read, func(cy uint64) { done = cy })
 	end := drive(z, 0, 10_000)
@@ -48,8 +49,9 @@ func TestSingleReadLatency(t *testing.T) {
 }
 
 func TestRowHitVsMiss(t *testing.T) {
-	st := &stats.Stats{}
-	z := New(testCfg(), st)
+	reg := metrics.NewRegistry()
+	z := New(testCfg(), reg)
+	st := reg.Stats()
 	// Reads on different ports each open their own row.
 	z.Request(0x0, Read, nil)  // port 0
 	z.Request(0x40, Read, nil) // port 1
@@ -58,8 +60,9 @@ func TestRowHitVsMiss(t *testing.T) {
 		t.Fatalf("expected 2 activates on distinct ports, got %d", st.RowActivates)
 	}
 	// Same port, same row: second should hit the open row.
-	st2 := &stats.Stats{}
-	z2 := New(testCfg(), st2)
+	reg2 := metrics.NewRegistry()
+	z2 := New(testCfg(), reg2)
+	st2 := reg2.Stats()
 	z2.Request(0x0, Read, nil)
 	z2.Request(0x0+8*64, Read, nil) // +512B: port = same (addr>>6 mod 8), row same
 	drive(z2, 0, 10_000)
@@ -69,8 +72,9 @@ func TestRowHitVsMiss(t *testing.T) {
 }
 
 func TestReadWriteTurnaround(t *testing.T) {
-	st := &stats.Stats{}
-	z := New(testCfg(), st)
+	reg := metrics.NewRegistry()
+	z := New(testCfg(), reg)
+	st := reg.Stats()
 	z.Request(0x0, Read, nil)
 	z.Request(0x0+512, Write, nil)
 	z.Request(0x0+1024, Read, nil)
@@ -85,8 +89,8 @@ func TestPortParallelism(t *testing.T) {
 	// on one port.
 	cfg := testCfg()
 	timeFor := func(stride uint64) uint64 {
-		st := &stats.Stats{}
-		z := New(cfg, st)
+		reg := metrics.NewRegistry()
+		z := New(cfg, reg)
 		var last uint64
 		for i := uint64(0); i < 64; i++ {
 			z.Request(i*stride, Read, func(cy uint64) { last = cy })
@@ -102,8 +106,9 @@ func TestPortParallelism(t *testing.T) {
 }
 
 func TestDirOpCountsInRawTraffic(t *testing.T) {
-	st := &stats.Stats{}
-	z := New(testCfg(), st)
+	reg := metrics.NewRegistry()
+	z := New(testCfg(), reg)
+	st := reg.Stats()
 	z.Request(0x40, DirOp, nil)
 	drive(z, 0, 10_000)
 	if st.MemDirOps != 1 {
@@ -118,8 +123,8 @@ func TestBandwidthUnderLoad(t *testing.T) {
 	// Saturate all ports with a sequential stream: sustained throughput
 	// should approach one line per LineCycles per port.
 	cfg := testCfg()
-	st := &stats.Stats{}
-	z := New(cfg, st)
+	reg := metrics.NewRegistry()
+	z := New(cfg, reg)
 	const n = 800
 	for i := uint64(0); i < n; i++ {
 		z.Request(i*64, Read, nil)
@@ -134,15 +139,17 @@ func TestBandwidthUnderLoad(t *testing.T) {
 
 func TestRandomStreamActivatesMoreRows(t *testing.T) {
 	cfg := testCfg()
-	seq := &stats.Stats{}
-	z := New(cfg, seq)
+	regSeq := metrics.NewRegistry()
+	z := New(cfg, regSeq)
+	seq := regSeq.Stats()
 	for i := uint64(0); i < 256; i++ {
 		z.Request(i*64, Read, nil)
 	}
 	drive(z, 0, 1_000_000)
 
-	rnd := &stats.Stats{}
-	z2 := New(cfg, rnd)
+	regRnd := metrics.NewRegistry()
+	z2 := New(cfg, regRnd)
+	rnd := regRnd.Stats()
 	for i := uint64(0); i < 256; i++ {
 		// Large-stride pseudo-random addresses thrash the open rows —
 		// the RndMemScale effect ("2.5X more row activates", §6).
@@ -156,8 +163,8 @@ func TestRandomStreamActivatesMoreRows(t *testing.T) {
 }
 
 func TestCompletionOrderWithinPort(t *testing.T) {
-	st := &stats.Stats{}
-	z := New(testCfg(), st)
+	reg := metrics.NewRegistry()
+	z := New(testCfg(), reg)
 	var order []int
 	for i := 0; i < 4; i++ {
 		i := i
