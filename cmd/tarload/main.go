@@ -37,6 +37,10 @@ type report struct {
 	Benches     []string `json:"benches"`
 	Configs     []string `json:"configs"`
 	Scale       string   `json:"scale"`
+	// Backend is the server's execution backend as reported by /healthz
+	// (inprocess or subprocess), so a stored baseline names the execution
+	// path it measured.
+	Backend string `json:"backend,omitempty"`
 
 	WallSeconds   float64 `json:"wall_seconds"`
 	Throughput    float64 `json:"throughput_jobs_per_sec"`
@@ -50,6 +54,10 @@ type report struct {
 	DedupJoined   float64 `json:"server_dedup_joined"`
 	SimsStarted   float64 `json:"server_sims_started"`
 	SimsCompleted float64 `json:"server_sims_completed"`
+	// WorkerRetries/WorkerRestarts are the subprocess fleet's recovery
+	// counters (0 on the in-process backend).
+	WorkerRetries  float64 `json:"server_worker_retries"`
+	WorkerRestarts float64 `json:"server_worker_restarts"`
 
 	// Experiments carries the server's per-experiment series summaries
 	// (the labeled tarserved_experiment_* gauges): one row per distinct
@@ -78,7 +86,17 @@ func main() {
 	scale := flag.String("scale", "test", "input scale: test, bench or full")
 	wait := flag.Duration("wait", 30*time.Second, "long-poll interval per status request")
 	out := flag.String("out", "", "write the JSON report to this file (default stdout)")
+	wantBackend := flag.String("backend", "", "assert the server runs this execution backend (inprocess or subprocess) before loading it")
 	flag.Parse()
+
+	serverBackend, err := probeBackend(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tarload: healthz probe:", err)
+	}
+	if *wantBackend != "" && serverBackend != *wantBackend {
+		fmt.Fprintf(os.Stderr, "tarload: server runs backend %q, want %q\n", serverBackend, *wantBackend)
+		os.Exit(1)
+	}
 
 	bs := strings.Split(*benches, ",")
 	cs := strings.Split(*configs, ",")
@@ -133,7 +151,7 @@ func main() {
 
 	rep := report{
 		Addr: *addr, Concurrency: *conc, Requests: *n,
-		Benches: bs, Configs: cs, Scale: *scale,
+		Benches: bs, Configs: cs, Scale: *scale, Backend: serverBackend,
 		WallSeconds: wall.Seconds(),
 		Throughput:  float64(*n) / wall.Seconds(),
 		Done:        done, Failed: failed, ClientErrors: clientErr,
@@ -149,6 +167,8 @@ func main() {
 		rep.DedupJoined = m["tarserved_dedup_joined_total"]
 		rep.SimsStarted = m["tarserved_sims_started_total"]
 		rep.SimsCompleted = m["tarserved_sims_completed_total"]
+		rep.WorkerRetries = m["tarserved_workers_retries"]
+		rep.WorkerRestarts = m["tarserved_workers_restarts"]
 		rep.Experiments = exps
 	} else {
 		fmt.Fprintln(os.Stderr, "tarload: metrics scrape failed:", err)
@@ -172,6 +192,22 @@ func main() {
 	if failed > 0 || clientErr > 0 {
 		os.Exit(1)
 	}
+}
+
+// probeBackend asks /healthz which execution backend the server runs.
+func probeBackend(addr string) (string, error) {
+	resp, err := http.Get(addr + "/healthz")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	var hz struct {
+		Backend string `json:"backend"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		return "", err
+	}
+	return hz.Backend, nil
 }
 
 // runJob submits one experiment and long-polls until it reaches a terminal

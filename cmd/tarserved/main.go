@@ -8,14 +8,26 @@
 //
 //	tarserved -addr :8077
 //	tarserved -addr :8077 -workers 8 -cache 4096 -max-deadline 5m
+//	tarserved -addr :8077 -backend subprocess -worker-bin ./tarworker
 //
-// API sketch (see DESIGN.md for the full contract):
+// Execution backends (-backend):
+//
+//	inprocess   simulations run as goroutines in this process (default)
+//	subprocess  each simulation runs in its own tarworker process; a
+//	            wedged or crashing worker is SIGKILLed and the job is
+//	            retried on another worker (-job-retries, exponential
+//	            backoff). Results are byte-identical to in-process runs.
+//
+// API sketch (see README.md for the endpoint and error-code tables,
+// DESIGN.md for the full contract):
 //
 //	POST /v1/jobs                {"bench":"dgemm","config":"T","scale":"test"}
 //	GET  /v1/jobs/{id}?wait=30s  long-poll job status
-//	GET  /v1/jobs/{id}/result    200 result | 422 structured wedge | 404
+//	GET  /v1/jobs/{id}/result    200 result | error envelope (422/500) | 404
 //	GET  /v1/jobs                list retained jobs
 //	GET  /v1/benches, /v1/configs, /metrics, /healthz
+//
+// Every error body is the stable envelope {"error":{"code","message",...}}.
 //
 // SIGTERM/SIGINT drains: intake returns 503, queued and in-flight
 // simulations complete (bounded by -drain-timeout), then the process exits.
@@ -28,10 +40,14 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"os/exec"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/serve"
 )
 
@@ -45,9 +61,13 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Minute, "how long shutdown waits for in-flight simulations")
 	sample := flag.Uint64("sample", 0, "sample IPC/bandwidth/occupancy every N cycles on every simulation; results carry the series and /metrics exposes per-experiment summaries (0 = off)")
 	sampleCap := flag.Int("sample-cap", 0, "max retained sample points per simulation (0 = default)")
+	backend := flag.String("backend", "inprocess", "execution backend: inprocess or subprocess")
+	workerBin := flag.String("worker-bin", "", "tarworker binary for -backend subprocess (default: tarworker next to this binary, else $PATH)")
+	jobRetries := flag.Int("job-retries", 2, "times a job is requeued after a worker death (subprocess backend)")
+	killWorker := flag.String("kill-worker", "", "fault drill: comma-separated bench@config cells whose subprocess worker is SIGKILLed mid-job on first attempt")
 	flag.Parse()
 
-	s := serve.New(serve.Options{
+	opts := serve.Options{
 		Workers:         *workers,
 		QueueDepth:      *queue,
 		CacheEntries:    *cache,
@@ -55,14 +75,43 @@ func main() {
 		MaxDeadline:     *maxDeadline,
 		SampleEvery:     *sample,
 		SampleCap:       *sampleCap,
-	})
+	}
+	switch *backend {
+	case "inprocess":
+		if *killWorker != "" {
+			fmt.Fprintln(os.Stderr, "tarserved: -kill-worker requires -backend subprocess (there is no process to kill in-process)")
+			os.Exit(2)
+		}
+	case "subprocess":
+		var fcfg *faults.Config
+		if *killWorker != "" {
+			fcfg = faults.WorkerKiller(strings.Split(*killWorker, ",")...)
+			fmt.Fprintf(os.Stderr, "tarserved: fault drill armed: SIGKILL worker of %s on first attempt\n", *killWorker)
+		}
+		be, err := serve.NewSubprocessBackend(serve.SubprocessOptions{
+			WorkerBin: resolveWorkerBin(*workerBin),
+			Workers:   *workers,
+			Retry:     serve.RetryPolicy{MaxRetries: *jobRetries},
+			Faults:    fcfg,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tarserved:", err)
+			os.Exit(2)
+		}
+		opts.Backend = be
+	default:
+		fmt.Fprintf(os.Stderr, "tarserved: unknown -backend %q (want inprocess or subprocess)\n", *backend)
+		os.Exit(2)
+	}
+
+	s := serve.New(opts)
 	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "tarserved: listening on %s\n", *addr)
+	fmt.Fprintf(os.Stderr, "tarserved: listening on %s (%s backend)\n", *addr, s.Backend().Kind())
 
 	select {
 	case sig := <-sigc:
@@ -83,4 +132,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tarserved: shutdown:", err)
 	}
 	fmt.Fprintln(os.Stderr, "tarserved: drained, exiting")
+}
+
+// resolveWorkerBin finds the tarworker binary: an explicit -worker-bin wins,
+// then a tarworker next to this executable (the usual deploy layout), then
+// whatever $PATH offers. The backend validates the final choice.
+func resolveWorkerBin(explicit string) string {
+	if explicit != "" {
+		return explicit
+	}
+	if exe, err := os.Executable(); err == nil {
+		sibling := filepath.Join(filepath.Dir(exe), "tarworker")
+		if _, err := os.Stat(sibling); err == nil {
+			return sibling
+		}
+	}
+	if p, err := exec.LookPath("tarworker"); err == nil {
+		return p
+	}
+	return "tarworker" // let the backend report the lookup failure
 }

@@ -148,9 +148,12 @@ func runSampled(cfg *sim.Config, b *workloads.Benchmark, scale workloads.Scale, 
 	}
 	tr := vasm.NewTrace(m, kernelFn(scale))
 	defer tr.Close()
-	chip.RunTrace(tr)
+	out, err := sim.Execute(sim.RunSpec{Chip: chip, Trace: tr})
+	if err != nil {
+		fatalIf(err)
+	}
 
-	d := chip.Series()
+	d := out.Series
 	if d == nil {
 		fatalIf(fmt.Errorf("no samples taken (run shorter than %d cycles?)", every))
 	}

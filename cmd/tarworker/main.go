@@ -1,0 +1,22 @@
+// Command tarworker is the subprocess execution unit of tarserved's
+// subprocess backend. It is not meant to be invoked by hand: the supervisor
+// writes one fully-resolved job spec (JSON) to its stdin, the worker runs
+// that single simulation and writes a start event plus one result line to
+// stdout, then exits. Process-per-job is the isolation boundary — a wedged
+// or crashing model build dies alone and the supervisor retries the job on
+// a fresh worker.
+//
+// Manual smoke test:
+//
+//	echo '{"bench":"dgemm","config":"T","scale":"test"}' | tarworker
+package main
+
+import (
+	"os"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	os.Exit(serve.WorkerMain(os.Stdin, os.Stdout))
+}

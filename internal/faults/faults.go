@@ -49,6 +49,14 @@ type Config struct {
 	// DropWakeSpan bounds the inflation in cycles (default 64).
 	DropWakeSpan int
 
+	// WorkerKill arms the out-of-process fault drill: the subprocess
+	// execution backend SIGKILLs the worker of every targeted cell mid-job,
+	// on the job's first attempt only. The server-visible contract under
+	// test is that the job still completes — retried on another worker —
+	// and the service itself never notices beyond a retry counter. The
+	// in-process backend ignores the flag (there is no process to kill).
+	WorkerKill bool
+
 	// Cells, when non-empty, restricts a sweep-level campaign to these
 	// exact (benchmark@config) keys. When empty, Targets selects a seeded
 	// pseudo-random subset of cells instead.
@@ -91,6 +99,14 @@ func Storm(seed int64, from uint64) *Config {
 		from = 100_000
 	}
 	return &Config{Seed: seed, StallStormFrom: from}
+}
+
+// WorkerKiller is the canned out-of-process campaign (tarserved
+// -kill-worker): SIGKILL the subprocess worker of each listed cell mid-job,
+// first attempt only. No timing perturbation — the fault is the process
+// death itself.
+func WorkerKiller(cells ...string) *Config {
+	return &Config{WorkerKill: true, Cells: cells}
 }
 
 // Injector is the per-chip view of a Config. A nil *Injector is valid and
@@ -186,6 +202,14 @@ func (i *Injector) InflateWake(now, wake uint64) uint64 {
 		span = 64
 	}
 	return wake + 1 + i.roll(streamWake, now, 1)%uint64(span)
+}
+
+// KillWorker reports whether the subprocess backend should SIGKILL the
+// worker executing the given cell on this attempt (0-based). Kills fire on
+// the first attempt only, so the retried job always completes — the drill
+// proves recovery, not permanent denial.
+func (i *Injector) KillWorker(key string, attempt int) bool {
+	return i != nil && i.cfg.WorkerKill && attempt == 0 && i.cfg.Targets(key)
 }
 
 // Active reports whether the injector perturbs anything at all.

@@ -113,3 +113,26 @@ func TestInflateWakeOnlyDelays(t *testing.T) {
 		}
 	}
 }
+
+// TestKillWorker pins the out-of-process drill's selection rules: targeted
+// cell only, first attempt only, nil-safe, and off unless armed.
+func TestKillWorker(t *testing.T) {
+	i := faults.New(faults.WorkerKiller("dgemm@T", "streams_copy@EV8"))
+	if !i.KillWorker("dgemm@T", 0) || !i.KillWorker("streams_copy@EV8", 0) {
+		t.Error("targeted cell not killed on first attempt")
+	}
+	if i.KillWorker("dgemm@T", 1) || i.KillWorker("dgemm@T", 2) {
+		t.Error("retry attempt killed: the drill must prove recovery, not permanent denial")
+	}
+	if i.KillWorker("dgemm@EV8", 0) {
+		t.Error("untargeted cell killed")
+	}
+	if (*faults.Injector)(nil).KillWorker("dgemm@T", 0) {
+		t.Error("nil injector killed a worker")
+	}
+	// A campaign without WorkerKill never kills, even for targeted cells.
+	j := faults.New(&faults.Config{Cells: []string{"dgemm@T"}})
+	if j.KillWorker("dgemm@T", 0) {
+		t.Error("unarmed campaign killed a worker")
+	}
+}

@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	chipmetrics "repro/internal/metrics"
+	"repro/internal/workloads"
+)
+
+// Backend executes fully-resolved job specs on behalf of the server. Two
+// implementations exist: the in-process pool (simulations run as goroutines
+// inside the server binary, the historical behavior) and the subprocess
+// fleet (each simulation runs in its own tarworker process, so a wedged or
+// crashing model build can be SIGKILLed without taking the service down).
+//
+// The contract both must honor: Execute(spec) returns a *workloads.Result
+// whose JobResult encoding is byte-identical across backends for the same
+// spec, and every failure is (or converts via toJobError into) a *JobError
+// carrying the stable wire envelope.
+type Backend interface {
+	// Kind names the backend on /healthz ("inprocess" or "subprocess").
+	Kind() string
+	// Execute runs one spec to completion, blocking the calling worker
+	// goroutine. Concurrency is bounded by the server's worker pool, not
+	// by the backend.
+	Execute(spec *JobSpec) (*workloads.Result, error)
+	// Alive reports the execution slots currently able to take work: the
+	// configured pool size for the in-process backend, live worker
+	// processes for the subprocess fleet.
+	Alive() int
+	// Registry exposes the backend's gauge set (workers.alive,
+	// workers.restarts, workers.retries, ...) for the /metrics exposition.
+	Registry() *chipmetrics.Registry
+	// Close releases backend resources (kills idle workers). Called once,
+	// after the server's drain completes.
+	Close()
+}
+
+// inProcessBackend runs simulations as goroutines in the server process —
+// the zero-overhead default. Isolation is panic recovery only: a wedge is
+// detected by the simulator's own watchdog/deadline machinery, not by
+// killing anything.
+type inProcessBackend struct {
+	run     RunFunc
+	workers int
+	reg     *chipmetrics.Registry
+	alive   atomic.Int64
+	closed  sync.Once
+}
+
+// newInProcessBackend wraps run (the real simulator, or a test stub) as a
+// Backend with the given slot count.
+func newInProcessBackend(run RunFunc, workers int) *inProcessBackend {
+	if run == nil {
+		run = defaultRun
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	b := &inProcessBackend{run: run, workers: workers, reg: chipmetrics.NewRegistry()}
+	b.alive.Store(int64(workers))
+	b.reg.RegisterGauge("workers.alive", "Execution slots able to take work.",
+		func(uint64) int { return int(b.alive.Load()) })
+	b.reg.RegisterGauge("workers.restarts", "Worker processes respawned after dying (always 0 in-process).",
+		func(uint64) int { return 0 })
+	b.reg.RegisterGauge("workers.retries", "Jobs re-executed after a worker death (always 0 in-process).",
+		func(uint64) int { return 0 })
+	return b
+}
+
+func (b *inProcessBackend) Kind() string                      { return "inprocess" }
+func (b *inProcessBackend) Alive() int                        { return int(b.alive.Load()) }
+func (b *inProcessBackend) Registry() *chipmetrics.Registry   { return b.reg }
+func (b *inProcessBackend) Close()                            { b.closed.Do(func() { b.alive.Store(0) }) }
+
+// Execute runs the spec in this process with panic isolation, mirroring
+// the sweep runner's per-cell recovery: a model bug in one experiment must
+// not take the service down.
+func (b *inProcessBackend) Execute(spec *JobSpec) (res *workloads.Result, err error) {
+	cfg, scale, buildErr := spec.Build()
+	if buildErr != nil {
+		return nil, &JobError{Status: 400, JSON: ErrorJSON{Code: ErrCodeBadRequest, Message: buildErr.Error()}}
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			res, err = nil, panicError{p}
+		}
+	}()
+	return b.run(spec.Bench, cfg, scale)
+}
+
+var _ Backend = (*inProcessBackend)(nil)
+var _ Backend = (*SubprocessBackend)(nil)

@@ -18,8 +18,12 @@ import (
 // the byte-equality contract between CLI artifacts and API responses is only
 // meaningful within one schema, and CompareArtifacts refuses to compare
 // across versions. Version 1 was the pre-metrics encoding (no schema field,
-// no series); version 2 added both.
-const SchemaVersion = 2
+// no series); version 2 added both; version 3 replaced the ad-hoc error
+// bodies with the stable code-based envelope and extended the byte-equality
+// contract across execution backends: the same spec yields the same
+// JobResult bytes whether it ran in-process or in a tarworker subprocess
+// (the worker protocol itself is versioned by this constant).
+const SchemaVersion = 3
 
 // JobResult is the canonical result encoding, shared between the server's
 // GET /v1/jobs/{id}/result endpoint and cmd/tartables -json. Field order is

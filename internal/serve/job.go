@@ -43,21 +43,51 @@ type SubmitRequest struct {
 	FaultCampaign string `json:"fault_campaign,omitempty"`
 }
 
-// buildConfig validates the request and assembles the decorated machine
-// configuration plus the parsed scale. Validation failures are client
-// errors (HTTP 400).
-func (s *Server) buildConfig(req *SubmitRequest) (*sim.Config, workloads.Scale, error) {
-	if req.Bench == "" {
+// JobSpec is the fully-resolved description of one simulation: a
+// SubmitRequest after server-side defaulting (deadline resolution and
+// clamping, observability knobs). It is the unit of work a Backend
+// executes and the exact JSON a subprocess worker receives on stdin, so
+// the same spec reproduces the same simulation — and the same JobResult
+// bytes — no matter which process runs it.
+type JobSpec struct {
+	Bench  string `json:"bench"`
+	Config string `json:"config"`
+	Scale  string `json:"scale"`
+	NoPump bool   `json:"nopump,omitempty"`
+	Check  bool   `json:"check,omitempty"`
+	// DeadlineMs is the resolved wall-clock budget (server default applied,
+	// request override clamped). Zero disables the deadline.
+	DeadlineMs    int64  `json:"deadline_ms,omitempty"`
+	Watchdog      uint64 `json:"watchdog,omitempty"`
+	FaultSeed     int64  `json:"fault_seed,omitempty"`
+	FaultCampaign string `json:"fault_campaign,omitempty"`
+	// SampleEvery/SampleCap arm the cycle-interval sampler. They live
+	// outside the confhash identity (observation, not configuration), so
+	// they ride in the spec rather than the sim.Config hash.
+	SampleEvery uint64 `json:"sample_every,omitempty"`
+	SampleCap   int    `json:"sample_cap,omitempty"`
+}
+
+// CellKey is the sweep-cell vocabulary ("bench@config") shared with the
+// fault harness's Targets selection.
+func (sp *JobSpec) CellKey() string { return sp.Bench + "@" + sp.Config }
+
+// Build validates the spec and assembles the decorated machine
+// configuration plus the parsed scale. Both backends call it — the
+// in-process pool directly, the subprocess fleet inside the tarworker
+// binary — so a spec resolves to identical simulation inputs everywhere.
+func (sp *JobSpec) Build() (*sim.Config, workloads.Scale, error) {
+	if sp.Bench == "" {
 		return nil, 0, errors.New("missing bench")
 	}
-	if _, err := workloads.Get(req.Bench); err != nil {
+	if _, err := workloads.Get(sp.Bench); err != nil {
 		return nil, 0, err
 	}
-	cfg := sim.ByName(req.Config)
+	cfg := sim.ByName(sp.Config)
 	if cfg == nil {
-		return nil, 0, fmt.Errorf("unknown config %q (have %v)", req.Config, sim.Names())
+		return nil, 0, fmt.Errorf("unknown config %q (have %v)", sp.Config, sim.Names())
 	}
-	scaleStr := req.Scale
+	scaleStr := sp.Scale
 	if scaleStr == "" {
 		scaleStr = "bench"
 	}
@@ -65,35 +95,65 @@ func (s *Server) buildConfig(req *SubmitRequest) (*sim.Config, workloads.Scale, 
 	if err != nil {
 		return nil, 0, err
 	}
-	if req.NoPump {
+	if sp.NoPump {
 		cfg = sim.NoPump(cfg)
 	}
 	cc := *cfg
-	cc.Check = req.Check
-	cc.Watchdog = req.Watchdog
-	if s.opts.SampleEvery > 0 {
-		// Server-side observability knob; lives outside the confhash
-		// identity so sampled and unsampled runs share a content key.
-		cc.EnableSampling(s.opts.SampleEvery, s.opts.SampleCap)
+	cc.Check = sp.Check
+	cc.Watchdog = sp.Watchdog
+	if sp.SampleEvery > 0 {
+		cc.EnableSampling(sp.SampleEvery, sp.SampleCap)
 	}
-	cc.Deadline = s.opts.DefaultDeadline
-	if req.DeadlineMs > 0 {
-		cc.Deadline = time.Duration(req.DeadlineMs) * time.Millisecond
-	}
-	if max := s.opts.MaxDeadline; max > 0 && (cc.Deadline == 0 || cc.Deadline > max) {
-		cc.Deadline = max
-	}
-	if req.FaultSeed != 0 {
-		switch req.FaultCampaign {
+	cc.Deadline = time.Duration(sp.DeadlineMs) * time.Millisecond
+	if sp.FaultSeed != 0 {
+		switch sp.FaultCampaign {
 		case "", "jitter":
-			cc.Faults = faults.Jitter(req.FaultSeed)
+			cc.Faults = faults.Jitter(sp.FaultSeed)
 		case "storm":
-			cc.Faults = faults.Storm(req.FaultSeed, 0)
+			cc.Faults = faults.Storm(sp.FaultSeed, 0)
 		default:
-			return nil, 0, fmt.Errorf("unknown fault campaign %q (want jitter or storm)", req.FaultCampaign)
+			return nil, 0, fmt.Errorf("unknown fault campaign %q (want jitter or storm)", sp.FaultCampaign)
 		}
 	}
 	return &cc, scale, nil
+}
+
+// resolveSpec turns a request into the fully-resolved JobSpec (server
+// defaults applied) plus its built configuration and scale. Validation
+// failures are client errors (HTTP 400).
+func (s *Server) resolveSpec(req *SubmitRequest) (*JobSpec, *sim.Config, workloads.Scale, error) {
+	sp := &JobSpec{
+		Bench:         req.Bench,
+		Config:        req.Config,
+		Scale:         req.Scale,
+		NoPump:        req.NoPump,
+		Check:         req.Check,
+		Watchdog:      req.Watchdog,
+		FaultSeed:     req.FaultSeed,
+		FaultCampaign: req.FaultCampaign,
+	}
+	if sp.Scale == "" {
+		sp.Scale = "bench"
+	}
+	deadline := s.opts.DefaultDeadline
+	if req.DeadlineMs > 0 {
+		deadline = time.Duration(req.DeadlineMs) * time.Millisecond
+	}
+	if max := s.opts.MaxDeadline; max > 0 && (deadline == 0 || deadline > max) {
+		deadline = max
+	}
+	sp.DeadlineMs = deadline.Milliseconds()
+	if s.opts.SampleEvery > 0 {
+		// Server-side observability knob; lives outside the confhash
+		// identity so sampled and unsampled runs share a content key.
+		sp.SampleEvery = s.opts.SampleEvery
+		sp.SampleCap = s.opts.SampleCap
+	}
+	cfg, scale, err := sp.Build()
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return sp, cfg, scale, nil
 }
 
 // job is the server-side record of one submission. Fields are guarded by
@@ -109,7 +169,7 @@ type job struct {
 	submitted time.Time
 	state     string
 	res       *workloads.Result
-	err       error
+	err       *JobError
 	elapsed   time.Duration
 	done      chan struct{}
 }
@@ -117,11 +177,9 @@ type job struct {
 // flight is one in-flight simulation: the single execution N deduplicated
 // jobs are waiting on.
 type flight struct {
-	key   string
-	bench string
-	cfg   *sim.Config
-	scale workloads.Scale
-	jobs  []*job
+	key  string
+	spec *JobSpec
+	jobs []*job
 }
 
 // JobStatus is the wire form of a job, returned by the submit and poll
@@ -139,46 +197,100 @@ type JobStatus struct {
 	Error     *ErrorJSON `json:"error,omitempty"`
 }
 
-// ErrorJSON is the structured failure attached to a failed job. Kind
-// "wedge" carries the full *sim.WedgeError diagnostics and maps to HTTP
-// 422 (the experiment is well-formed but cannot complete — a watchdog
-// trip, a blown deadline, an invariant violation or a dead trace); kind
-// "check" is a functional miscompare (also 422); kind "internal" is a
-// server-side fault (500).
+// Error codes of the stable /v1 error envelope. Every error body any /v1
+// endpoint writes is {"error":{"code","message",...}} with code drawn from
+// this set; clients switch on the code, never on the message text.
+const (
+	// ErrCodeBadRequest: the request itself is malformed (unknown bench,
+	// config, scale or campaign; bad JSON). HTTP 400.
+	ErrCodeBadRequest = "bad_request"
+	// ErrCodeNotFound: no such job id. HTTP 404.
+	ErrCodeNotFound = "not_found"
+	// ErrCodeDraining: the server is shutting down and refuses new work.
+	// HTTP 503.
+	ErrCodeDraining = "draining"
+	// ErrCodeQueueFull: the intake queue is at capacity. HTTP 503.
+	ErrCodeQueueFull = "queue_full"
+	// ErrCodeWedge: the experiment is well-formed but cannot complete — a
+	// watchdog trip, a blown deadline, an invariant violation or a dead
+	// trace. Carries the full WedgeError diagnostics. HTTP 422.
+	ErrCodeWedge = "wedge"
+	// ErrCodeCheckFailed: the simulation ran to completion but computed a
+	// functionally wrong answer. HTTP 422.
+	ErrCodeCheckFailed = "check_failed"
+	// ErrCodeInternal: a server-side fault (recovered panic, protocol
+	// corruption). HTTP 500.
+	ErrCodeInternal = "internal"
+	// ErrCodeWorkerCrash: a subprocess worker died mid-job and the retry
+	// budget is exhausted. HTTP 500.
+	ErrCodeWorkerCrash = "worker_crash"
+)
+
+// ErrorJSON is the stable /v1 error envelope body. Code is always present;
+// Confhash identifies the experiment for errors attached to a resolved
+// job; the remaining fields carry WedgeError diagnostics for code "wedge"
+// and the execution count for code "worker_crash".
 type ErrorJSON struct {
-	Kind      string `json:"kind"`
-	Message   string `json:"message"`
+	Code     string `json:"code"`
+	Message  string `json:"message"`
+	Confhash string `json:"confhash,omitempty"`
+
 	Reason    string `json:"reason,omitempty"`
 	Config    string `json:"config,omitempty"`
 	Cycle     uint64 `json:"cycle,omitempty"`
 	Retired   uint64 `json:"retired,omitempty"`
 	Occupancy string `json:"occupancy,omitempty"`
+
+	// Attempts is how many times a job was executed before the server gave
+	// up (code "worker_crash" only).
+	Attempts int `json:"attempts,omitempty"`
 }
 
-// encodeError maps a job failure onto the wire form plus its HTTP status.
-func encodeError(err error) (*ErrorJSON, int) {
+// JobError is the normalized failure of one job execution: the stable wire
+// envelope plus its HTTP status. Every backend converts failures into this
+// form at the source — the in-process pool via toJobError, the subprocess
+// fleet inside the worker binary — so error bodies are byte-identical
+// across backends for the same deterministic failure.
+type JobError struct {
+	Status int
+	JSON   ErrorJSON
+}
+
+func (e *JobError) Error() string { return e.JSON.Message }
+
+// toJobError maps a native execution failure onto the envelope plus its
+// HTTP status: wedges and functional miscompares are diagnosed experiment
+// outcomes (422), recovered panics are server faults (500).
+func toJobError(err error) *JobError {
+	var je *JobError
+	if errors.As(err, &je) {
+		return je
+	}
 	var w *sim.WedgeError
 	if errors.As(err, &w) {
-		return &ErrorJSON{
-			Kind:      "wedge",
-			Message:   err.Error(),
-			Reason:    w.Reason,
-			Config:    w.Config,
-			Cycle:     w.Cycle,
-			Retired:   w.Retired,
-			Occupancy: w.Occ.String(),
-		}, 422
+		return &JobError{
+			Status: 422,
+			JSON: ErrorJSON{
+				Code:      ErrCodeWedge,
+				Message:   err.Error(),
+				Reason:    w.Reason,
+				Config:    w.Config,
+				Cycle:     w.Cycle,
+				Retired:   w.Retired,
+				Occupancy: w.Occ.String(),
+			},
+		}
 	}
 	var p panicError
 	if errors.As(err, &p) {
-		return &ErrorJSON{Kind: "internal", Message: err.Error()}, 500
+		return &JobError{Status: 500, JSON: ErrorJSON{Code: ErrCodeInternal, Message: err.Error()}}
 	}
 	// Anything else from the workload harness is a functional check
 	// failure: the simulation ran but computed the wrong answer.
-	return &ErrorJSON{Kind: "check", Message: err.Error()}, 422
+	return &JobError{Status: 422, JSON: ErrorJSON{Code: ErrCodeCheckFailed, Message: err.Error()}}
 }
 
-// panicError wraps a recovered worker panic so it maps to kind "internal".
+// panicError wraps a recovered worker panic so it maps to code "internal".
 type panicError struct{ v any }
 
 func (p panicError) Error() string { return fmt.Sprintf("worker panicked: %v", p.v) }

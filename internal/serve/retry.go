@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"time"
+
+	"repro/internal/workloads"
+)
+
+// RetryPolicy governs how the subprocess backend reacts to a worker dying
+// mid-job (crash, OOM kill, deadline SIGKILL): the job is requeued onto
+// another worker up to MaxRetries times, with exponential backoff between
+// attempts so a poisoned job (one that deterministically kills every worker
+// it touches) cannot hot-loop the fleet through respawn churn.
+type RetryPolicy struct {
+	// MaxRetries is the requeue cap: a job is executed at most 1+MaxRetries
+	// times before failing with code "worker_crash". Default 2. Negative
+	// disables retries entirely.
+	MaxRetries int
+	// BackoffBase is the delay before the first retry; each further retry
+	// doubles it, capped at BackoffMax. Defaults 100ms and 5s.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+}
+
+// withDefaults resolves zero fields to the documented defaults.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxRetries == 0 {
+		p.MaxRetries = 2
+	}
+	if p.MaxRetries < 0 {
+		p.MaxRetries = 0
+	}
+	if p.BackoffBase <= 0 {
+		p.BackoffBase = 100 * time.Millisecond
+	}
+	if p.BackoffMax <= 0 {
+		p.BackoffMax = 5 * time.Second
+	}
+	return p
+}
+
+// Delay returns the backoff before retry n (1-based): base doubled per
+// retry, capped at BackoffMax.
+func (p RetryPolicy) Delay(retry int) time.Duration {
+	if retry < 1 {
+		return 0
+	}
+	d := p.BackoffBase
+	for i := 1; i < retry; i++ {
+		d *= 2
+		if d >= p.BackoffMax {
+			return p.BackoffMax
+		}
+	}
+	if d > p.BackoffMax {
+		return p.BackoffMax
+	}
+	return d
+}
+
+// retryCrashes drives attempt() under policy p: worker deaths (attempt
+// returns retryable=true) are retried with backoff until the cap, then
+// surfaced as a *JobError with code "worker_crash". sleep is time.Sleep in
+// production and a recorder under test.
+func retryCrashes(p RetryPolicy, sleep func(time.Duration), attempt func(try int) (*workloads.Result, bool, error)) (*workloads.Result, error) {
+	p = p.withDefaults()
+	var lastErr error
+	for try := 0; ; try++ {
+		res, retryable, err := attempt(try)
+		if err == nil {
+			return res, nil
+		}
+		if !retryable {
+			return nil, err
+		}
+		lastErr = err
+		if try >= p.MaxRetries {
+			return nil, &JobError{
+				Status: 500,
+				JSON: ErrorJSON{
+					Code:     ErrCodeWorkerCrash,
+					Message:  "worker crashed and retry budget exhausted: " + lastErr.Error(),
+					Attempts: try + 1,
+				},
+			}
+		}
+		sleep(p.Delay(try + 1))
+	}
+}

@@ -6,20 +6,24 @@
 // drains in-flight simulations on shutdown, so a deploy never truncates a
 // half-finished experiment.
 //
-// The design deliberately reuses the battle-tested layers below it: job
-// execution is workloads.Benchmark.Run over sim.RunChecked, so every
-// integrity feature (watchdog, deadline, invariant checker, fault
-// campaigns) is a request knob, and a wedged machine surfaces as a
-// structured HTTP 422 — never a hung connection or a 500.
+// Execution is pluggable behind the Backend interface: the in-process pool
+// runs simulations as goroutines in the server binary (zero overhead), and
+// the subprocess fleet runs each job in its own tarworker process so a
+// wedged or crashing model build can be SIGKILLed and retried without
+// taking the service down. Both backends produce byte-identical JobResult
+// artifacts for the same spec, and every integrity feature (watchdog,
+// deadline, invariant checker, fault campaigns) remains a request knob. A
+// wedged machine surfaces as a structured HTTP 422 with error code "wedge"
+// — never a hung connection or an anonymous 500.
 package serve
 
 import (
 	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"net/http"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
@@ -29,7 +33,9 @@ import (
 )
 
 // RunFunc executes one experiment. The default runs the real simulator;
-// tests substitute counting or failing stubs.
+// tests substitute counting or failing stubs. It is the in-process
+// backend's execution function — the subprocess backend replaces the whole
+// execution path, not just this hook.
 type RunFunc func(bench string, cfg *sim.Config, scale workloads.Scale) (*workloads.Result, error)
 
 func defaultRun(bench string, cfg *sim.Config, scale workloads.Scale) (*workloads.Result, error) {
@@ -66,18 +72,22 @@ type Options struct {
 	SampleEvery uint64
 	// SampleCap bounds retained points per run (0 = the sampler default).
 	SampleCap int
-	// Run substitutes the execution function (tests only).
+	// Backend substitutes the execution backend. Nil selects the
+	// in-process pool (wrapping Run when set).
+	Backend Backend
+	// Run substitutes the in-process execution function (tests only).
+	// Ignored when Backend is set.
 	Run RunFunc
 }
 
 // Server is the simulation-as-a-service layer. Create with New, mount via
 // Handler, stop with Drain.
 type Server struct {
-	opts  Options
-	run   RunFunc
-	cache *lru
-	m     *metrics
-	mux   *http.ServeMux
+	opts    Options
+	backend Backend
+	cache   *lru
+	m       *metrics
+	mux     *http.ServeMux
 
 	mu       sync.Mutex
 	seq      int
@@ -103,16 +113,19 @@ func New(opts Options) *Server {
 	}
 	s := &Server{
 		opts:    opts,
-		run:     opts.Run,
+		backend: opts.Backend,
 		cache:   newLRU(opts.CacheEntries),
 		m:       &metrics{},
 		jobs:    make(map[string]*job),
 		flights: make(map[string]*flight),
 		queue:   make(chan *flight, opts.QueueDepth),
 	}
-	if s.run == nil {
-		s.run = defaultRun
+	if s.backend == nil {
+		s.backend = newInProcessBackend(opts.Run, opts.Workers)
 	}
+	s.backend.Registry().RegisterGauge("workers.queue_depth",
+		"Flights waiting for an execution slot.",
+		func(uint64) int { return len(s.queue) })
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
@@ -132,9 +145,13 @@ func New(opts Options) *Server {
 // Handler returns the HTTP surface.
 func (s *Server) Handler() http.Handler { return s.mux }
 
+// Backend returns the execution backend (for health introspection and
+// tests).
+func (s *Server) Backend() Backend { return s.backend }
+
 // Drain stops intake (new submissions get 503), lets queued and in-flight
-// simulations finish, and returns when the pool is idle or ctx expires.
-// Safe to call more than once.
+// simulations finish, closes the backend, and returns when the pool is
+// idle or ctx expires. Safe to call more than once.
 func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.draining {
@@ -145,6 +162,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	idle := make(chan struct{})
 	go func() {
 		s.workersWG.Wait()
+		s.backend.Close()
 		close(idle)
 	}()
 	select {
@@ -181,37 +199,30 @@ func (s *Server) worker() {
 		s.m.queued -= wereQueued
 		s.m.running += n
 		s.m.mu.Unlock()
-		res, err := s.runFlight(f)
-		s.complete(f, res, err)
-	}
-}
-
-// runFlight executes one simulation with panic isolation, mirroring the
-// sweep runner's per-cell recovery: a model bug in one experiment must not
-// take the service down.
-func (s *Server) runFlight(f *flight) (res *workloads.Result, err error) {
-	defer func() {
-		if p := recover(); p != nil {
-			res, err = nil, panicError{p}
+		res, err := s.backend.Execute(f.spec)
+		var jobErr *JobError
+		if err != nil {
+			jobErr = toJobError(err)
+			jobErr.JSON.Confhash = f.key
 		}
-	}()
-	return s.run(f.bench, f.cfg, f.scale)
+		s.complete(f, res, jobErr)
+	}
 }
 
 // complete publishes a flight's outcome to every attached job, feeds the
 // cache, and updates the metrics.
-func (s *Server) complete(f *flight, res *workloads.Result, err error) {
-	if err == nil {
+func (s *Server) complete(f *flight, res *workloads.Result, jobErr *JobError) {
+	if jobErr == nil {
 		s.cache.add(f.key, res)
-		s.m.recordExperiment(f.key, f.bench, f.cfg.Name, res)
+		s.m.recordExperiment(f.key, f.spec.Bench, res.Config, res)
 	}
 	now := time.Now()
 	s.mu.Lock()
 	delete(s.flights, f.key)
 	for _, j := range f.jobs {
-		j.res, j.err = res, err
+		j.res, j.err = res, jobErr
 		j.elapsed = now.Sub(j.submitted)
-		if err == nil {
+		if jobErr == nil {
 			j.state = StateDone
 		} else {
 			j.state = StateFailed
@@ -222,13 +233,12 @@ func (s *Server) complete(f *flight, res *workloads.Result, err error) {
 	s.m.mu.Lock()
 	s.m.simsDone++
 	s.m.running -= len(f.jobs)
-	var w *sim.WedgeError
 	for _, j := range f.jobs {
-		if err == nil {
+		if jobErr == nil {
 			s.m.done++
 		} else {
 			s.m.failed++
-			if errors.As(err, &w) {
+			if jobErr.JSON.Code == ErrCodeWedge {
 				s.m.wedged++
 			}
 		}
@@ -241,14 +251,15 @@ func (s *Server) complete(f *flight, res *workloads.Result, err error) {
 
 // Submit registers one experiment and returns its status: answered from the
 // cache (terminal immediately), attached to an identical in-flight run, or
-// queued as a fresh flight. Exported for in-process embedding; the HTTP
-// handler is a thin wrapper.
-func (s *Server) Submit(req *SubmitRequest) (*JobStatus, int, error) {
-	cfg, scale, err := s.buildConfig(req)
+// queued as a fresh flight. A non-nil error is always a *JobError carrying
+// the stable envelope (bad_request, draining or queue_full). Exported for
+// in-process embedding; the HTTP handler is a thin wrapper.
+func (s *Server) Submit(req *SubmitRequest) (*JobStatus, error) {
+	spec, cfg, scale, err := s.resolveSpec(req)
 	if err != nil {
-		return nil, http.StatusBadRequest, err
+		return nil, &JobError{Status: http.StatusBadRequest, JSON: ErrorJSON{Code: ErrCodeBadRequest, Message: err.Error()}}
 	}
-	key := confhash.Key(req.Bench, scale.String(), cfg)
+	key := confhash.Key(spec.Bench, scale.String(), cfg)
 	now := time.Now()
 
 	s.mu.Lock()
@@ -257,13 +268,13 @@ func (s *Server) Submit(req *SubmitRequest) (*JobStatus, int, error) {
 		s.m.mu.Lock()
 		s.m.rejected++
 		s.m.mu.Unlock()
-		return nil, http.StatusServiceUnavailable, errors.New("server is draining")
+		return nil, &JobError{Status: http.StatusServiceUnavailable, JSON: ErrorJSON{Code: ErrCodeDraining, Message: "server is draining"}}
 	}
 	s.seq++
 	j := &job{
 		id:        fmt.Sprintf("job-%d", s.seq),
 		key:       key,
-		bench:     req.Bench,
+		bench:     spec.Bench,
 		config:    cfg.Name,
 		scaleStr:  scale.String(),
 		submitted: now,
@@ -284,7 +295,7 @@ func (s *Server) Submit(req *SubmitRequest) (*JobStatus, int, error) {
 		s.m.recordLatency(0)
 		s.m.bumpExperimentHitLocked(key)
 		s.m.mu.Unlock()
-		return s.status(j), http.StatusOK, nil
+		return s.status(j), nil
 	}
 
 	if f, ok := s.flights[key]; ok {
@@ -301,10 +312,10 @@ func (s *Server) Submit(req *SubmitRequest) (*JobStatus, int, error) {
 			s.m.queued++
 		}
 		s.m.mu.Unlock()
-		return s.status(j), http.StatusAccepted, nil
+		return s.status(j), nil
 	}
 
-	f := &flight{key: key, bench: req.Bench, cfg: cfg, scale: scale, jobs: []*job{j}}
+	f := &flight{key: key, spec: spec, jobs: []*job{j}}
 	j.state = StateQueued
 	select {
 	case s.queue <- f:
@@ -315,7 +326,7 @@ func (s *Server) Submit(req *SubmitRequest) (*JobStatus, int, error) {
 		s.m.mu.Lock()
 		s.m.rejected++
 		s.m.mu.Unlock()
-		return nil, http.StatusServiceUnavailable, errors.New("job queue is full")
+		return nil, &JobError{Status: http.StatusServiceUnavailable, JSON: ErrorJSON{Code: ErrCodeQueueFull, Message: "job queue is full"}}
 	}
 	s.flights[key] = f
 	s.mu.Unlock()
@@ -324,7 +335,7 @@ func (s *Server) Submit(req *SubmitRequest) (*JobStatus, int, error) {
 	s.m.cacheMisses++
 	s.m.queued++
 	s.m.mu.Unlock()
-	return s.status(j), http.StatusAccepted, nil
+	return s.status(j), nil
 }
 
 // gcLocked forgets the oldest terminal job records past the retention
@@ -357,13 +368,14 @@ func (s *Server) status(j *job) *JobStatus {
 		CacheHit:  j.cacheHit,
 		ElapsedMs: j.elapsed.Milliseconds(),
 	}
-	res, err := j.res, j.err
+	res, jobErr := j.res, j.err
 	s.mu.Unlock()
 	if st.State == StateDone && res != nil {
 		st.Result = EncodeResult(j.key, res)
 	}
-	if st.State == StateFailed && err != nil {
-		st.Error, _ = encodeError(err)
+	if st.State == StateFailed && jobErr != nil {
+		ej := jobErr.JSON
+		st.Error = &ej
 	}
 	return st
 }
@@ -378,20 +390,30 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, map[string]any{"error": map[string]any{"kind": "request", "message": msg}})
+// writeError emits the stable envelope: {"error":{"code","message",...}}.
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, map[string]any{"error": ErrorJSON{Code: code, Message: msg}})
+}
+
+// writeJobError emits a JobError's envelope with its HTTP status.
+func writeJobError(w http.ResponseWriter, je *JobError) {
+	writeJSON(w, je.Status, map[string]any{"error": je.JSON})
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req SubmitRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		writeError(w, http.StatusBadRequest, ErrCodeBadRequest, "bad JSON: "+err.Error())
 		return
 	}
-	st, code, err := s.Submit(&req)
+	st, err := s.Submit(&req)
 	if err != nil {
-		writeError(w, code, err.Error())
+		writeJobError(w, toJobError(err))
 		return
+	}
+	code := http.StatusAccepted
+	if st.State == StateDone || st.State == StateFailed {
+		code = http.StatusOK
 	}
 	writeJSON(w, code, st)
 }
@@ -404,13 +426,13 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobs[r.PathValue("id")]
 	s.mu.Unlock()
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown job")
+		writeError(w, http.StatusNotFound, ErrCodeNotFound, "unknown job")
 		return
 	}
 	if waitStr := r.URL.Query().Get("wait"); waitStr != "" {
 		wait, err := time.ParseDuration(waitStr)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "bad wait duration: "+err.Error())
+			writeError(w, http.StatusBadRequest, ErrCodeBadRequest, "bad wait duration: "+err.Error())
 			return
 		}
 		if wait > time.Minute {
@@ -426,14 +448,15 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleResult returns the completed result (200), the job's progress (202
-// while not terminal), or the structured failure — 422 for wedges and
-// functional check failures, 500 only for server-side faults.
+// while not terminal), or the stable error envelope — 422 for wedges and
+// functional check failures, 500 for server-side faults and crash-looped
+// jobs whose retry budget ran out.
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	j, ok := s.jobs[r.PathValue("id")]
 	s.mu.Unlock()
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown job")
+		writeError(w, http.StatusNotFound, ErrCodeNotFound, "unknown job")
 		return
 	}
 	select {
@@ -443,8 +466,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if j.err != nil {
-		ej, code := encodeError(j.err)
-		writeJSON(w, code, map[string]any{"error": ej})
+		writeJobError(w, j.err)
 		return
 	}
 	writeJSON(w, http.StatusOK, EncodeResult(j.key, j.res))
@@ -487,15 +509,38 @@ func (s *Server) handleConfigs(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.m.render(w, s.cache.len())
+	// Backend gauges (workers.alive → tarserved_workers_alive, ...) ride
+	// the same exposition so one scrape sees the whole service.
+	for _, g := range s.backend.Registry().Gauges() {
+		name := "tarserved_" + strings.ReplaceAll(g.Name, ".", "_")
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, g.Help, name, name, g.Read(0))
+	}
 }
 
+// handleHealthz reports liveness plus the execution backend's health:
+// backend kind, live worker count and queue depth. The status degrades to
+// 503 while draining and when the backend has no live workers — a fleet
+// whose every worker is crash-looping must fail its health check rather
+// than accept jobs it cannot run.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	draining := s.draining
 	s.mu.Unlock()
-	if draining {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
-		return
+	alive := s.backend.Alive()
+	body := map[string]any{
+		"status":        "ok",
+		"backend":       s.backend.Kind(),
+		"workers_alive": alive,
+		"queue_depth":   len(s.queue),
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	code := http.StatusOK
+	switch {
+	case draining:
+		body["status"] = "draining"
+		code = http.StatusServiceUnavailable
+	case alive == 0:
+		body["status"] = "degraded"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, body)
 }

@@ -203,7 +203,7 @@ func TestWedgeMapsTo422(t *testing.T) {
 	})
 	st, _ := submit(t, ts.URL, SubmitRequest{Bench: "dgemm", Config: "T", Scale: "test"})
 	fin := waitDone(t, ts.URL, st.ID)
-	if fin.State != StateFailed || fin.Error == nil || fin.Error.Kind != "wedge" {
+	if fin.State != StateFailed || fin.Error == nil || fin.Error.Code != ErrCodeWedge {
 		t.Fatalf("status = %+v, want failed/wedge", fin)
 	}
 
@@ -221,8 +221,11 @@ func TestWedgeMapsTo422(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
 		t.Fatal(err)
 	}
-	if body.Error.Kind != "wedge" || body.Error.Reason != sim.ReasonWatchdog || body.Error.Cycle != 4242 {
+	if body.Error.Code != ErrCodeWedge || body.Error.Reason != sim.ReasonWatchdog || body.Error.Cycle != 4242 {
 		t.Fatalf("error body = %+v", body.Error)
+	}
+	if body.Error.Confhash == "" {
+		t.Fatal("wedge envelope does not carry the confhash")
 	}
 	if w := metric(t, ts.URL, "tarserved_jobs_wedged_total"); w != 1 {
 		t.Errorf("jobs_wedged = %v, want 1", w)
@@ -416,7 +419,7 @@ func TestCompareArtifactsSchemaSkew(t *testing.T) {
 	}
 
 	// Same experiment serialized by an older build: only the stamp differs.
-	old := bytes.Replace(good, []byte(`"schema":2`), []byte(`"schema":1`), 1)
+	old := bytes.Replace(good, []byte(`"schema":3`), []byte(`"schema":1`), 1)
 	if bytes.Equal(old, good) {
 		t.Fatal("test bug: schema stamp not rewritten")
 	}
@@ -424,7 +427,7 @@ func TestCompareArtifactsSchemaSkew(t *testing.T) {
 	if err == nil {
 		t.Fatal("schema skew not detected")
 	}
-	for _, want := range []string{"schema skew", "schema 2", "schema 1"} {
+	for _, want := range []string{"schema skew", "schema 3", "schema 1"} {
 		if !strings.Contains(err.Error(), want) {
 			t.Errorf("skew error %q does not mention %q", err, want)
 		}
@@ -432,7 +435,7 @@ func TestCompareArtifactsSchemaSkew(t *testing.T) {
 
 	// A pre-versioning artifact has no stamp at all: that decodes as
 	// schema 0 and must also skew, not byte-diff.
-	legacy := bytes.Replace(good, []byte(`"schema":2,`), nil, 1)
+	legacy := bytes.Replace(good, []byte(`"schema":3,`), nil, 1)
 	if err := CompareArtifacts(good, legacy); err == nil || !strings.Contains(err.Error(), "schema skew") {
 		t.Fatalf("unversioned artifact: err = %v, want schema skew", err)
 	}

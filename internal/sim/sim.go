@@ -14,7 +14,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/l2"
-	"repro/internal/mem"
 	"repro/internal/metrics"
 	"repro/internal/stats"
 	"repro/internal/vasm"
@@ -217,7 +216,9 @@ const watchdogWindow = 2_000_000
 // Run executes the kernel on a fresh machine state and returns the
 // statistics. The kernel runs functionally in a streaming trace; the chip
 // model consumes it cycle by cycle until the HALT marker retires. Run
-// panics on a wedge; RunChecked is the error-returning variant.
+// panics on a wedge.
+//
+// Deprecated: Use Execute with a RunSpec selecting Kernel.
 func Run(cfg *Config, kernel vasm.Kernel) (*stats.Stats, *arch.Machine) {
 	st, m, err := RunChecked(cfg, kernel)
 	if err != nil {
@@ -229,22 +230,20 @@ func Run(cfg *Config, kernel vasm.Kernel) (*stats.Stats, *arch.Machine) {
 // RunChecked is Run with a structured error surface: a wedged machine, a
 // blown deadline, a failed invariant or a dead trace returns a typed
 // *WedgeError instead of panicking.
+//
+// Deprecated: Use Execute with a RunSpec selecting Kernel.
 func RunChecked(cfg *Config, kernel vasm.Kernel) (*stats.Stats, *arch.Machine, error) {
-	m := arch.New(mem.New())
-	chip := New(cfg)
-	tr := vasm.NewTrace(m, kernel)
-	defer tr.Close()
-	if err := chip.RunTraceChecked(tr); err != nil {
-		return chip.Stats, m, err
+	out, err := Execute(RunSpec{Config: cfg, Kernel: kernel})
+	if out == nil {
+		return nil, nil, err
 	}
-	if cfg.onSeries != nil {
-		cfg.onSeries(chip.Series())
-	}
-	return chip.Stats, m, nil
+	return out.Stats, out.Machine, err
 }
 
 // RunTrace drives the chip with an existing trace until HALT, panicking on
-// a wedge (legacy surface; RunTraceChecked returns the error instead).
+// a wedge.
+//
+// Deprecated: Use Execute with a RunSpec selecting Chip and Trace.
 func (ch *Chip) RunTrace(tr *vasm.Trace) {
 	if err := ch.RunTraceChecked(tr); err != nil {
 		panic(err)
@@ -253,9 +252,11 @@ func (ch *Chip) RunTrace(tr *vasm.Trace) {
 
 // RunTraceChecked drives the chip with an existing trace until HALT,
 // returning a *WedgeError if the run fails.
+//
+// Deprecated: Use Execute with a RunSpec selecting Chip and Trace.
 func (ch *Chip) RunTraceChecked(tr *vasm.Trace) error {
-	ch.c.Bind(tr)
-	return ch.runBound([]*vasm.Trace{tr})
+	_, err := Execute(RunSpec{Chip: ch, Trace: tr})
+	return err
 }
 
 // nextWake returns the earliest cycle after now at which any component can
@@ -469,8 +470,10 @@ func (ch *Chip) checkHealth(trs []*vasm.Trace, deadline time.Time, wd uint64) er
 
 // RunROI runs setup (cache warmup, data preloading) and then the region of
 // interest on the same chip, returning statistics for the ROI alone — the
-// equivalent of starting the STREAM timer after the warm-up pass. Either
-// kernel may be nil. RunROI panics on a wedge; RunROIChecked returns it.
+// equivalent of starting the STREAM timer after the warm-up pass. Setup may
+// be nil. RunROI panics on a wedge; RunROIChecked returns it.
+//
+// Deprecated: Use Execute with a RunSpec selecting Setup and Kernel.
 func RunROI(cfg *Config, setup, roi vasm.Kernel) (*stats.Stats, *arch.Machine) {
 	st, m, err := RunROIChecked(cfg, setup, roi)
 	if err != nil {
@@ -481,29 +484,14 @@ func RunROI(cfg *Config, setup, roi vasm.Kernel) (*stats.Stats, *arch.Machine) {
 
 // RunROIChecked is RunROI with the structured error surface. A failure in
 // either phase (setup or ROI) returns a *WedgeError.
+//
+// Deprecated: Use Execute with a RunSpec selecting Setup and Kernel.
 func RunROIChecked(cfg *Config, setup, roi vasm.Kernel) (*stats.Stats, *arch.Machine, error) {
-	m := arch.New(mem.New())
-	chip := New(cfg)
-	if setup != nil {
-		tr := vasm.NewTrace(m, func(b *vasm.Builder) { setup(b); b.Halt() })
-		err := chip.RunTraceChecked(tr)
-		tr.Close()
-		if err != nil {
-			return chip.Stats, m, err
-		}
-		chip.c.ResetHalt()
+	out, err := Execute(RunSpec{Config: cfg, Setup: setup, Kernel: roi})
+	if out == nil {
+		return nil, nil, err
 	}
-	before := *chip.Stats
-	tr := vasm.NewTrace(m, roi)
-	defer tr.Close()
-	if err := chip.RunTraceChecked(tr); err != nil {
-		return chip.Stats, m, err
-	}
-	roiStats := stats.Sub(chip.Stats, &before)
-	if cfg.onSeries != nil {
-		cfg.onSeries(chip.Series())
-	}
-	return roiStats, m, nil
+	return out.Stats, out.Machine, err
 }
 
 // RunSMT runs one kernel per hardware thread simultaneously on a single
@@ -512,6 +500,8 @@ func RunROIChecked(cfg *Config, setup, roi vasm.Kernel) (*stats.Stats, *arch.Mac
 // thread gets its own architectural machine and address space; caches,
 // Vbox and memory system are shared. Returns the shared statistics and the
 // per-thread machines. RunSMT panics on a wedge; RunSMTChecked returns it.
+//
+// Deprecated: Use Execute with a RunSpec selecting Kernels.
 func RunSMT(cfg *Config, kernels []vasm.Kernel) (*stats.Stats, []*arch.Machine) {
 	st, ms, err := RunSMTChecked(cfg, kernels)
 	if err != nil {
@@ -521,26 +511,20 @@ func RunSMT(cfg *Config, kernels []vasm.Kernel) (*stats.Stats, []*arch.Machine) 
 }
 
 // RunSMTChecked is RunSMT with the structured error surface.
+//
+// Deprecated: Use Execute with a RunSpec selecting Kernels.
 func RunSMTChecked(cfg *Config, kernels []vasm.Kernel) (*stats.Stats, []*arch.Machine, error) {
-	chip := New(cfg)
-	machines := make([]*arch.Machine, len(kernels))
-	traces := make([]*vasm.Trace, len(kernels))
-	for i, k := range kernels {
-		machines[i] = arch.New(mem.New())
-		traces[i] = vasm.NewTrace(machines[i], k)
-		defer traces[i].Close()
+	out, err := Execute(RunSpec{Config: cfg, Kernels: kernels})
+	if out == nil {
+		return nil, nil, err
 	}
-	if err := chip.RunTracesChecked(traces); err != nil {
-		return chip.Stats, machines, err
-	}
-	if cfg.onSeries != nil {
-		cfg.onSeries(chip.Series())
-	}
-	return chip.Stats, machines, nil
+	return out.Stats, out.Machines, err
 }
 
 // RunTraces drives the chip with one trace per hardware thread until every
 // thread halts, panicking on a wedge.
+//
+// Deprecated: Use Execute with a RunSpec selecting Chip and Traces.
 func (ch *Chip) RunTraces(trs []*vasm.Trace) {
 	if err := ch.RunTracesChecked(trs); err != nil {
 		panic(err)
@@ -548,9 +532,11 @@ func (ch *Chip) RunTraces(trs []*vasm.Trace) {
 }
 
 // RunTracesChecked is RunTraces with the structured error surface.
+//
+// Deprecated: Use Execute with a RunSpec selecting Chip and Traces.
 func (ch *Chip) RunTracesChecked(trs []*vasm.Trace) error {
-	ch.c.BindSMT(trs)
-	return ch.runBound(trs)
+	_, err := Execute(RunSpec{Chip: ch, Traces: trs})
+	return err
 }
 
 // sample pushes one cycle-interval point into the series ring when the

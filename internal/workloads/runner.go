@@ -31,41 +31,22 @@ func (r *Result) OPC() (opc, fpc, mpc, other float64) { return r.Stats.OPC() }
 // or invariant-violating run comes back as an error (a *sim.WedgeError
 // wrapped with the benchmark/machine pair), not a panic.
 func (b *Benchmark) Run(cfg *sim.Config, s Scale) (*Result, error) {
-	var series *metrics.SeriesDump
-	if every, _ := cfg.Sampling(); every > 0 {
-		// Capture the series through a private copy so the caller's
-		// config (often shared across cells) keeps its own callback.
-		cc := *cfg
-		cc.SetOnSeries(func(d *metrics.SeriesDump) { series = d })
-		cfg = &cc
-	}
 	kernelFn := b.Scalar
 	if cfg.HasVbox {
 		kernelFn = b.Vector
 	}
-	var st *stats.Stats
-	var err error
+	spec := sim.RunSpec{Config: cfg, Kernel: kernelFn(s)}
 	if b.Setup != nil {
-		stROI, m, rerr := sim.RunROIChecked(cfg, b.Setup(s, cfg.HasVbox), kernelFn(s))
-		if rerr != nil {
-			return nil, fmt.Errorf("%s on %s: %w", b.Name, cfg.Name, rerr)
-		}
-		st = stROI
-		if b.Check != nil {
-			err = b.Check(m, s)
-		}
-	} else {
-		stRun, m, rerr := sim.RunChecked(cfg, kernelFn(s))
-		if rerr != nil {
-			return nil, fmt.Errorf("%s on %s: %w", b.Name, cfg.Name, rerr)
-		}
-		st = stRun
-		if b.Check != nil {
-			err = b.Check(m, s)
-		}
+		spec.Setup = b.Setup(s, cfg.HasVbox)
 	}
+	out, err := sim.Execute(spec)
 	if err != nil {
 		return nil, fmt.Errorf("%s on %s: %w", b.Name, cfg.Name, err)
 	}
-	return &Result{Bench: b.Name, Config: cfg.Name, Scale: s, Stats: st, Series: series}, nil
+	if b.Check != nil {
+		if err := b.Check(out.Machine, s); err != nil {
+			return nil, fmt.Errorf("%s on %s: %w", b.Name, cfg.Name, err)
+		}
+	}
+	return &Result{Bench: b.Name, Config: cfg.Name, Scale: s, Stats: out.Stats, Series: out.Series}, nil
 }
