@@ -73,6 +73,7 @@ type expSeries struct {
 	Config       string  `json:"config"`
 	Cycles       float64 `json:"cycles"`
 	IPC          float64 `json:"ipc"`
+	MCPS         float64 `json:"mcps"`
 	SamplePoints float64 `json:"sample_points"`
 	CacheHits    float64 `json:"cache_hits"`
 }
@@ -288,6 +289,8 @@ func scrapeExperiments(body string) []expSeries {
 			e.Cycles = v
 		case "ipc":
 			e.IPC = v
+		case "mcps":
+			e.MCPS = v
 		case "sample_points":
 			e.SamplePoints = v
 		case "cache_hits":

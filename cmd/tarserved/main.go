@@ -43,6 +43,8 @@ import (
 	"os/exec"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 	"time"
@@ -65,7 +67,36 @@ func main() {
 	workerBin := flag.String("worker-bin", "", "tarworker binary for -backend subprocess (default: tarworker next to this binary, else $PATH)")
 	jobRetries := flag.Int("job-retries", 2, "times a job is requeued after a worker death (subprocess backend)")
 	killWorker := flag.String("kill-worker", "", "fault drill: comma-separated bench@config cells whose subprocess worker is SIGKILLed mid-job on first attempt")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file, finalized at drained shutdown")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at drained shutdown")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tarserved:", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "tarserved:", err)
+			os.Exit(2)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tarserved:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "tarserved:", err)
+			}
+		}()
+	}
 
 	opts := serve.Options{
 		Workers:         *workers,

@@ -26,8 +26,10 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"repro/internal/arch"
+	"repro/internal/bench"
 	"repro/internal/faults"
 	"repro/internal/mem"
 	"repro/internal/metrics"
@@ -51,6 +53,10 @@ func main() {
 	checkFlag := flag.Bool("check", false, "run the microarchitectural invariant checker (single-stepped)")
 	deadline := flag.Duration("deadline", 0, "wall-clock budget for the run (0 = none), e.g. 2m")
 	faultSeed := flag.Int64("faults", 0, "seed for the deterministic latency-jitter fault campaign (0 = off)")
+	benchOut := flag.String("bench-out", "", "measure simulator throughput (Table 4 kernels + full sweep) and append a row to this BENCH_sim.json file")
+	benchLabel := flag.String("bench-label", "dev", "label recorded in the -bench-out row")
+	benchScale := flag.String("bench-scale", "test", "input scale for -bench-out measurements")
+	benchCheck := flag.Bool("bench-check", false, "with -bench-out: fail if cycles/sec regressed >20% vs the last committed row")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -74,6 +80,10 @@ func main() {
 			b, _ := workloads.Get(n)
 			fmt.Printf("%-16s %-14s %s\n", n, b.Class, b.Desc)
 		}
+		return
+	}
+	if *benchOut != "" {
+		runBench(*benchOut, *benchLabel, *benchScale, *benchCheck)
 		return
 	}
 	if *bench == "" {
@@ -114,7 +124,9 @@ func main() {
 		runSampled(cfg, b, scale, *sample, *sampleCap, *traceOut)
 		return
 	}
+	t0 := time.Now()
 	res, err := b.Run(cfg, scale)
+	wall := time.Since(t0).Seconds()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tarsim:", err)
 		os.Exit(1)
@@ -122,6 +134,8 @@ func main() {
 	opc, fpc, mpc, other := res.OPC()
 	fmt.Printf("%s on %s (%s scale)\n", *bench, cfg.Name, scale)
 	fmt.Printf("cycles  %d\n", res.Stats.Cycles)
+	fmt.Printf("speed   %.2f Mcps (simulated cycles per wall second, %.2fs wall)\n",
+		float64(res.Stats.Cycles)/wall/1e6, wall)
 	fmt.Printf("opc     %.2f  (fpc %.2f, mpc %.2f, other %.2f)\n", opc, fpc, mpc, other)
 	if ub := b.UsefulBytes; ub != nil {
 		res.Stats.UsefulBytes = ub(scale)
@@ -183,6 +197,34 @@ func runSampled(cfg *sim.Config, b *workloads.Benchmark, scale workloads.Scale, 
 		fatalIf(f.Close())
 		fmt.Printf("trace written to %s (load in chrome://tracing or ui.perfetto.dev)\n", traceOut)
 	}
+}
+
+// runBench measures simulator throughput on the Table 4 kernels (default
+// engine vs pinned single-stepping, plus the sequential full-sweep wall
+// clock) and appends the row to the BENCH_sim.json trajectory. With check
+// set, a >20% speedup regression against the last committed row is fatal —
+// the CI bench-smoke job runs exactly this.
+func runBench(path, label, scaleFlag string, check bool) {
+	scale, err := workloads.ParseScale(scaleFlag)
+	fatalIf(err)
+	committed, err := bench.Load(path)
+	fatalIf(err)
+	row, err := bench.Run(bench.Options{
+		Label:    label,
+		Scale:    scale,
+		Engine:   sim.EngineName(),
+		Progress: func(s string) { fmt.Println(s) },
+	})
+	fatalIf(err)
+	if check {
+		if err := bench.CheckRegression(committed, row); err != nil {
+			fmt.Fprintln(os.Stderr, "tarsim:", err)
+			os.Exit(1)
+		}
+		fmt.Println("regression gate: ok")
+	}
+	fatalIf(bench.Append(path, row))
+	fmt.Printf("row %q appended to %s\n", label, path)
 }
 
 func archNew() *arch.Machine { return arch.New(mem.New()) }

@@ -12,11 +12,54 @@
 package main
 
 import (
+	"flag"
+	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"strconv"
+	"strings"
 
 	"repro/internal/serve"
 )
 
+// profilePath expands a literal %p to this worker's PID, so a supervisor
+// that spawns one process per job can hand every worker the same flag value
+// without the profiles clobbering each other.
+func profilePath(p string) string {
+	return strings.ReplaceAll(p, "%p", strconv.Itoa(os.Getpid()))
+}
+
 func main() {
-	os.Exit(serve.WorkerMain(os.Stdin, os.Stdout))
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file (%p expands to the worker PID)")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit (%p expands to the worker PID)")
+	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(profilePath(*cpuprofile))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tarworker:", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "tarworker:", err)
+			os.Exit(2)
+		}
+	}
+	code := serve.WorkerMain(os.Stdin, os.Stdout)
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		if f, err := os.Create(profilePath(*memprofile)); err == nil {
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "tarworker:", err)
+			}
+			f.Close()
+		} else {
+			fmt.Fprintln(os.Stderr, "tarworker:", err)
+		}
+	}
+	os.Exit(code)
 }

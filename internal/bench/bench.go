@@ -1,0 +1,323 @@
+// Package bench measures and records simulator throughput: simulated cycles
+// per wall-clock second on the Table 4 memory-bandwidth kernels, plus the
+// wall clock of the full `tartables -all` sweep. Results are versioned rows
+// in results/BENCH_sim.json, so the repository carries its own performance
+// trajectory and CI can fail a change that regresses it.
+//
+// Every kernel is measured twice: once on the default engine and once with
+// the chip pinned to the legacy single-stepping loop. The single-step
+// number is the stable reference that makes rows comparable across hosts —
+// CI machines differ in absolute speed, but the engine-over-single-step
+// ratio is a property of the code, so the regression gate compares ratios,
+// not raw cycles/sec. The double run doubles as a production bit-identity
+// smoke test: both engines must report exactly the same simulated cycle
+// count or the row is refused.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/tables"
+	"repro/internal/workloads"
+)
+
+// Schema is the BENCH_sim.json format version.
+const Schema = 1
+
+// Kernels is the measured set: the Table 4 bandwidth microkernels, the
+// memory-bound workloads whose simulation speed gates every sweep.
+var Kernels = []string{
+	"streams_copy", "streams_scale", "streams_add", "streams_triadd",
+	"rndcopy", "rndmemscale",
+}
+
+// KernelResult is one kernel's throughput measurement.
+type KernelResult struct {
+	Name   string `json:"name"`
+	Config string `json:"config"`
+	Scale  string `json:"scale"`
+	// Cycles is the simulated cycle count — identical for both engines by
+	// the bit-identity contract, which Run enforces.
+	Cycles uint64 `json:"cycles"`
+	// Default engine: wall seconds and simulated cycles per wall second.
+	WallS float64 `json:"wall_s"`
+	CPS   float64 `json:"cycles_per_sec"`
+	MCPS  float64 `json:"mcps"`
+	// Legacy single-stepping loop, the cross-host reference.
+	SingleStepWallS float64 `json:"single_step_wall_s"`
+	SingleStepCPS   float64 `json:"single_step_cycles_per_sec"`
+	// Speedup = CPS / SingleStepCPS, the host-independent figure of merit.
+	Speedup float64 `json:"speedup"`
+}
+
+// Row is one benchmark session: a labelled set of kernel measurements plus
+// the full-sweep wall clock, stamped with the host environment.
+type Row struct {
+	Label      string         `json:"label"`
+	When       string         `json:"when"`
+	Host       string         `json:"host"`
+	GoVersion  string         `json:"go_version"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	NumCPU     int            `json:"num_cpu"`
+	Engine     string         `json:"engine"`
+	Kernels    []KernelResult `json:"kernels"`
+	// SweepWallS is the wall clock of the tartables -all -scale <scale>
+	// equivalent (sequential, default engine), the headline ROADMAP number.
+	SweepWallS float64 `json:"sweep_wall_s"`
+	SweepScale string  `json:"sweep_scale"`
+}
+
+// File is the whole BENCH_sim.json document.
+type File struct {
+	Schema int   `json:"schema"`
+	Rows   []Row `json:"rows"`
+}
+
+// Options configures a Run.
+type Options struct {
+	Label string
+	Scale workloads.Scale
+	// Engine names the default engine in the emitted row (informational).
+	Engine string
+	// SkipSweep omits the full-sweep wall-clock measurement (tests).
+	SkipSweep bool
+	// Progress, when non-nil, receives one line per measurement step.
+	Progress func(string)
+}
+
+// Run measures every kernel on both engines (and optionally the full sweep)
+// and returns the finished row. It fails if the two engines disagree on any
+// simulated cycle count — that is a bit-identity violation, and a throughput
+// number for a wrong simulation is worse than none.
+func Run(opts Options) (*Row, error) {
+	host, _ := os.Hostname()
+	row := &Row{
+		Label:      opts.Label,
+		When:       time.Now().UTC().Format(time.RFC3339),
+		Host:       host,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Engine:     opts.Engine,
+		SweepScale: opts.Scale.String(),
+	}
+	cfg := sim.T()
+	for _, name := range Kernels {
+		b, err := workloads.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		defCycles, defWall, err := timeKernel(b, cfg, opts.Scale, true)
+		if err != nil {
+			return nil, fmt.Errorf("%s (default engine): %w", name, err)
+		}
+		ssCycles, ssWall, err := timeKernel(b, cfg, opts.Scale, false)
+		if err != nil {
+			return nil, fmt.Errorf("%s (single-step): %w", name, err)
+		}
+		if defCycles != ssCycles {
+			return nil, fmt.Errorf("%s: engines disagree on simulated time: default=%d cycles, single-step=%d cycles (bit-identity violation)",
+				name, defCycles, ssCycles)
+		}
+		kr := KernelResult{
+			Name: name, Config: cfg.Name, Scale: opts.Scale.String(),
+			Cycles: defCycles,
+			WallS:  defWall, CPS: float64(defCycles) / defWall, MCPS: float64(defCycles) / defWall / 1e6,
+			SingleStepWallS: ssWall, SingleStepCPS: float64(ssCycles) / ssWall,
+		}
+		kr.Speedup = kr.CPS / kr.SingleStepCPS
+		row.Kernels = append(row.Kernels, kr)
+		if opts.Progress != nil {
+			opts.Progress(fmt.Sprintf("%-16s %12d cycles  %8.2f Mcps  (single-step %8.2f Mcps, %.2fx)",
+				name, kr.Cycles, kr.MCPS, kr.SingleStepCPS/1e6, kr.Speedup))
+		}
+	}
+	if !opts.SkipSweep {
+		if opts.Progress != nil {
+			opts.Progress("full sweep (tartables -all equivalent, sequential)...")
+		}
+		wall, err := timeSweep(opts.Scale)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: %w", err)
+		}
+		row.SweepWallS = wall
+		if opts.Progress != nil {
+			opts.Progress(fmt.Sprintf("sweep wall clock: %.2f s", wall))
+		}
+	}
+	return row, nil
+}
+
+// kernelRepeats bounds how many times timeKernel runs each kernel; the fastest
+// repeat is kept, the standard way to shed scheduler noise from a
+// deterministic workload.
+const kernelRepeats = 25
+
+// kernelMeasureFloor is the cumulative sim-loop wall clock timeKernel keeps
+// measuring toward before trusting its minimum. Test-scale kernels finish in
+// single-digit milliseconds, where one GC pause or a scheduler hiccup swings
+// a lone sample by tens of percent; accumulating a quarter second of real
+// measurement (still well under kernelRepeats at bench scale, where a single
+// run exceeds the floor on its own) makes the reported minimum — and the
+// engine-speedup ratio the CI gate compares — reproducible.
+const kernelMeasureFloor = 250 * time.Millisecond
+
+// timeKernel runs one kernel kernelRepeats times and returns (simulated
+// cycles, best wall seconds). The wall clock is the chip loop's own
+// (Result.WallNs), not the process wall: at test scale the kernels simulate
+// only a few thousand cycles, so trace construction and functional
+// verification would otherwise dominate and hide the engine entirely.
+// fastForward=false pins the legacy single-stepping chip loop via the
+// package-wide engine default (restored before returning).
+func timeKernel(b *workloads.Benchmark, cfg *sim.Config, s workloads.Scale, fastForward bool) (uint64, float64, error) {
+	saved := sim.FastForward
+	sim.FastForward = fastForward
+	defer func() { sim.FastForward = saved }()
+	var cycles uint64
+	best := 0.0
+	var accum time.Duration
+	for i := 0; i < kernelRepeats; i++ {
+		if i >= 3 && accum >= kernelMeasureFloor {
+			break
+		}
+		res, err := b.Run(cfg, s)
+		if err != nil {
+			return 0, 0, err
+		}
+		accum += time.Duration(res.WallNs)
+		wall := float64(res.WallNs) / 1e9
+		if wall <= 0 {
+			wall = 1e-9
+		}
+		if i == 0 {
+			cycles, best = res.SimCycles, wall
+		} else {
+			if res.SimCycles != cycles {
+				return 0, 0, fmt.Errorf("%s: nondeterministic simulated time: %d cycles then %d", b.Name, cycles, res.SimCycles)
+			}
+			if wall < best {
+				best = wall
+			}
+		}
+	}
+	return cycles, best, nil
+}
+
+// timeSweep runs the full table/figure sweep sequentially and returns its
+// wall clock. Sequential on purpose: the number tracks single-core simulator
+// throughput, not the host's core count.
+func timeSweep(s workloads.Scale) (float64, error) {
+	r := tables.NewRunner(s)
+	r.Parallel = 1
+	r.Quiet = true
+	t0 := time.Now()
+	r.Prewarm()
+	if _, err := r.Table2(); err != nil {
+		return 0, err
+	}
+	if _, err := r.Table4(); err != nil {
+		return 0, err
+	}
+	if _, err := r.Fig6(); err != nil {
+		return 0, err
+	}
+	if _, err := r.Fig7(); err != nil {
+		return 0, err
+	}
+	if _, err := r.Fig8(); err != nil {
+		return 0, err
+	}
+	if _, err := r.Fig9(); err != nil {
+		return 0, err
+	}
+	return time.Since(t0).Seconds(), nil
+}
+
+// Load reads a BENCH_sim.json file. A missing file is an empty File, not an
+// error, so the first run bootstraps the baseline.
+func Load(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &File{Schema: Schema}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if f.Schema != Schema {
+		return nil, fmt.Errorf("%s: schema %d, this binary writes schema %d", path, f.Schema, Schema)
+	}
+	return &f, nil
+}
+
+// Append adds row to the file at path (creating it if needed) and writes it
+// back, indented and newline-terminated.
+func Append(path string, row *Row) error {
+	f, err := Load(path)
+	if err != nil {
+		return err
+	}
+	f.Schema = Schema
+	f.Rows = append(f.Rows, *row)
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// RegressionTolerance is the fraction of the committed speedup a fresh
+// measurement may lose before CheckRegression fails (the CI gate's ">20%
+// regression" threshold).
+const RegressionTolerance = 0.20
+
+// CheckRegression compares a fresh row against the last committed row,
+// kernel by kernel, on the host-independent speedup ratio (default engine
+// over single-step). It returns an error naming every kernel whose ratio
+// regressed by more than RegressionTolerance. An empty committed file passes
+// (bootstrap).
+func CheckRegression(committed *File, fresh *Row) error {
+	if len(committed.Rows) == 0 {
+		return nil
+	}
+	base := committed.Rows[len(committed.Rows)-1]
+	ref := map[string]float64{}
+	for _, k := range base.Kernels {
+		ref[k.Name] = k.Speedup
+	}
+	var bad []string
+	for _, k := range fresh.Kernels {
+		want, ok := ref[k.Name]
+		if !ok || want <= 0 {
+			continue
+		}
+		if k.Speedup < (1-RegressionTolerance)*want {
+			bad = append(bad, fmt.Sprintf("%s: speedup %.2fx vs committed %.2fx (>%d%% regression)",
+				k.Name, k.Speedup, want, int(RegressionTolerance*100)))
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("cycles/sec regression vs committed baseline (%s):\n  %s",
+			base.Label, joinLines(bad))
+	}
+	return nil
+}
+
+func joinLines(ss []string) string {
+	out := ""
+	for i, s := range ss {
+		if i > 0 {
+			out += "\n  "
+		}
+		out += s
+	}
+	return out
+}

@@ -21,6 +21,7 @@ import (
 	"repro/internal/l2"
 	"repro/internal/metrics"
 	"repro/internal/pipe"
+	"repro/internal/sched"
 	"repro/internal/vasm"
 )
 
@@ -123,8 +124,12 @@ type Core struct {
 
 	ready   pipe.ReadyQueue
 	blocked []*pipe.UOp // ready but structurally stalled this cycle
-	wheel   *pipe.EventWheel
+	wheel   *sched.Wheel
 	pred    *pipe.Predictor
+
+	// completeFn is the method value of onComplete, bound once so every
+	// completion event schedules without a closure allocation.
+	completeFn func(uint64, any)
 
 	intFU, fpFU, ldFU, stFU *pipe.FUPool
 
@@ -157,7 +162,7 @@ func New(cfg Config, reg *metrics.Registry, l2c *l2.L2, vu VectorUnit) *Core {
 		cfg:      cfg,
 		l2:       l2c,
 		vu:       vu,
-		wheel:    pipe.NewEventWheel(),
+		wheel:    sched.NewWheel(),
 		pred:     pipe.NewPredictor(),
 		intFU:    pipe.NewFUPool(cfg.IntWidth),
 		fpFU:     pipe.NewFUPool(cfg.FPWidth),
@@ -167,6 +172,7 @@ func New(cfg Config, reg *metrics.Registry, l2c *l2.L2, vu VectorUnit) *Core {
 		mshr:     make(map[uint64][]*pipe.UOp),
 		mshrPref: make(map[uint64]bool),
 	}
+	c.completeFn = c.onComplete
 	l2c.OnPBitInvalidate = c.invalidateL1
 	m := reg.Scope("core")
 	c.flops = m.Counter("flops")
@@ -481,7 +487,9 @@ func (c *Core) recycle(t *threadState, u *pipe.UOp) {
 			t.rename[r.Flat()] = nil
 		}
 	}
+	cons := u.Consumers[:0]
 	*u = pipe.UOp{}
+	u.Consumers = cons // the backing array survives recycling
 	c.uopPool = append(c.uopPool, u)
 }
 
@@ -654,11 +662,16 @@ func (c *Core) l1line(addr uint64) uint64 { return addr &^ uint64(c.cfg.L1Line-1
 // current cycle's event horizon).
 func (c *Core) complete(cy uint64, u *pipe.UOp) {
 	u.State = pipe.StateIssued
-	c.wheel.At(cy, func() {
-		u.State = pipe.StateDone
-		u.DoneCyc = cy
-		c.Wake(cy, u)
-	})
+	c.wheel.AtCall(cy, c.completeFn, u)
+}
+
+// onComplete is the wheel callback behind complete, stored once in
+// completeFn so scheduling a completion allocates nothing.
+func (c *Core) onComplete(cy uint64, a any) {
+	u := a.(*pipe.UOp)
+	u.State = pipe.StateDone
+	u.DoneCyc = cy
+	c.Wake(cy, u)
 }
 
 // Wake propagates a completed producer to its consumers. It is exported for
@@ -678,7 +691,7 @@ func (c *Core) Wake(cy uint64, u *pipe.UOp) {
 			}
 		}
 	}
-	u.Consumers = nil
+	u.Consumers = u.Consumers[:0] // keep capacity for the recycled record
 }
 
 // VectorDone is the Vbox's completion callback (the VCU reporting

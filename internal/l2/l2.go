@@ -13,6 +13,7 @@ import (
 	"repro/internal/creorder"
 	"repro/internal/faults"
 	"repro/internal/metrics"
+	"repro/internal/sched"
 	"repro/internal/zbox"
 )
 
@@ -62,10 +63,6 @@ type way struct {
 	lru    uint64
 }
 
-type set struct {
-	ways []way
-}
-
 // pendingFill tracks one in-flight line fetch and the slices sleeping on it.
 type pendingFill struct {
 	sleepers []*SliceOp
@@ -75,10 +72,18 @@ type pendingFill struct {
 
 // L2 is the cache model.
 type L2 struct {
-	cfg  Config
-	z    *zbox.Zbox
-	sets []set
-	mask uint64
+	cfg Config
+	z   *zbox.Zbox
+
+	// The tag store is flattened: set s occupies ways[s*assoc:(s+1)*assoc].
+	// tags mirrors the tag of each valid way (invalid ways hold ^0, never a
+	// real line address since lines are at least 64-byte aligned) so a probe
+	// scans one contiguous cache line of tags instead of chasing per-set
+	// slices of 32-byte way structs.
+	ways  []way
+	tags  []uint64
+	mask  uint64
+	assoc uint64
 
 	// Registered counter handles (l2.* namespace).
 	hits, misses           metrics.Counter
@@ -102,11 +107,19 @@ type L2 struct {
 	scalarQ       []scalarReq
 	retryQ        []*SliceOp
 
+	// retrySliceFn re-queues a slice after a retry delay; bound once so the
+	// (hot) fill-completion and MAF-retry paths schedule without closures.
+	retrySliceFn func(uint64, any)
+
+	// missScratch backs lookupSlice's per-slice missing-line list, reused
+	// across slices (it never escapes the call).
+	missScratch []uint64
+
 	fills map[uint64]*pendingFill // line addr -> fill in flight
 
 	readBusFree, writeBusFree uint64
 
-	wheel *wheel
+	wheel *sched.Wheel
 }
 
 type scalarReq struct {
@@ -117,6 +130,11 @@ type scalarReq struct {
 	done  func(cycle uint64)
 }
 
+// callDone invokes a stored completion callback with the fired cycle — the
+// AtCall form of the old `func() { done(cy+lat) }` closures (func values are
+// pointer-shaped, so storing one in the event's any costs no allocation).
+func callDone(cy uint64, a any) { a.(func(uint64))(cy) }
+
 // New returns an L2 backed by the given memory controller, registering its
 // counters and queue-depth gauges under the registry's l2 namespace.
 func New(cfg Config, reg *metrics.Registry, z *zbox.Zbox) *L2 {
@@ -124,13 +142,16 @@ func New(cfg Config, reg *metrics.Registry, z *zbox.Zbox) *L2 {
 	c := &L2{
 		cfg:   cfg,
 		z:     z,
-		sets:  make([]set, nsets),
+		ways:  make([]way, nsets*cfg.Assoc),
+		tags:  make([]uint64, nsets*cfg.Assoc),
 		mask:  uint64(nsets - 1),
+		assoc: uint64(cfg.Assoc),
 		fills: make(map[uint64]*pendingFill),
-		wheel: newWheel(),
+		wheel: sched.NewWheel(),
 	}
-	for i := range c.sets {
-		c.sets[i].ways = make([]way, cfg.Assoc)
+	c.retrySliceFn = func(_ uint64, a any) { c.retryQ = append(c.retryQ, a.(*SliceOp)) }
+	for i := range c.tags {
+		c.tags[i] = ^uint64(0)
 	}
 	m := reg.Scope("l2")
 	c.hits = m.Counter("hits")
@@ -156,14 +177,14 @@ func New(cfg Config, reg *metrics.Registry, z *zbox.Zbox) *L2 {
 }
 
 func (c *L2) line(addr uint64) uint64 { return addr &^ uint64(c.cfg.LineBytes-1) }
-func (c *L2) setOf(line uint64) *set  { return &c.sets[(line>>6)&c.mask] }
+func (c *L2) base(line uint64) uint64 { return ((line >> 6) & c.mask) * c.assoc }
 
 // probe returns the way holding line, or nil.
 func (c *L2) probe(line uint64) *way {
-	s := c.setOf(line)
-	for i := range s.ways {
-		if s.ways[i].valid && s.ways[i].tag == line {
-			return &s.ways[i]
+	base := c.base(line)
+	for i, t := range c.tags[base : base+c.assoc] {
+		if t == line {
+			return &c.ways[base+uint64(i)]
 		}
 	}
 	return nil
@@ -189,21 +210,21 @@ func (c *L2) markDirty(w *way) {
 	}
 }
 
-// victim picks the LRU unlocked way in the set of line, or nil if every way
-// is pinned by panicked slices.
-func (c *L2) victim(line uint64) *way {
-	s := c.setOf(line)
-	var v *way
-	for i := range s.ways {
-		w := &s.ways[i]
+// victim picks the LRU unlocked way in the set of line (by index into the
+// flattened tag store), or -1 if every way is pinned by panicked slices.
+func (c *L2) victim(line uint64) int {
+	base := c.base(line)
+	v := -1
+	for i := base; i < base+c.assoc; i++ {
+		w := &c.ways[i]
 		if !w.valid {
-			return w
+			return int(i)
 		}
 		if w.locked {
 			continue
 		}
-		if v == nil || w.lru < v.lru {
-			v = w
+		if v < 0 || w.lru < c.ways[v].lru {
+			v = int(i)
 		}
 	}
 	return v
@@ -212,10 +233,11 @@ func (c *L2) victim(line uint64) *way {
 // install places line into the cache, evicting as needed. Returns nil if no
 // victim is available (all ways locked).
 func (c *L2) install(line uint64, dirty bool) *way {
-	w := c.victim(line)
-	if w == nil {
+	idx := c.victim(line)
+	if idx < 0 {
 		return nil
 	}
+	w := &c.ways[idx]
 	if w.valid {
 		if w.pbit && c.OnPBitInvalidate != nil {
 			// Evicting a P-bit line invalidates the L1 copy (§3.4).
@@ -230,6 +252,7 @@ func (c *L2) install(line uint64, dirty bool) *way {
 		}
 	}
 	*w = way{tag: line, valid: true, dirty: dirty}
+	c.tags[idx] = line
 	c.touch(w)
 	if dirty {
 		// Fresh dirty allocation (WH64): Invalid→Dirty directory edge.
@@ -285,7 +308,7 @@ func (c *L2) WH64(cy uint64, addr uint64, done func(cycle uint64)) {
 // Busy reports whether the cache still has work in flight.
 func (c *L2) Busy() bool {
 	return len(c.readQ)+len(c.writeQ)+len(c.scalarQ)+len(c.retryQ)+len(c.fills) > 0 ||
-		c.wheel.pending()
+		c.wheel.Pending()
 }
 
 // MAFInUse returns the number of occupied miss entries.
@@ -301,7 +324,7 @@ func (c *L2) NextWake(now uint64) uint64 {
 	if len(c.retryQ) > 0 || len(c.readQ) > 0 || len(c.writeQ) > 0 || len(c.scalarQ) > 0 {
 		return now + 1
 	}
-	wake := c.wheel.next()
+	wake := c.wheel.Next()
 	if wake <= now {
 		wake = now + 1
 	}
@@ -312,7 +335,7 @@ func (c *L2) NextWake(now uint64) uint64 {
 
 // Tick advances the cache one cycle.
 func (c *L2) Tick(cy uint64) {
-	c.wheel.advance(cy)
+	c.wheel.Advance(cy)
 
 	// Replays have priority over new slices: a woken slice walks the pipe
 	// again ahead of fresh traffic (it holds a MAF entry others may need).
@@ -374,11 +397,24 @@ func (c *L2) lookupSlice(cy uint64, op *SliceOp) {
 	if op.Slice.Pump {
 		c.pumpSlices.Inc()
 	}
-	var missing []uint64
+	missing := c.missScratch[:0]
 	pbitHit := false
+	// Consecutive elements of a slice overwhelmingly share a cache line
+	// (a pump slice spans two lines, any other slice one per bank), so the
+	// associativity scan is memoised per line. Every per-element side effect
+	// (LRU touch, P-bit handling, duplicate miss entries) still happens per
+	// element, keeping the state byte-identical to the unmemoised walk.
+	lastLine := ^uint64(0)
+	var lastW *way
 	for _, e := range op.Slice.Elems {
 		line := c.line(e.Addr)
-		w := c.probe(line)
+		var w *way
+		if line == lastLine {
+			w = lastW
+		} else {
+			w = c.probe(line)
+			lastLine, lastW = line, w
+		}
 		if w == nil {
 			missing = append(missing, line)
 			continue
@@ -396,6 +432,7 @@ func (c *L2) lookupSlice(cy uint64, op *SliceOp) {
 			c.markDirty(w)
 		}
 	}
+	c.missScratch = missing[:0]
 	if len(missing) == 0 {
 		c.hits.Inc()
 		if op.panic_ {
@@ -409,9 +446,8 @@ func (c *L2) lookupSlice(cy uint64, op *SliceOp) {
 			lat += uint64(c.cfg.PBitPenalty)
 		}
 		lat += c.cfg.Faults.L2Latency(cy)
-		done := op.Done
-		if done != nil {
-			c.wheel.at(cy+lat, func() { done(cy + lat) })
+		if op.Done != nil {
+			c.wheel.AtCall(cy+lat, callDone, op.Done)
 		}
 		return
 	}
@@ -432,7 +468,7 @@ func (c *L2) lookupSlice(cy uint64, op *SliceOp) {
 	if op.waiting == 0 {
 		// Every fill was NACKed (MAF exhausted): retry later.
 		c.mafFullStalls.Inc()
-		c.wheel.at(cy+uint64(c.cfg.RetryDelay), func() { c.retryQ = append(c.retryQ, op) })
+		c.wheel.AtCall(cy+uint64(c.cfg.RetryDelay), c.retrySliceFn, op)
 	}
 }
 
@@ -466,16 +502,14 @@ func (c *L2) fillArrived(cy uint64, line uint64) {
 	w := c.install(line, false)
 	if w == nil {
 		// Every way pinned by panicked slices: retry the install shortly.
-		c.wheel.at(cy+1, func() { c.fillArrived(cy+1, line) })
+		c.wheel.At(cy+1, func() { c.fillArrived(cy+1, line) })
 		return
 	}
 	delete(c.fills, line)
 	for _, op := range pf.sleepers {
 		op.waiting--
 		if op.waiting == 0 {
-			delay := uint64(c.cfg.RetryDelay)
-			sl := op
-			c.wheel.at(cy+delay, func() { c.retryQ = append(c.retryQ, sl) })
+			c.wheel.AtCall(cy+uint64(c.cfg.RetryDelay), c.retrySliceFn, op)
 		}
 	}
 	for _, done := range pf.scalar {
@@ -516,8 +550,7 @@ func (c *L2) lookupScalar(cy uint64, req scalarReq) {
 			c.markDirty(w)
 		}
 		if req.done != nil {
-			done := req.done
-			c.wheel.at(cy+1, func() { done(cy + 1) })
+			c.wheel.AtCall(cy+1, callDone, req.done)
 		}
 		return
 	}
@@ -532,8 +565,7 @@ func (c *L2) lookupScalar(cy uint64, req scalarReq) {
 		}
 		if req.done != nil {
 			lat := uint64(c.cfg.ScalarLat) + c.cfg.Faults.L2Latency(cy)
-			done := req.done
-			c.wheel.at(cy+lat, func() { done(cy + lat) })
+			c.wheel.AtCall(cy+lat, callDone, req.done)
 		}
 		return
 	}
@@ -548,7 +580,7 @@ func (c *L2) lookupScalar(cy uint64, req scalarReq) {
 		if !c.requestFill(req.addr, nil, req.write) {
 			// MAF full: retry the scalar request next cycle.
 			c.mafFullStalls.Inc()
-			c.wheel.at(cy+1, func() { c.scalarQ = append(c.scalarQ, req) })
+			c.wheel.At(cy+1, func() { c.scalarQ = append(c.scalarQ, req) })
 			return
 		}
 		pf = c.fills[req.addr]
@@ -568,35 +600,6 @@ func (c *L2) lookupScalar(cy uint64, req scalarReq) {
 			done(cycle + lat)
 		}
 	})
-}
-
-// ---- local event wheel ----
-
-type wheel struct{ m map[uint64][]func() }
-
-func newWheel() *wheel { return &wheel{m: map[uint64][]func(){}} }
-
-func (w *wheel) at(c uint64, fn func()) { w.m[c] = append(w.m[c], fn) }
-
-func (w *wheel) advance(c uint64) {
-	if fns, ok := w.m[c]; ok {
-		delete(w.m, c)
-		for _, fn := range fns {
-			fn()
-		}
-	}
-}
-
-func (w *wheel) pending() bool { return len(w.m) > 0 }
-
-func (w *wheel) next() uint64 {
-	next := ^uint64(0)
-	for c := range w.m {
-		if c < next {
-			next = c
-		}
-	}
-	return next
 }
 
 // Depths reports the cache's queue occupancies for profiling tools.

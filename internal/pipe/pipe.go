@@ -63,54 +63,12 @@ func (u *UOp) MarkReady(c uint64) {
 	}
 }
 
-// ---- event wheel ----
-
-// EventWheel schedules callbacks for future cycles. It is a simple
-// cycle-keyed multimap; simulations schedule O(1) events per instruction so
-// this stays cheap.
-type EventWheel struct {
-	events map[uint64][]func()
-}
-
-// NewEventWheel returns an empty wheel.
-func NewEventWheel() *EventWheel {
-	return &EventWheel{events: make(map[uint64][]func())}
-}
-
-// At schedules fn to run when Advance reaches cycle c. Scheduling in the
-// past or present runs on the next Advance call with cyc >= c.
-func (w *EventWheel) At(c uint64, fn func()) {
-	w.events[c] = append(w.events[c], fn)
-}
-
-// Advance runs every event scheduled at exactly cycle c. Callers advance one
-// cycle at a time.
-func (w *EventWheel) Advance(c uint64) {
-	if fns, ok := w.events[c]; ok {
-		delete(w.events, c)
-		for _, fn := range fns {
-			fn()
-		}
-	}
-}
-
-// Pending reports whether any events remain scheduled.
-func (w *EventWheel) Pending() bool { return len(w.events) > 0 }
-
-// Next returns the earliest cycle with a scheduled event, or ^uint64(0) when
-// the wheel is empty. The idle-cycle fast-forward uses it to bound how far
-// the simulator may jump without missing a completion.
-func (w *EventWheel) Next() uint64 {
-	next := ^uint64(0)
-	for c := range w.events {
-		if c < next {
-			next = c
-		}
-	}
-	return next
-}
-
 // ---- ready queue (oldest-first issue policy) ----
+//
+// (The event wheel that used to live here is now sched.Wheel: a hierarchical
+// timing wheel with O(1) amortised At/Advance/Next, shared by every
+// component. The map-based multimap made Next() an O(pending) scan, which
+// dominated the simulator's profile once the chip loop went event-driven.)
 
 // ReadyQueue is a min-heap of ready ops ordered by sequence number, so the
 // schedulers issue oldest-first like real wakeup/select logic.

@@ -7,23 +7,6 @@ import (
 	"repro/internal/isa"
 )
 
-func TestEventWheelOrdering(t *testing.T) {
-	w := NewEventWheel()
-	var fired []int
-	w.At(5, func() { fired = append(fired, 5) })
-	w.At(3, func() { fired = append(fired, 3) })
-	w.At(3, func() { fired = append(fired, 31) })
-	for cy := uint64(1); cy <= 6; cy++ {
-		w.Advance(cy)
-	}
-	if len(fired) != 3 || fired[0] != 3 || fired[1] != 31 || fired[2] != 5 {
-		t.Fatalf("fired = %v", fired)
-	}
-	if w.Pending() {
-		t.Fatal("wheel should be empty")
-	}
-}
-
 func TestReadyQueueOldestFirst(t *testing.T) {
 	var q ReadyQueue
 	for _, seq := range []uint64{5, 1, 9, 3, 7} {

@@ -1,0 +1,66 @@
+package sched
+
+// Participant is a simulated component driven by the event-driven chip loop:
+// Tick(cy) advances it to cycle cy (firing its own due events), and
+// NextWake(now) returns the earliest cycle after now at which Tick could
+// change any of its state — Infinity when it is fully idle. The NextWake
+// contract is the one PR 1 established for the idle-cycle fast-forward:
+// conservative-early hints cost a wasted (no-op) tick, too-late hints are
+// bugs, and the checker's hint audit convicts them.
+type Participant interface {
+	Tick(cy uint64)
+	NextWake(now uint64) uint64
+}
+
+// Group schedules an ordered set of participants. Order is significant and
+// preserved: TickDue always advances due participants in registration order,
+// which is how the chip loop keeps its z -> l2 -> vbox -> core tick order —
+// the order the single-stepping loop uses, and therefore the order the
+// bit-identity A/B tests pin.
+//
+// The group tracks one due cycle per participant. A participant whose due
+// cycle is later than the current cycle is provably quiescent (its NextWake
+// said so), so TickDue skips it entirely — that skip, applied across four
+// components on every cycle, is the event-driven loop's whole speedup.
+// Because one participant's tick may hand work to another (core issues to
+// L2, L2 fills to zbox, callbacks run the other way), TickDue recomputes
+// every participant's due cycle after ticking, not just the ticked ones.
+type Group struct {
+	parts []Participant
+	due   []uint64
+}
+
+// Add registers p after every previously added participant. Wakes are
+// initially due at every cycle until the first TickDue reschedules.
+func (g *Group) Add(p Participant) {
+	g.parts = append(g.parts, p)
+	g.due = append(g.due, 0)
+}
+
+// Next returns the earliest due cycle across participants (Infinity when
+// every participant is idle).
+func (g *Group) Next() uint64 {
+	next := Infinity
+	for _, d := range g.due {
+		if d < next {
+			next = d
+		}
+	}
+	return next
+}
+
+// TickDue advances to cycle cy: participants whose due cycle has arrived are
+// ticked in registration order, then every participant's due cycle is
+// recomputed from NextWake(cy). Ticking a not-yet-due participant would be a
+// harmless no-op (the NextWake contract), so a caller that jumps to a cycle
+// before the group's Next — the watchdog clamp does — simply ticks nothing.
+func (g *Group) TickDue(cy uint64) {
+	for i, p := range g.parts {
+		if g.due[i] <= cy {
+			p.Tick(cy)
+		}
+	}
+	for i, p := range g.parts {
+		g.due[i] = p.NextWake(cy)
+	}
+}

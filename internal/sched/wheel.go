@@ -1,0 +1,365 @@
+// Package sched provides the simulator's event scheduling machinery: a
+// hierarchical timing wheel (Wheel) for per-component completion events, and
+// an ordered participant group (Group) the chip loop uses to advance only the
+// components that actually have work on a given cycle.
+//
+// The Wheel replaces the map-keyed event multimaps the components grew up
+// with (pipe.EventWheel and the local copies in l2/zbox). Those maps made
+// Next() — the idle-cycle fast-forward's bound — an O(pending) full-map scan
+// on every active cycle, which dominated the simulator's profile. The wheel
+// makes At, Advance and Next O(1) amortised, and it is fully deterministic:
+// events fire in exact (cycle, registration order) sequence, with no map
+// iteration anywhere.
+//
+// Semantics are deliberately bit-compatible with the old maps, because the
+// whole-chip A/B tests compare wheel-driven runs against single-stepped runs
+// byte for byte, including under fault injection:
+//
+//   - Advance(c) fires only events scheduled at exactly cycle c. Events at
+//     skipped cycles (possible only when a fault campaign inflates NextWake
+//     hints past a due event) are stranded: they never fire, but they keep
+//     Pending() true and bound Next(), exactly like an unvisited map key.
+//     A healthy run never strands anything — the NextWake contract
+//     guarantees Advance is called at every cycle with a due event.
+//   - An event scheduled for cycle c while Advance(c) is firing joins the
+//     current batch and fires in registration order. (The old map lost such
+//     events forever; no component relies on that, and the property tests
+//     pin the stronger contract.)
+package sched
+
+import "math/bits"
+
+const (
+	slotBits  = 6
+	slotCount = 1 << slotBits // 64 slots per level
+	slotMask  = slotCount - 1
+	// 11 levels x 6 bits = 66 bits: the top level covers the full uint64
+	// cycle space, so placement never overflows.
+	numLevels = (64 + slotBits - 1) / slotBits
+)
+
+// Infinity is the "no event scheduled" cycle, matching the NextWake
+// convention used across the simulator.
+const Infinity = ^uint64(0)
+
+// event is one scheduled callback. Events are wheel-owned and recycled
+// through a free list; callers hold them only via Handle.
+type event struct {
+	cycle uint64
+	gen   uint64 // bumped on recycle so stale Handles cannot cancel
+	fn    func()
+	// AtCall form: fnc(cycle, arg). Splitting the callback from its operand
+	// lets hot paths schedule a long-lived func value plus a pointer-shaped
+	// argument with zero heap allocations, where At's closures cost one
+	// allocation per event.
+	fnc  func(uint64, any)
+	arg  any
+	next *event
+}
+
+// live reports whether the event still has a callback (not cancelled).
+func (e *event) live() bool { return e.fn != nil || e.fnc != nil }
+
+// Handle identifies a scheduled event for cancellation. The zero Handle is
+// valid and cancels nothing.
+type Handle struct {
+	e   *event
+	gen uint64
+}
+
+// list is an intrusive FIFO of events; registration order is preserved
+// everywhere (push to tail, pop from head).
+type list struct {
+	head, tail *event
+}
+
+func (l *list) push(e *event) {
+	e.next = nil
+	if l.tail == nil {
+		l.head = e
+	} else {
+		l.tail.next = e
+	}
+	l.tail = e
+}
+
+func (l *list) pop() *event {
+	e := l.head
+	if e != nil {
+		l.head = e.next
+		if l.head == nil {
+			l.tail = nil
+		}
+	}
+	return e
+}
+
+// level is one ring of the hierarchy: level L's slots are 64^L cycles wide.
+// occ has bit s set iff slot s holds at least one event (possibly cancelled).
+type level struct {
+	occ  uint64
+	slot [slotCount]list
+}
+
+// Wheel is a hierarchical timing wheel over the full uint64 cycle space.
+// The zero value is ready to use (base 0). Not safe for concurrent use —
+// each component owns its wheel, like the maps it replaces.
+//
+// Invariant (restored after every Advance): every live event sits at the
+// lowest level whose slot width can still distinguish it from base, i.e.
+// level floor(log64(cycle XOR base)). Crossing a slot-0 window boundary
+// cascades the entered higher-level slot down, so the first non-empty level
+// always contains the globally earliest event and Next() needs no search
+// beyond it.
+type Wheel struct {
+	base     uint64 // cycle of the last Advance (or 0)
+	n        int    // live (scheduled, not cancelled) events, stranded included
+	resident int    // events (cancelled husks included) filed in level slots
+	levels   [numLevels]level
+
+	// Stranded events: passed over by an Advance jump (fault-injected
+	// too-late hints only). They never fire but stay pending, mirroring an
+	// unvisited key in the old map wheels.
+	stranded  list
+	strandMin uint64 // min cycle of stranded live events (conservative)
+
+	free *event
+
+	nextV  uint64 // cached Next() value
+	nextOK bool
+}
+
+// NewWheel returns an empty wheel. Equivalent to new(Wheel); kept for
+// symmetry with the constructors it replaces.
+func NewWheel() *Wheel { return new(Wheel) }
+
+func (w *Wheel) alloc() *event {
+	e := w.free
+	if e == nil {
+		return &event{}
+	}
+	w.free = e.next
+	return e
+}
+
+func (w *Wheel) recycle(e *event) {
+	e.fn, e.fnc, e.arg = nil, nil, nil
+	e.gen++
+	e.next = w.free
+	w.free = e
+}
+
+// At schedules fn to run when Advance reaches exactly cycle c, after every
+// event already scheduled for c. The returned Handle cancels it; callers
+// that never cancel may discard the Handle. Scheduling at or before the
+// last advanced cycle parks the event as stranded (it never fires but stays
+// pending), except during Advance(c) itself, where an At(c, fn) joins the
+// currently firing batch.
+func (w *Wheel) At(c uint64, fn func()) Handle {
+	e := w.alloc()
+	e.cycle, e.fn = c, fn
+	w.n++
+	w.place(e)
+	return Handle{e: e, gen: e.gen}
+}
+
+// AtCall schedules fn(c, arg) with the same semantics as At. It exists for
+// allocation-free scheduling on hot paths: fn is typically a long-lived
+// method value stored once at construction, and arg a pointer, so neither
+// the callback nor its operand escapes per event.
+func (w *Wheel) AtCall(c uint64, fn func(uint64, any), arg any) Handle {
+	e := w.alloc()
+	e.cycle, e.fnc, e.arg = c, fn, arg
+	w.n++
+	w.place(e)
+	return Handle{e: e, gen: e.gen}
+}
+
+// Cancel removes a scheduled event. It reports whether the event was still
+// pending; cancelling an already-fired, already-cancelled or zero Handle is
+// a harmless no-op. The event's slot entry is reclaimed lazily, so Next()
+// may transiently report the cancelled cycle (a conservative-early wake,
+// which the NextWake contract permits).
+func (w *Wheel) Cancel(h Handle) bool {
+	if h.e == nil || h.e.gen != h.gen || !h.e.live() {
+		return false
+	}
+	h.e.fn, h.e.fnc, h.e.arg = nil, nil, nil
+	w.n--
+	return true
+}
+
+// Pending reports whether any live events remain (stranded ones included).
+func (w *Wheel) Pending() bool { return w.n > 0 }
+
+// Len returns the number of live events (stranded ones included).
+func (w *Wheel) Len() int { return w.n }
+
+// place files e at the level/slot determined by the highest bit in which its
+// cycle differs from base. Events at or before base are stranded.
+func (w *Wheel) place(e *event) {
+	if e.cycle < w.base {
+		w.strandEvent(e)
+		return
+	}
+	d := e.cycle ^ w.base
+	lv := 0
+	if d != 0 {
+		lv = (bits.Len64(d) - 1) / slotBits
+	}
+	s := int(e.cycle>>(uint(lv)*slotBits)) & slotMask
+	w.levels[lv].slot[s].push(e)
+	w.levels[lv].occ |= 1 << uint(s)
+	w.resident++
+	if w.nextOK && e.cycle < w.nextV {
+		w.nextV = e.cycle
+	}
+}
+
+func (w *Wheel) strandEvent(e *event) {
+	if !e.live() { // cancelled husk: reclaim instead
+		w.recycle(e)
+		return
+	}
+	if w.stranded.head == nil || e.cycle < w.strandMin {
+		w.strandMin = e.cycle
+	}
+	w.stranded.push(e)
+	w.nextOK = false
+}
+
+// Next returns the earliest cycle with a scheduled event, or Infinity when
+// the wheel is empty. Exact for live events; a cancelled-but-unreclaimed
+// event may make it conservative-early.
+func (w *Wheel) Next() uint64 {
+	if w.n == 0 {
+		return Infinity
+	}
+	if w.nextOK {
+		return w.nextV
+	}
+	next := Infinity
+	if w.stranded.head != nil {
+		next = w.strandMin
+	}
+	for lv := range w.levels {
+		l := &w.levels[lv]
+		if l.occ == 0 {
+			continue
+		}
+		// The cascade invariant makes the first non-empty level hold the
+		// earliest wheel event, in its lowest occupied slot.
+		s := uint(bits.TrailingZeros64(l.occ))
+		min := Infinity
+		for e := w.levels[lv].slot[s].head; e != nil; e = e.next {
+			if e.cycle < min {
+				min = e.cycle
+			}
+		}
+		if min < next {
+			next = min
+		}
+		break
+	}
+	w.nextV, w.nextOK = next, true
+	return next
+}
+
+// Advance moves the wheel to cycle c and fires, in registration order, every
+// event scheduled at exactly c — including events scheduled for c by the
+// firing callbacks themselves. Events at cycles in (base, c) that were never
+// advanced to are stranded (see the package comment); callers honouring the
+// NextWake contract never skip a due cycle, so stranding only happens under
+// injected too-late hints. Advancing backwards is a no-op.
+func (w *Wheel) Advance(c uint64) {
+	if c < w.base {
+		return
+	}
+	if c > w.base {
+		w.moveBase(c)
+	}
+	w.fire(c)
+}
+
+// moveBase advances base to c in O(occupied slots), independent of the jump
+// distance. Level by level, from the bottom up:
+//
+//   - A level whose (level+1)-window differs between old base and c lies
+//     entirely before c: every event in it was skipped, so strand them all.
+//   - The first level where the windows agree is the boundary: slots below
+//     c's digit are skipped (strand), c's own slot is re-filed relative to
+//     the new base (events land at lower levels, at cycle c itself, or —
+//     if their cycle is below c — in the stranded list), and slots above
+//     keep their placement, which stays valid because their level-and-up
+//     windows did not change.
+//   - Levels above the boundary share all their windows with c already, so
+//     their placements remain valid untouched.
+func (w *Wheel) moveBase(c uint64) {
+	old := w.base
+	w.base = c
+	w.nextOK = false
+	if w.resident == 0 {
+		return
+	}
+	for lv := 0; lv < numLevels; lv++ {
+		shiftHi := uint(lv+1) * slotBits
+		l := &w.levels[lv]
+		if shiftHi < 64 && old>>shiftHi != c>>shiftHi {
+			w.strandSlots(lv, l.occ) // whole level entirely before c
+			continue
+		}
+		idx := uint(c>>(uint(lv)*slotBits)) & slotMask
+		w.strandSlots(lv, l.occ&(1<<idx-1))
+		if lv > 0 && l.occ&(1<<idx) != 0 {
+			l.occ &^= 1 << idx
+			for e := l.slot[idx].pop(); e != nil; e = l.slot[idx].pop() {
+				w.resident--
+				if !e.live() {
+					w.recycle(e)
+					continue
+				}
+				w.place(e)
+			}
+		}
+		return
+	}
+}
+
+// strandSlots strands every event in the level's slots selected by mask.
+func (w *Wheel) strandSlots(lv int, mask uint64) {
+	l := &w.levels[lv]
+	for mask != 0 {
+		s := uint(bits.TrailingZeros64(mask))
+		mask &^= 1 << s
+		for e := l.slot[s].pop(); e != nil; e = l.slot[s].pop() {
+			w.resident--
+			w.strandEvent(e)
+		}
+		l.occ &^= 1 << s
+	}
+}
+
+// fire runs the events scheduled at exactly cycle c (base == c here). The
+// loop re-reads the slot head each iteration so callbacks scheduling more
+// work for cycle c extend the current batch.
+func (w *Wheel) fire(c uint64) {
+	l := &w.levels[0]
+	s := uint(c) & slotMask
+	if l.occ&(1<<s) == 0 {
+		return
+	}
+	for e := l.slot[s].pop(); e != nil; e = l.slot[s].pop() {
+		w.resident--
+		fn, fnc, arg := e.fn, e.fnc, e.arg
+		w.recycle(e)
+		if fnc != nil {
+			w.n--
+			fnc(c, arg)
+		} else if fn != nil {
+			w.n--
+			fn()
+		}
+	}
+	l.occ &^= 1 << s
+	w.nextOK = false
+}

@@ -22,8 +22,12 @@ import (
 // bodies with the stable code-based envelope and extended the byte-equality
 // contract across execution backends: the same spec yields the same
 // JobResult bytes whether it ran in-process or in a tarworker subprocess
-// (the worker protocol itself is versioned by this constant).
-const SchemaVersion = 3
+// (the worker protocol itself is versioned by this constant); version 4
+// added the simulator-throughput fields (sim_cycles, sim_wall_ns, mcps).
+// Those are the one deliberate crack in the byte-equality contract — wall
+// time is a property of the host, not the experiment — so CompareArtifacts
+// canonicalises them away before comparing same-schema artifacts.
+const SchemaVersion = 4
 
 // JobResult is the canonical result encoding, shared between the server's
 // GET /v1/jobs/{id}/result endpoint and cmd/tartables -json. Field order is
@@ -45,6 +49,17 @@ type JobResult struct {
 	MPC     float64 `json:"mpc,omitempty"`
 	Other   float64 `json:"other,omitempty"`
 	VectPct float64 `json:"vect_pct,omitempty"`
+
+	// SimCycles/SimWallNs/MCPS record the timing simulator's own
+	// throughput for this run: simulated cycles, host wall-clock spent
+	// inside the simulation loop proper (setup, trace verification and
+	// encoding excluded), and the derived millions-of-cycles-per-second.
+	// Host-dependent by nature: CompareArtifacts zeroes them before the
+	// byte comparison, and cached results replay the figures of the run
+	// that actually executed.
+	SimCycles uint64  `json:"sim_cycles,omitempty"`
+	SimWallNs int64   `json:"sim_wall_ns,omitempty"`
+	MCPS      float64 `json:"mcps,omitempty"`
 
 	Stats *stats.Stats `json:"stats,omitempty"`
 
@@ -74,8 +89,13 @@ func EncodeResult(key string, res *workloads.Result) *JobResult {
 		MPC:     mpc,
 		Other:   other,
 		VectPct: res.Stats.VectorPct(),
-		Stats:   res.Stats,
-		Series:  res.Series,
+
+		SimCycles: res.SimCycles,
+		SimWallNs: res.WallNs,
+		MCPS:      res.MCPS(),
+
+		Stats:  res.Stats,
+		Series: res.Series,
 	}
 }
 
@@ -98,10 +118,43 @@ func CompareArtifacts(a, b []byte) error {
 		return fmt.Errorf("schema skew: artifact A is schema %d, artifact B is schema %d (this build writes schema %d) — byte comparison across encodings is meaningless, regenerate both with one build",
 			sa, sb, SchemaVersion)
 	}
+	if sa == SchemaVersion {
+		// Current-schema artifacts carry host-dependent throughput fields
+		// (sim_cycles, sim_wall_ns, mcps) that two otherwise-identical
+		// runs will disagree on; canonicalise them to zero before the
+		// byte comparison. Decoding through JobResult is lossless for the
+		// schema this build writes, so canonical re-encoding cannot mask
+		// a real difference.
+		ca, err := canonicalArtifact(a)
+		if err != nil {
+			return fmt.Errorf("artifact A: %w", err)
+		}
+		cb, err := canonicalArtifact(b)
+		if err != nil {
+			return fmt.Errorf("artifact B: %w", err)
+		}
+		a, b = ca, cb
+	}
 	if !bytes.Equal(a, b) {
 		return fmt.Errorf("artifacts differ despite matching schema %d", sa)
 	}
 	return nil
+}
+
+// canonicalArtifact re-encodes a current-schema artifact with the
+// host-dependent throughput fields zeroed (omitempty drops them), giving
+// CompareArtifacts a stable basis.
+func canonicalArtifact(raw []byte) ([]byte, error) {
+	var jr JobResult
+	if err := json.Unmarshal(raw, &jr); err != nil {
+		return nil, fmt.Errorf("not a JobResult artifact: %w", err)
+	}
+	jr.SimCycles, jr.SimWallNs, jr.MCPS = 0, 0, 0
+	out, err := json.Marshal(&jr)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // artifactSchema pulls the schema stamp out of one artifact. A missing

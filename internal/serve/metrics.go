@@ -22,6 +22,7 @@ type expSeries struct {
 	key, bench, config string
 	cycles             uint64
 	ipc                float64
+	mcps               float64
 	samplePoints       int
 	cacheHits          uint64
 }
@@ -43,6 +44,13 @@ type metrics struct {
 	dedupJoined uint64 // submissions that attached to an in-flight run
 	simsStarted uint64 // underlying simulations begun
 	simsDone    uint64 // underlying simulations finished (either way)
+
+	// simCycles/simWallNs accumulate the timing simulator's own
+	// throughput across every completed simulation, so a scrape can
+	// derive the server's aggregate MCPS (cache hits add nothing — no
+	// simulation ran).
+	simCycles uint64
+	simWallNs uint64
 
 	queued  int // jobs waiting for a worker
 	running int // jobs whose simulation is executing
@@ -81,6 +89,9 @@ func (m *metrics) recordExperiment(key, bench, config string, res *workloads.Res
 		}
 	}
 	e.cycles = res.Stats.Cycles
+	e.mcps = res.MCPS()
+	m.simCycles += res.SimCycles
+	m.simWallNs += uint64(res.WallNs)
 	if res.Stats.Cycles > 0 {
 		e.ipc = float64(res.Stats.ScalarIns+res.Stats.VectorIns) / float64(res.Stats.Cycles)
 	}
@@ -146,6 +157,8 @@ func (m *metrics) render(w io.Writer, cacheLen int) {
 	counter("tarserved_dedup_joined_total", "Submissions deduplicated onto an in-flight simulation.", m.dedupJoined)
 	counter("tarserved_sims_started_total", "Underlying simulations started.", m.simsStarted)
 	counter("tarserved_sims_completed_total", "Underlying simulations finished.", m.simsDone)
+	counter("tarserved_sim_cycles_total", "Simulated cycles across all completed simulations.", m.simCycles)
+	fmt.Fprintf(w, "# HELP tarserved_sim_wall_seconds_total Host wall-clock spent inside the simulation loop across all completed simulations.\n# TYPE tarserved_sim_wall_seconds_total counter\ntarserved_sim_wall_seconds_total %g\n", float64(m.simWallNs)/1e9)
 	gauge("tarserved_jobs_queued", "Jobs waiting for a worker.", m.queued)
 	gauge("tarserved_jobs_running", "Jobs whose simulation is executing.", m.running)
 	gauge("tarserved_cache_entries", "Entries resident in the result cache.", cacheLen)
@@ -180,6 +193,11 @@ func (m *metrics) renderExperimentsLocked(w io.Writer) {
 	for _, k := range m.expOrder {
 		e := m.experiments[k]
 		fmt.Fprintf(w, "tarserved_experiment_ipc%s %g\n", labels(e), e.ipc)
+	}
+	help("tarserved_experiment_mcps", "Simulator throughput of the experiment's last run, millions of simulated cycles per host wall second.")
+	for _, k := range m.expOrder {
+		e := m.experiments[k]
+		fmt.Fprintf(w, "tarserved_experiment_mcps%s %g\n", labels(e), e.mcps)
 	}
 	help("tarserved_experiment_sample_points", "Retained cycle-interval sample points (0 = sampler off).")
 	for _, k := range m.expOrder {

@@ -344,8 +344,11 @@ func TestResultBytesMatchCLIEncoding(t *testing.T) {
 	if err := enc.Encode(EncodeResult(key, res)); err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Equal(apiBytes, cli.Bytes()) {
-		t.Fatalf("API and CLI artifacts differ:\nAPI: %s\nCLI: %s", apiBytes, cli.Bytes())
+	// CompareArtifacts rather than bytes.Equal: the artifacts come from two
+	// separate executions, so the host-dependent throughput fields differ by
+	// design; everything else must match byte for byte.
+	if err := CompareArtifacts(apiBytes, cli.Bytes()); err != nil {
+		t.Fatalf("API and CLI artifacts differ: %v\nAPI: %s\nCLI: %s", err, apiBytes, cli.Bytes())
 	}
 	if !strings.Contains(string(apiBytes), fin.Key) {
 		t.Fatal("result body does not carry the content key")
@@ -419,7 +422,8 @@ func TestCompareArtifactsSchemaSkew(t *testing.T) {
 	}
 
 	// Same experiment serialized by an older build: only the stamp differs.
-	old := bytes.Replace(good, []byte(`"schema":3`), []byte(`"schema":1`), 1)
+	stamp := []byte(fmt.Sprintf(`"schema":%d`, SchemaVersion))
+	old := bytes.Replace(good, stamp, []byte(`"schema":1`), 1)
 	if bytes.Equal(old, good) {
 		t.Fatal("test bug: schema stamp not rewritten")
 	}
@@ -427,7 +431,7 @@ func TestCompareArtifactsSchemaSkew(t *testing.T) {
 	if err == nil {
 		t.Fatal("schema skew not detected")
 	}
-	for _, want := range []string{"schema skew", "schema 3", "schema 1"} {
+	for _, want := range []string{"schema skew", fmt.Sprintf("schema %d", SchemaVersion), "schema 1"} {
 		if !strings.Contains(err.Error(), want) {
 			t.Errorf("skew error %q does not mention %q", err, want)
 		}
@@ -435,7 +439,7 @@ func TestCompareArtifactsSchemaSkew(t *testing.T) {
 
 	// A pre-versioning artifact has no stamp at all: that decodes as
 	// schema 0 and must also skew, not byte-diff.
-	legacy := bytes.Replace(good, []byte(`"schema":3,`), nil, 1)
+	legacy := bytes.Replace(good, append(stamp, ','), nil, 1)
 	if err := CompareArtifacts(good, legacy); err == nil || !strings.Contains(err.Error(), "schema skew") {
 		t.Fatalf("unversioned artifact: err = %v, want schema skew", err)
 	}

@@ -133,10 +133,12 @@ func resultFromWire(jr *JobResult) (*workloads.Result, error) {
 		return nil, fmt.Errorf("worker result for %s@%s carries no stats", jr.Bench, jr.Config)
 	}
 	return &workloads.Result{
-		Bench:  jr.Bench,
-		Config: jr.Config,
-		Scale:  scale,
-		Stats:  jr.Stats,
-		Series: jr.Series,
+		Bench:     jr.Bench,
+		Config:    jr.Config,
+		Scale:     scale,
+		Stats:     jr.Stats,
+		Series:    jr.Series,
+		SimCycles: jr.SimCycles,
+		WallNs:    jr.SimWallNs,
 	}, nil
 }

@@ -3,6 +3,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/arch"
 	"repro/internal/mem"
@@ -76,6 +77,22 @@ type Outcome struct {
 	// Series is the cycle-interval sample series, present only when the
 	// configuration armed the sampler and the run succeeded.
 	Series *metrics.SeriesDump
+
+	// SimCycles and SimWall are the chip's cumulative simulated cycles
+	// (drain included) and the wall-clock time its cycle loop consumed
+	// producing them — together, the run's simulation throughput
+	// (cycles/sec). Cumulative across phases when a Chip is reused.
+	SimCycles uint64
+	SimWall   time.Duration
+}
+
+// MCPS returns the outcome's simulation throughput in millions of simulated
+// cycles per wall-clock second (0 when no loop time was recorded).
+func (o *Outcome) MCPS() float64 {
+	if o.SimWall <= 0 {
+		return 0
+	}
+	return float64(o.SimCycles) / o.SimWall.Seconds() / 1e6
 }
 
 // Execute runs one simulation described by spec. It is the single execution
@@ -191,6 +208,8 @@ func executeTraces(spec RunSpec) (*Outcome, error) {
 // feeds the legacy OnSeries callback, preserving the pre-Execute contract.
 func finishOutcome(out *Outcome, ch *Chip) {
 	out.Series = ch.Series()
+	out.SimCycles = ch.Clock()
+	out.SimWall = ch.SimWall()
 	if ch.Cfg.onSeries != nil {
 		ch.Cfg.onSeries(out.Series)
 	}
@@ -205,5 +224,8 @@ func (ch *Chip) runTraces(trs []*vasm.Trace, smt bool) error {
 	} else {
 		ch.c.Bind(trs[0])
 	}
-	return ch.runBound(trs)
+	t0 := time.Now()
+	err := ch.runBound(trs)
+	ch.simWall += time.Since(t0)
+	return err
 }

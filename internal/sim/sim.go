@@ -7,6 +7,7 @@ package sim
 
 import (
 	"fmt"
+	"os"
 	"time"
 
 	"repro/internal/arch"
@@ -58,7 +59,19 @@ type Config struct {
 	sampleEvery uint64
 	sampleCap   int
 	onSeries    func(*metrics.SeriesDump)
+
+	// singleStep pins chips built from this configuration to the legacy
+	// single-stepping cycle loop (no event wheel, no idle-cycle jumps).
+	// Unexported for the same reason as the sampling knobs: engine choice
+	// is an observation/performance setting, never configuration identity.
+	singleStep bool
 }
+
+// PinSingleStep forces chips built from this configuration onto the legacy
+// single-stepping loop — every cycle ticked, no event-driven scheduling. The
+// sampler and checker pin it implicitly (they must observe fixed cycles);
+// this knob is the explicit handle for A/B tests and bit-identity audits.
+func (c *Config) PinSingleStep() { c.singleStep = true }
 
 // EnableSampling turns on the cycle-interval sampler for chips built from
 // this configuration: every `every` cycles the chip snapshots interval IPC,
@@ -112,7 +125,22 @@ type Chip struct {
 	gaugeScratch []int
 	lastRetired  uint64 // at the previous sample point
 	lastRawBytes uint64
+
+	// simWall accumulates wall-clock time spent inside the chip loop
+	// (bound + drain, all phases) — the denominator of the simulator's
+	// cycles-per-second throughput. Trace construction, functional
+	// verification and harness overhead are excluded on purpose: the
+	// number tracks the engine, not the workload's setup cost.
+	simWall time.Duration
 }
+
+// SimWall returns the cumulative wall-clock time this chip has spent inside
+// its cycle loop, across every phase run so far.
+func (ch *Chip) SimWall() time.Duration { return ch.simWall }
+
+// Clock returns the chip's current cycle — total simulated time including
+// post-HALT drain, across every phase run so far.
+func (ch *Chip) Clock() uint64 { return ch.now }
 
 // FastForward is the package-wide default for the idle-cycle fast-forward:
 // when every component reports it is blocked on a scheduled completion event,
@@ -122,6 +150,20 @@ type Chip struct {
 // are bit-identical to single-stepping (see the A/B guard test). Chips
 // snapshot the value at New; flip a single chip with SetFastForward.
 var FastForward = true
+
+// EngineName reports the chip-loop engine the package default selects, for
+// bench rows and diagnostics.
+func EngineName() string {
+	if !FastForward {
+		return "single-step"
+	}
+	return "wheel"
+}
+
+// wheelDebug prints the event-wheel jump ratio after each bound run.
+var wheelDebug = os.Getenv("TARSIM_WHEEL_DEBUG") != ""
+
+var wheelWhy [4]uint64
 
 // ffVerify, when enabled (tests only), runs the simulator single-stepped but
 // still computes every fast-forward hint, checking that no statistic changes
@@ -174,7 +216,8 @@ func New(cfg *Config) *Chip {
 	if vb != nil {
 		vb.OnDone = c.VectorDone
 	}
-	ch := &Chip{Cfg: cfg, Reg: reg, Stats: reg.Stats(), z: z, l2: l2c, vb: vb, c: c, inj: inj, ff: FastForward}
+	ch := &Chip{Cfg: cfg, Reg: reg, Stats: reg.Stats(), z: z, l2: l2c, vb: vb, c: c, inj: inj,
+		ff: FastForward && !cfg.singleStep}
 	if cfg.Check {
 		ch.chk = check.New()
 		c.SetChecker(ch.chk)
@@ -306,11 +349,36 @@ func (ch *Chip) wake(now uint64) uint64 {
 // simulator's own work.
 const deadlineCheckMask = 4095
 
+// anyBusy reports whether any component still has in-flight background work
+// (the post-HALT drain condition), evaluated once per call site.
+func (ch *Chip) anyBusy() bool {
+	return ch.z.Busy() || ch.l2.Busy() || ch.c.Busy() || (ch.vb != nil && ch.vb.Busy())
+}
+
 // runBound drives the machine until every thread halts, then drains
 // background traffic. trs are the bound traces, polled for producer-side
 // errors so a kernel that dies mid-trace (and will therefore never emit
 // HALT) is reported promptly rather than after a full watchdog window.
+//
+// Two engines implement it. The default is the event-driven wheel loop
+// (runWheel): every component schedules its own completions on an O(1)
+// hierarchical timing wheel, the chip jumps straight to the earliest due
+// cycle and ticks only the components with work. Observed runs — the
+// sampler (fixed-cycle snapshots), the checker (per-cycle hint audit), the
+// ffVerify test harness and configurations pinned via PinSingleStep — take
+// the legacy loop below, which ticks every component every cycle. The two
+// engines are bit-identical on every statistic (see TestFastForwardBitIdentical
+// and the golden-sweep guard); the wheel is purely a wall-clock win.
 func (ch *Chip) runBound(trs []*vasm.Trace) error {
+	if ch.ff && ch.series == nil && ch.chk == nil && !ffVerify {
+		return ch.runWheel(trs)
+	}
+	return ch.runStep(trs)
+}
+
+// runStep is the legacy chip loop: tick every component every cycle, with an
+// optional idle-cycle fast-forward jump between active cycles.
+func (ch *Chip) runStep(trs []*vasm.Trace) error {
 	start := ch.now
 	lastProgress := ch.now
 	lastRetired := uint64(0)
@@ -420,8 +488,12 @@ func (ch *Chip) runBound(trs []*vasm.Trace) error {
 	haltCy := ch.now
 	// Let outstanding background work (write buffers, prefetches) drain so
 	// the traffic accounting is complete and the next phase starts with a
-	// quiescent machine.
-	for ch.now-haltCy < 10_000_000 && (ch.z.Busy() || ch.l2.Busy() || ch.c.Busy() || (ch.vb != nil && ch.vb.Busy())) {
+	// quiescent machine. Busy() is evaluated once per iteration (after the
+	// ticks) and reused for both the fast-forward exit guard and the next
+	// loop condition — the four-component check walks every queue, so the
+	// old double evaluation paid it twice per drained cycle.
+	busy := ch.anyBusy()
+	for ch.now-haltCy < 10_000_000 && busy {
 		ch.now++
 		cy := ch.now
 		ch.z.Tick(cy)
@@ -437,7 +509,8 @@ func (ch *Chip) runBound(trs []*vasm.Trace) error {
 		// Same exit guard as above: once the machine goes quiescent the loop
 		// must stop with ch.now exactly where single-stepping would leave it
 		// (ch.now seeds the next ROI phase's clock).
-		if ff && (ch.z.Busy() || ch.l2.Busy() || ch.c.Busy() || (ch.vb != nil && ch.vb.Busy())) {
+		busy = ch.anyBusy()
+		if ff && busy {
 			if wake := ch.wake(cy); wake > cy+1 {
 				if limit := haltCy + 10_000_000; wake > limit {
 					wake = limit
@@ -447,6 +520,165 @@ func (ch *Chip) runBound(trs []*vasm.Trace) error {
 				}
 			}
 		}
+	}
+	return nil
+}
+
+// runWheel is the event-driven chip loop. Each iteration asks every
+// component for its next wake cycle (an O(1) wheel lookup plus queue-head
+// checks), jumps the clock straight to the earliest one, and ticks only the
+// components that are due there.
+//
+// Bit-identity with single-stepping follows from the per-component NextWake
+// soundness contract (audited by ffVerify and the checker): ticking a
+// component before its reported wake cycle is a no-op, so skipping those
+// ticks cannot change any statistic. One asymmetry needs care: components
+// tick in the fixed order z → l2 → vb → core, and a tick may synchronously
+// mutate a component *later* in that order (a Zbox completion delivers an L2
+// fill; a Vbox completion calls the core's VectorDone), making the later
+// component's tick at the same cycle meaningful even though its own wake
+// hint said idle. Mutations against an *earlier* component land after its
+// tick under single-stepping and are therefore next-cycle by construction.
+// Hence the rule: the first due component and every component after it in
+// tick order run; only the prefix strictly before the first due component is
+// skipped.
+//
+// The watchdog clamp mirrors the legacy loop: the clock never jumps past
+// lastProgress+wd+1, so a wedged machine (including one wedged by a seeded
+// too-late NextWake, whose events the component wheels then strand) trips
+// the watchdog at exactly the cycle single-stepping would.
+func (ch *Chip) runWheel(trs []*vasm.Trace) error {
+	start := ch.now
+	lastProgress := ch.now
+	// Unlike the legacy loop's zero sentinel (which records one spurious
+	// "progress" event on the first tick of any phase after the first), the
+	// watchdog baseline starts from the counters as they stand. A healthy
+	// run is bit-identical either way — the baseline only times wedges.
+	lastRetired := ch.Stats.ScalarIns + ch.Stats.VectorIns
+	wd := ch.Cfg.Watchdog
+	if wd == 0 {
+		wd = watchdogWindow
+	}
+	var deadline time.Time
+	if ch.Cfg.Deadline > 0 {
+		deadline = time.Now().Add(ch.Cfg.Deadline)
+	}
+	const idle = ^uint64(0)
+	iter := uint64(0)
+	for !ch.c.Halted() {
+		now := ch.now
+		dz := ch.z.NextWake(now)
+		dl := ch.l2.NextWake(now)
+		dv := idle
+		if ch.vb != nil {
+			dv = ch.vb.NextWake(now)
+		}
+		dc := ch.c.NextWake(now)
+		wake := min(dz, dl, dv, dc)
+		if wheelDebug {
+			next := now + 1
+			if dz <= next {
+				wheelWhy[0]++
+			}
+			if dl <= next {
+				wheelWhy[1]++
+			}
+			if dv <= next {
+				wheelWhy[2]++
+			}
+			if dc <= next {
+				wheelWhy[3]++
+			}
+		}
+		if ch.inj != nil {
+			wake = ch.inj.InflateWake(now, wake)
+		}
+		if limit := lastProgress + wd + 1; wake > limit {
+			wake = limit
+		}
+		cy := now + 1
+		if wake > cy {
+			cy = wake
+		}
+		ch.now = cy
+		switch {
+		case dz <= cy:
+			ch.z.Tick(cy)
+			fallthrough
+		case dl <= cy:
+			ch.l2.Tick(cy)
+			fallthrough
+		case dv <= cy:
+			if ch.vb != nil {
+				ch.vb.Tick(cy)
+			}
+			fallthrough
+		case dc <= cy:
+			ch.c.Tick(cy)
+		}
+
+		if retired := ch.Stats.ScalarIns + ch.Stats.VectorIns; retired != lastRetired {
+			lastRetired = retired
+			lastProgress = cy
+		} else if cy-lastProgress > wd {
+			return ch.wedge(ReasonWatchdog, wd)
+		}
+
+		if iter&deadlineCheckMask == 0 {
+			if err := ch.checkHealth(trs, deadline, wd); err != nil {
+				return err
+			}
+		}
+		iter++
+	}
+	if wheelDebug {
+		fmt.Fprintf(os.Stderr, "wheel: %d cycles in %d iterations (%.2f cyc/iter) due z=%d l2=%d vb=%d core=%d\n", ch.now-start, iter, float64(ch.now-start)/float64(iter), wheelWhy[0], wheelWhy[1], wheelWhy[2], wheelWhy[3])
+	}
+	ch.Stats.Cycles += ch.now - start
+	haltCy := ch.now
+	for ch.now-haltCy < 10_000_000 && ch.anyBusy() {
+		now := ch.now
+		dz := ch.z.NextWake(now)
+		dl := ch.l2.NextWake(now)
+		dv := idle
+		if ch.vb != nil {
+			dv = ch.vb.NextWake(now)
+		}
+		dc := ch.c.NextWake(now)
+		wake := min(dz, dl, dv, dc)
+		if ch.inj != nil {
+			wake = ch.inj.InflateWake(now, wake)
+		}
+		// A busy component whose wake hint is beyond the drain budget (or a
+		// fault-inflated hint) must leave the clock exactly where the legacy
+		// loop's clamp would: at the drain cutoff.
+		if limit := haltCy + 10_000_000; wake > limit {
+			wake = limit
+		}
+		cy := now + 1
+		if wake > cy {
+			cy = wake
+		}
+		ch.now = cy
+		switch {
+		case dz <= cy:
+			ch.z.Tick(cy)
+			fallthrough
+		case dl <= cy:
+			ch.l2.Tick(cy)
+			fallthrough
+		case dv <= cy:
+			if ch.vb != nil {
+				ch.vb.Tick(cy)
+			}
+			fallthrough
+		case dc <= cy:
+			ch.c.Tick(cy)
+		}
+		if iter&deadlineCheckMask == 0 && !deadline.IsZero() && time.Now().After(deadline) {
+			return ch.wedge(ReasonDeadline, wd)
+		}
+		iter++
 	}
 	return nil
 }

@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/faults"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/vasm"
+)
+
+// drainKernel halts with a write-buffer full of vector stores still in
+// flight — no DRAINM — so a meaningful share of the run happens in the
+// post-HALT drain loop, the code path TestDrainLoopEngineEquivalence pins.
+func drainKernel(b *vasm.Builder) {
+	base := b.AllocF64(1<<14, 0)
+	b.Li(isa.R(1), int64(base))
+	b.SetVLImm(isa.R(9), 128)
+	for i := 0; i < 8; i++ {
+		b.VLdQ(isa.V(1), isa.R(1), int64(i*1024))
+		b.VV(isa.OpVADDT, isa.V(2), isa.V(1), isa.V(1))
+		b.VStQ(isa.V(2), isa.R(1), int64(i*1024))
+	}
+	b.Halt()
+}
+
+// runEngine runs kernel on cfg with either the event-wheel engine (the
+// default) or the legacy loop pinned via PinSingleStep.
+func runEngine(t *testing.T, base *Config, kernel vasm.Kernel, singleStep bool) (*Chip, error) {
+	t.Helper()
+	cfg := *base
+	if singleStep {
+		cfg.PinSingleStep()
+	}
+	chip := New(&cfg)
+	m := arch.New(mem.New())
+	tr := vasm.NewTrace(m, kernel)
+	defer tr.Close()
+	return chip, chip.RunTraceChecked(tr)
+}
+
+// TestDrainLoopEngineEquivalence: the post-HALT drain loop (hoisted Busy
+// evaluation, event-driven advance) must leave the chip bit-identical to
+// the legacy single-stepped drain — cycle counts included.
+func TestDrainLoopEngineEquivalence(t *testing.T) {
+	wheel, err := runEngine(t, T(), drainKernel, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step, err := runEngine(t, T(), drainKernel, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *wheel.Stats != *step.Stats {
+		t.Errorf("drain statistics diverge across engines:\n  wheel: %+v\n  step:  %+v",
+			*wheel.Stats, *step.Stats)
+	}
+}
+
+// TestWatchdogTripsSameCycleAcrossEngines: the wheel clamps its jumps at the
+// watchdog boundary, so a wedged machine must be convicted at exactly the
+// cycle the single-stepped engine reports — not merely with the same
+// verdict.
+func TestWatchdogTripsSameCycleAcrossEngines(t *testing.T) {
+	run := func(singleStep bool) *WedgeError {
+		cfg := *T()
+		cfg.Faults = &faults.Config{StallStormFrom: 300}
+		cfg.Watchdog = 30_000
+		_, err := runEngine(t, &cfg, wedgeKernel, singleStep)
+		var w *WedgeError
+		if !errors.As(err, &w) {
+			t.Fatalf("singleStep=%v: err = %v, want *WedgeError", singleStep, err)
+		}
+		return w
+	}
+	wheel, step := run(false), run(true)
+	if wheel.Reason != step.Reason || wheel.Cycle != step.Cycle || wheel.Retired != step.Retired {
+		t.Errorf("engines disagree on the wedge:\n  wheel: cycle=%d retired=%d reason=%q\n  step:  cycle=%d retired=%d reason=%q",
+			wheel.Cycle, wheel.Retired, wheel.Reason, step.Cycle, step.Retired, step.Reason)
+	}
+}
+
+// TestSeededTooLateEventCaught seeds the too-late-NextWake bug class (a
+// component promising to sleep past its own next state change) and requires
+// both integrity nets to fire: the event-wheel engine, which trusts the
+// hints, must wedge on the watchdog rather than silently corrupt timing;
+// and the checker — which pins the legacy single-stepped loop — must
+// convict the same seed as a nextwake invariant violation.
+func TestSeededTooLateEventCaught(t *testing.T) {
+	seeded := func() *Config {
+		cfg := *T()
+		cfg.Faults = &faults.Config{Seed: 42, DropWakePct: 100, DropWakeSpan: 64}
+		cfg.Watchdog = 30_000
+		return &cfg
+	}
+
+	_, err := runEngine(t, seeded(), wedgeKernel, false)
+	var w *WedgeError
+	if !errors.As(err, &w) {
+		t.Fatalf("wheel engine ran to completion on inflated hints: err = %v", err)
+	}
+	if w.Reason != ReasonWatchdog {
+		t.Errorf("wheel engine: Reason = %q, want %q", w.Reason, ReasonWatchdog)
+	}
+
+	cfg := seeded()
+	cfg.Check = true
+	_, _, err = RunChecked(cfg, wedgeKernel)
+	if !errors.As(err, &w) {
+		t.Fatalf("checker missed the seeded broken hints: err = %v", err)
+	}
+	if w.Reason != ReasonInvariant {
+		t.Errorf("checker: Reason = %q, want %q", w.Reason, ReasonInvariant)
+	}
+	if w.Violation == nil || w.Violation.Invariant != "nextwake" {
+		t.Errorf("checker: Violation = %+v, want the nextwake audit", w.Violation)
+	}
+}

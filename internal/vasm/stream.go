@@ -69,8 +69,7 @@ func NewTrace(m *arch.Machine, kernel Kernel) *Trace {
 			}
 		}
 		batch := newBatch()
-		b := NewBuilder(m, func(d *DynInst) {
-			batch = append(batch, *d)
+		b := NewBuilder(m, func() *DynInst {
 			if len(batch) == batchSize {
 				select {
 				case t.ch <- batch:
@@ -79,6 +78,8 @@ func NewTrace(m *arch.Machine, kernel Kernel) *Trace {
 				}
 				batch = newBatch()
 			}
+			batch = batch[:len(batch)+1]
+			return &batch[len(batch)-1]
 		})
 		kernel(b)
 		if len(batch) > 0 {
@@ -159,7 +160,10 @@ func CollectChecked(m *arch.Machine, kernel Kernel) (out []DynInst, err error) {
 			err = ab.err
 		}
 	}()
-	b := NewBuilder(m, func(d *DynInst) { out = append(out, *d) })
+	b := NewBuilder(m, func() *DynInst {
+		out = append(out, DynInst{})
+		return &out[len(out)-1]
+	})
 	kernel(b)
 	return out, nil
 }

@@ -49,24 +49,20 @@ type DynInst struct {
 // Builder assembles and functionally executes a kernel, producing a trace.
 type Builder struct {
 	M    *arch.Machine
-	emit func(*DynInst)
+	slot func() *DynInst
 
 	seq      uint64
 	nextSite uint32
 	heap     uint64 // bump allocator over simulated memory
 	err      *BuildError
-
-	// scratch is the DynInst handed to the sink; routing every emit through
-	// one field keeps the per-instruction record off the heap (the sink
-	// copies it, per the Trace.Next contract).
-	scratch DynInst
 }
 
-// NewBuilder returns a Builder bound to machine m; every executed
-// instruction is passed to sink. The heap starts at 1 MiB to keep address 0
-// out of the workloads' way.
-func NewBuilder(m *arch.Machine, sink func(*DynInst)) *Builder {
-	return &Builder{M: m, emit: sink, heap: 1 << 20}
+// NewBuilder returns a Builder bound to machine m; slot returns the record
+// to fill for each executed instruction, so the ~140-byte DynInst is written
+// exactly once, in place, instead of staged through a scratch copy. The heap
+// starts at 1 MiB to keep address 0 out of the workloads' way.
+func NewBuilder(m *arch.Machine, slot func() *DynInst) *Builder {
+	return &Builder{M: m, slot: slot, heap: 1 << 20}
 }
 
 // Site allocates a fresh static-site id (used to key branch prediction).
@@ -89,8 +85,8 @@ func (b *Builder) EmitAt(in isa.Inst, site uint32) arch.Effect {
 func (b *Builder) emitAt(in isa.Inst, site uint32) arch.Effect {
 	eff := b.step(&in, site)
 	b.seq++
-	b.scratch = DynInst{Seq: b.seq, Site: site, Inst: in, Eff: eff}
-	b.emit(&b.scratch)
+	d := b.slot()
+	d.Seq, d.Site, d.Inst, d.Eff = b.seq, site, in, eff
 	return eff
 }
 

@@ -161,7 +161,7 @@ func TestTraceEarlyClose(t *testing.T) {
 }
 
 func TestAllocAlignmentAndPadding(t *testing.T) {
-	b := NewBuilder(newM(), func(*DynInst) {})
+	b := NewBuilder(newM(), func() *DynInst { return new(DynInst) })
 	a1 := b.Alloc(100, 64)
 	if a1%64 != 0 {
 		t.Fatalf("misaligned alloc %#x", a1)

@@ -17,6 +17,7 @@ import (
 	"repro/internal/l2"
 	"repro/internal/metrics"
 	"repro/internal/pipe"
+	"repro/internal/sched"
 	"repro/internal/vm"
 )
 
@@ -103,7 +104,17 @@ type VBox struct {
 	cr          creorder.CRBox
 	tagSeq      int
 
-	wheel *pipe.EventWheel
+	wheel *sched.Wheel
+
+	// Bound method values for AtCall, so completion scheduling allocates
+	// nothing per event.
+	finishFn    func(uint64, any)
+	memFinishFn func(uint64, any)
+
+	// activeScratch is the per-instruction element mask, reused across
+	// buildSlices calls instead of allocated per vector memory instruction.
+	activeScratch [isa.VLMax]bool
+	elemScratch   []creorder.Elem
 }
 
 type pendingSlice struct {
@@ -119,10 +130,15 @@ func New(cfg Config, reg *metrics.Registry, l2c *l2.L2) *VBox {
 		l2c:      l2c,
 		portFree: make([]uint64, cfg.Ports),
 		tlb:      make([]laneTLB, cfg.Lanes),
-		wheel:    pipe.NewEventWheel(),
+		wheel:    sched.NewWheel(),
 	}
 	for i := range v.tlb {
 		v.tlb[i] = laneTLB{cap: cfg.TLBEntries, pages: map[uint64]uint64{}}
+	}
+	v.finishFn = func(cy uint64, a any) { v.finish(cy, a.(*pipe.UOp)) }
+	v.memFinishFn = func(cy uint64, a any) {
+		v.memInFly--
+		v.finish(cy, a.(*pipe.UOp))
 	}
 	v.Space = vm.NewIdentity()
 	m := reg.Scope("vbox")
@@ -330,7 +346,7 @@ func (v *VBox) tryIssueArith(cy uint64, u *pipe.UOp) bool {
 	v.portFree[port] = cy + occ
 	v.queued--
 	done := cy + occ + uint64(info.Latency)
-	v.wheel.At(done, func() { v.finish(done, u) })
+	v.wheel.AtCall(done, v.finishFn, u)
 	return true
 }
 
@@ -375,22 +391,14 @@ func (v *VBox) issueMem(cy uint64, u *pipe.UOp) bool {
 
 	if len(slices) == 0 {
 		// vl=0 or fully masked-off: nothing to transfer.
-		end := v.agFree
-		v.wheel.At(end, func() {
-			v.memInFly--
-			v.finish(end, u)
-		})
+		v.wheel.AtCall(v.agFree, v.memFinishFn, u)
 		return true
 	}
 
 	if prefetch {
 		// Prefetches do not block: the instruction completes once its
 		// addresses are generated; the slices fill the L2 in the background.
-		end := v.agFree
-		v.wheel.At(end, func() {
-			v.memInFly--
-			v.finish(end, u)
-		})
+		v.wheel.AtCall(v.agFree, v.memFinishFn, u)
 		for i, s := range slices {
 			ps := &pendingSlice{
 				op:      &l2.SliceOp{Slice: s, Write: false},
@@ -402,18 +410,16 @@ func (v *VBox) issueMem(cy uint64, u *pipe.UOp) bool {
 	}
 
 	u.SlicesOut = len(slices)
-	for i, s := range slices {
-		op := &l2.SliceOp{Slice: s, Write: write}
-		op.Done = func(doneCy uint64) {
-			u.SlicesOut--
-			if u.SlicesOut == 0 {
-				end := doneCy + uint64(v.cfg.WritebackLat)
-				v.wheel.At(end, func() {
-					v.memInFly--
-					v.finish(end, u)
-				})
-			}
+	// One Done callback per instruction, shared by all its slices (the old
+	// per-slice closures were len(slices) identical allocations).
+	sliceDone := func(doneCy uint64) {
+		u.SlicesOut--
+		if u.SlicesOut == 0 {
+			v.wheel.AtCall(doneCy+uint64(v.cfg.WritebackLat), v.memFinishFn, u)
 		}
+	}
+	for i, s := range slices {
+		op := &l2.SliceOp{Slice: s, Write: write, Done: sliceDone}
 		ps := &pendingSlice{op: op, availCy: agStart + uint64(i)}
 		if write {
 			v.writeSubQ = append(v.writeSubQ, ps)
@@ -433,7 +439,8 @@ func (v *VBox) buildSlices(u *pipe.UOp) ([]creorder.Slice, int) {
 	tag0 := v.tagSeq
 
 	if group == isa.GSM {
-		active := make([]bool, isa.VLMax)
+		active := v.activeScratch[:]
+		clear(active)
 		for _, idx := range eff.ElemIdx {
 			active[idx] = true
 		}
@@ -471,7 +478,10 @@ func (v *VBox) buildSlices(u *pipe.UOp) ([]creorder.Slice, int) {
 	}
 
 	// Gather/scatter: random addresses through the CR box.
-	elems := make([]creorder.Elem, len(eff.Addrs))
+	if cap(v.elemScratch) < len(eff.Addrs) {
+		v.elemScratch = make([]creorder.Elem, len(eff.Addrs))
+	}
+	elems := v.elemScratch[:len(eff.Addrs)]
 	for i, a := range eff.Addrs {
 		elems[i] = creorder.Elem{Index: int(eff.ElemIdx[i]), Addr: a}
 	}

@@ -19,6 +19,21 @@ type Result struct {
 	// benchmarks it covers the whole run including warm-up, since the
 	// sampler observes the chip, not the ROI window.
 	Series *metrics.SeriesDump
+	// SimCycles and WallNs are the chip's total simulated cycles (all
+	// phases, drain included) and the wall-clock nanoseconds its cycle
+	// loop consumed — the run's simulation throughput, independent of
+	// trace-construction and verification overhead.
+	SimCycles uint64
+	WallNs    int64
+}
+
+// MCPS returns the run's simulation throughput in millions of simulated
+// cycles per wall-clock second (0 when no loop time was recorded).
+func (r *Result) MCPS() float64 {
+	if r.WallNs <= 0 {
+		return 0
+	}
+	return float64(r.SimCycles) / (float64(r.WallNs) / 1e9) / 1e6
 }
 
 // OPC returns the Figure 6 quantities.
@@ -48,5 +63,9 @@ func (b *Benchmark) Run(cfg *sim.Config, s Scale) (*Result, error) {
 			return nil, fmt.Errorf("%s on %s: %w", b.Name, cfg.Name, err)
 		}
 	}
-	return &Result{Bench: b.Name, Config: cfg.Name, Scale: s, Stats: out.Stats, Series: out.Series}, nil
+	return &Result{
+		Bench: b.Name, Config: cfg.Name, Scale: s,
+		Stats: out.Stats, Series: out.Series,
+		SimCycles: out.SimCycles, WallNs: int64(out.SimWall),
+	}, nil
 }

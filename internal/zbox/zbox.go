@@ -12,6 +12,7 @@ package zbox
 import (
 	"repro/internal/faults"
 	"repro/internal/metrics"
+	"repro/internal/sched"
 )
 
 // Kind is the transaction type.
@@ -61,7 +62,7 @@ type port struct {
 type Zbox struct {
 	cfg   Config
 	ports []*port
-	wheel eventWheel
+	wheel *sched.Wheel
 
 	// Registered counter handles (zbox.* namespace).
 	reads, writes, dirOps metrics.Counter
@@ -72,7 +73,7 @@ type Zbox struct {
 // New returns a controller with the given configuration, registering its
 // counters and queue-depth gauge under the registry's zbox namespace.
 func New(cfg Config, reg *metrics.Registry) *Zbox {
-	z := &Zbox{cfg: cfg, wheel: eventWheel{m: map[uint64][]func(){}}}
+	z := &Zbox{cfg: cfg, wheel: sched.NewWheel()}
 	for i := 0; i < cfg.Ports; i++ {
 		p := &port{openRow: make([]uint64, cfg.DevicesPerPort)}
 		for j := range p.openRow {
@@ -104,7 +105,7 @@ func (z *Zbox) Request(addr uint64, kind Kind, done func(cycle uint64)) {
 // Busy reports whether any transactions are queued, in flight, or have
 // undelivered completions.
 func (z *Zbox) Busy() bool {
-	if z.wheel.pending() {
+	if z.wheel.Pending() {
 		return true
 	}
 	for _, p := range z.ports {
@@ -118,7 +119,7 @@ func (z *Zbox) Busy() bool {
 // Tick advances the controller to cycle c: delivers due completions and
 // starts at most one new transaction per idle port.
 func (z *Zbox) Tick(c uint64) {
-	z.wheel.advance(c)
+	z.wheel.Advance(c)
 	for pi, p := range z.ports {
 		if p.busyUntil > c || len(p.queue) == 0 {
 			continue
@@ -162,17 +163,21 @@ func (z *Zbox) Tick(c uint64) {
 			z.dirOps.Inc()
 		}
 		if req.done != nil {
-			z.wheel.at(c+uint64(occ)+uint64(z.cfg.BaseLatency), func(cy uint64) { req.done(cy) })
+			z.wheel.AtCall(c+uint64(occ)+uint64(z.cfg.BaseLatency), callDone, req.done)
 		}
 	}
 }
+
+// callDone invokes a stored completion callback with the fired cycle,
+// allocation-free (see the l2 package's twin).
+func callDone(cy uint64, a any) { a.(func(uint64))(cy) }
 
 // NextWake returns the earliest cycle after now at which Tick can change any
 // controller state: the next completion delivery, or the first cycle a port
 // with queued work becomes free. ^uint64(0) means the controller is fully
 // idle and will stay so without new requests.
 func (z *Zbox) NextWake(now uint64) uint64 {
-	wake := z.wheel.next()
+	wake := z.wheel.Next()
 	for _, p := range z.ports {
 		if len(p.queue) == 0 {
 			continue
@@ -199,33 +204,4 @@ func (z *Zbox) QueueDepth() int {
 		n += len(p.queue)
 	}
 	return n
-}
-
-// eventWheel is a local completion scheduler (the pipe package's wheel is
-// for UOps; this one passes the cycle to the callback).
-type eventWheel struct{ m map[uint64][]func() }
-
-func (w *eventWheel) at(c uint64, fn func(uint64)) {
-	w.m[c] = append(w.m[c], func() { fn(c) })
-}
-
-func (w *eventWheel) advance(c uint64) {
-	if fns, ok := w.m[c]; ok {
-		delete(w.m, c)
-		for _, fn := range fns {
-			fn()
-		}
-	}
-}
-
-func (w *eventWheel) pending() bool { return len(w.m) > 0 }
-
-func (w *eventWheel) next() uint64 {
-	next := ^uint64(0)
-	for c := range w.m {
-		if c < next {
-			next = c
-		}
-	}
-	return next
 }
