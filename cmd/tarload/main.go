@@ -46,9 +46,20 @@ type report struct {
 	Throughput    float64 `json:"throughput_jobs_per_sec"`
 	P50Ms         float64 `json:"p50_ms"`
 	P99Ms         float64 `json:"p99_ms"`
-	Done          int     `json:"done"`
-	Failed        int     `json:"failed"`
-	ClientErrors  int     `json:"client_errors"`
+	Done         int `json:"done"`
+	Failed       int `json:"failed"`
+	ClientErrors int `json:"client_errors"`
+	// Robustness outcomes: Shed counts submissions the server refused with
+	// "queue_full" (after any Retry-After retries were spent),
+	// DeadlineExceeded jobs shed in the queue with "deadline_exceeded",
+	// WorkerCrashes jobs that exhausted the fleet's retry budget, and
+	// Retries the client-side resubmissions Retry-After earned. Under
+	// overload these are expected, structured outcomes (-allow-shed), not
+	// failures.
+	Shed             int `json:"shed"`
+	DeadlineExceeded int `json:"deadline_exceeded"`
+	WorkerCrashes    int `json:"worker_crashes"`
+	Retries          int `json:"client_retries"`
 	CacheHits     float64 `json:"server_cache_hits"`
 	CacheMisses   float64 `json:"server_cache_misses"`
 	DedupJoined   float64 `json:"server_dedup_joined"`
@@ -58,6 +69,10 @@ type report struct {
 	// counters (0 on the in-process backend).
 	WorkerRetries  float64 `json:"server_worker_retries"`
 	WorkerRestarts float64 `json:"server_worker_restarts"`
+	// The server's own overload counters, scraped after the run.
+	ServerShedQueueFull float64 `json:"server_shed_queue_full"`
+	ServerShedDeadline  float64 `json:"server_shed_deadline"`
+	ServerPoisonShed    float64 `json:"server_poison_shed"`
 
 	// Experiments carries the server's per-experiment series summaries
 	// (the labeled tarserved_experiment_* gauges): one row per distinct
@@ -88,6 +103,7 @@ func main() {
 	wait := flag.Duration("wait", 30*time.Second, "long-poll interval per status request")
 	out := flag.String("out", "", "write the JSON report to this file (default stdout)")
 	wantBackend := flag.String("backend", "", "assert the server runs this execution backend (inprocess or subprocess) before loading it")
+	allowShed := flag.Bool("allow-shed", false, "treat queue_full and deadline_exceeded outcomes as expected overload shedding, not run failures")
 	flag.Parse()
 
 	serverBackend, err := probeBackend(*addr)
@@ -110,11 +126,15 @@ func main() {
 	}
 
 	var (
-		mu        sync.Mutex
-		latencies []float64
-		done      int
-		failed    int
-		clientErr int
+		mu               sync.Mutex
+		latencies        []float64
+		done             int
+		failed           int
+		clientErr        int
+		shed             int
+		deadlineExceeded int
+		workerCrashes    int
+		retries          int
 	)
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -126,16 +146,24 @@ func main() {
 			for i := range work {
 				p := set[i%len(set)]
 				t0 := time.Now()
-				state, err := runJob(*addr, p.bench, p.config, *scale, *wait)
+				oc, err := runJob(*addr, p.bench, p.config, *scale, *wait)
 				lat := time.Since(t0)
 				mu.Lock()
+				retries += oc.retries
 				switch {
 				case err != nil:
 					clientErr++
 					fmt.Fprintf(os.Stderr, "tarload: job %d (%s@%s): %v\n", i, p.bench, p.config, err)
-				case state == "done":
+				case oc.state == "done":
 					done++
 					latencies = append(latencies, float64(lat.Milliseconds()))
+				case oc.code == "queue_full":
+					shed++
+				case oc.code == "deadline_exceeded":
+					deadlineExceeded++
+				case oc.code == "worker_crash":
+					workerCrashes++
+					failed++
 				default:
 					failed++
 				}
@@ -156,6 +184,8 @@ func main() {
 		WallSeconds: wall.Seconds(),
 		Throughput:  float64(*n) / wall.Seconds(),
 		Done:        done, Failed: failed, ClientErrors: clientErr,
+		Shed: shed, DeadlineExceeded: deadlineExceeded,
+		WorkerCrashes: workerCrashes, Retries: retries,
 	}
 	sort.Float64s(latencies)
 	if len(latencies) > 0 {
@@ -170,14 +200,17 @@ func main() {
 		rep.SimsCompleted = m["tarserved_sims_completed_total"]
 		rep.WorkerRetries = m["tarserved_workers_retries"]
 		rep.WorkerRestarts = m["tarserved_workers_restarts"]
+		rep.ServerShedQueueFull = m["tarserved_shed_queue_full_total"]
+		rep.ServerShedDeadline = m["tarserved_shed_deadline_total"]
+		rep.ServerPoisonShed = m["tarserved_poison_shed_total"]
 		rep.Experiments = exps
 	} else {
 		fmt.Fprintln(os.Stderr, "tarload: metrics scrape failed:", err)
 	}
 
 	fmt.Fprintf(os.Stderr,
-		"tarload: %d requests (%d done, %d failed, %d client errors) in %.2fs — %.1f jobs/s, p50 %.0fms p99 %.0fms, server ran %.0f sims (%.0f cache hits, %.0f dedup joins)\n",
-		*n, done, failed, clientErr, wall.Seconds(), rep.Throughput, rep.P50Ms, rep.P99Ms,
+		"tarload: %d requests (%d done, %d failed, %d shed, %d deadline-exceeded, %d client errors, %d retries) in %.2fs — %.1f jobs/s, p50 %.0fms p99 %.0fms, server ran %.0f sims (%.0f cache hits, %.0f dedup joins)\n",
+		*n, done, failed, shed, deadlineExceeded, clientErr, retries, wall.Seconds(), rep.Throughput, rep.P50Ms, rep.P99Ms,
 		rep.SimsStarted, rep.CacheHits, rep.DedupJoined)
 
 	enc, _ := json.MarshalIndent(rep, "", "  ")
@@ -191,6 +224,10 @@ func main() {
 		os.Stdout.Write(enc)
 	}
 	if failed > 0 || clientErr > 0 {
+		os.Exit(1)
+	}
+	if !*allowShed && (shed > 0 || deadlineExceeded > 0) {
+		fmt.Fprintln(os.Stderr, "tarload: run was shed by overload protection (pass -allow-shed to treat this as expected)")
 		os.Exit(1)
 	}
 }
@@ -211,38 +248,94 @@ func probeBackend(addr string) (string, error) {
 	return hz.Backend, nil
 }
 
+// outcome is one job's terminal fate: its state ("done", "failed" or
+// "shed"), the envelope code when it did not complete, and how many
+// Retry-After resubmissions it took to get in the door.
+type outcome struct {
+	state   string
+	code    string
+	retries int
+}
+
 // runJob submits one experiment and long-polls until it reaches a terminal
-// state, returning that state.
-func runJob(addr, bench, config, scale string, wait time.Duration) (string, error) {
+// state. A "queue_full" rejection is retried after the server's Retry-After
+// estimate (capped, bounded attempts) — the polite client the admission
+// controller's header is designed for; when the retries run out the job
+// counts as shed rather than erroring.
+func runJob(addr, bench, config, scale string, wait time.Duration) (outcome, error) {
 	body, _ := json.Marshal(map[string]any{"bench": bench, "config": config, "scale": scale})
-	resp, err := http.Post(addr+"/v1/jobs", "application/json", bytes.NewReader(body))
-	if err != nil {
-		return "", err
-	}
+	var oc outcome
 	var st struct {
 		ID    string `json:"id"`
 		State string `json:"state"`
+		Error *struct {
+			Code string `json:"code"`
+		} `json:"error"`
 	}
-	err = json.NewDecoder(resp.Body).Decode(&st)
-	resp.Body.Close()
-	if err != nil {
-		return "", err
-	}
-	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
-		return "", fmt.Errorf("submit: HTTP %d", resp.StatusCode)
-	}
-	for st.State != "done" && st.State != "failed" {
-		resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s?wait=%s", addr, st.ID, wait))
+	for {
+		resp, err := http.Post(addr+"/v1/jobs", "application/json", bytes.NewReader(body))
 		if err != nil {
-			return "", err
+			return oc, err
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			var envelope struct {
+				Error struct {
+					Code string `json:"code"`
+				} `json:"error"`
+			}
+			err := json.NewDecoder(resp.Body).Decode(&envelope)
+			retryAfter := resp.Header.Get("Retry-After")
+			resp.Body.Close()
+			if err != nil {
+				return oc, err
+			}
+			if envelope.Error.Code == "queue_full" && oc.retries < 3 {
+				oc.retries++
+				delay := time.Second
+				if s, err := strconv.Atoi(retryAfter); err == nil && s > 0 {
+					delay = time.Duration(s) * time.Second
+				}
+				if delay > 5*time.Second {
+					delay = 5 * time.Second
+				}
+				time.Sleep(delay)
+				continue
+			}
+			oc.state, oc.code = "shed", envelope.Error.Code
+			return oc, nil
 		}
 		err = json.NewDecoder(resp.Body).Decode(&st)
 		resp.Body.Close()
 		if err != nil {
-			return "", err
+			return oc, err
+		}
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+			if st.Error != nil {
+				// A structured terminal envelope (e.g. a poisoned confhash's
+				// recorded worker_crash) is an outcome, not a client error.
+				oc.state, oc.code = "failed", st.Error.Code
+				return oc, nil
+			}
+			return oc, fmt.Errorf("submit: HTTP %d", resp.StatusCode)
+		}
+		break
+	}
+	for st.State != "done" && st.State != "failed" {
+		resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s?wait=%s", addr, st.ID, wait))
+		if err != nil {
+			return oc, err
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			return oc, err
 		}
 	}
-	return st.State, nil
+	oc.state = st.State
+	if st.Error != nil {
+		oc.code = st.Error.Code
+	}
+	return oc, nil
 }
 
 // scrapeMetrics pulls the plain counters and the labeled per-experiment

@@ -9,6 +9,15 @@
 //	tarserved -addr :8077
 //	tarserved -addr :8077 -workers 8 -cache 4096 -max-deadline 5m
 //	tarserved -addr :8077 -backend subprocess -worker-bin ./tarworker
+//	tarserved -addr :8077 -store-dir /var/lib/tarserved -queue-wait 2m
+//
+// With -store-dir, completed results are persisted to a crash-safe disk
+// store (temp-file + fsync + rename, schema-versioned, corrupt files
+// quarantined) and a restarted server warm-starts from them: resubmitting
+// a finished sweep after a crash costs zero re-simulation. -queue-wait
+// bounds how long a job may wait for a worker — expired jobs are shed with
+// error code "deadline_exceeded" (504), and submissions whose estimated
+// wait is hopeless are refused up front with "queue_full" + Retry-After.
 //
 // Execution backends (-backend):
 //
@@ -63,6 +72,11 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Minute, "how long shutdown waits for in-flight simulations")
 	sample := flag.Uint64("sample", 0, "sample IPC/bandwidth/occupancy every N cycles on every simulation; results carry the series and /metrics exposes per-experiment summaries (0 = off)")
 	sampleCap := flag.Int("sample-cap", 0, "max retained sample points per simulation (0 = default)")
+	storeDir := flag.String("store-dir", "", "persist results to this directory (crash-safe disk store; empty = memory only)")
+	storeMaxBytes := flag.Int64("store-max-bytes", 0, "disk-store byte cap; least-recently-accessed artifacts are evicted past it (0 = 1 GiB)")
+	queueWait := flag.Duration("queue-wait", 5*time.Minute, "max time a job may wait for a worker before being shed with deadline_exceeded; also the admission controller's wait budget (0 = no shedding)")
+	chaos := flag.String("chaos", "", "chaos campaigns, comma-separated: disk (inject disk-store I/O errors and torn writes), killstorm (SIGKILL subprocess workers on early attempts), flood (tiny queue and short waits to force structural shedding)")
+	chaosSeed := flag.Int64("chaos-seed", 1, "deterministic seed for -chaos campaigns")
 	backend := flag.String("backend", "inprocess", "execution backend: inprocess or subprocess")
 	workerBin := flag.String("worker-bin", "", "tarworker binary for -backend subprocess (default: tarworker next to this binary, else $PATH)")
 	jobRetries := flag.Int("job-retries", 2, "times a job is requeued after a worker death (subprocess backend)")
@@ -98,10 +112,51 @@ func main() {
 		}()
 	}
 
+	// Resolve the -chaos campaigns before anything opens: disk chaos arms
+	// the store's injector, killstorm the subprocess fleet's, and flood
+	// shrinks the queue so saturation (and its structured shedding) is
+	// reachable without megascale load.
+	var diskChaos *faults.Config
+	killStorm := false
+	for _, c := range strings.Split(*chaos, ",") {
+		switch strings.TrimSpace(c) {
+		case "":
+		case "disk":
+			diskChaos = faults.DiskChaos(*chaosSeed)
+		case "killstorm":
+			killStorm = true
+		case "flood":
+			if *queue > 2 {
+				*queue = 2
+			}
+			if *queueWait == 0 || *queueWait > 250*time.Millisecond {
+				*queueWait = 250 * time.Millisecond
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "tarserved: unknown -chaos campaign %q (want disk, killstorm or flood)\n", c)
+			os.Exit(2)
+		}
+	}
+	if *chaos != "" {
+		fmt.Fprintf(os.Stderr, "tarserved: chaos armed (%s, seed %d) — this server sheds and fails on purpose\n", *chaos, *chaosSeed)
+	}
+
+	store, err := serve.OpenStore(*storeDir, *cache, *storeMaxBytes, diskChaos)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tarserved:", err)
+		os.Exit(2)
+	}
+	if *storeDir != "" {
+		st := store.Status()
+		fmt.Fprintf(os.Stderr, "tarserved: disk store %s: %d artifacts warm-started (%d bytes), %d quarantined\n",
+			*storeDir, st.WarmStart, st.DiskBytes, st.Quarantined)
+	}
+
 	opts := serve.Options{
 		Workers:         *workers,
 		QueueDepth:      *queue,
-		CacheEntries:    *cache,
+		Store:           store,
+		QueueWait:       *queueWait,
 		DefaultDeadline: *jobDeadline,
 		MaxDeadline:     *maxDeadline,
 		SampleEvery:     *sample,
@@ -113,9 +168,22 @@ func main() {
 			fmt.Fprintln(os.Stderr, "tarserved: -kill-worker requires -backend subprocess (there is no process to kill in-process)")
 			os.Exit(2)
 		}
+		if killStorm {
+			fmt.Fprintln(os.Stderr, "tarserved: -chaos killstorm requires -backend subprocess (there is no process to kill in-process)")
+			os.Exit(2)
+		}
 	case "subprocess":
 		var fcfg *faults.Config
-		if *killWorker != "" {
+		switch {
+		case killStorm && *killWorker != "":
+			fmt.Fprintln(os.Stderr, "tarserved: -chaos killstorm and -kill-worker are mutually exclusive")
+			os.Exit(2)
+		case killStorm:
+			// Storm depth 2 with the default retry budget of 2 means every
+			// job survives on its third attempt: maximum fleet churn, zero
+			// permanently lost work.
+			fcfg = faults.KillStorm(*chaosSeed, 2)
+		case *killWorker != "":
 			fcfg = faults.WorkerKiller(strings.Split(*killWorker, ",")...)
 			fmt.Fprintf(os.Stderr, "tarserved: fault drill armed: SIGKILL worker of %s on first attempt\n", *killWorker)
 		}

@@ -14,6 +14,7 @@ package faults
 
 import (
 	"hash/fnv"
+	"sync/atomic"
 	"time"
 )
 
@@ -56,6 +57,28 @@ type Config struct {
 	// and the service itself never notices beyond a retry counter. The
 	// in-process backend ignores the flag (there is no process to kill).
 	WorkerKill bool
+
+	// WorkerKillStorm escalates the drill into a storm: targeted cells'
+	// workers are SIGKILLed on every attempt below the value, so a storm
+	// deeper than the retry budget deterministically exhausts it. The
+	// contract under test shifts from "the retry recovers" to "the server
+	// sheds with a structured worker_crash envelope and quarantines the
+	// poisoned confhash instead of retry-looping the fleet to death".
+	WorkerKillStorm int
+
+	// DiskErrPct injects I/O errors into the disk result store with the
+	// given percent probability per read or write. A failed write costs
+	// durability for that one artifact (the miss re-simulates); a failed
+	// read is a transient miss. Neither may corrupt the store or hang a
+	// request.
+	DiskErrPct int
+
+	// DiskTornPct, per store write, persists a torn artifact — a prefix of
+	// the real bytes at the final path, modeling a crash that beat the
+	// atomic-rename protocol (power loss between rename and data flush).
+	// The store's corruption-tolerant loader must quarantine the file on
+	// the next read instead of serving it or crashing.
+	DiskTornPct int
 
 	// Cells, when non-empty, restricts a sweep-level campaign to these
 	// exact (benchmark@config) keys. When empty, Targets selects a seeded
@@ -109,10 +132,36 @@ func WorkerKiller(cells ...string) *Config {
 	return &Config{WorkerKill: true, Cells: cells}
 }
 
+// KillStorm is the canned worker-kill storm (tarserved -chaos storm):
+// targeted cells' workers are SIGKILLed on every attempt below depth. With
+// depth within the retry budget the job survives the storm; past it the
+// server must shed with worker_crash and poison the confhash.
+func KillStorm(seed int64, depth int, cells ...string) *Config {
+	if depth <= 0 {
+		depth = 2
+	}
+	return &Config{Seed: seed, WorkerKillStorm: depth, Cells: cells}
+}
+
+// DiskChaos is the canned disk-store campaign (tarserved -chaos disk): one
+// in four store operations fails with an injected I/O error and one in four
+// writes lands torn. The store must quarantine what it cannot decode, miss
+// on what it cannot read, and never serve a corrupt artifact.
+func DiskChaos(seed int64) *Config {
+	return &Config{Seed: seed, DiskErrPct: 25, DiskTornPct: 25}
+}
+
 // Injector is the per-chip view of a Config. A nil *Injector is valid and
 // injects nothing, so components call the hooks unconditionally.
+//
+// Simulation hooks stay pure functions of (seed, cycle, stream). The
+// service-layer hooks (disk faults) have no simulated cycle to key on, so
+// they draw from a per-injector operation counter instead: the decision
+// sequence is deterministic for a given seed and serial operation order,
+// which is the strongest reproducibility a concurrent service can offer.
 type Injector struct {
 	cfg Config
+	opN atomic.Uint64
 }
 
 // New returns an injector for cfg, or nil when cfg is nil (no faults).
@@ -125,11 +174,14 @@ func New(cfg *Config) *Injector {
 
 // Streams namespace the hash so the same cycle rolls independently per hook.
 const (
-	streamMem   uint64 = 0x9e3779b97f4a7c15
-	streamL2    uint64 = 0xd1b54a32d192ed03
-	streamFU    uint64 = 0x8cb92ba72f3d8dd7
-	streamVPort uint64 = 0xaef17502108ef2d9
-	streamWake  uint64 = 0xf1357aea2e62a9c5
+	streamMem      uint64 = 0x9e3779b97f4a7c15
+	streamL2       uint64 = 0xd1b54a32d192ed03
+	streamFU       uint64 = 0x8cb92ba72f3d8dd7
+	streamVPort    uint64 = 0xaef17502108ef2d9
+	streamWake     uint64 = 0xf1357aea2e62a9c5
+	streamDiskRead uint64 = 0xc6a4a7935bd1e995
+	streamDiskWr   uint64 = 0xff51afd7ed558ccd
+	streamDiskTorn uint64 = 0xc4ceb9fe1a85ec53
 )
 
 // splitmix64 is the standard 64-bit finalizer; one application is enough to
@@ -205,11 +257,53 @@ func (i *Injector) InflateWake(now, wake uint64) uint64 {
 }
 
 // KillWorker reports whether the subprocess backend should SIGKILL the
-// worker executing the given cell on this attempt (0-based). Kills fire on
-// the first attempt only, so the retried job always completes — the drill
-// proves recovery, not permanent denial.
+// worker executing the given cell on this attempt (0-based). The plain
+// drill (WorkerKill) fires on the first attempt only, so the retried job
+// always completes — it proves recovery, not permanent denial. A storm
+// (WorkerKillStorm) fires on every attempt below its depth, so a storm
+// deeper than the retry budget proves the shed-and-quarantine path instead.
 func (i *Injector) KillWorker(key string, attempt int) bool {
-	return i != nil && i.cfg.WorkerKill && attempt == 0 && i.cfg.Targets(key)
+	if i == nil || !i.cfg.Targets(key) {
+		return false
+	}
+	if i.cfg.WorkerKillStorm > 0 && attempt < i.cfg.WorkerKillStorm {
+		return true
+	}
+	return i.cfg.WorkerKill && attempt == 0
+}
+
+// serviceRoll draws the next decision for a service-layer stream: the op
+// counter substitutes for the simulated cycle the disk has no notion of.
+func (i *Injector) serviceRoll(stream uint64) uint64 {
+	return i.roll(stream, i.opN.Add(1), 0)
+}
+
+// DiskReadError reports whether this disk-store read should fail with an
+// injected I/O error (a transient miss; the entry itself stays intact).
+func (i *Injector) DiskReadError() bool {
+	if i == nil || i.cfg.DiskErrPct <= 0 {
+		return false
+	}
+	return i.serviceRoll(streamDiskRead)%100 < uint64(i.cfg.DiskErrPct)
+}
+
+// DiskWriteError reports whether this disk-store write should fail with an
+// injected I/O error (the artifact loses durability; nothing is persisted).
+func (i *Injector) DiskWriteError() bool {
+	if i == nil || i.cfg.DiskErrPct <= 0 {
+		return false
+	}
+	return i.serviceRoll(streamDiskWr)%100 < uint64(i.cfg.DiskErrPct)
+}
+
+// TornWrite reports whether this disk-store write should persist only a
+// prefix of the artifact at its final path — the crash-beat-the-rename
+// corruption the store's loader must quarantine rather than serve.
+func (i *Injector) TornWrite() bool {
+	if i == nil || i.cfg.DiskTornPct <= 0 {
+		return false
+	}
+	return i.serviceRoll(streamDiskTorn)%100 < uint64(i.cfg.DiskTornPct)
 }
 
 // Active reports whether the injector perturbs anything at all.

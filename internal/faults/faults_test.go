@@ -136,3 +136,70 @@ func TestKillWorker(t *testing.T) {
 		t.Error("unarmed campaign killed a worker")
 	}
 }
+
+// TestKillStorm pins the storm escalation: targeted cells are killed on
+// every attempt below the depth, untargeted cells never, and the plain
+// drill's first-attempt-only rule is unchanged by an unarmed storm field.
+func TestKillStorm(t *testing.T) {
+	i := faults.New(faults.KillStorm(1, 3, "dgemm@T"))
+	for attempt := 0; attempt < 3; attempt++ {
+		if !i.KillWorker("dgemm@T", attempt) {
+			t.Errorf("storm depth 3 spared attempt %d", attempt)
+		}
+	}
+	if i.KillWorker("dgemm@T", 3) {
+		t.Error("storm killed past its depth")
+	}
+	if i.KillWorker("dgemm@EV8", 0) {
+		t.Error("storm killed an untargeted cell")
+	}
+	if (*faults.Injector)(nil).KillWorker("dgemm@T", 0) {
+		t.Error("nil injector stormed")
+	}
+}
+
+// TestDiskFaultHooks checks the service-layer hooks: nil-safe, off when
+// unarmed, deterministic per (seed, operation order), and firing at roughly
+// the configured rate.
+func TestDiskFaultHooks(t *testing.T) {
+	var nilInj *faults.Injector
+	if nilInj.DiskReadError() || nilInj.DiskWriteError() || nilInj.TornWrite() {
+		t.Error("nil injector faulted a disk op")
+	}
+	if off := faults.New(&faults.Config{Seed: 3}); off.DiskReadError() || off.DiskWriteError() || off.TornWrite() {
+		t.Error("unarmed campaign faulted a disk op")
+	}
+
+	draw := func(seed int64) []bool {
+		i := faults.New(faults.DiskChaos(seed))
+		out := make([]bool, 0, 300)
+		for n := 0; n < 100; n++ {
+			out = append(out, i.DiskReadError(), i.DiskWriteError(), i.TornWrite())
+		}
+		return out
+	}
+	a, b, c := draw(11), draw(11), draw(12)
+	same := true
+	for k := range a {
+		if a[k] != b[k] {
+			t.Fatalf("same seed diverged at op %d", k)
+		}
+		if a[k] != c[k] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("seeds 11 and 12 drew identical fault sequences")
+	}
+	hits := 0
+	for _, v := range a {
+		if v {
+			hits++
+		}
+	}
+	// 25% nominal over 300 draws: accept a generous band, the contract is
+	// "the campaign actually injects", not an exact rate.
+	if hits < 30 || hits > 150 {
+		t.Errorf("DiskChaos fired %d/300 ops, want within [30,150]", hits)
+	}
+}

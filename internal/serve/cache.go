@@ -7,11 +7,13 @@ import (
 	"repro/internal/workloads"
 )
 
-// lru is the content-addressed result cache: confhash key → completed
-// Result, bounded by entry count with least-recently-used eviction. Only
-// successful runs are cached — failures like a blown wall-clock deadline
-// depend on the machine the server happens to run on, so replaying them is
-// the honest choice.
+// lru is the in-memory tier of the content-addressed result store: confhash
+// key → completed Result, bounded by entry count with least-recently-used
+// eviction. Only successful runs are stored — failures like a blown
+// wall-clock deadline depend on the machine the server happens to run on,
+// so replaying them is the honest choice. Standing alone it is the
+// everything-dies-with-the-process store tarserved launched with; under a
+// tieredStore it becomes the read cache in front of the disk tier.
 type lru struct {
 	mu      sync.Mutex
 	max     int
@@ -31,8 +33,8 @@ func newLRU(max int) *lru {
 	return &lru{max: max, order: list.New(), entries: make(map[string]*list.Element)}
 }
 
-// get returns the cached result and refreshes its recency.
-func (c *lru) get(key string) (*workloads.Result, bool) {
+// Get returns the cached result and refreshes its recency.
+func (c *lru) Get(key string) (*workloads.Result, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.entries[key]
@@ -43,9 +45,9 @@ func (c *lru) get(key string) (*workloads.Result, bool) {
 	return el.Value.(*lruEntry).res, true
 }
 
-// add inserts (or refreshes) a result, evicting the coldest entry past the
+// Put inserts (or refreshes) a result, evicting the coldest entry past the
 // bound.
-func (c *lru) add(key string, res *workloads.Result) {
+func (c *lru) Put(key string, res *workloads.Result) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
@@ -61,9 +63,17 @@ func (c *lru) add(key string, res *workloads.Result) {
 	}
 }
 
-// len reports the current entry count.
-func (c *lru) len() int {
+// Len reports the current entry count.
+func (c *lru) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.order.Len()
 }
+
+// Status reports the memory-only store health.
+func (c *lru) Status() StoreStatus {
+	return StoreStatus{Tier: "mem", MemEntries: c.Len()}
+}
+
+// Close is a no-op: the memory tier has nothing to release.
+func (c *lru) Close() error { return nil }

@@ -1,0 +1,339 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/faults"
+	"repro/internal/workloads"
+)
+
+// defaultDiskMaxBytes bounds the disk store when no cap is configured: 1 GiB
+// of artifacts, far beyond any single-node sweep at today's scales.
+const defaultDiskMaxBytes = 1 << 30
+
+// diskStore is the crash-safe tier of the result store: one file per
+// artifact under <dir>/schema-<N>/<confhash>.json, in the same
+// schema-versioned JobResult encoding the API serves. Durability comes from
+// the write protocol (temp file → fsync → rename); schema isolation comes
+// from the directory name (a store written by an older build is simply a
+// different directory, never a byte-diff hazard); and corruption tolerance
+// comes from the loader: any file that fails to decode, carries a skewed
+// schema stamp, or contradicts its own filename is moved to
+// <dir>/quarantine/ and counted — never served, never fatal.
+//
+// Eviction is least-recently-accessed by a logical access clock (seeded
+// from file modification order at open), driven by an on-disk byte cap.
+type diskStore struct {
+	dir       string // artifact directory (schema-versioned)
+	quarDir   string
+	maxBytes  int64
+	inj       *faults.Injector
+
+	mu        sync.Mutex
+	entries   map[string]*diskEntry
+	total     int64
+	clock     int64 // logical access time, bumped per touch
+	warmStart int    // artifacts validated at open
+	quarCount uint64
+	ioErrors  uint64
+	evicted   uint64
+}
+
+type diskEntry struct {
+	size  int64
+	atime int64
+}
+
+// openDiskStore scans dir, validating every artifact of this build's schema
+// and quarantining what it cannot trust. Crash debris (orphaned temp files)
+// is removed. The scan is the warm start: everything that survives it is
+// served without re-simulation.
+func openDiskStore(dir string, maxBytes int64, inj *faults.Injector) (*diskStore, error) {
+	if maxBytes <= 0 {
+		maxBytes = defaultDiskMaxBytes
+	}
+	d := &diskStore{
+		dir:      filepath.Join(dir, fmt.Sprintf("schema-%d", SchemaVersion)),
+		quarDir:  filepath.Join(dir, "quarantine"),
+		maxBytes: maxBytes,
+		inj:      inj,
+		entries:  make(map[string]*diskEntry),
+	}
+	if err := os.MkdirAll(d.dir, 0o755); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(d.quarDir, 0o755); err != nil {
+		return nil, err
+	}
+	names, err := os.ReadDir(d.dir)
+	if err != nil {
+		return nil, err
+	}
+	// Validate in modification order so the seeded access clock preserves
+	// the previous process's recency ordering for eviction purposes.
+	type candidate struct {
+		name string
+		mod  int64
+	}
+	var cands []candidate
+	for _, de := range names {
+		if de.IsDir() {
+			continue
+		}
+		name := de.Name()
+		if strings.HasPrefix(name, tmpPrefix) {
+			os.Remove(filepath.Join(d.dir, name)) // crash debris
+			continue
+		}
+		if !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		cands = append(cands, candidate{name: name, mod: info.ModTime().UnixNano()})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].mod < cands[j].mod })
+	for _, c := range cands {
+		key := strings.TrimSuffix(c.name, ".json")
+		path := filepath.Join(d.dir, c.name)
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			d.ioErrors++
+			continue
+		}
+		if _, err := decodeArtifact(key, raw); err != nil {
+			d.quarantineLocked(key, path)
+			continue
+		}
+		d.clock++
+		d.entries[key] = &diskEntry{size: int64(len(raw)), atime: d.clock}
+		d.total += int64(len(raw))
+	}
+	d.warmStart = len(d.entries)
+	d.evictLocked()
+	return d, nil
+}
+
+const tmpPrefix = ".tmp-"
+
+// safeKey reports whether a content key can be used as a filename verbatim.
+// Real confhash keys are 32 hex characters; anything outside the safe set
+// (or absurdly long) is not persisted rather than risking path tricks.
+func safeKey(key string) bool {
+	if key == "" || len(key) > 128 {
+		return false
+	}
+	for _, r := range key {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (d *diskStore) path(key string) string { return filepath.Join(d.dir, key+".json") }
+
+// Put persists one completed result. Content-addressed idempotence makes a
+// re-put of a resident key a no-op, which is exactly what the tiered
+// store's single-flight contract needs: a result completing while a
+// warm-start load is in flight cannot be written twice. Failures (real or
+// injected) cost durability for this one artifact, nothing else.
+func (d *diskStore) Put(key string, res *workloads.Result) {
+	if !safeKey(key) {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.entries[key]; ok {
+		return
+	}
+	raw, err := json.Marshal(EncodeResult(key, res))
+	if err != nil {
+		d.ioErrors++
+		return
+	}
+	if d.inj.DiskWriteError() {
+		d.ioErrors++
+		return
+	}
+	if d.inj.TornWrite() {
+		// Chaos: a prefix lands at the final path, as if a crash beat the
+		// atomic-rename protocol. The entry is registered so the next read
+		// exercises the quarantine path.
+		torn := raw[:len(raw)/2]
+		if err := os.WriteFile(d.path(key), torn, 0o644); err != nil {
+			d.ioErrors++
+			return
+		}
+		d.clock++
+		d.entries[key] = &diskEntry{size: int64(len(torn)), atime: d.clock}
+		d.total += int64(len(torn))
+		d.evictLocked()
+		return
+	}
+	tmp, err := os.CreateTemp(d.dir, tmpPrefix+key+"-*")
+	if err != nil {
+		d.ioErrors++
+		return
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(raw); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		d.ioErrors++
+		return
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		d.ioErrors++
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		d.ioErrors++
+		return
+	}
+	if err := os.Rename(tmpName, d.path(key)); err != nil {
+		os.Remove(tmpName)
+		d.ioErrors++
+		return
+	}
+	d.syncDir()
+	d.clock++
+	d.entries[key] = &diskEntry{size: int64(len(raw)), atime: d.clock}
+	d.total += int64(len(raw))
+	d.evictLocked()
+}
+
+// syncDir flushes the directory entry so the rename itself is durable.
+// Best-effort: a failure here narrows the crash window, it does not corrupt
+// anything (the artifact file is already synced).
+func (d *diskStore) syncDir() {
+	if f, err := os.Open(d.dir); err == nil {
+		f.Sync()
+		f.Close()
+	}
+}
+
+// Get loads one artifact. A read failure is a transient miss; a decode or
+// validation failure quarantines the file and misses. Either way the caller
+// re-simulates — the store never serves bytes it cannot vouch for.
+func (d *diskStore) Get(key string) (*workloads.Result, bool) {
+	if !safeKey(key) {
+		return nil, false
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	e, ok := d.entries[key]
+	if !ok {
+		return nil, false
+	}
+	if d.inj.DiskReadError() {
+		d.ioErrors++
+		return nil, false
+	}
+	path := d.path(key)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		d.ioErrors++
+		return nil, false
+	}
+	res, err := decodeArtifact(key, raw)
+	if err != nil {
+		d.dropLocked(key, e)
+		d.quarantineLocked(key, path)
+		return nil, false
+	}
+	d.clock++
+	e.atime = d.clock
+	return res, true
+}
+
+// dropLocked removes an entry from the index without touching its file.
+func (d *diskStore) dropLocked(key string, e *diskEntry) {
+	delete(d.entries, key)
+	d.total -= e.size
+}
+
+// quarantineLocked moves a distrusted file aside (removing it if the move
+// fails) and counts it. Requires d.mu at open time the lock is not yet
+// contended, so the same helper serves both paths.
+func (d *diskStore) quarantineLocked(key, path string) {
+	dst := filepath.Join(d.quarDir, key+".json")
+	if err := os.Rename(path, dst); err != nil {
+		os.Remove(path)
+	}
+	d.quarCount++
+}
+
+// evictLocked enforces the byte cap: least-recently-accessed artifacts are
+// deleted until the store fits. Requires d.mu.
+func (d *diskStore) evictLocked() {
+	for d.total > d.maxBytes && len(d.entries) > 0 {
+		var coldKey string
+		var cold *diskEntry
+		for k, e := range d.entries {
+			if cold == nil || e.atime < cold.atime {
+				coldKey, cold = k, e
+			}
+		}
+		d.dropLocked(coldKey, cold)
+		os.Remove(d.path(coldKey))
+		d.evicted++
+	}
+}
+
+func (d *diskStore) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.entries)
+}
+
+func (d *diskStore) Status() StoreStatus {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return StoreStatus{
+		Tier:        "disk",
+		DiskEntries: len(d.entries),
+		DiskBytes:   d.total,
+		WarmStart:   d.warmStart,
+		Quarantined: d.quarCount,
+		IOErrors:    d.ioErrors,
+		Evicted:     d.evicted,
+	}
+}
+
+// Close is a no-op: every put is already durable at rename time.
+func (d *diskStore) Close() error { return nil }
+
+// decodeArtifact validates one on-disk artifact end to end: JSON shape,
+// schema stamp, self-consistent content key, and a reconstructible result.
+// Anything less is quarantine material.
+func decodeArtifact(key string, raw []byte) (*workloads.Result, error) {
+	var jr JobResult
+	if err := json.Unmarshal(raw, &jr); err != nil {
+		return nil, fmt.Errorf("undecodable artifact: %w", err)
+	}
+	if jr.Schema != SchemaVersion {
+		return nil, fmt.Errorf("schema skew: artifact is schema %d, this build writes %d", jr.Schema, SchemaVersion)
+	}
+	if jr.Key != key {
+		return nil, fmt.Errorf("key mismatch: file named %s carries key %s", key, jr.Key)
+	}
+	res, err := resultFromWire(&jr)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -35,6 +35,12 @@ type SubmitRequest struct {
 	// DeadlineMs caps the simulation's wall-clock time; 0 inherits the
 	// server default, and values above the server maximum are clamped.
 	DeadlineMs int64 `json:"deadline_ms,omitempty"`
+	// QueueWaitMs caps how long this job may wait for a worker before being
+	// shed with code "deadline_exceeded"; 0 inherits the server's queue-wait
+	// bound, and values above it are clamped. The request's deadline thus
+	// propagates through the queue: a job that cannot start in time is shed
+	// without ever occupying a worker.
+	QueueWaitMs int64 `json:"queue_wait_ms,omitempty"`
 	// Watchdog overrides the no-retirement-progress window in cycles.
 	Watchdog uint64 `json:"watchdog,omitempty"`
 	// FaultSeed arms a deterministic fault campaign (0 = off);
@@ -175,11 +181,17 @@ type job struct {
 }
 
 // flight is one in-flight simulation: the single execution N deduplicated
-// jobs are waiting on.
+// jobs are waiting on. deadline (when set) bounds its queue wait — the shed
+// janitor and the dequeuing worker both honor it; started/shed are the
+// handshake that makes shedding and execution mutually exclusive (guarded
+// by the server mutex).
 type flight struct {
-	key  string
-	spec *JobSpec
-	jobs []*job
+	key      string
+	spec     *JobSpec
+	jobs     []*job
+	deadline time.Time
+	started  bool
+	shed     bool
 }
 
 // JobStatus is the wire form of a job, returned by the submit and poll
@@ -209,8 +221,14 @@ const (
 	// ErrCodeDraining: the server is shutting down and refuses new work.
 	// HTTP 503.
 	ErrCodeDraining = "draining"
-	// ErrCodeQueueFull: the intake queue is at capacity. HTTP 503.
+	// ErrCodeQueueFull: the intake queue is at capacity, or the admission
+	// controller estimates the queue wait would blow the job's deadline
+	// anyway. HTTP 503 with a Retry-After header. Retry later — the
+	// experiment itself is fine.
 	ErrCodeQueueFull = "queue_full"
+	// ErrCodeDeadlineExceeded: the job's deadline expired while it was
+	// still queued; it was shed without occupying a worker. HTTP 504.
+	ErrCodeDeadlineExceeded = "deadline_exceeded"
 	// ErrCodeWedge: the experiment is well-formed but cannot complete — a
 	// watchdog trip, a blown deadline, an invariant violation or a dead
 	// trace. Carries the full WedgeError diagnostics. HTTP 422.
@@ -254,6 +272,10 @@ type ErrorJSON struct {
 type JobError struct {
 	Status int
 	JSON   ErrorJSON
+	// RetryAfter, when positive, becomes the HTTP Retry-After header on the
+	// rejection response (code "queue_full"): the admission controller's
+	// estimate of when capacity frees up. Not part of the JSON envelope.
+	RetryAfter time.Duration
 }
 
 func (e *JobError) Error() string { return e.JSON.Message }

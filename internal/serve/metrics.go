@@ -35,15 +35,29 @@ type metrics struct {
 	mu sync.Mutex
 
 	submitted   uint64 // jobs accepted
-	rejected    uint64 // jobs refused (drain, queue overflow)
+	rejected    uint64 // jobs refused (drain, queue overflow, admission, poison)
 	done        uint64 // jobs reaching StateDone
 	failed      uint64 // jobs reaching StateFailed
 	wedged      uint64 // subset of failed whose cause is a *sim.WedgeError
-	cacheHits   uint64 // submissions answered straight from the LRU
+	cacheHits   uint64 // submissions answered straight from the result store
 	cacheMisses uint64
 	dedupJoined uint64 // submissions that attached to an in-flight run
 	simsStarted uint64 // underlying simulations begun
 	simsDone    uint64 // underlying simulations finished (either way)
+
+	// Overload-protection counters: submissions refused by the admission
+	// controller or queue bound (shedQueueFull), jobs shed from the queue
+	// when their deadline expired before a worker freed up (shedDeadline),
+	// and submissions refused because their confhash is quarantined after
+	// crash-looping the fleet (poisonShed).
+	shedQueueFull uint64
+	shedDeadline  uint64
+	poisonShed    uint64
+
+	// ewmaJob is the exponentially-weighted moving average of simulation
+	// execution seconds (dequeue → completion), the admission controller's
+	// queue-wait estimator. Zero until the first completion.
+	ewmaJob float64
 
 	// simCycles/simWallNs accumulate the timing simulator's own
 	// throughput across every completed simulation, so a scrape can
@@ -136,9 +150,10 @@ func (m *metrics) quantiles() (p50, p99 float64, n uint64) {
 	return at(0.50), at(0.99), n
 }
 
-// render writes the Prometheus exposition. cacheLen is sampled by the
-// caller (the cache has its own lock).
-func (m *metrics) render(w io.Writer, cacheLen int) {
+// render writes the Prometheus exposition. st is the store's health block
+// and poisoned the count of quarantined confhashes, both sampled by the
+// caller (store and server have their own locks).
+func (m *metrics) render(w io.Writer, st StoreStatus, poisoned int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	counter := func(name, help string, v uint64) {
@@ -159,9 +174,15 @@ func (m *metrics) render(w io.Writer, cacheLen int) {
 	counter("tarserved_sims_completed_total", "Underlying simulations finished.", m.simsDone)
 	counter("tarserved_sim_cycles_total", "Simulated cycles across all completed simulations.", m.simCycles)
 	fmt.Fprintf(w, "# HELP tarserved_sim_wall_seconds_total Host wall-clock spent inside the simulation loop across all completed simulations.\n# TYPE tarserved_sim_wall_seconds_total counter\ntarserved_sim_wall_seconds_total %g\n", float64(m.simWallNs)/1e9)
+	counter("tarserved_shed_queue_full_total", "Submissions refused because the queue was full or the estimated wait exceeded the deadline.", m.shedQueueFull)
+	counter("tarserved_shed_deadline_total", "Queued jobs shed because their deadline expired before a worker freed up.", m.shedDeadline)
+	counter("tarserved_poison_shed_total", "Submissions refused because their confhash is quarantined after crash-looping workers.", m.poisonShed)
 	gauge("tarserved_jobs_queued", "Jobs waiting for a worker.", m.queued)
 	gauge("tarserved_jobs_running", "Jobs whose simulation is executing.", m.running)
-	gauge("tarserved_cache_entries", "Entries resident in the result cache.", cacheLen)
+	gauge("tarserved_cache_entries", "Entries resident in the result cache.", st.MemEntries)
+	gauge("tarserved_poisoned_confhashes", "Confhashes currently quarantined by the crash circuit breaker.", poisoned)
+	fmt.Fprintf(w, "# HELP tarserved_job_ewma_seconds EWMA of simulation execution seconds, the admission controller's wait estimator.\n# TYPE tarserved_job_ewma_seconds gauge\ntarserved_job_ewma_seconds %g\n", m.ewmaJob)
+	renderStore(w, st)
 	p50, p99, n := m.quantiles()
 	fmt.Fprintf(w, "# HELP tarserved_job_latency_seconds Job latency, submit to terminal state.\n")
 	fmt.Fprintf(w, "# TYPE tarserved_job_latency_seconds summary\n")
@@ -169,6 +190,22 @@ func (m *metrics) render(w io.Writer, cacheLen int) {
 	fmt.Fprintf(w, "tarserved_job_latency_seconds{quantile=\"0.99\"} %g\n", p99)
 	fmt.Fprintf(w, "tarserved_job_latency_seconds_count %d\n", n)
 	m.renderExperimentsLocked(w)
+}
+
+// renderStore writes the store-health gauges. The store tier is a label so
+// one dashboard query covers memory-only and tiered deployments.
+func renderStore(w io.Writer, st StoreStatus) {
+	g := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s{tier=%q} %d\n", name, help, name, name, st.Tier, v)
+	}
+	g("tarserved_store_mem_entries", "Artifacts resident in the in-memory store tier.", int64(st.MemEntries))
+	g("tarserved_store_disk_entries", "Artifacts resident in the disk store tier.", int64(st.DiskEntries))
+	g("tarserved_store_disk_bytes", "Bytes of artifacts resident on disk.", st.DiskBytes)
+	g("tarserved_store_warm_start", "Artifacts recovered from disk when the store opened.", int64(st.WarmStart))
+	g("tarserved_store_warm_hits", "Gets answered by the disk tier after a memory miss.", int64(st.WarmHits))
+	g("tarserved_store_quarantined", "Undecodable or schema-skewed files quarantined by the loader.", int64(st.Quarantined))
+	g("tarserved_store_io_errors", "Disk reads and writes that failed (real or injected).", int64(st.IOErrors))
+	g("tarserved_store_evicted", "Artifacts dropped by the disk tier's size cap.", int64(st.Evicted))
 }
 
 // renderExperimentsLocked writes the per-experiment series summaries as

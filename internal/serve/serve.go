@@ -1,7 +1,7 @@
 // Package serve turns the Tarantula simulator into a long-lived,
 // multi-tenant job service: experiments are submitted over JSON/HTTP, keyed
 // by their confhash content address, deduplicated against in-flight runs,
-// answered from a bounded LRU result cache when possible, and executed on a
+// answered from a pluggable result store when possible, and executed on a
 // bounded worker pool otherwise. The server exposes Prometheus metrics and
 // drains in-flight simulations on shutdown, so a deploy never truncates a
 // half-finished experiment.
@@ -15,6 +15,16 @@
 // deadline, invariant checker, fault campaigns) remains a request knob. A
 // wedged machine surfaces as a structured HTTP 422 with error code "wedge"
 // — never a hung connection or an anonymous 500.
+//
+// Results live behind the Store interface: the in-memory LRU alone, or the
+// LRU tiered over a crash-safe disk store so a restarted server warm-starts
+// from its previous life's artifacts. Under overload the server sheds load
+// structurally rather than degrading: the admission controller refuses
+// submissions whose estimated queue wait would blow their deadline
+// (queue_full + Retry-After), queued jobs whose deadline expires are shed
+// with deadline_exceeded before ever occupying a worker, and a confhash
+// that crash-loops the worker fleet is quarantined by a circuit breaker
+// instead of being retried forever.
 package serve
 
 import (
@@ -23,6 +33,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -46,6 +57,10 @@ func defaultRun(bench string, cfg *sim.Config, scale workloads.Scale) (*workload
 	return b.Run(cfg, scale)
 }
 
+// defaultPoisonTTL is how long a crash-looping confhash stays quarantined
+// when Options.PoisonTTL is zero.
+const defaultPoisonTTL = 10 * time.Minute
+
 // Options configures a Server. Zero values select sensible defaults.
 type Options struct {
 	// Workers bounds concurrent simulations (default GOMAXPROCS).
@@ -54,8 +69,26 @@ type Options struct {
 	// overflow rejects the submission with 503 rather than queueing
 	// unboundedly.
 	QueueDepth int
-	// CacheEntries bounds the LRU result cache (default 4096).
+	// CacheEntries bounds the LRU result cache (default 4096). Ignored
+	// when Store is set.
 	CacheEntries int
+	// Store substitutes the result store. Nil selects the in-memory LRU
+	// bounded by CacheEntries; OpenStore builds the tiered disk-backed
+	// store tarserved uses.
+	Store Store
+	// QueueWait bounds how long a job may wait for a worker before being
+	// shed with code "deadline_exceeded"; it is also the admission
+	// controller's wait budget (submissions whose estimated wait exceeds
+	// it are refused up front with "queue_full" + Retry-After). A request
+	// may ask for less via queue_wait_ms, never more. Zero disables
+	// queue-wait shedding and admission control entirely.
+	QueueWait time.Duration
+	// PoisonTTL is how long the circuit breaker quarantines a confhash
+	// whose executions crash-looped the worker fleet: resubmissions are
+	// refused with the recorded worker_crash envelope instead of
+	// crash-looping again. Zero selects defaultPoisonTTL; negative
+	// disables the breaker.
+	PoisonTTL time.Duration
 	// DefaultDeadline is applied to jobs that do not set deadline_ms;
 	// MaxDeadline clamps what a request may ask for. Zero disables each.
 	DefaultDeadline time.Duration
@@ -80,12 +113,19 @@ type Options struct {
 	Run RunFunc
 }
 
+// poisonRecord is one quarantined confhash: the worker_crash envelope its
+// executions earned, replayed to resubmissions until the TTL expires.
+type poisonRecord struct {
+	until time.Time
+	err   ErrorJSON
+}
+
 // Server is the simulation-as-a-service layer. Create with New, mount via
 // Handler, stop with Drain.
 type Server struct {
 	opts    Options
 	backend Backend
-	cache   *lru
+	store   Store
 	m       *metrics
 	mux     *http.ServeMux
 
@@ -95,9 +135,13 @@ type Server struct {
 	order    []string // job ids, submission order (listing + record GC)
 	flights  map[string]*flight
 	queue    chan *flight
+	poison   map[string]*poisonRecord
 	draining bool
 
-	workersWG sync.WaitGroup
+	workersWG   sync.WaitGroup
+	janitorWG   sync.WaitGroup
+	stopJanitor chan struct{}
+	stopOnce    sync.Once
 }
 
 // New builds a server and starts its worker pool.
@@ -112,13 +156,18 @@ func New(opts Options) *Server {
 		opts.MaxJobs = 16384
 	}
 	s := &Server{
-		opts:    opts,
-		backend: opts.Backend,
-		cache:   newLRU(opts.CacheEntries),
-		m:       &metrics{},
-		jobs:    make(map[string]*job),
-		flights: make(map[string]*flight),
-		queue:   make(chan *flight, opts.QueueDepth),
+		opts:        opts,
+		backend:     opts.Backend,
+		store:       opts.Store,
+		m:           &metrics{},
+		jobs:        make(map[string]*job),
+		flights:     make(map[string]*flight),
+		queue:       make(chan *flight, opts.QueueDepth),
+		poison:      make(map[string]*poisonRecord),
+		stopJanitor: make(chan struct{}),
+	}
+	if s.store == nil {
+		s.store = newLRU(opts.CacheEntries)
 	}
 	if s.backend == nil {
 		s.backend = newInProcessBackend(opts.Run, opts.Workers)
@@ -139,6 +188,10 @@ func New(opts Options) *Server {
 		s.workersWG.Add(1)
 		go s.worker()
 	}
+	if opts.QueueWait > 0 {
+		s.janitorWG.Add(1)
+		go s.janitor()
+	}
 	return s
 }
 
@@ -149,9 +202,13 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // tests).
 func (s *Server) Backend() Backend { return s.backend }
 
+// Store returns the result store (for health introspection and tests).
+func (s *Server) Store() Store { return s.store }
+
 // Drain stops intake (new submissions get 503), lets queued and in-flight
-// simulations finish, closes the backend, and returns when the pool is
-// idle or ctx expires. Safe to call more than once.
+// simulations finish, stops the shed janitor, closes the backend and the
+// store, and returns when the pool is idle or ctx expires. Safe to call
+// more than once.
 func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.draining {
@@ -159,10 +216,13 @@ func (s *Server) Drain(ctx context.Context) error {
 		close(s.queue)
 	}
 	s.mu.Unlock()
+	s.stopOnce.Do(func() { close(s.stopJanitor) })
 	idle := make(chan struct{})
 	go func() {
 		s.workersWG.Wait()
+		s.janitorWG.Wait()
 		s.backend.Close()
+		s.store.Close()
 		close(idle)
 	}()
 	select {
@@ -185,6 +245,21 @@ func (s *Server) worker() {
 	defer s.workersWG.Done()
 	for f := range s.queue {
 		s.mu.Lock()
+		if f.shed {
+			// The janitor already completed this flight; the channel slot
+			// is stale.
+			s.mu.Unlock()
+			continue
+		}
+		if !f.deadline.IsZero() && time.Now().After(f.deadline) {
+			// Expired in the queue between janitor ticks: shed at dequeue,
+			// never start a simulation that already missed its deadline.
+			f.shed = true
+			s.mu.Unlock()
+			s.complete(f, nil, shedError(f.key), -1)
+			continue
+		}
+		f.started = true
 		wereQueued := 0
 		for _, j := range f.jobs {
 			if j.state == StateQueued {
@@ -199,27 +274,98 @@ func (s *Server) worker() {
 		s.m.queued -= wereQueued
 		s.m.running += n
 		s.m.mu.Unlock()
+		execStart := time.Now()
 		res, err := s.backend.Execute(f.spec)
 		var jobErr *JobError
 		if err != nil {
 			jobErr = toJobError(err)
 			jobErr.JSON.Confhash = f.key
 		}
-		s.complete(f, res, jobErr)
+		s.complete(f, res, jobErr, time.Since(execStart).Seconds())
+	}
+}
+
+// shedError is the terminal envelope of a job whose deadline expired while
+// it was still queued.
+func shedError(key string) *JobError {
+	return &JobError{
+		Status: http.StatusGatewayTimeout,
+		JSON: ErrorJSON{
+			Code:     ErrCodeDeadlineExceeded,
+			Message:  "deadline expired while queued; job shed before execution",
+			Confhash: key,
+		},
+	}
+}
+
+// janitor sheds queued flights whose deadline expired before a worker freed
+// up, so a saturated server fails them promptly instead of letting them rot
+// in the queue past their useful life.
+func (s *Server) janitor() {
+	defer s.janitorWG.Done()
+	t := time.NewTicker(25 * time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopJanitor:
+			return
+		case <-t.C:
+			s.shedExpired()
+		}
+	}
+}
+
+// shedExpired marks every expired, not-yet-started flight as shed (under
+// the server mutex, so shedding and execution are mutually exclusive) and
+// completes them with deadline_exceeded. The flight's channel slot stays
+// behind; workers skip it via the shed flag.
+func (s *Server) shedExpired() {
+	now := time.Now()
+	s.mu.Lock()
+	var expired []*flight
+	for _, f := range s.flights {
+		if !f.started && !f.shed && !f.deadline.IsZero() && now.After(f.deadline) {
+			f.shed = true
+			expired = append(expired, f)
+		}
+	}
+	s.mu.Unlock()
+	for _, f := range expired {
+		s.complete(f, nil, shedError(f.key), -1)
 	}
 }
 
 // complete publishes a flight's outcome to every attached job, feeds the
-// cache, and updates the metrics.
-func (s *Server) complete(f *flight, res *workloads.Result, jobErr *JobError) {
+// store, and updates the metrics. execSec is the backend execution time
+// feeding the admission controller's wait estimator; negative means the
+// flight was shed without executing. Crash-looped outcomes arm the circuit
+// breaker: the confhash is quarantined so resubmissions fail fast instead
+// of crash-looping the fleet again.
+func (s *Server) complete(f *flight, res *workloads.Result, jobErr *JobError, execSec float64) {
 	if jobErr == nil {
-		s.cache.add(f.key, res)
+		s.store.Put(f.key, res)
 		s.m.recordExperiment(f.key, f.spec.Bench, res.Config, res)
 	}
 	now := time.Now()
 	s.mu.Lock()
 	delete(s.flights, f.key)
+	if jobErr != nil && jobErr.JSON.Code == ErrCodeWorkerCrash && s.opts.PoisonTTL >= 0 {
+		ttl := s.opts.PoisonTTL
+		if ttl == 0 {
+			ttl = defaultPoisonTTL
+		}
+		ej := jobErr.JSON
+		ej.Message = "confhash quarantined after repeated worker crashes: " + ej.Message
+		s.poison[f.key] = &poisonRecord{until: now.Add(ttl), err: ej}
+	}
+	wereQueued, wereRunning := 0, 0
 	for _, j := range f.jobs {
+		switch j.state {
+		case StateQueued:
+			wereQueued++
+		case StateRunning:
+			wereRunning++
+		}
 		j.res, j.err = res, jobErr
 		j.elapsed = now.Sub(j.submitted)
 		if jobErr == nil {
@@ -231,15 +377,26 @@ func (s *Server) complete(f *flight, res *workloads.Result, jobErr *JobError) {
 	}
 	s.mu.Unlock()
 	s.m.mu.Lock()
-	s.m.simsDone++
-	s.m.running -= len(f.jobs)
+	if execSec >= 0 {
+		s.m.simsDone++
+		if s.m.ewmaJob == 0 {
+			s.m.ewmaJob = execSec
+		} else {
+			s.m.ewmaJob = 0.7*s.m.ewmaJob + 0.3*execSec
+		}
+	}
+	s.m.queued -= wereQueued
+	s.m.running -= wereRunning
 	for _, j := range f.jobs {
 		if jobErr == nil {
 			s.m.done++
 		} else {
 			s.m.failed++
-			if jobErr.JSON.Code == ErrCodeWedge {
+			switch jobErr.JSON.Code {
+			case ErrCodeWedge:
 				s.m.wedged++
+			case ErrCodeDeadlineExceeded:
+				s.m.shedDeadline++
 			}
 		}
 		s.m.recordLatency(j.elapsed.Seconds())
@@ -249,11 +406,28 @@ func (s *Server) complete(f *flight, res *workloads.Result, jobErr *JobError) {
 
 // ---- submission ----
 
+// queueWaitFor resolves a request's queue-wait budget: the server bound,
+// tightened (never loosened) by the request's queue_wait_ms. Zero when the
+// server has queue-wait shedding disabled.
+func (s *Server) queueWaitFor(req *SubmitRequest) time.Duration {
+	bound := s.opts.QueueWait
+	if bound <= 0 {
+		return 0
+	}
+	if req.QueueWaitMs > 0 {
+		if d := time.Duration(req.QueueWaitMs) * time.Millisecond; d < bound {
+			return d
+		}
+	}
+	return bound
+}
+
 // Submit registers one experiment and returns its status: answered from the
-// cache (terminal immediately), attached to an identical in-flight run, or
+// store (terminal immediately), attached to an identical in-flight run, or
 // queued as a fresh flight. A non-nil error is always a *JobError carrying
-// the stable envelope (bad_request, draining or queue_full). Exported for
-// in-process embedding; the HTTP handler is a thin wrapper.
+// the stable envelope (bad_request, draining, queue_full, worker_crash for
+// a quarantined confhash). Exported for in-process embedding; the HTTP
+// handler is a thin wrapper.
 func (s *Server) Submit(req *SubmitRequest) (*JobStatus, error) {
 	spec, cfg, scale, err := s.resolveSpec(req)
 	if err != nil {
@@ -261,6 +435,7 @@ func (s *Server) Submit(req *SubmitRequest) (*JobStatus, error) {
 	}
 	key := confhash.Key(spec.Bench, scale.String(), cfg)
 	now := time.Now()
+	wait := s.queueWaitFor(req)
 
 	s.mu.Lock()
 	if s.draining {
@@ -269,6 +444,19 @@ func (s *Server) Submit(req *SubmitRequest) (*JobStatus, error) {
 		s.m.rejected++
 		s.m.mu.Unlock()
 		return nil, &JobError{Status: http.StatusServiceUnavailable, JSON: ErrorJSON{Code: ErrCodeDraining, Message: "server is draining"}}
+	}
+	if rec, ok := s.poison[key]; ok {
+		if now.After(rec.until) {
+			delete(s.poison, key)
+		} else {
+			s.mu.Unlock()
+			s.m.mu.Lock()
+			s.m.rejected++
+			s.m.poisonShed++
+			s.m.mu.Unlock()
+			ej := rec.err
+			return nil, &JobError{Status: http.StatusInternalServerError, JSON: ej}
+		}
 	}
 	s.seq++
 	j := &job{
@@ -284,7 +472,7 @@ func (s *Server) Submit(req *SubmitRequest) (*JobStatus, error) {
 	s.order = append(s.order, j.id)
 	s.gcLocked()
 
-	if res, ok := s.cache.get(key); ok {
+	if res, ok := s.store.Get(key); ok {
 		j.state, j.res, j.cacheHit = StateDone, res, true
 		close(j.done)
 		s.mu.Unlock()
@@ -298,9 +486,16 @@ func (s *Server) Submit(req *SubmitRequest) (*JobStatus, error) {
 		return s.status(j), nil
 	}
 
-	if f, ok := s.flights[key]; ok {
+	if f, ok := s.flights[key]; ok && !f.shed {
 		f.jobs = append(f.jobs, j)
 		j.state = f.jobs[0].state // queued or running, same as the leader
+		if !f.started && !f.deadline.IsZero() && wait > 0 {
+			// A joiner with a later deadline extends the flight's: the
+			// flight must live as long as its most patient job.
+			if d := now.Add(wait); d.After(f.deadline) {
+				f.deadline = d
+			}
+		}
 		s.mu.Unlock()
 		s.m.mu.Lock()
 		s.m.submitted++
@@ -315,7 +510,44 @@ func (s *Server) Submit(req *SubmitRequest) (*JobStatus, error) {
 		return s.status(j), nil
 	}
 
+	// Admission control: refuse up front when the estimated queue wait
+	// (work ahead × EWMA execution time / workers) would blow the job's
+	// wait budget anyway — a structured early rejection with a capacity
+	// estimate beats a guaranteed deadline_exceeded later. "Work ahead"
+	// counts queued flights plus executing ones minus free workers, so an
+	// idle server never rejects.
+	if wait > 0 {
+		s.m.mu.Lock()
+		ewma := s.m.ewmaJob
+		active := int(s.m.simsStarted - s.m.simsDone)
+		s.m.mu.Unlock()
+		if ahead := len(s.queue) + active - s.opts.Workers + 1; ewma > 0 && ahead > 0 {
+			estWait := float64(ahead) * ewma / float64(s.opts.Workers)
+			if estWait > wait.Seconds() {
+				delete(s.jobs, j.id)
+				s.order = s.order[:len(s.order)-1]
+				s.mu.Unlock()
+				s.m.mu.Lock()
+				s.m.rejected++
+				s.m.shedQueueFull++
+				s.m.mu.Unlock()
+				retry := time.Duration((estWait - wait.Seconds()) * float64(time.Second))
+				if retry < time.Second {
+					retry = time.Second
+				}
+				return nil, &JobError{
+					Status:     http.StatusServiceUnavailable,
+					JSON:       ErrorJSON{Code: ErrCodeQueueFull, Message: fmt.Sprintf("estimated queue wait %.1fs exceeds wait budget %s", estWait, wait), Confhash: key},
+					RetryAfter: retry,
+				}
+			}
+		}
+	}
+
 	f := &flight{key: key, spec: spec, jobs: []*job{j}}
+	if wait > 0 {
+		f.deadline = now.Add(wait)
+	}
 	j.state = StateQueued
 	select {
 	case s.queue <- f:
@@ -325,8 +557,13 @@ func (s *Server) Submit(req *SubmitRequest) (*JobStatus, error) {
 		s.mu.Unlock()
 		s.m.mu.Lock()
 		s.m.rejected++
+		s.m.shedQueueFull++
 		s.m.mu.Unlock()
-		return nil, &JobError{Status: http.StatusServiceUnavailable, JSON: ErrorJSON{Code: ErrCodeQueueFull, Message: "job queue is full"}}
+		return nil, &JobError{
+			Status:     http.StatusServiceUnavailable,
+			JSON:       ErrorJSON{Code: ErrCodeQueueFull, Message: "job queue is full"},
+			RetryAfter: time.Second,
+		}
 	}
 	s.flights[key] = f
 	s.mu.Unlock()
@@ -395,8 +632,16 @@ func writeError(w http.ResponseWriter, status int, code, msg string) {
 	writeJSON(w, status, map[string]any{"error": ErrorJSON{Code: code, Message: msg}})
 }
 
-// writeJobError emits a JobError's envelope with its HTTP status.
+// writeJobError emits a JobError's envelope with its HTTP status, plus a
+// Retry-After header when the rejection carries a capacity estimate.
 func writeJobError(w http.ResponseWriter, je *JobError) {
+	if je.RetryAfter > 0 {
+		secs := int(je.RetryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
 	writeJSON(w, je.Status, map[string]any{"error": je.JSON})
 }
 
@@ -450,7 +695,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 // handleResult returns the completed result (200), the job's progress (202
 // while not terminal), or the stable error envelope — 422 for wedges and
 // functional check failures, 500 for server-side faults and crash-looped
-// jobs whose retry budget ran out.
+// jobs whose retry budget ran out, 504 for jobs shed in the queue.
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	j, ok := s.jobs[r.PathValue("id")]
@@ -508,7 +753,10 @@ func (s *Server) handleConfigs(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.m.render(w, s.cache.len())
+	s.mu.Lock()
+	poisoned := len(s.poison)
+	s.mu.Unlock()
+	s.m.render(w, s.store.Status(), poisoned)
 	// Backend gauges (workers.alive → tarserved_workers_alive, ...) ride
 	// the same exposition so one scrape sees the whole service.
 	for _, g := range s.backend.Registry().Gauges() {
@@ -517,21 +765,35 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleHealthz reports liveness plus the execution backend's health:
-// backend kind, live worker count and queue depth. The status degrades to
-// 503 while draining and when the backend has no live workers — a fleet
-// whose every worker is crash-looping must fail its health check rather
-// than accept jobs it cannot run.
+// handleHealthz reports liveness plus the execution backend's health
+// (backend kind, live worker count, queue depth), the result store's
+// status block (tier, entry counts, disk bytes, warm-start and quarantine
+// counters) and the overload counters (sheds, deadline expiries, poisoned
+// confhashes). The status degrades to 503 while draining and when the
+// backend has no live workers — a fleet whose every worker is
+// crash-looping must fail its health check rather than accept jobs it
+// cannot run.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	draining := s.draining
+	poisoned := len(s.poison)
 	s.mu.Unlock()
+	s.m.mu.Lock()
+	shed := map[string]uint64{
+		"queue_full":        s.m.shedQueueFull,
+		"deadline_exceeded": s.m.shedDeadline,
+		"poisoned":          s.m.poisonShed,
+	}
+	s.m.mu.Unlock()
 	alive := s.backend.Alive()
 	body := map[string]any{
 		"status":        "ok",
 		"backend":       s.backend.Kind(),
 		"workers_alive": alive,
 		"queue_depth":   len(s.queue),
+		"store":         s.store.Status(),
+		"shed":          shed,
+		"poisoned":      poisoned,
 	}
 	code := http.StatusOK
 	switch {

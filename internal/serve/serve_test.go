@@ -358,20 +358,20 @@ func TestResultBytesMatchCLIEncoding(t *testing.T) {
 // TestLRUEviction bounds the cache.
 func TestLRUEviction(t *testing.T) {
 	c := newLRU(2)
-	c.add("a", fakeResult("a", "T"))
-	c.add("b", fakeResult("b", "T"))
-	if _, ok := c.get("a"); !ok {
+	c.Put("a", fakeResult("a", "T"))
+	c.Put("b", fakeResult("b", "T"))
+	if _, ok := c.Get("a"); !ok {
 		t.Fatal("a evicted too early")
 	}
-	c.add("c", fakeResult("c", "T")) // evicts b (a was refreshed by get)
-	if _, ok := c.get("b"); ok {
+	c.Put("c", fakeResult("c", "T")) // evicts b (a was refreshed by get)
+	if _, ok := c.Get("b"); ok {
 		t.Fatal("b survived past the bound")
 	}
-	if _, ok := c.get("a"); !ok {
+	if _, ok := c.Get("a"); !ok {
 		t.Fatal("recently-used a was evicted")
 	}
-	if c.len() != 2 {
-		t.Fatalf("len = %d, want 2", c.len())
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
 	}
 }
 
@@ -392,7 +392,7 @@ func TestMetricsQuantiles(t *testing.T) {
 		t.Errorf("p99 = %v", p99)
 	}
 	var buf bytes.Buffer
-	m.render(&buf, 3)
+	m.render(&buf, StoreStatus{Tier: "mem", MemEntries: 3}, 0)
 	for _, want := range []string{"tarserved_job_latency_seconds{quantile=\"0.5\"}", "tarserved_cache_entries 3"} {
 		if !strings.Contains(buf.String(), want) {
 			t.Errorf("render missing %q", want)

@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"repro/internal/faults"
+	"repro/internal/workloads"
+)
+
+// Store is the pluggable result store: completed experiments keyed by
+// confhash content address within one JobResult schema version. It is the
+// seam the ROADMAP's shared cluster store plugs into — the server only ever
+// talks to this interface, whether the implementation is the in-memory LRU,
+// the crash-safe disk store, or (later) a remote shared store.
+//
+// The contract every implementation must honor: Get either returns a result
+// whose JobResult encoding is byte-identical to what Put received (the
+// content address makes that checkable) or reports a miss — a store may
+// lose artifacts (eviction, I/O faults, corruption quarantine) but may
+// never serve a wrong or corrupt one.
+type Store interface {
+	// Get returns the stored result for a content key, or a miss. A miss
+	// is always safe: the caller re-simulates.
+	Get(key string) (*workloads.Result, bool)
+	// Put stores a completed result under its content key. Best-effort:
+	// a failed put costs durability, never correctness.
+	Put(key string, res *workloads.Result)
+	// Len reports resident entries (the fastest tier's count for a
+	// multi-tier store).
+	Len() int
+	// Status reports the store's health for /healthz and /metrics.
+	Status() StoreStatus
+	// Close releases store resources. Idempotent.
+	Close() error
+}
+
+// StoreStatus is the store-health block reported on /healthz and rendered
+// as tarserved_store_* series on /metrics.
+type StoreStatus struct {
+	// Tier names the configuration: "mem" or "mem+disk".
+	Tier string `json:"tier"`
+	// MemEntries/DiskEntries count resident artifacts per tier.
+	MemEntries  int `json:"mem_entries"`
+	DiskEntries int `json:"disk_entries"`
+	// DiskBytes is the disk tier's resident artifact bytes.
+	DiskBytes int64 `json:"disk_bytes,omitempty"`
+	// WarmStart counts artifacts recovered from disk when the store opened
+	// — the crash-recovery payoff, visible at a glance after a restart.
+	WarmStart int `json:"warm_start,omitempty"`
+	// WarmHits counts gets answered by the disk tier after a memory miss
+	// (warm-started artifacts being served without re-simulation).
+	WarmHits uint64 `json:"warm_hits,omitempty"`
+	// Quarantined counts undecodable or schema-skewed files the loader set
+	// aside instead of serving or crashing on.
+	Quarantined uint64 `json:"quarantined,omitempty"`
+	// IOErrors counts disk reads/writes that failed (real or injected).
+	IOErrors uint64 `json:"io_errors,omitempty"`
+	// Evicted counts artifacts dropped by the disk tier's size cap.
+	Evicted uint64 `json:"evicted,omitempty"`
+}
+
+// OpenStore builds the production store: the bounded in-memory LRU alone
+// when dir is empty, or the LRU as a read-through/write-through tier in
+// front of the crash-safe disk store at dir. chaos arms the disk tier's
+// fault-injection hooks (nil = none).
+func OpenStore(dir string, memEntries int, maxBytes int64, chaos *faults.Config) (Store, error) {
+	mem := newLRU(memEntries)
+	if dir == "" {
+		return mem, nil
+	}
+	disk, err := openDiskStore(dir, maxBytes, faults.New(chaos))
+	if err != nil {
+		return nil, fmt.Errorf("serve: disk store: %w", err)
+	}
+	return newTieredStore(mem, disk), nil
+}
+
+// tieredStore layers the in-memory LRU over the disk store: gets read
+// through (memory first, disk on miss, promoting hits), puts write through
+// to both. Per-key shard locks serialize a disk load against a concurrent
+// completion of the same confhash, so a result finishing during a
+// warm-start load can neither be dropped nor written twice — the lru.add
+// single-flight gap called out in ISSUE 7.
+type tieredStore struct {
+	mem  *lru
+	disk *diskStore
+
+	// shards are per-key mutexes (hash-sharded): held across the slow path
+	// (disk read + memory promote) and across Put, never across the pure
+	// memory fast path.
+	shards [64]sync.Mutex
+
+	mu       sync.Mutex
+	warmHits uint64
+}
+
+func newTieredStore(mem *lru, disk *diskStore) *tieredStore {
+	return &tieredStore{mem: mem, disk: disk}
+}
+
+func (t *tieredStore) shard(key string) *sync.Mutex {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return &t.shards[h.Sum32()%uint32(len(t.shards))]
+}
+
+func (t *tieredStore) Get(key string) (*workloads.Result, bool) {
+	if res, ok := t.mem.Get(key); ok {
+		return res, true
+	}
+	lock := t.shard(key)
+	lock.Lock()
+	defer lock.Unlock()
+	// Re-check under the key lock: a Put may have landed between the fast
+	// path and here, and its (identical, content-addressed) result must
+	// not be raced by a stale disk load.
+	if res, ok := t.mem.Get(key); ok {
+		return res, true
+	}
+	res, ok := t.disk.Get(key)
+	if !ok {
+		return nil, false
+	}
+	t.mem.Put(key, res)
+	t.mu.Lock()
+	t.warmHits++
+	t.mu.Unlock()
+	return res, true
+}
+
+func (t *tieredStore) Put(key string, res *workloads.Result) {
+	lock := t.shard(key)
+	lock.Lock()
+	defer lock.Unlock()
+	t.mem.Put(key, res)
+	t.disk.Put(key, res)
+}
+
+func (t *tieredStore) Len() int { return t.mem.Len() }
+
+func (t *tieredStore) Status() StoreStatus {
+	st := t.disk.Status()
+	st.Tier = "mem+disk"
+	st.MemEntries = t.mem.Len()
+	t.mu.Lock()
+	st.WarmHits = t.warmHits
+	t.mu.Unlock()
+	return st
+}
+
+func (t *tieredStore) Close() error { return t.disk.Close() }
+
+var (
+	_ Store = (*lru)(nil)
+	_ Store = (*tieredStore)(nil)
+	_ Store = (*diskStore)(nil)
+)
