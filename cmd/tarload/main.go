@@ -12,6 +12,13 @@
 // the distinct set size is the interesting regime: the run above performs
 // exactly 4 simulations no matter how many of the 128 requests overlap.
 // -out writes a machine-readable JSON report (the BENCH_serve baseline).
+//
+// -sweep switches to sweep-shaped traffic: instead of hammering /v1/jobs,
+// tarload posts one design-space sweep (axes like
+// "lanes=8,16;l2_kb=4096,16384" over the -benches list, based on the first
+// -configs entry) to /v1/sweeps, follows per-point progress, and records a
+// Sweeps section in the report — points, unique simulations, wall time,
+// Pareto-frontier size, and point-latency percentiles.
 package main
 
 import (
@@ -42,13 +49,13 @@ type report struct {
 	// path it measured.
 	Backend string `json:"backend,omitempty"`
 
-	WallSeconds   float64 `json:"wall_seconds"`
-	Throughput    float64 `json:"throughput_jobs_per_sec"`
-	P50Ms         float64 `json:"p50_ms"`
-	P99Ms         float64 `json:"p99_ms"`
-	Done         int `json:"done"`
-	Failed       int `json:"failed"`
-	ClientErrors int `json:"client_errors"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	Throughput   float64 `json:"throughput_jobs_per_sec"`
+	P50Ms        float64 `json:"p50_ms"`
+	P99Ms        float64 `json:"p99_ms"`
+	Done         int     `json:"done"`
+	Failed       int     `json:"failed"`
+	ClientErrors int     `json:"client_errors"`
 	// Robustness outcomes: Shed counts submissions the server refused with
 	// "queue_full" (after any Retry-After retries were spent),
 	// DeadlineExceeded jobs shed in the queue with "deadline_exceeded",
@@ -56,15 +63,15 @@ type report struct {
 	// Retries the client-side resubmissions Retry-After earned. Under
 	// overload these are expected, structured outcomes (-allow-shed), not
 	// failures.
-	Shed             int `json:"shed"`
-	DeadlineExceeded int `json:"deadline_exceeded"`
-	WorkerCrashes    int `json:"worker_crashes"`
-	Retries          int `json:"client_retries"`
-	CacheHits     float64 `json:"server_cache_hits"`
-	CacheMisses   float64 `json:"server_cache_misses"`
-	DedupJoined   float64 `json:"server_dedup_joined"`
-	SimsStarted   float64 `json:"server_sims_started"`
-	SimsCompleted float64 `json:"server_sims_completed"`
+	Shed             int     `json:"shed"`
+	DeadlineExceeded int     `json:"deadline_exceeded"`
+	WorkerCrashes    int     `json:"worker_crashes"`
+	Retries          int     `json:"client_retries"`
+	CacheHits        float64 `json:"server_cache_hits"`
+	CacheMisses      float64 `json:"server_cache_misses"`
+	DedupJoined      float64 `json:"server_dedup_joined"`
+	SimsStarted      float64 `json:"server_sims_started"`
+	SimsCompleted    float64 `json:"server_sims_completed"`
 	// WorkerRetries/WorkerRestarts are the subprocess fleet's recovery
 	// counters (0 on the in-process backend).
 	WorkerRetries  float64 `json:"server_worker_retries"`
@@ -79,6 +86,30 @@ type report struct {
 	// simulation the load run touched, with its sim-internal cycle count
 	// and IPC next to the client-side latencies above.
 	Experiments []expSeries `json:"experiments,omitempty"`
+
+	// Sweeps records sweep-shaped runs (-sweep): one row per sweep posted.
+	Sweeps []sweepReport `json:"sweeps,omitempty"`
+}
+
+// sweepReport is one design-space sweep as the client saw it: grid size,
+// how many simulations the server actually ran (the dedup payoff), the
+// Pareto-frontier size, and per-point completion latencies.
+type sweepReport struct {
+	Key         string `json:"key"`
+	State       string `json:"state"`
+	Points      int    `json:"points"`
+	Experiments int    `json:"experiments"`
+	// UniqueSims is the server-side sims_started delta across the sweep —
+	// the number of simulations that were not answered by dedup or the
+	// result store.
+	UniqueSims     float64 `json:"unique_sims"`
+	PointCacheHits int     `json:"point_cache_hits"`
+	Shed           int     `json:"shed"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	FrontierSize   int     `json:"frontier_size"`
+	P50PointMs     float64 `json:"p50_point_ms"`
+	P99PointMs     float64 `json:"p99_point_ms"`
+	CacheHit       bool    `json:"cache_hit,omitempty"`
 }
 
 // expSeries is one scraped tarserved_experiment_* label set.
@@ -104,6 +135,8 @@ func main() {
 	out := flag.String("out", "", "write the JSON report to this file (default stdout)")
 	wantBackend := flag.String("backend", "", "assert the server runs this execution backend (inprocess or subprocess) before loading it")
 	allowShed := flag.Bool("allow-shed", false, "treat queue_full and deadline_exceeded outcomes as expected overload shedding, not run failures")
+	sweepAxes := flag.String("sweep", "", `sweep mode: axes spec like "lanes=8,16;l2_kb=4096,16384" posted to /v1/sweeps instead of job traffic`)
+	baseline := flag.String("baseline", "", "sweep mode: baseline configuration for speedups (default: the swept configuration)")
 	flag.Parse()
 
 	serverBackend, err := probeBackend(*addr)
@@ -117,6 +150,12 @@ func main() {
 
 	bs := strings.Split(*benches, ",")
 	cs := strings.Split(*configs, ",")
+
+	if *sweepAxes != "" {
+		runSweepMode(*addr, serverBackend, bs, cs[0], *baseline, *scale, *sweepAxes, *out)
+		return
+	}
+
 	type pair struct{ bench, config string }
 	var set []pair
 	for _, b := range bs {
@@ -228,6 +267,183 @@ func main() {
 	}
 	if !*allowShed && (shed > 0 || deadlineExceeded > 0) {
 		fmt.Fprintln(os.Stderr, "tarload: run was shed by overload protection (pass -allow-shed to treat this as expected)")
+		os.Exit(1)
+	}
+}
+
+// parseAxes turns "lanes=8,16;l2_kb=4096,16384" into the sweep spec's axes
+// object. Validation proper is the server's job — bad knob names come back
+// as bad_request envelopes naming the field.
+func parseAxes(s string) (map[string]map[string][]float64, error) {
+	axes := map[string]map[string][]float64{}
+	for _, part := range strings.Split(s, ";") {
+		name, vals, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("axis %q: want name=v1,v2,...", part)
+		}
+		var fs []float64
+		for _, v := range strings.Split(vals, ",") {
+			f, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+			if err != nil {
+				return nil, fmt.Errorf("axis %q: %v", name, err)
+			}
+			fs = append(fs, f)
+		}
+		axes[name] = map[string][]float64{"values": fs}
+	}
+	return axes, nil
+}
+
+// sweepStatusWire is the subset of the server's sweep status tarload reads.
+type sweepStatusWire struct {
+	ID             string `json:"id"`
+	Key            string `json:"key"`
+	State          string `json:"state"`
+	CacheHit       bool   `json:"cache_hit"`
+	Total          int    `json:"total"`
+	Done           int    `json:"done"`
+	Failed         int    `json:"failed"`
+	Shed           int    `json:"shed"`
+	PointCacheHits int    `json:"point_cache_hits"`
+	Points         []struct {
+		State string `json:"state"`
+	} `json:"points"`
+	Result *struct {
+		Frontier []int `json:"frontier"`
+		Points   []struct {
+			Config string `json:"config"`
+		} `json:"points"`
+	} `json:"result"`
+	Error *struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// runSweepMode posts one sweep and follows it to a terminal state, recording
+// per-point completion latencies along the way, then writes the report and
+// exits with the sweep's fate.
+func runSweepMode(addr, serverBackend string, benches []string, config, baseline, scale, axesSpec, out string) {
+	axes, err := parseAxes(axesSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tarload: -sweep:", err)
+		os.Exit(2)
+	}
+	spec := map[string]any{"config": config, "benches": benches, "scale": scale, "axes": axes}
+	if baseline != "" {
+		spec["baseline"] = baseline
+	}
+	simsBefore := 0.0
+	if m, _, err := scrapeMetrics(addr); err == nil {
+		simsBefore = m["tarserved_sims_started_total"]
+	}
+
+	body, _ := json.Marshal(spec)
+	start := time.Now()
+	resp, err := http.Post(addr+"/v1/sweeps", "application/json", bytes.NewReader(body))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tarload: sweep submit:", err)
+		os.Exit(1)
+	}
+	var st sweepStatusWire
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tarload: sweep submit decode:", err)
+		os.Exit(1)
+	}
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		msg := ""
+		if st.Error != nil {
+			msg = st.Error.Code + ": " + st.Error.Message
+		}
+		fmt.Fprintf(os.Stderr, "tarload: sweep submit: HTTP %d %s\n", resp.StatusCode, msg)
+		os.Exit(1)
+	}
+
+	// Follow per-point progress: a point's latency is the time from sweep
+	// submission until it was first observed done.
+	pointDoneMs := map[int]float64{}
+	for st.State != "done" && st.State != "failed" {
+		resp, err := http.Get(addr + "/v1/sweeps/" + st.ID + "?wait=500ms")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tarload: sweep poll:", err)
+			os.Exit(1)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tarload: sweep poll decode:", err)
+			os.Exit(1)
+		}
+		for i, p := range st.Points {
+			if p.State == "done" {
+				if _, seen := pointDoneMs[i]; !seen {
+					pointDoneMs[i] = float64(time.Since(start).Milliseconds())
+				}
+			}
+		}
+	}
+	wall := time.Since(start)
+	for i, p := range st.Points {
+		if p.State == "done" {
+			if _, seen := pointDoneMs[i]; !seen {
+				pointDoneMs[i] = float64(wall.Milliseconds())
+			}
+		}
+	}
+
+	sr := sweepReport{
+		Key:            st.Key,
+		State:          st.State,
+		Points:         len(st.Points),
+		Experiments:    st.Total,
+		PointCacheHits: st.PointCacheHits,
+		Shed:           st.Shed,
+		WallSeconds:    wall.Seconds(),
+		CacheHit:       st.CacheHit,
+	}
+	if st.Result != nil {
+		sr.FrontierSize = len(st.Result.Frontier)
+	}
+	var lats []float64
+	for _, ms := range pointDoneMs {
+		lats = append(lats, ms)
+	}
+	sort.Float64s(lats)
+	if len(lats) > 0 {
+		sr.P50PointMs = lats[len(lats)/2]
+		sr.P99PointMs = lats[int(0.99*float64(len(lats)-1))]
+	}
+	if m, _, err := scrapeMetrics(addr); err == nil {
+		sr.UniqueSims = m["tarserved_sims_started_total"] - simsBefore
+	}
+
+	rep := report{
+		Addr: addr, Benches: benches, Configs: []string{config}, Scale: scale,
+		Backend: serverBackend, WallSeconds: wall.Seconds(),
+		Done: st.Done, Failed: st.Failed, Shed: st.Shed,
+		Sweeps: []sweepReport{sr},
+	}
+	fmt.Fprintf(os.Stderr,
+		"tarload: sweep %s %s — %d points, %d experiments (%.0f simulated, %d from store, %d shed) in %.2fs; frontier %d, point p50 %.0fms p99 %.0fms\n",
+		st.Key, st.State, sr.Points, sr.Experiments, sr.UniqueSims, sr.PointCacheHits, sr.Shed,
+		sr.WallSeconds, sr.FrontierSize, sr.P50PointMs, sr.P99PointMs)
+
+	enc, _ := json.MarshalIndent(rep, "", "  ")
+	enc = append(enc, '\n')
+	if out != "" {
+		if err := os.WriteFile(out, enc, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "tarload:", err)
+			os.Exit(1)
+		}
+	} else {
+		os.Stdout.Write(enc)
+	}
+	if st.State != "done" {
+		if st.Error != nil {
+			fmt.Fprintf(os.Stderr, "tarload: sweep failed: %s: %s\n", st.Error.Code, st.Error.Message)
+		}
 		os.Exit(1)
 	}
 }

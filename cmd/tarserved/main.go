@@ -34,6 +34,11 @@
 //	GET  /v1/jobs/{id}?wait=30s  long-poll job status
 //	GET  /v1/jobs/{id}/result    200 result | error envelope (422/500) | 404
 //	GET  /v1/jobs                list retained jobs
+//	POST /v1/sweeps              design-space sweep over knob axes; Pareto
+//	                             frontier on {speedup, watts, mm²}
+//	GET  /v1/sweeps/{id}?wait=5s long-poll sweep progress (per-point status)
+//	GET  /v1/sweeps/{id}/result  completed SweepResult
+//	GET  /v1/sweeps/knobs        sweepable knobs: names, types, legal ranges
 //	GET  /v1/benches, /v1/configs, /metrics, /healthz
 //
 // Every error body is the stable envelope {"error":{"code","message",...}}.

@@ -1,0 +1,72 @@
+package dse
+
+import (
+	"math"
+
+	"repro/internal/floorplan"
+	"repro/internal/power"
+	"repro/internal/sim"
+)
+
+// Cost is one design point's position in the three-objective space the
+// paper trades against itself: delivered speedup (maximize) versus the
+// Table 1 power model's watts and the Figure 5 die's mm² (both minimize).
+type Cost struct {
+	Speedup float64 `json:"speedup"`
+	Watts   float64 `json:"watts"`
+	MM2     float64 `json:"mm2"`
+}
+
+// Dominates reports whether a is weakly better than b on every objective
+// and strictly better on at least one. Exact ties dominate nothing.
+func (a Cost) Dominates(b Cost) bool {
+	if a.Speedup < b.Speedup || a.Watts > b.Watts || a.MM2 > b.MM2 {
+		return false
+	}
+	return a.Speedup > b.Speedup || a.Watts < b.Watts || a.MM2 < b.MM2
+}
+
+// Frontier returns the indices of the Pareto-optimal points, in input
+// order: every point no other point dominates. Exact ties are all kept —
+// two identical costs never dominate each other, so both stay on the
+// frontier.
+func Frontier(costs []Cost) []int {
+	var front []int
+	for i, c := range costs {
+		dominated := false
+		for j, d := range costs {
+			if i != j && d.Dominates(c) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, i)
+		}
+	}
+	return front
+}
+
+// Evaluate computes the static cost axes of a configuration: total watts
+// from the §5 power model at the point's own clock, and die mm² from the
+// Figure 5 floorplan. The speedup axis comes from simulation and is filled
+// in by the sweep runner.
+func Evaluate(cfg *sim.Config) (watts, mm2 float64) {
+	return power.EstimateFor(cfg).TotalWatts, floorplan.PlanFor(cfg).DieMM2
+}
+
+// Geomean returns the geometric mean of xs (the paper's cross-benchmark
+// summary statistic). Empty or non-positive inputs yield 0.
+func Geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}

@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"repro/internal/power"
+	"repro/internal/sim"
 )
 
 // Geometry quantities of the Figure 5 organisation.
@@ -69,45 +70,105 @@ type Rect struct {
 type Plan struct {
 	DieMM2 float64
 	Blocks []Rect
+	// VboxGroups and BanksPerLane record the configuration-derived
+	// organisation: lane groups of four flanking the central bus, and
+	// stacked banks per cache lane at the paper's fixed ~21.3 KB bank size.
+	VboxGroups   int
+	BanksPerLane int
 }
 
-// Compute lays out the Tarantula die following Figure 5: cache quadrants in
-// the four corners, the Vbox lane groups flanking the central bus area, the
-// core and the R/Z boxes on the middle band. Areas come from the §5 model
-// so the picture and the power table stay consistent.
-func Compute() *Plan {
-	d := power.Tarantula()
+// Compute lays out the paper's Tarantula die following Figure 5: cache
+// quadrants in the four corners, the Vbox lane groups flanking the central
+// bus area, the core and the R/Z boxes on the middle band. It is PlanFor at
+// the fixed Table 3 design point; areas come from the §5 model so the
+// picture and the power table stay consistent.
+func Compute() *Plan { return PlanFor(sim.T()) }
+
+// PlanFor lays out the die of an arbitrary machine configuration: block
+// areas come from power.DesignFor (so the floorplan and the power table
+// stay consistent for every swept design point), the lane groups follow the
+// configured lane count (four lanes per group, split across the two columns
+// flanking the central bus), and the per-lane bank stack follows the L2
+// capacity at the paper's fixed bank size. Scalar configurations (no Vbox)
+// place no lane groups and no vector bus. At sim.T() the result is exactly
+// the paper's Figure 5 plan — tests pin it against the committed geometry.
+func PlanFor(cfg *sim.Config) *Plan {
+	d := power.DesignFor(cfg, power.Paper2006())
 	area := map[string]float64{}
 	for _, b := range d.Blocks {
 		area[b.Name] = b.AreaPct
 	}
-	p := &Plan{DieMM2: d.DieMM2}
-	// Cache: 43% split into four corner quadrants.
+	p := &Plan{
+		DieMM2:       d.DieMM2,
+		BanksPerLane: BanksFor(cfg.L2.Bytes),
+	}
+	// Cache: the L2 share split into four corner quadrants. The side is
+	// clamped so extreme swept points (a huge L2 on a tiny Vbox) cannot
+	// push a quadrant across the fixed central-bus column or squeeze the
+	// core band to nothing — the normalised grid distorts aspect ratios
+	// before it allows overlap.
 	qside := intSqrt(area["L2 cache"] / 4)
+	maxSide := 47
+	if cfg.HasVbox {
+		maxSide = 43 // leave the X44..56 bus column clear
+	}
+	if qside > maxSide {
+		qside = maxSide
+	}
 	corners := [][2]int{{0, 0}, {100 - qside, 0}, {0, 100 - qside}, {100 - qside, 100 - qside}}
 	for q, c := range corners {
 		p.Blocks = append(p.Blocks, Rect{
 			Name: fmt.Sprintf("L2 quadrant %d", q), X: c[0], Y: c[1], W: qside, H: qside,
 		})
 	}
-	// Vbox: 15% as four lane groups on the horizontal midline, flanking
-	// the bus column.
-	gw, gh := 12, intSqrt(area["Vbox"]/4)+4
-	for g := 0; g < VboxLaneGroups; g++ {
-		x := 2 + g*(gw+2)
-		if g >= 2 {
-			x += 28 // leave the central bus column
+	if cfg.HasVbox {
+		// Vbox lane groups on the horizontal midline, flanking the bus
+		// column: ceil(lanes/4) groups, the left column taking the extra
+		// one when the count is odd.
+		groups := (cfg.Vbox.Lanes + VboxLanesPerGroup - 1) / VboxLanesPerGroup
+		p.VboxGroups = groups
+		half := (groups + 1) / 2
+		gw := 12
+		if max := 44/half - 2; gw > max {
+			gw = max // narrow the groups so a tall column still fits
 		}
-		p.Blocks = append(p.Blocks, Rect{
-			Name: fmt.Sprintf("Vbox group %d", g), X: x, Y: 50 - gh/2, W: gw, H: gh,
-		})
+		gh := intSqrt(area["Vbox"]/float64(groups)) + 4
+		if max := 98 - 2*qside; gh > max {
+			gh = max // keep the midline band clear of the corner quadrants
+		}
+		if gw < 1 {
+			gw = 1
+		}
+		if gh < 2 {
+			gh = 2
+		}
+		for g := 0; g < groups; g++ {
+			x := 2 + g*(gw+2)
+			if g >= half {
+				x = 58 + (g-half)*(gw+2) // right column, past the bus
+			}
+			p.Blocks = append(p.Blocks, Rect{
+				Name: fmt.Sprintf("Vbox group %d", g), X: x, Y: 50 - gh/2, W: gw, H: gh,
+			})
+		}
+		// Central bus column between the lane groups.
+		p.Blocks = append(p.Blocks, Rect{Name: "central bus", X: 44, Y: 20, W: 12, H: 60})
 	}
-	// Central bus column between the lane groups.
-	p.Blocks = append(p.Blocks, Rect{Name: "central bus", X: 44, Y: 20, W: 12, H: 60})
 	// Core on the top band between the quadrants; R/Z on the bottom band.
 	p.Blocks = append(p.Blocks, Rect{Name: "EV8 core", X: qside + 2, Y: 2, W: 96 - 2*qside, H: 16})
 	p.Blocks = append(p.Blocks, Rect{Name: "R/Z box", X: qside + 2, Y: 82, W: 96 - 2*qside, H: 16})
 	return p
+}
+
+// BanksFor derives the stacked-bank count per cache lane for an L2 of the
+// given capacity, holding the paper's ~21.3 KB bank size fixed: the 16 MB
+// design gets exactly BanksPerCacheLane (48), a 4 MB cache gets 12.
+func BanksFor(l2Bytes int) int {
+	banks := l2Bytes * BanksPerCacheLane / CacheBytes
+	if banks < 1 {
+		banks = 1
+	}
+	return banks
 }
 
 func intSqrt(pct float64) int {

@@ -1,8 +1,11 @@
 package floorplan
 
 import (
+	"reflect"
 	"strings"
 	"testing"
+
+	"repro/internal/sim"
 )
 
 func TestDerivedQuantitiesMatchPaper(t *testing.T) {
@@ -76,6 +79,88 @@ func TestNoOverlapBetweenMajorBlocks(t *testing.T) {
 				t.Errorf("%s overlaps %s", a.Name, b.Name)
 			}
 		}
+	}
+}
+
+// TestPlanForReproducesPaperPlan pins the parameterization: at sim.T() the
+// config-driven layout must equal the paper's Figure 5 plan exactly — same
+// rectangles, same die, 4 lane groups, 48 banks per cache lane.
+func TestPlanForReproducesPaperPlan(t *testing.T) {
+	got := PlanFor(sim.T())
+	if got.VboxGroups != VboxLaneGroups {
+		t.Errorf("PlanFor(T) groups = %d, want %d", got.VboxGroups, VboxLaneGroups)
+	}
+	if got.BanksPerLane != BanksPerCacheLane {
+		t.Errorf("PlanFor(T) banks/lane = %d, want %d", got.BanksPerLane, BanksPerCacheLane)
+	}
+	ref := Compute()
+	if !reflect.DeepEqual(got, ref) {
+		t.Errorf("PlanFor(sim.T()) diverges from Compute():\n got %+v\nwant %+v", got, ref)
+	}
+	// The historical Figure 5 geometry, pinned absolutely so a regression
+	// in the underlying power model cannot silently move the paper's plan.
+	if got.DieMM2 != 286 {
+		t.Errorf("die = %v mm², want 286", got.DieMM2)
+	}
+}
+
+// TestPlanForSweptConfigs lays out swept design points and checks the
+// geometric invariants hold away from the anchor: every block inside the
+// die, no overlaps, group/bank counts following the knobs, and scalar
+// machines carrying no vector structures.
+func TestPlanForSweptConfigs(t *testing.T) {
+	cases := []*sim.Config{sim.T(), sim.EV8(), sim.EV8Plus()}
+	lanes8 := sim.T()
+	lanes8.Vbox.Lanes = 8
+	lanes32 := sim.T()
+	lanes32.Vbox.Lanes = 32
+	smallL2 := sim.T()
+	smallL2.L2.Bytes = 4 << 20
+	bigL2 := sim.T()
+	bigL2.L2.Bytes = 64 << 20
+	lanes4big := sim.T()
+	lanes4big.Vbox.Lanes = 4
+	lanes4big.L2.Bytes = 64 << 20
+	cases = append(cases, lanes8, lanes32, smallL2, bigL2, lanes4big)
+	for _, cfg := range cases {
+		p := PlanFor(cfg)
+		for _, b := range p.Blocks {
+			if b.X < 0 || b.Y < 0 || b.X+b.W > 100 || b.Y+b.H > 100 {
+				t.Errorf("%s: %s sticks out of the die: %+v", cfg.Name, b.Name, b)
+			}
+			if b.W <= 0 || b.H <= 0 {
+				t.Errorf("%s: %s has no area: %+v", cfg.Name, b.Name, b)
+			}
+		}
+		for i := 0; i < len(p.Blocks); i++ {
+			for j := i + 1; j < len(p.Blocks); j++ {
+				a, b := p.Blocks[i], p.Blocks[j]
+				if a.X < b.X+b.W && b.X < a.X+a.W && a.Y < b.Y+b.H && b.Y < a.Y+a.H {
+					t.Errorf("%s: %s overlaps %s", cfg.Name, a.Name, b.Name)
+				}
+			}
+		}
+		if !p.Symmetric() {
+			t.Errorf("%s: quadrants not mirror-symmetric", cfg.Name)
+		}
+	}
+	if g := PlanFor(lanes8).VboxGroups; g != 2 {
+		t.Errorf("8 lanes → %d groups, want 2", g)
+	}
+	if g := PlanFor(lanes32).VboxGroups; g != 8 {
+		t.Errorf("32 lanes → %d groups, want 8", g)
+	}
+	if b := PlanFor(smallL2).BanksPerLane; b != 12 {
+		t.Errorf("4 MB → %d banks/lane, want 12", b)
+	}
+	ev8 := PlanFor(sim.EV8())
+	for _, b := range ev8.Blocks {
+		if strings.HasPrefix(b.Name, "Vbox") || b.Name == "central bus" {
+			t.Errorf("scalar plan contains %s", b.Name)
+		}
+	}
+	if ev8.VboxGroups != 0 {
+		t.Errorf("scalar plan reports %d lane groups", ev8.VboxGroups)
 	}
 }
 

@@ -2,8 +2,11 @@ package power
 
 import (
 	"math"
+	"reflect"
 	"strings"
 	"testing"
+
+	"repro/internal/sim"
 )
 
 // Paper Table 1 values for comparison.
@@ -86,6 +89,67 @@ func TestTableRenders(t *testing.T) {
 		if !strings.Contains(s, want) {
 			t.Errorf("table missing %q:\n%s", want, s)
 		}
+	}
+}
+
+// TestDesignForReproducesTable1 pins the parameterization against the
+// paper's fixed design: at the anchor point (sim.T(): 16 lanes, 16 MB L2,
+// 8 RAMBUS ports) DesignFor must reproduce Tarantula() — and with it every
+// Table 1 golden value — exactly, not approximately.
+func TestDesignForReproducesTable1(t *testing.T) {
+	got := DesignFor(sim.T(), Paper2006())
+	ref := Tarantula()
+	if !reflect.DeepEqual(got.Blocks, ref.Blocks) {
+		t.Errorf("DesignFor(T) blocks diverge from Tarantula():\n got %+v\nwant %+v", got.Blocks, ref.Blocks)
+	}
+	if got.DieMM2 != ref.DieMM2 {
+		t.Errorf("DesignFor(T) die = %v mm², Tarantula() says %v", got.DieMM2, ref.DieMM2)
+	}
+	if got.PeakGF != ref.PeakGF {
+		t.Errorf("DesignFor(T) peak = %v Gflops, Tarantula() says %v", got.PeakGF, ref.PeakGF)
+	}
+	em, er := Model(got, Paper2006()), Model(ref, Paper2006())
+	if em.TotalWatts != er.TotalWatts || em.GFPerWatt != er.GFPerWatt {
+		t.Errorf("DesignFor(T) model %.4f W %.4f GF/W ≠ Tarantula %.4f W %.4f GF/W",
+			em.TotalWatts, em.GFPerWatt, er.TotalWatts, er.GFPerWatt)
+	}
+}
+
+// TestDesignForScalesWithKnobs checks the monotone physics of the sweep
+// axes: fewer lanes shrink die and watts, a bigger L2 grows both, fewer
+// ports shrink the R/Z block, and a scalar design carries no Vbox at all.
+func TestDesignForScalesWithKnobs(t *testing.T) {
+	base := EstimateFor(sim.T())
+
+	small := sim.T()
+	small.Vbox.Lanes = 8
+	es := EstimateFor(small)
+	if es.DieMM2 >= base.DieMM2 || es.TotalWatts >= base.TotalWatts {
+		t.Errorf("8-lane design should shrink: die %v→%v, watts %v→%v",
+			base.DieMM2, es.DieMM2, base.TotalWatts, es.TotalWatts)
+	}
+
+	bigL2 := sim.T()
+	bigL2.L2.Bytes = 32 << 20
+	eb := EstimateFor(bigL2)
+	if eb.DieMM2 <= base.DieMM2 || eb.TotalWatts <= base.TotalWatts {
+		t.Errorf("32 MB design should grow: die %v→%v, watts %v→%v",
+			base.DieMM2, eb.DieMM2, base.TotalWatts, eb.TotalWatts)
+	}
+
+	scalar := sim.EV8()
+	for _, b := range DesignFor(scalar, Paper2006()).Blocks {
+		if b.Name == "Vbox" {
+			t.Errorf("scalar design grew a Vbox block")
+		}
+	}
+	if ev := EstimateFor(scalar); ev.DieMM2 >= base.DieMM2 {
+		t.Errorf("EV8 (4 MB, 2 ports, no Vbox) die %v should be well under Tarantula's %v", ev.DieMM2, base.DieMM2)
+	}
+
+	// Clock shows up through EstimateFor: a T4-class point pays for 4.8 GHz.
+	if e4 := EstimateFor(sim.T4()); e4.TotalWatts <= base.TotalWatts {
+		t.Errorf("T4 at 4.8 GHz should burn more than T at 2.13: %v vs %v", e4.TotalWatts, base.TotalWatts)
 	}
 }
 

@@ -70,10 +70,10 @@ func newInProcessBackend(run RunFunc, workers int) *inProcessBackend {
 	return b
 }
 
-func (b *inProcessBackend) Kind() string                      { return "inprocess" }
-func (b *inProcessBackend) Alive() int                        { return int(b.alive.Load()) }
-func (b *inProcessBackend) Registry() *chipmetrics.Registry   { return b.reg }
-func (b *inProcessBackend) Close()                            { b.closed.Do(func() { b.alive.Store(0) }) }
+func (b *inProcessBackend) Kind() string                    { return "inprocess" }
+func (b *inProcessBackend) Alive() int                      { return int(b.alive.Load()) }
+func (b *inProcessBackend) Registry() *chipmetrics.Registry { return b.reg }
+func (b *inProcessBackend) Close()                          { b.closed.Do(func() { b.alive.Store(0) }) }
 
 // Execute runs the spec in this process with panic isolation, mirroring
 // the sweep runner's per-cell recovery: a model bug in one experiment must

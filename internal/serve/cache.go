@@ -19,7 +19,16 @@ type lru struct {
 	max     int
 	order   *list.List // front = most recent; values are *lruEntry
 	entries map[string]*list.Element
+
+	// blobs are aggregate artifacts (sweep results), bounded separately at
+	// maxBlobs with insertion-order eviction — sweeps are few and chunky
+	// next to per-experiment results, so plain FIFO retention suffices.
+	blobs     map[string][]byte
+	blobOrder []string
 }
+
+// maxBlobs bounds retained aggregate blobs in the memory tier.
+const maxBlobs = 256
 
 type lruEntry struct {
 	key string
@@ -68,6 +77,31 @@ func (c *lru) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.order.Len()
+}
+
+// GetBlob returns a stored aggregate blob.
+func (c *lru) GetBlob(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	raw, ok := c.blobs[key]
+	return raw, ok
+}
+
+// PutBlob stores an aggregate blob, evicting the oldest past the bound.
+func (c *lru) PutBlob(key string, raw []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.blobs == nil {
+		c.blobs = make(map[string][]byte)
+	}
+	if _, ok := c.blobs[key]; !ok {
+		c.blobOrder = append(c.blobOrder, key)
+		for len(c.blobOrder) > maxBlobs {
+			delete(c.blobs, c.blobOrder[0])
+			c.blobOrder = c.blobOrder[1:]
+		}
+	}
+	c.blobs[key] = raw
 }
 
 // Status reports the memory-only store health.

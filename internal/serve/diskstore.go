@@ -30,16 +30,17 @@ const defaultDiskMaxBytes = 1 << 30
 // Eviction is least-recently-accessed by a logical access clock (seeded
 // from file modification order at open), driven by an on-disk byte cap.
 type diskStore struct {
-	dir       string // artifact directory (schema-versioned)
-	quarDir   string
-	maxBytes  int64
-	inj       *faults.Injector
+	dir      string // artifact directory (schema-versioned)
+	quarDir  string
+	blobDir  string // aggregate blobs (sweep results), own schema namespace
+	maxBytes int64
+	inj      *faults.Injector
 
 	mu        sync.Mutex
 	entries   map[string]*diskEntry
 	total     int64
 	clock     int64 // logical access time, bumped per touch
-	warmStart int    // artifacts validated at open
+	warmStart int   // artifacts validated at open
 	quarCount uint64
 	ioErrors  uint64
 	evicted   uint64
@@ -59,7 +60,11 @@ func openDiskStore(dir string, maxBytes int64, inj *faults.Injector) (*diskStore
 		maxBytes = defaultDiskMaxBytes
 	}
 	d := &diskStore{
-		dir:      filepath.Join(dir, fmt.Sprintf("schema-%d", SchemaVersion)),
+		dir: filepath.Join(dir, fmt.Sprintf("schema-%d", SchemaVersion)),
+		// Sweep blobs live outside the artifact scan directory (the loader
+		// quarantines anything there it cannot decode as a JobResult) and
+		// carry their own schema namespace.
+		blobDir:  filepath.Join(dir, "sweeps", fmt.Sprintf("schema-%d", SweepSchemaVersion)),
 		quarDir:  filepath.Join(dir, "quarantine"),
 		maxBytes: maxBytes,
 		inj:      inj,
@@ -311,6 +316,63 @@ func (d *diskStore) Status() StoreStatus {
 		Quarantined: d.quarCount,
 		IOErrors:    d.ioErrors,
 		Evicted:     d.evicted,
+	}
+}
+
+// GetBlob reads one aggregate blob. Read failures are misses; blob
+// validation (schema stamp, key match) belongs to the caller, which owns
+// the blob encoding.
+func (d *diskStore) GetBlob(key string) ([]byte, bool) {
+	if !safeKey(key) {
+		return nil, false
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.inj.DiskReadError() {
+		d.ioErrors++
+		return nil, false
+	}
+	raw, err := os.ReadFile(filepath.Join(d.blobDir, key+".json"))
+	if err != nil {
+		return nil, false
+	}
+	return raw, true
+}
+
+// PutBlob persists one aggregate blob with the artifact write protocol
+// (temp file → fsync → rename), so a crash mid-write leaves debris, never a
+// half blob at the final path.
+func (d *diskStore) PutBlob(key string, raw []byte) {
+	if !safeKey(key) {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := os.MkdirAll(d.blobDir, 0o755); err != nil {
+		d.ioErrors++
+		return
+	}
+	if d.inj.DiskWriteError() {
+		d.ioErrors++
+		return
+	}
+	tmp, err := os.CreateTemp(d.blobDir, tmpPrefix+key+"-*")
+	if err != nil {
+		d.ioErrors++
+		return
+	}
+	tmpName := tmp.Name()
+	_, werr := tmp.Write(raw)
+	serr := tmp.Sync()
+	cerr := tmp.Close()
+	if werr != nil || serr != nil || cerr != nil {
+		os.Remove(tmpName)
+		d.ioErrors++
+		return
+	}
+	if err := os.Rename(tmpName, filepath.Join(d.blobDir, key+".json")); err != nil {
+		os.Remove(tmpName)
+		d.ioErrors++
 	}
 }
 

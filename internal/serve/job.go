@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/dse"
 	"repro/internal/faults"
 	"repro/internal/sim"
 	"repro/internal/workloads"
@@ -47,6 +48,10 @@ type SubmitRequest struct {
 	// FaultCampaign selects it: "jitter" (default) or "storm".
 	FaultSeed     int64  `json:"fault_seed,omitempty"`
 	FaultCampaign string `json:"fault_campaign,omitempty"`
+	// Knobs perturbs the named config along the design-space-exploration
+	// axes (lanes, l2_kb, zbox_ports, clock_ghz, pump, phys_vregs) before
+	// simulation. Unknown names or out-of-range values are bad_request.
+	Knobs map[string]float64 `json:"knobs,omitempty"`
 }
 
 // JobSpec is the fully-resolved description of one simulation: a
@@ -67,6 +72,11 @@ type JobSpec struct {
 	Watchdog      uint64 `json:"watchdog,omitempty"`
 	FaultSeed     int64  `json:"fault_seed,omitempty"`
 	FaultCampaign string `json:"fault_campaign,omitempty"`
+	// Knobs are the design-space-exploration perturbations applied to the
+	// named config inside Build — in the worker subprocess too, so a swept
+	// point simulates identically on every backend. (Go's canonical map
+	// marshalling keeps the wire encoding deterministic.)
+	Knobs map[string]float64 `json:"knobs,omitempty"`
 	// SampleEvery/SampleCap arm the cycle-interval sampler. They live
 	// outside the confhash identity (observation, not configuration), so
 	// they ride in the spec rather than the sim.Config hash.
@@ -105,6 +115,11 @@ func (sp *JobSpec) Build() (*sim.Config, workloads.Scale, error) {
 		cfg = sim.NoPump(cfg)
 	}
 	cc := *cfg
+	if len(sp.Knobs) > 0 {
+		if err := dse.Apply(&cc, sp.Knobs); err != nil {
+			return nil, 0, err
+		}
+	}
 	cc.Check = sp.Check
 	cc.Watchdog = sp.Watchdog
 	if sp.SampleEvery > 0 {
@@ -137,6 +152,7 @@ func (s *Server) resolveSpec(req *SubmitRequest) (*JobSpec, *sim.Config, workloa
 		Watchdog:      req.Watchdog,
 		FaultSeed:     req.FaultSeed,
 		FaultCampaign: req.FaultCampaign,
+		Knobs:         req.Knobs,
 	}
 	if sp.Scale == "" {
 		sp.Scale = "bench"

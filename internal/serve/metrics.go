@@ -54,6 +54,17 @@ type metrics struct {
 	shedDeadline  uint64
 	poisonShed    uint64
 
+	// Sweep-orchestration counters: sweeps accepted, finished (either way),
+	// answered whole from the durable sweep store, joined onto an identical
+	// in-flight sweep, and the per-experiment traffic sweeps generated.
+	sweepsSubmitted  uint64
+	sweepsDone       uint64
+	sweepsFailed     uint64
+	sweepCacheHits   uint64
+	sweepDedupJoined uint64
+	sweepExperiments uint64
+	sweepsRunning    int
+
 	// ewmaJob is the exponentially-weighted moving average of simulation
 	// execution seconds (dequeue → completion), the admission controller's
 	// queue-wait estimator. Zero until the first completion.
@@ -174,6 +185,13 @@ func (m *metrics) render(w io.Writer, st StoreStatus, poisoned int) {
 	counter("tarserved_sims_completed_total", "Underlying simulations finished.", m.simsDone)
 	counter("tarserved_sim_cycles_total", "Simulated cycles across all completed simulations.", m.simCycles)
 	fmt.Fprintf(w, "# HELP tarserved_sim_wall_seconds_total Host wall-clock spent inside the simulation loop across all completed simulations.\n# TYPE tarserved_sim_wall_seconds_total counter\ntarserved_sim_wall_seconds_total %g\n", float64(m.simWallNs)/1e9)
+	counter("tarserved_sweeps_submitted_total", "Sweeps accepted by POST /v1/sweeps.", m.sweepsSubmitted)
+	counter("tarserved_sweeps_done_total", "Sweeps that completed successfully.", m.sweepsDone)
+	counter("tarserved_sweeps_failed_total", "Sweeps that reached a failure state.", m.sweepsFailed)
+	counter("tarserved_sweep_cache_hits_total", "Sweeps answered whole from the durable sweep store.", m.sweepCacheHits)
+	counter("tarserved_sweep_dedup_joined_total", "Sweep submissions joined onto an identical in-flight sweep.", m.sweepDedupJoined)
+	counter("tarserved_sweep_experiments_total", "Per-experiment submissions generated by sweep orchestration.", m.sweepExperiments)
+	gauge("tarserved_sweeps_running", "Sweeps currently orchestrating experiments.", m.sweepsRunning)
 	counter("tarserved_shed_queue_full_total", "Submissions refused because the queue was full or the estimated wait exceeded the deadline.", m.shedQueueFull)
 	counter("tarserved_shed_deadline_total", "Queued jobs shed because their deadline expired before a worker freed up.", m.shedDeadline)
 	counter("tarserved_poison_shed_total", "Submissions refused because their confhash is quarantined after crash-looping workers.", m.poisonShed)

@@ -138,7 +138,16 @@ type Server struct {
 	poison   map[string]*poisonRecord
 	draining bool
 
+	// Sweep orchestration state: sweep records by id, submission order for
+	// listing + GC, and the spec-key index that deduplicates identical
+	// sweeps onto one orchestration.
+	sweepSeq   int
+	sweeps     map[string]*sweep
+	sweepOrder []string
+	sweepByKey map[string]*sweep
+
 	workersWG   sync.WaitGroup
+	sweepsWG    sync.WaitGroup
 	janitorWG   sync.WaitGroup
 	stopJanitor chan struct{}
 	stopOnce    sync.Once
@@ -164,6 +173,8 @@ func New(opts Options) *Server {
 		flights:     make(map[string]*flight),
 		queue:       make(chan *flight, opts.QueueDepth),
 		poison:      make(map[string]*poisonRecord),
+		sweeps:      make(map[string]*sweep),
+		sweepByKey:  make(map[string]*sweep),
 		stopJanitor: make(chan struct{}),
 	}
 	if s.store == nil {
@@ -180,6 +191,11 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("POST /v1/sweeps", s.handleSweepSubmit)
+	s.mux.HandleFunc("GET /v1/sweeps", s.handleSweepList)
+	s.mux.HandleFunc("GET /v1/sweeps/knobs", s.handleSweepKnobs)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepStatus)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}/result", s.handleSweepResult)
 	s.mux.HandleFunc("GET /v1/benches", s.handleBenches)
 	s.mux.HandleFunc("GET /v1/configs", s.handleConfigs)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -219,6 +235,11 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.stopOnce.Do(func() { close(s.stopJanitor) })
 	idle := make(chan struct{})
 	go func() {
+		// Sweep orchestrators first: their pending submissions fail fast
+		// against the draining flag, and the experiments they already queued
+		// complete as the worker pool drains (workers exit when the closed
+		// queue empties, after the orchestrators stop waiting on them).
+		s.sweepsWG.Wait()
 		s.workersWG.Wait()
 		s.janitorWG.Wait()
 		s.backend.Close()

@@ -36,6 +36,20 @@ type Store interface {
 	Close() error
 }
 
+// BlobStore is the optional second face of a Store: schema-versioned
+// aggregate blobs (completed sweep results) keyed by content address,
+// alongside the per-experiment artifacts. All three built-in stores
+// implement it; the server feature-detects with a type assertion so
+// substitute stores in tests stay valid without blob support — they just
+// lose sweep durability, never correctness (a blob miss replays the sweep
+// through the per-experiment store, which dedups the actual simulations).
+type BlobStore interface {
+	// GetBlob returns the stored blob bytes for a content key, or a miss.
+	GetBlob(key string) ([]byte, bool)
+	// PutBlob stores blob bytes under a content key. Best-effort, like Put.
+	PutBlob(key string, raw []byte)
+}
+
 // StoreStatus is the store-health block reported on /healthz and rendered
 // as tarserved_store_* series on /metrics.
 type StoreStatus struct {
@@ -140,6 +154,36 @@ func (t *tieredStore) Put(key string, res *workloads.Result) {
 
 func (t *tieredStore) Len() int { return t.mem.Len() }
 
+// GetBlob reads through: memory first, disk on miss (promoting hits), under
+// the same per-key shard lock as artifact access so a blob completing
+// during a read cannot be raced by a stale disk load.
+func (t *tieredStore) GetBlob(key string) ([]byte, bool) {
+	if raw, ok := t.mem.GetBlob(key); ok {
+		return raw, true
+	}
+	lock := t.shard(key)
+	lock.Lock()
+	defer lock.Unlock()
+	if raw, ok := t.mem.GetBlob(key); ok {
+		return raw, true
+	}
+	raw, ok := t.disk.GetBlob(key)
+	if !ok {
+		return nil, false
+	}
+	t.mem.PutBlob(key, raw)
+	return raw, true
+}
+
+// PutBlob writes through to both tiers.
+func (t *tieredStore) PutBlob(key string, raw []byte) {
+	lock := t.shard(key)
+	lock.Lock()
+	defer lock.Unlock()
+	t.mem.PutBlob(key, raw)
+	t.disk.PutBlob(key, raw)
+}
+
 func (t *tieredStore) Status() StoreStatus {
 	st := t.disk.Status()
 	st.Tier = "mem+disk"
@@ -156,4 +200,8 @@ var (
 	_ Store = (*lru)(nil)
 	_ Store = (*tieredStore)(nil)
 	_ Store = (*diskStore)(nil)
+
+	_ BlobStore = (*lru)(nil)
+	_ BlobStore = (*tieredStore)(nil)
+	_ BlobStore = (*diskStore)(nil)
 )

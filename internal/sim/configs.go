@@ -74,9 +74,11 @@ func tarantulaL2() l2.Config {
 	}
 }
 
-// zboxAt derives the controller timing from the port bandwidth and the CPU
+// ZboxAt derives the controller timing from the port bandwidth and the CPU
 // clock: a 64-byte transaction occupies its port 64/(GB/s ÷ GHz) cycles.
-func zboxAt(ports int, totalGBs, cpuGHz float64) zbox.Config {
+// Exported so the design-space-exploration layer can rebuild memory-system
+// timing when it sweeps the port count or the CPU clock.
+func ZboxAt(ports int, totalGBs, cpuGHz float64) zbox.Config {
 	perPortBytesPerCycle := (totalGBs / float64(ports)) / cpuGHz
 	lineCycles := int(64/perPortBytesPerCycle + 0.5)
 	scale := func(base float64) int { return int(base*cpuGHz/2.13 + 0.5) }
@@ -102,7 +104,7 @@ func EV8() *Config {
 		CPUGHz: 2.13,
 		Core:   baseCore(),
 		L2:     l2c,
-		Zbox:   zboxAt(2, 16.6, 2.13),
+		Zbox:   ZboxAt(2, 16.6, 2.13),
 	}
 }
 
@@ -117,7 +119,7 @@ func EV8Plus() *Config {
 		CPUGHz: 2.13,
 		Core:   baseCore(),
 		L2:     l2c,
-		Zbox:   zboxAt(8, 66.6, 2.13),
+		Zbox:   ZboxAt(8, 66.6, 2.13),
 	}
 }
 
@@ -130,7 +132,7 @@ func T() *Config {
 		Core:    baseCore(),
 		Vbox:    baseVbox(),
 		L2:      tarantulaL2(),
-		Zbox:    zboxAt(8, 66.6, 2.13),
+		Zbox:    ZboxAt(8, 66.6, 2.13),
 	}
 }
 
@@ -139,7 +141,7 @@ func T4() *Config {
 	c := T()
 	c.Name = "T4"
 	c.CPUGHz = 4.8
-	c.Zbox = zboxAt(8, 75.0, 4.8)
+	c.Zbox = ZboxAt(8, 75.0, 4.8)
 	return c
 }
 
@@ -148,7 +150,7 @@ func T10() *Config {
 	c := T()
 	c.Name = "T10"
 	c.CPUGHz = 10.6
-	c.Zbox = zboxAt(8, 83.3, 10.6)
+	c.Zbox = ZboxAt(8, 83.3, 10.6)
 	return c
 }
 
