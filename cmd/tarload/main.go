@@ -80,6 +80,16 @@ type report struct {
 	ServerShedQueueFull float64 `json:"server_shed_queue_full"`
 	ServerShedDeadline  float64 `json:"server_shed_deadline"`
 	ServerPoisonShed    float64 `json:"server_poison_shed"`
+	// Warm-up snapshot counters: runs that forked from a stored post-warm-up
+	// chip snapshot (hits) vs runs that had to simulate the warm-up (misses),
+	// the simulated cycles that reuse avoided, and the snapshot store's
+	// byte/quarantine/eviction health.
+	SnapshotHits        float64 `json:"server_snapshot_hits"`
+	SnapshotMisses      float64 `json:"server_snapshot_misses"`
+	WarmupCyclesSaved   float64 `json:"server_warmup_cycles_saved"`
+	SnapshotBytes       float64 `json:"server_snapshot_bytes"`
+	SnapshotQuarantined float64 `json:"server_snapshot_quarantined"`
+	SnapshotEvicted     float64 `json:"server_snapshot_evicted"`
 
 	// Experiments carries the server's per-experiment series summaries
 	// (the labeled tarserved_experiment_* gauges): one row per distinct
@@ -110,6 +120,11 @@ type sweepReport struct {
 	P50PointMs     float64 `json:"p50_point_ms"`
 	P99PointMs     float64 `json:"p99_point_ms"`
 	CacheHit       bool    `json:"cache_hit,omitempty"`
+	// SnapshotHits and WarmupCyclesSaved are server-side deltas across the
+	// sweep: points that forked from a shared post-warm-up snapshot instead
+	// of re-simulating the warm-up, and the simulated cycles that saved.
+	SnapshotHits      float64 `json:"snapshot_hits"`
+	WarmupCyclesSaved float64 `json:"warmup_cycles_saved"`
 }
 
 // expSeries is one scraped tarserved_experiment_* label set.
@@ -242,6 +257,12 @@ func main() {
 		rep.ServerShedQueueFull = m["tarserved_shed_queue_full_total"]
 		rep.ServerShedDeadline = m["tarserved_shed_deadline_total"]
 		rep.ServerPoisonShed = m["tarserved_poison_shed_total"]
+		rep.SnapshotHits = m["tarserved_snapshot_hits_total"]
+		rep.SnapshotMisses = m["tarserved_snapshot_misses_total"]
+		rep.WarmupCyclesSaved = m["tarserved_warmup_cycles_saved_total"]
+		rep.SnapshotBytes = m["tarserved_snapshot_bytes"]
+		rep.SnapshotQuarantined = m["tarserved_snapshot_quarantined"]
+		rep.SnapshotEvicted = m["tarserved_snapshot_evicted"]
 		rep.Experiments = exps
 	} else {
 		fmt.Fprintln(os.Stderr, "tarload: metrics scrape failed:", err)
@@ -333,9 +354,11 @@ func runSweepMode(addr, serverBackend string, benches []string, config, baseline
 	if baseline != "" {
 		spec["baseline"] = baseline
 	}
-	simsBefore := 0.0
+	simsBefore, snapHitsBefore, savedBefore := 0.0, 0.0, 0.0
 	if m, _, err := scrapeMetrics(addr); err == nil {
 		simsBefore = m["tarserved_sims_started_total"]
+		snapHitsBefore = m["tarserved_snapshot_hits_total"]
+		savedBefore = m["tarserved_warmup_cycles_saved_total"]
 	}
 
 	body, _ := json.Marshal(spec)
@@ -417,6 +440,8 @@ func runSweepMode(addr, serverBackend string, benches []string, config, baseline
 	}
 	if m, _, err := scrapeMetrics(addr); err == nil {
 		sr.UniqueSims = m["tarserved_sims_started_total"] - simsBefore
+		sr.SnapshotHits = m["tarserved_snapshot_hits_total"] - snapHitsBefore
+		sr.WarmupCyclesSaved = m["tarserved_warmup_cycles_saved_total"] - savedBefore
 	}
 
 	rep := report{
@@ -426,9 +451,9 @@ func runSweepMode(addr, serverBackend string, benches []string, config, baseline
 		Sweeps: []sweepReport{sr},
 	}
 	fmt.Fprintf(os.Stderr,
-		"tarload: sweep %s %s — %d points, %d experiments (%.0f simulated, %d from store, %d shed) in %.2fs; frontier %d, point p50 %.0fms p99 %.0fms\n",
+		"tarload: sweep %s %s — %d points, %d experiments (%.0f simulated, %d from store, %d shed) in %.2fs; frontier %d, point p50 %.0fms p99 %.0fms; %.0f warm-up forks saved %.0f cycles\n",
 		st.Key, st.State, sr.Points, sr.Experiments, sr.UniqueSims, sr.PointCacheHits, sr.Shed,
-		sr.WallSeconds, sr.FrontierSize, sr.P50PointMs, sr.P99PointMs)
+		sr.WallSeconds, sr.FrontierSize, sr.P50PointMs, sr.P99PointMs, sr.SnapshotHits, sr.WarmupCyclesSaved)
 
 	enc, _ := json.MarshalIndent(rep, "", "  ")
 	enc = append(enc, '\n')
@@ -569,6 +594,14 @@ func scrapeMetrics(addr string) (map[string]float64, []expSeries, error) {
 	out := map[string]float64{}
 	re := regexp.MustCompile(`(?m)^([a-z_]+) (\S+)$`)
 	for _, m := range re.FindAllStringSubmatch(string(body), -1) {
+		if v, err := strconv.ParseFloat(m[2], 64); err == nil {
+			out[m[1]] = v
+		}
+	}
+	// Store-health gauges carry a tier label; fold them in under the bare
+	// metric name (one store, one tier — the label is for dashboards).
+	reTier := regexp.MustCompile(`(?m)^([a-z_]+)\{tier="[^"]*"\} (\S+)$`)
+	for _, m := range reTier.FindAllStringSubmatch(string(body), -1) {
 		if v, err := strconv.ParseFloat(m[2], 64); err == nil {
 			out[m[1]] = v
 		}

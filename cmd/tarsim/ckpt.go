@@ -1,0 +1,97 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/snapshot"
+	"repro/internal/workloads"
+)
+
+// A checkpoint file is a snapshot envelope tagged "ckpt" carrying the run's
+// identity — benchmark, configuration, scale, pump mode — the quiescent
+// boundary cycle, and the chip snapshot blob itself. Self-describing, so
+// -resume needs no other flags and refuses files from a different world
+// instead of silently replaying the wrong workload.
+type ckptMeta struct {
+	Bench  string
+	Config string
+	Scale  string
+	NoPump bool
+	Cycle  uint64
+}
+
+// writeCheckpoint persists one checkpoint atomically (temp file, fsync,
+// rename) so a crash mid-write leaves either the complete file or nothing.
+// It returns the final path.
+func writeCheckpoint(dir string, meta ckptMeta, blob []byte) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	w := snapshot.NewWriter()
+	w.Tag("ckpt")
+	w.String(meta.Bench)
+	w.String(meta.Config)
+	w.String(meta.Scale)
+	w.Bool(meta.NoPump)
+	w.U64(meta.Cycle)
+	w.Bytes(blob)
+	raw := w.Finish()
+
+	name := fmt.Sprintf("%s-%s-%s@%d.ckpt", meta.Bench, meta.Config, meta.Scale, meta.Cycle)
+	path := filepath.Join(dir, name)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return "", err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(raw); err != nil {
+		tmp.Close()
+		return "", err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return "", err
+	}
+	if err := tmp.Close(); err != nil {
+		return "", err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return "", err
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return path, nil
+}
+
+// readCheckpoint loads and validates a checkpoint file, returning its
+// metadata and the inner chip snapshot blob.
+func readCheckpoint(path string) (ckptMeta, []byte, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return ckptMeta{}, nil, err
+	}
+	r, err := snapshot.NewReader(raw)
+	if err != nil {
+		return ckptMeta{}, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	r.Tag("ckpt")
+	meta := ckptMeta{
+		Bench:  r.String(),
+		Config: r.String(),
+		Scale:  r.String(),
+		NoPump: r.Bool(),
+		Cycle:  r.U64(),
+	}
+	blob := r.Bytes()
+	if err := r.Close(); err != nil {
+		return ckptMeta{}, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if _, err := workloads.ParseScale(meta.Scale); err != nil {
+		return ckptMeta{}, nil, fmt.Errorf("%s: bad scale in checkpoint: %w", path, err)
+	}
+	return meta, blob, nil
+}

@@ -18,6 +18,16 @@
 // every registered occupancy gauge each N cycles and prints the series;
 // -trace-out FILE exports the same series as a Chrome trace-event file for
 // chrome://tracing or https://ui.perfetto.dev.
+//
+// Checkpoint flags: -ckpt-at N captures the chip state at the first
+// quiescent boundary at or after cycle N (the post-warm-up drain; only
+// benchmarks with a warm-up phase have one) and writes it atomically under
+// -ckpt-dir as a self-describing .ckpt file. -resume FILE restores that
+// state and runs the kernel from it — benchmark, configuration and scale
+// come from the file, and the run's ROI statistics are bit-identical to a
+// straight run's. Combine -resume with -sample/-trace-out to time-travel:
+// re-simulate the post-checkpoint window with the profiler armed without
+// paying for the warm-up again.
 package main
 
 import (
@@ -57,6 +67,9 @@ func main() {
 	benchLabel := flag.String("bench-label", "dev", "label recorded in the -bench-out row")
 	benchScale := flag.String("bench-scale", "test", "input scale for -bench-out measurements")
 	benchCheck := flag.Bool("bench-check", false, "with -bench-out: fail if cycles/sec regressed >20% vs the last committed row")
+	ckptAt := flag.Uint64("ckpt-at", 0, "checkpoint the chip at the first quiescent boundary at or after this cycle (0 = off)")
+	ckptDir := flag.String("ckpt-dir", "ckpt", "directory for -ckpt-at checkpoint files")
+	resume := flag.String("resume", "", "resume from a checkpoint file written by -ckpt-at (bench/config/scale come from the file)")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -85,6 +98,29 @@ func main() {
 	if *benchOut != "" {
 		runBench(*benchOut, *benchLabel, *benchScale, *benchCheck)
 		return
+	}
+	var resumeBlob []byte
+	if *resume != "" {
+		if *ckptAt > 0 {
+			fatalIf(fmt.Errorf("-resume skips the warm-up, so there is no boundary left for -ckpt-at to capture"))
+		}
+		meta, blob, err := readCheckpoint(*resume)
+		fatalIf(err)
+		resumeBlob = blob
+		// The checkpoint is self-describing; an explicitly passed identity
+		// flag that contradicts it is a mistake worth refusing, not
+		// silently overriding either way.
+		flag.Visit(func(f *flag.Flag) {
+			switch {
+			case f.Name == "bench" && *bench != meta.Bench,
+				f.Name == "config" && *config != meta.Config,
+				f.Name == "scale" && *scaleFlag != meta.Scale,
+				f.Name == "nopump" && *nopump != meta.NoPump:
+				fatalIf(fmt.Errorf("-%s contradicts checkpoint %s (%s on %s, %s scale)",
+					f.Name, *resume, meta.Bench, meta.Config, meta.Scale))
+			}
+		})
+		*bench, *config, *scaleFlag, *nopump = meta.Bench, meta.Config, meta.Scale, meta.NoPump
 	}
 	if *bench == "" {
 		flag.Usage()
@@ -121,15 +157,48 @@ func main() {
 		*sample = 10_000 // tracing needs a sampling interval; pick a sane default
 	}
 	if *sample > 0 {
-		runSampled(cfg, b, scale, *sample, *sampleCap, *traceOut)
+		if *ckptAt > 0 {
+			fatalIf(fmt.Errorf("-ckpt-at is not supported with -sample (the sampled path runs the kernel without its warm-up)"))
+		}
+		runSampled(cfg, b, scale, *sample, *sampleCap, *traceOut, resumeBlob)
 		return
 	}
+	var opts workloads.RunOpts
+	var ckptPath string
+	var boundary uint64
+	if *ckptAt > 0 {
+		if b.Setup == nil {
+			fatalIf(fmt.Errorf("%s has no warm-up phase, so no quiescent boundary to checkpoint", *bench))
+		}
+		opts.OnWarmupSnapshot = func(cycle uint64, blob []byte) {
+			boundary = cycle
+			if cycle < *ckptAt {
+				return
+			}
+			p, err := writeCheckpoint(*ckptDir, ckptMeta{
+				Bench: *bench, Config: cfg.Name, Scale: scale.String(),
+				NoPump: *nopump, Cycle: cycle,
+			}, blob)
+			fatalIf(err)
+			ckptPath = p
+		}
+	}
+	opts.WarmupSnapshot = resumeBlob
 	t0 := time.Now()
-	res, err := b.Run(cfg, scale)
+	res, err := b.RunOpt(cfg, scale, opts)
 	wall := time.Since(t0).Seconds()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tarsim:", err)
 		os.Exit(1)
+	}
+	if *ckptAt > 0 && ckptPath == "" {
+		fatalIf(fmt.Errorf("no quiescent boundary at or after cycle %d (warm-up drains at cycle %d); no checkpoint written", *ckptAt, boundary))
+	}
+	if ckptPath != "" {
+		fmt.Printf("checkpoint written to %s (cycle %d)\n", ckptPath, boundary)
+	}
+	if res.WarmupRestored {
+		fmt.Printf("resumed from %s: %d warm-up cycles restored, not simulated\n", *resume, res.WarmupCycles)
 	}
 	opc, fpc, mpc, other := res.OPC()
 	fmt.Printf("%s on %s (%s scale)\n", *bench, cfg.Name, scale)
@@ -151,10 +220,21 @@ func main() {
 // runSampled executes the benchmark with the registry's cycle-interval
 // sampler armed, prints the series — interval IPC, interval raw memory
 // bandwidth and every registered occupancy gauge — and optionally exports it
-// as a Chrome trace-event file (-trace-out).
-func runSampled(cfg *sim.Config, b *workloads.Benchmark, scale workloads.Scale, every uint64, capacity int, traceOut string) {
-	m := archNew()
-	chip := sim.New(cfg)
+// as a Chrome trace-event file (-trace-out). With a resume blob it
+// time-travels instead: the chip restores to the checkpoint boundary and
+// only the post-checkpoint window is re-simulated under the profiler.
+func runSampled(cfg *sim.Config, b *workloads.Benchmark, scale workloads.Scale, every uint64, capacity int, traceOut string, resumeBlob []byte) {
+	var m *arch.Machine
+	var chip *sim.Chip
+	if resumeBlob != nil {
+		var err error
+		chip, m, err = sim.RestoreChip(cfg, resumeBlob)
+		fatalIf(err)
+		fmt.Printf("time-travel: resumed at cycle %d, sampling the window from there\n", chip.Clock())
+	} else {
+		m = archNew()
+		chip = sim.New(cfg)
+	}
 	chip.EnableSampling(every, capacity)
 	kernelFn := b.Scalar
 	if cfg.HasVbox {

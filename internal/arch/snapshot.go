@@ -1,0 +1,50 @@
+package arch
+
+import "repro/internal/snapshot"
+
+// SaveState encodes the architectural state of one hardware thread: both
+// scalar files, the vector file, and the vl/vs/vm control registers. The
+// bump arenas are encoding scratch, not architectural state, and the bound
+// memory image is saved separately by the chip-level snapshot (SMT threads
+// each own a Memory, so ownership stays with the caller).
+func (m *Machine) SaveState(w *snapshot.Writer) {
+	w.Tag("arch")
+	for _, v := range m.R {
+		w.U64(v)
+	}
+	for _, v := range m.F {
+		w.U64(v)
+	}
+	for i := range m.V {
+		for _, v := range m.V[i] {
+			w.U64(v)
+		}
+	}
+	w.U64(m.VL)
+	w.I64(m.VS)
+	for _, b := range m.VM {
+		w.Bool(b)
+	}
+}
+
+// LoadState restores the architectural state saved by SaveState.
+func (m *Machine) LoadState(r *snapshot.Reader) error {
+	r.Tag("arch")
+	for i := range m.R {
+		m.R[i] = r.U64()
+	}
+	for i := range m.F {
+		m.F[i] = r.U64()
+	}
+	for i := range m.V {
+		for j := range m.V[i] {
+			m.V[i][j] = r.U64()
+		}
+	}
+	m.VL = r.U64()
+	m.VS = r.I64()
+	for i := range m.VM {
+		m.VM[i] = r.Bool()
+	}
+	return r.Err()
+}

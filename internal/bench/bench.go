@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/tables"
 	"repro/internal/workloads"
 )
@@ -70,6 +71,26 @@ type Row struct {
 	// equivalent (sequential, default engine), the headline ROADMAP number.
 	SweepWallS float64 `json:"sweep_wall_s"`
 	SweepScale string  `json:"sweep_scale"`
+	// WarmupReuse is the checkpoint feature's payoff measurement (absent in
+	// rows from builds that predate it).
+	WarmupReuse *WarmupReuse `json:"warmup_reuse,omitempty"`
+}
+
+// WarmupReuse records the warm-up snapshot payoff: a sweep over a
+// post-warm-up knob on a warm-up benchmark, run once cold (every point
+// simulates its own warm-up) and once forking every later point from the
+// first point's post-warm-up snapshot. Both sweeps must produce
+// bit-identical per-point statistics; the speedup is the host-independent
+// cold/reuse sim-loop wall-clock ratio.
+type WarmupReuse struct {
+	Bench        string  `json:"bench"`
+	Config       string  `json:"config"`
+	Scale        string  `json:"scale"`
+	Points       int     `json:"points"`
+	WarmupCycles uint64  `json:"warmup_cycles"`
+	ColdWallS    float64 `json:"cold_wall_s"`
+	ReuseWallS   float64 `json:"reuse_wall_s"`
+	Speedup      float64 `json:"speedup"`
 }
 
 // File is the whole BENCH_sim.json document.
@@ -150,7 +171,91 @@ func Run(opts Options) (*Row, error) {
 			opts.Progress(fmt.Sprintf("sweep wall clock: %.2f s", wall))
 		}
 	}
+	wr, err := MeasureWarmupReuse(opts.Scale)
+	if err != nil {
+		return nil, fmt.Errorf("warmup reuse: %w", err)
+	}
+	row.WarmupReuse = wr
+	if opts.Progress != nil {
+		opts.Progress(fmt.Sprintf("warm-up reuse (%s, %d points): cold %.3f s, forked %.3f s — %.2fx",
+			wr.Bench, wr.Points, wr.ColdWallS, wr.ReuseWallS, wr.Speedup))
+	}
 	return row, nil
+}
+
+// warmupReuseRepeats: each sweep variant is run this many times and the best
+// (minimum) total sim-loop wall clock kept, the same noise-shedding rule as
+// timeKernel.
+const warmupReuseRepeats = 5
+
+// MeasureWarmupReuse times a physical-register sweep on rndcopy — the
+// warm-up benchmark, over a knob the warm-up cannot observe — cold and with
+// warm-up forking, and verifies the two sweeps agree point by point before
+// reporting the speedup.
+func MeasureWarmupReuse(s workloads.Scale) (*WarmupReuse, error) {
+	b, err := workloads.Get("rndcopy")
+	if err != nil {
+		return nil, err
+	}
+	base := sim.T()
+	var cfgs []*sim.Config
+	for _, p := range []int{64, 96, 128} {
+		cc := *base
+		cc.Vbox.PhysVRegs = p
+		cfgs = append(cfgs, &cc)
+	}
+
+	wr := &WarmupReuse{Bench: b.Name, Config: base.Name, Scale: s.String(), Points: len(cfgs)}
+	var coldStats []stats.Stats
+	for rep := 0; rep < warmupReuseRepeats; rep++ {
+		var ns int64
+		var st []stats.Stats
+		for _, cfg := range cfgs {
+			res, err := b.Run(cfg, s)
+			if err != nil {
+				return nil, err
+			}
+			ns += res.WallNs
+			st = append(st, *res.Stats)
+		}
+		if wall := float64(ns) / 1e9; rep == 0 || wall < wr.ColdWallS {
+			wr.ColdWallS = wall
+		}
+		coldStats = st
+	}
+	for rep := 0; rep < warmupReuseRepeats; rep++ {
+		var ns int64
+		var blob []byte
+		for i, cfg := range cfgs {
+			var opts workloads.RunOpts
+			if i == 0 {
+				opts.OnWarmupSnapshot = func(_ uint64, bb []byte) { blob = bb }
+			} else {
+				opts.WarmupSnapshot = blob
+			}
+			res, err := b.RunOpt(cfg, s, opts)
+			if err != nil {
+				return nil, err
+			}
+			ns += res.WallNs
+			if *res.Stats != coldStats[i] {
+				return nil, fmt.Errorf("point %d (phys_vregs=%d): forked run's statistics differ from the cold run's (bit-identity violation)",
+					i, cfg.Vbox.PhysVRegs)
+			}
+			if i > 0 && !res.WarmupRestored {
+				return nil, fmt.Errorf("point %d did not restore the warm-up snapshot", i)
+			}
+			wr.WarmupCycles = res.WarmupCycles
+		}
+		if wall := float64(ns) / 1e9; rep == 0 || wall < wr.ReuseWallS {
+			wr.ReuseWallS = wall
+		}
+	}
+	if wr.ReuseWallS <= 0 {
+		wr.ReuseWallS = 1e-9
+	}
+	wr.Speedup = wr.ColdWallS / wr.ReuseWallS
+	return wr, nil
 }
 
 // kernelRepeats bounds how many times timeKernel runs each kernel; the fastest
@@ -302,6 +407,17 @@ func CheckRegression(committed *File, fresh *Row) error {
 		if k.Speedup < (1-RegressionTolerance)*want {
 			bad = append(bad, fmt.Sprintf("%s: speedup %.2fx vs committed %.2fx (>%d%% regression)",
 				k.Name, k.Speedup, want, int(RegressionTolerance*100)))
+		}
+	}
+	if fresh.WarmupReuse != nil {
+		wr := fresh.WarmupReuse
+		if wr.Speedup < 1 {
+			bad = append(bad, fmt.Sprintf("warmup reuse: sweep with snapshot forking is slower than cold (%.2fx)", wr.Speedup))
+		}
+		if cw := base.WarmupReuse; cw != nil && cw.Speedup > 0 &&
+			wr.Speedup < (1-RegressionTolerance)*cw.Speedup {
+			bad = append(bad, fmt.Sprintf("warmup reuse: speedup %.2fx vs committed %.2fx (>%d%% regression)",
+				wr.Speedup, cw.Speedup, int(RegressionTolerance*100)))
 		}
 	}
 	if len(bad) > 0 {

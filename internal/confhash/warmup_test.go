@@ -1,0 +1,73 @@
+package confhash_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/confhash"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// TestWarmupKeyNormalization pins the WarmupKey contract: configurations
+// differing only in a normalized knob share a warm-up key while their full
+// experiment keys still differ, and any non-normalized knob splits both.
+func TestWarmupKeyNormalization(t *testing.T) {
+	base := sim.T()
+	vregs := sim.T()
+	vregs.Vbox.PhysVRegs = 64
+	if confhash.Key("rndcopy", "test", base) == confhash.Key("rndcopy", "test", vregs) {
+		t.Fatal("PhysVRegs change did not change the experiment key")
+	}
+	if confhash.WarmupKey("rndcopy", "test", base) != confhash.WarmupKey("rndcopy", "test", vregs) {
+		t.Error("PhysVRegs change split the warm-up key; it is a normalized knob")
+	}
+	clock := sim.T()
+	clock.CPUGHz *= 2
+	if confhash.WarmupKey("rndcopy", "test", base) == confhash.WarmupKey("rndcopy", "test", clock) {
+		t.Error("clock change did not split the warm-up key")
+	}
+	if confhash.WarmupKey("rndcopy", "test", base) == confhash.WarmupKey("rndcopy", "huge", base) {
+		t.Error("scale change did not split the warm-up key")
+	}
+	if confhash.WarmupKey("rndcopy", "test", base) == confhash.WarmupKey("streams_copy", "test", base) {
+		t.Error("benchmark change did not split the warm-up key")
+	}
+	if confhash.WarmupKey("rndcopy", "test", base) == confhash.Key("rndcopy", "test", base) {
+		t.Error("warm-up key collides with the experiment key for the same spec")
+	}
+}
+
+// TestWarmupKeyExclusionSound is the empirical proof behind WarmupKey's
+// normalized-knob set: for every benchmark with a warm-up phase, the
+// post-Setup chip snapshot must be byte-identical across values of the
+// normalized knob. If a future warm-up kernel starts emitting vector
+// destinations (making PhysVRegs timing-relevant before the ROI), this
+// fails before any cache could serve a wrong snapshot.
+func TestWarmupKeyExclusionSound(t *testing.T) {
+	for _, name := range workloads.Names() {
+		b, err := workloads.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Setup == nil {
+			continue
+		}
+		capture := func(cfg *sim.Config) []byte {
+			var blob []byte
+			_, err := b.RunOpt(cfg, workloads.Test, workloads.RunOpts{
+				OnWarmupSnapshot: func(_ uint64, bb []byte) { blob = bb },
+			})
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			return blob
+		}
+		base := capture(sim.T())
+		mut := sim.T()
+		mut.Vbox.PhysVRegs = 64
+		if !bytes.Equal(base, capture(mut)) {
+			t.Errorf("%s: warm-up snapshot depends on PhysVRegs; WarmupKey must not normalize it", name)
+		}
+	}
+}

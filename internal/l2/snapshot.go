@@ -1,0 +1,68 @@
+package l2
+
+import (
+	"fmt"
+
+	"repro/internal/snapshot"
+)
+
+// SaveState encodes the cache's durable state at a quiescent boundary: the
+// full tag store (valid/dirty/P-bit/LRU per way), the LRU clock and the two
+// bus-free cycles (delta-encoded against the snapshot cycle). In-flight
+// machinery — slice queues, the retry queue, pending fills, the event wheel
+// — holds callbacks and is required to be empty; Busy() is the caller's
+// precondition and the wheel re-checks it here.
+func (c *L2) SaveState(w *snapshot.Writer, now uint64) error {
+	if c.Busy() {
+		return fmt.Errorf("l2: busy (queues or fills outstanding); snapshots require a quiescent chip")
+	}
+	w.Tag("l2")
+	w.U64(uint64(len(c.ways)))
+	w.U64(c.assoc)
+	for i := range c.ways {
+		wy := &c.ways[i]
+		w.U64(wy.tag)
+		w.Bool(wy.valid)
+		w.Bool(wy.dirty)
+		w.Bool(wy.pbit)
+		w.Bool(wy.locked)
+		w.U64(wy.lru)
+	}
+	w.U64(c.lruClock)
+	w.Delta(c.readBusFree, now)
+	w.Delta(c.writeBusFree, now)
+	return c.wheel.SaveState(w, now)
+}
+
+// LoadState restores the tag store onto an already-constructed (and
+// geometry-matching) cache. The mirrored flat tag array is rebuilt from the
+// way records rather than trusted from the blob.
+func (c *L2) LoadState(r *snapshot.Reader, now uint64) error {
+	r.Tag("l2")
+	nways := r.Len(20)
+	assoc := r.U64()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if nways != len(c.ways) || assoc != c.assoc {
+		return fmt.Errorf("%w: L2 geometry %d ways/assoc %d, chip has %d/%d", snapshot.ErrCorrupt, nways, assoc, len(c.ways), c.assoc)
+	}
+	for i := range c.ways {
+		wy := &c.ways[i]
+		wy.tag = r.U64()
+		wy.valid = r.Bool()
+		wy.dirty = r.Bool()
+		wy.pbit = r.Bool()
+		wy.locked = r.Bool()
+		wy.lru = r.U64()
+		if wy.valid {
+			c.tags[i] = wy.tag
+		} else {
+			c.tags[i] = ^uint64(0)
+		}
+	}
+	c.lruClock = r.U64()
+	c.readBusFree = r.Abs(now)
+	c.writeBusFree = r.Abs(now)
+	return c.wheel.LoadState(r, now)
+}

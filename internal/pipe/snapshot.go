@@ -1,0 +1,79 @@
+package pipe
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/snapshot"
+)
+
+// SaveState encodes the pool's reservation state. Per-unit busy-until
+// cycles are delta-encoded against the snapshot cycle (a unit that freed in
+// the past is simply free); the per-cycle issue counter is meaningful only
+// within one cycle and resets at the boundary, so only its shape survives.
+func (p *FUPool) SaveState(w *snapshot.Writer, now uint64) {
+	w.Tag("fu")
+	w.Int(p.Width)
+	w.U64(uint64(len(p.busyUntil)))
+	for _, b := range p.busyUntil {
+		w.Delta(b, now)
+	}
+}
+
+// LoadState restores the pool. The pool must already be constructed with
+// the configuration's width; the blob's geometry is cross-checked against
+// it so a snapshot from a different configuration fails loudly.
+func (p *FUPool) LoadState(r *snapshot.Reader, now uint64) error {
+	r.Tag("fu")
+	width := r.Int()
+	n := r.Len(8)
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if width != p.Width || n != len(p.busyUntil) {
+		return fmt.Errorf("%w: FU pool width %d/%d units, chip has %d/%d", snapshot.ErrCorrupt, width, n, p.Width, len(p.busyUntil))
+	}
+	for i := range p.busyUntil {
+		p.busyUntil[i] = r.Abs(now)
+	}
+	p.usedAt, p.used = 0, 0
+	return r.Err()
+}
+
+// SaveState encodes the predictor's counter table in sorted site order so
+// identical training histories always produce identical bytes.
+func (p *Predictor) SaveState(w *snapshot.Writer) {
+	w.Tag("pred")
+	sites := make([]uint32, 0, len(p.counters))
+	for s := range p.counters {
+		sites = append(sites, s)
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+	w.U64(uint64(len(sites)))
+	for _, s := range sites {
+		w.U32(s)
+		w.U8(p.counters[s])
+	}
+}
+
+// LoadState replaces the counter table with the encoded one.
+func (p *Predictor) LoadState(r *snapshot.Reader) error {
+	r.Tag("pred")
+	n := r.Len(5)
+	p.counters = make(map[uint32]uint8, n)
+	for i := 0; i < n; i++ {
+		s := r.U32()
+		c := r.U8()
+		if r.Err() != nil {
+			return r.Err()
+		}
+		if c > 3 {
+			return fmt.Errorf("%w: predictor counter %d out of 2-bit range", snapshot.ErrCorrupt, c)
+		}
+		if _, dup := p.counters[s]; dup {
+			return fmt.Errorf("%w: duplicate predictor site %d", snapshot.ErrCorrupt, s)
+		}
+		p.counters[s] = c
+	}
+	return r.Err()
+}

@@ -25,10 +25,22 @@ type lru struct {
 	// next to per-experiment results, so plain FIFO retention suffices.
 	blobs     map[string][]byte
 	blobOrder []string
+
+	// snaps are chip snapshots keyed by warm-up address, bounded by bytes
+	// (they carry full memory images, so an entry-count bound would let a
+	// handful of large-scale snapshots dominate the heap) with
+	// insertion-order eviction.
+	snaps     map[string][]byte
+	snapOrder []string
+	snapBytes int64
+	snapEvict uint64
 }
 
 // maxBlobs bounds retained aggregate blobs in the memory tier.
 const maxBlobs = 256
+
+// maxSnapBytes bounds retained chip snapshots in the memory tier.
+const maxSnapBytes = 256 << 20
 
 type lruEntry struct {
 	key string
@@ -104,9 +116,50 @@ func (c *lru) PutBlob(key string, raw []byte) {
 	c.blobs[key] = raw
 }
 
+// GetSnapshot returns a stored chip snapshot.
+func (c *lru) GetSnapshot(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	blob, ok := c.snaps[key]
+	return blob, ok
+}
+
+// PutSnapshot stores a chip snapshot, evicting oldest-first past the byte
+// bound. A single blob larger than the bound is not retained at all.
+func (c *lru) PutSnapshot(key string, blob []byte) {
+	if int64(len(blob)) > maxSnapBytes {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.snaps == nil {
+		c.snaps = make(map[string][]byte)
+	}
+	if old, ok := c.snaps[key]; ok {
+		c.snapBytes -= int64(len(old))
+	} else {
+		c.snapOrder = append(c.snapOrder, key)
+	}
+	c.snaps[key] = blob
+	c.snapBytes += int64(len(blob))
+	for c.snapBytes > maxSnapBytes && len(c.snapOrder) > 0 {
+		oldest := c.snapOrder[0]
+		c.snapOrder = c.snapOrder[1:]
+		if old, ok := c.snaps[oldest]; ok {
+			c.snapBytes -= int64(len(old))
+			delete(c.snaps, oldest)
+			c.snapEvict++
+		}
+	}
+}
+
 // Status reports the memory-only store health.
 func (c *lru) Status() StoreStatus {
-	return StoreStatus{Tier: "mem", MemEntries: c.Len()}
+	c.mu.Lock()
+	snapN, snapB, snapE := len(c.snaps), c.snapBytes, c.snapEvict
+	c.mu.Unlock()
+	return StoreStatus{Tier: "mem", MemEntries: c.Len(),
+		SnapEntries: snapN, SnapBytes: snapB, SnapEvicted: snapE}
 }
 
 // Close is a no-op: the memory tier has nothing to release.

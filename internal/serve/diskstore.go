@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"repro/internal/faults"
+	"repro/internal/snapshot"
 	"repro/internal/workloads"
 )
 
@@ -33,6 +34,7 @@ type diskStore struct {
 	dir      string // artifact directory (schema-versioned)
 	quarDir  string
 	blobDir  string // aggregate blobs (sweep results), own schema namespace
+	snapDir  string // chip snapshots, keyed by the snapshot wire schema
 	maxBytes int64
 	inj      *faults.Injector
 
@@ -44,6 +46,14 @@ type diskStore struct {
 	quarCount uint64
 	ioErrors  uint64
 	evicted   uint64
+
+	// Snapshot-face accounting, separate from the artifact index: chip
+	// snapshots are large (full memory images) and evict against their own
+	// byte cap so they can never push experiment results out of the store.
+	snaps     map[string]*diskEntry
+	snapTotal int64
+	snapQuar  uint64
+	snapEvict uint64
 }
 
 type diskEntry struct {
@@ -64,11 +74,16 @@ func openDiskStore(dir string, maxBytes int64, inj *faults.Injector) (*diskStore
 		// Sweep blobs live outside the artifact scan directory (the loader
 		// quarantines anything there it cannot decode as a JobResult) and
 		// carry their own schema namespace.
-		blobDir:  filepath.Join(dir, "sweeps", fmt.Sprintf("schema-%d", SweepSchemaVersion)),
+		blobDir: filepath.Join(dir, "sweeps", fmt.Sprintf("schema-%d", SweepSchemaVersion)),
+		// Chip snapshots are versioned by the snapshot wire schema, not the
+		// JobResult schema: the two evolve independently, and a directory
+		// per version means a build never even scans blobs it cannot read.
+		snapDir:  filepath.Join(dir, "snapshots", fmt.Sprintf("schema-%d", snapshot.SchemaVersion)),
 		quarDir:  filepath.Join(dir, "quarantine"),
 		maxBytes: maxBytes,
 		inj:      inj,
 		entries:  make(map[string]*diskEntry),
+		snaps:    make(map[string]*diskEntry),
 	}
 	if err := os.MkdirAll(d.dir, 0o755); err != nil {
 		return nil, err
@@ -124,7 +139,64 @@ func openDiskStore(dir string, maxBytes int64, inj *faults.Injector) (*diskStore
 	}
 	d.warmStart = len(d.entries)
 	d.evictLocked()
+	d.scanSnapshots()
 	return d, nil
+}
+
+// snapSuffix names chip-snapshot files; the extension matches the binary
+// snapshot encoding rather than the JSON artifact one.
+const snapSuffix = ".snap"
+
+// scanSnapshots validates every resident chip snapshot at open: envelope
+// verification (magic, schema, CRC) for each file, quarantine for anything
+// that fails, tmp-debris removal, and an access clock seeded from file
+// modification order so eviction preserves the previous process's recency.
+func (d *diskStore) scanSnapshots() {
+	names, err := os.ReadDir(d.snapDir)
+	if err != nil {
+		return // no snapshot directory yet: first run, nothing to recover
+	}
+	type candidate struct {
+		name string
+		mod  int64
+	}
+	var cands []candidate
+	for _, de := range names {
+		if de.IsDir() {
+			continue
+		}
+		name := de.Name()
+		if strings.HasPrefix(name, tmpPrefix) {
+			os.Remove(filepath.Join(d.snapDir, name))
+			continue
+		}
+		if !strings.HasSuffix(name, snapSuffix) {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		cands = append(cands, candidate{name: name, mod: info.ModTime().UnixNano()})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].mod < cands[j].mod })
+	for _, c := range cands {
+		key := strings.TrimSuffix(c.name, snapSuffix)
+		path := filepath.Join(d.snapDir, c.name)
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			d.ioErrors++
+			continue
+		}
+		if snapshot.Verify(raw) != nil {
+			d.quarantineSnapLocked(key, path)
+			continue
+		}
+		d.clock++
+		d.snaps[key] = &diskEntry{size: int64(len(raw)), atime: d.clock}
+		d.snapTotal += int64(len(raw))
+	}
+	d.evictSnapsLocked()
 }
 
 const tmpPrefix = ".tmp-"
@@ -309,13 +381,17 @@ func (d *diskStore) Status() StoreStatus {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return StoreStatus{
-		Tier:        "disk",
-		DiskEntries: len(d.entries),
-		DiskBytes:   d.total,
-		WarmStart:   d.warmStart,
-		Quarantined: d.quarCount,
-		IOErrors:    d.ioErrors,
-		Evicted:     d.evicted,
+		Tier:            "disk",
+		DiskEntries:     len(d.entries),
+		DiskBytes:       d.total,
+		WarmStart:       d.warmStart,
+		Quarantined:     d.quarCount,
+		IOErrors:        d.ioErrors,
+		Evicted:         d.evicted,
+		SnapEntries:     len(d.snaps),
+		SnapBytes:       d.snapTotal,
+		SnapQuarantined: d.snapQuar,
+		SnapEvicted:     d.snapEvict,
 	}
 }
 
@@ -373,6 +449,119 @@ func (d *diskStore) PutBlob(key string, raw []byte) {
 	if err := os.Rename(tmpName, filepath.Join(d.blobDir, key+".json")); err != nil {
 		os.Remove(tmpName)
 		d.ioErrors++
+	}
+}
+
+func (d *diskStore) snapPath(key string) string { return filepath.Join(d.snapDir, key+snapSuffix) }
+
+// GetSnapshot loads one chip snapshot, re-verifying the envelope on every
+// read — bytes that rotted on disk since the open-time scan are quarantined
+// and reported as a miss, never handed to RestoreChip.
+func (d *diskStore) GetSnapshot(key string) ([]byte, bool) {
+	if !safeKey(key) {
+		return nil, false
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	e, ok := d.snaps[key]
+	if !ok {
+		return nil, false
+	}
+	if d.inj.DiskReadError() {
+		d.ioErrors++
+		return nil, false
+	}
+	path := d.snapPath(key)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		d.ioErrors++
+		return nil, false
+	}
+	if snapshot.Verify(raw) != nil {
+		delete(d.snaps, key)
+		d.snapTotal -= e.size
+		d.quarantineSnapLocked(key, path)
+		return nil, false
+	}
+	d.clock++
+	e.atime = d.clock
+	return raw, true
+}
+
+// PutSnapshot persists one chip snapshot with the artifact write protocol
+// (temp file → fsync → rename → dir sync). Blobs that fail envelope
+// verification are refused outright — the store never persists bytes it
+// would later quarantine.
+func (d *diskStore) PutSnapshot(key string, blob []byte) {
+	if !safeKey(key) || snapshot.Verify(blob) != nil {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.snaps[key]; ok {
+		return
+	}
+	if err := os.MkdirAll(d.snapDir, 0o755); err != nil {
+		d.ioErrors++
+		return
+	}
+	if d.inj.DiskWriteError() {
+		d.ioErrors++
+		return
+	}
+	tmp, err := os.CreateTemp(d.snapDir, tmpPrefix+key+"-*")
+	if err != nil {
+		d.ioErrors++
+		return
+	}
+	tmpName := tmp.Name()
+	_, werr := tmp.Write(blob)
+	serr := tmp.Sync()
+	cerr := tmp.Close()
+	if werr != nil || serr != nil || cerr != nil {
+		os.Remove(tmpName)
+		d.ioErrors++
+		return
+	}
+	if err := os.Rename(tmpName, d.snapPath(key)); err != nil {
+		os.Remove(tmpName)
+		d.ioErrors++
+		return
+	}
+	d.syncDir()
+	d.clock++
+	d.snaps[key] = &diskEntry{size: int64(len(blob)), atime: d.clock}
+	d.snapTotal += int64(len(blob))
+	d.evictSnapsLocked()
+}
+
+// quarantineSnapLocked moves a distrusted snapshot aside and counts it
+// separately from artifact quarantines. Requires d.mu (or open-time
+// exclusivity).
+func (d *diskStore) quarantineSnapLocked(key, path string) {
+	dst := filepath.Join(d.quarDir, key+snapSuffix)
+	if err := os.Rename(path, dst); err != nil {
+		os.Remove(path)
+	}
+	d.snapQuar++
+}
+
+// evictSnapsLocked enforces the snapshot byte cap (the same configured cap
+// as artifacts, accounted separately): least-recently-accessed snapshots
+// are deleted until the tier fits. Requires d.mu.
+func (d *diskStore) evictSnapsLocked() {
+	for d.snapTotal > d.maxBytes && len(d.snaps) > 0 {
+		var coldKey string
+		var cold *diskEntry
+		for k, e := range d.snaps {
+			if cold == nil || e.atime < cold.atime {
+				coldKey, cold = k, e
+			}
+		}
+		delete(d.snaps, coldKey)
+		d.snapTotal -= cold.size
+		os.Remove(d.snapPath(coldKey))
+		d.snapEvict++
 	}
 }
 

@@ -65,6 +65,14 @@ type metrics struct {
 	sweepExperiments uint64
 	sweepsRunning    int
 
+	// Warm-up snapshot counters: simulations whose warm-up phase was
+	// restored from a stored chip snapshot (snapHits) or simulated and
+	// captured (snapMisses), and the cumulative simulated cycles those
+	// restores avoided — the checkpoint feature's payoff in one number.
+	snapHits          uint64
+	snapMisses        uint64
+	warmupCyclesSaved uint64
+
 	// ewmaJob is the exponentially-weighted moving average of simulation
 	// execution seconds (dequeue → completion), the admission controller's
 	// queue-wait estimator. Zero until the first completion.
@@ -192,6 +200,9 @@ func (m *metrics) render(w io.Writer, st StoreStatus, poisoned int) {
 	counter("tarserved_sweep_dedup_joined_total", "Sweep submissions joined onto an identical in-flight sweep.", m.sweepDedupJoined)
 	counter("tarserved_sweep_experiments_total", "Per-experiment submissions generated by sweep orchestration.", m.sweepExperiments)
 	gauge("tarserved_sweeps_running", "Sweeps currently orchestrating experiments.", m.sweepsRunning)
+	counter("tarserved_snapshot_hits_total", "Simulations whose warm-up phase was restored from a stored chip snapshot.", m.snapHits)
+	counter("tarserved_snapshot_misses_total", "Simulations that simulated (and captured) their warm-up phase.", m.snapMisses)
+	counter("tarserved_warmup_cycles_saved_total", "Simulated cycles avoided by restoring warm-up snapshots.", m.warmupCyclesSaved)
 	counter("tarserved_shed_queue_full_total", "Submissions refused because the queue was full or the estimated wait exceeded the deadline.", m.shedQueueFull)
 	counter("tarserved_shed_deadline_total", "Queued jobs shed because their deadline expired before a worker freed up.", m.shedDeadline)
 	counter("tarserved_poison_shed_total", "Submissions refused because their confhash is quarantined after crash-looping workers.", m.poisonShed)
@@ -224,6 +235,10 @@ func renderStore(w io.Writer, st StoreStatus) {
 	g("tarserved_store_quarantined", "Undecodable or schema-skewed files quarantined by the loader.", int64(st.Quarantined))
 	g("tarserved_store_io_errors", "Disk reads and writes that failed (real or injected).", int64(st.IOErrors))
 	g("tarserved_store_evicted", "Artifacts dropped by the disk tier's size cap.", int64(st.Evicted))
+	g("tarserved_snapshot_entries", "Chip snapshots resident in the store.", int64(st.SnapEntries))
+	g("tarserved_snapshot_bytes", "Bytes of chip snapshots resident in the store.", st.SnapBytes)
+	g("tarserved_snapshot_quarantined", "Chip snapshots that failed envelope verification and were set aside.", int64(st.SnapQuarantined))
+	g("tarserved_snapshot_evicted", "Chip snapshots dropped by the snapshot byte cap.", int64(st.SnapEvicted))
 }
 
 // renderExperimentsLocked writes the per-experiment series summaries as

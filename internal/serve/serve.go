@@ -181,7 +181,17 @@ func New(opts Options) *Server {
 		s.store = newLRU(opts.CacheEntries)
 	}
 	if s.backend == nil {
-		s.backend = newInProcessBackend(opts.Run, opts.Workers)
+		run := opts.Run
+		if run == nil {
+			// Warm-up snapshot reuse rides the in-process execution path
+			// when the store can hold snapshots. Test stubs (opts.Run) and
+			// the subprocess backend keep the plain path: a subprocess
+			// worker has no handle on the server's store.
+			if ss, ok := s.store.(SnapshotStore); ok {
+				run = s.snapshotRun(ss)
+			}
+		}
+		s.backend = newInProcessBackend(run, opts.Workers)
 	}
 	s.backend.Registry().RegisterGauge("workers.queue_depth",
 		"Flights waiting for an execution slot.",

@@ -1,0 +1,188 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dse"
+	"repro/internal/snapshot"
+)
+
+// snapBlob builds a small, valid snapshot-envelope blob (not a full chip
+// snapshot — the store only checks the envelope, by design).
+func snapBlob(fill string) []byte {
+	w := snapshot.NewWriter()
+	w.Tag("chip")
+	w.String(fill)
+	return w.Finish()
+}
+
+// TestSweepWarmupSharedOnce is the checkpoint feature's serve-level
+// acceptance drill: a 3-point sweep along phys_vregs — a knob that cannot
+// affect the warm-up phase — over a benchmark with a warm-up (rndcopy)
+// must simulate that warm-up exactly once. The first point captures the
+// post-Setup snapshot; the other two fork from it, whether they hit the
+// store or join the leader's in-flight warm-up.
+func TestSweepWarmupSharedOnce(t *testing.T) {
+	// No Run stub: the real simulator runs, so the snapshot-aware path is
+	// wired against the default in-memory store.
+	_, ts := newTestServer(t, Options{Workers: 4})
+	st, code := postSweep(t, ts.URL, dse.Spec{
+		Config:  "T",
+		Benches: []string{"rndcopy"},
+		Scale:   "test",
+		Axes: map[string]dse.Axis{
+			"phys_vregs": {Values: []float64{64, 96, 128}},
+		},
+	})
+	if code != 200 && code != 202 {
+		t.Fatalf("POST /v1/sweeps = HTTP %d", code)
+	}
+	fin := waitSweepDone(t, ts.URL, st.ID)
+	if fin.State != StateDone || fin.Failed != 0 {
+		t.Fatalf("sweep finished %s failed=%d: %+v", fin.State, fin.Failed, fin.Error)
+	}
+	// Baseline (T unmodified) dedups onto the phys_vregs=128 point: three
+	// unique configurations, one shared warm-up key.
+	if got := metric(t, ts.URL, "tarserved_snapshot_misses_total"); got != 1 {
+		t.Errorf("snapshot misses = %v, want 1 (warm-up must simulate exactly once)", got)
+	}
+	if got := metric(t, ts.URL, "tarserved_snapshot_hits_total"); got != 2 {
+		t.Errorf("snapshot hits = %v, want 2", got)
+	}
+	if got := metric(t, ts.URL, "tarserved_warmup_cycles_saved_total"); got <= 0 {
+		t.Errorf("warmup cycles saved = %v, want > 0", got)
+	}
+}
+
+// TestDiskSnapshotRoundTripAndRecovery: snapshots persist through the disk
+// store, survive a close/reopen (warm start), and damaged files are
+// quarantined at open — never served, never fatal.
+func TestDiskSnapshotRoundTripAndRecovery(t *testing.T) {
+	dir := t.TempDir()
+	store, err := OpenStore(dir, 16, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := store.(SnapshotStore)
+	ss.PutSnapshot("warmkey0", snapBlob("alpha"))
+	ss.PutSnapshot("warmkey1", snapBlob("beta"))
+	if st := store.Status(); st.SnapEntries != 2 || st.SnapBytes <= 0 {
+		t.Fatalf("status after puts: %+v", st)
+	}
+	store.Close()
+
+	// Damage one snapshot on disk and drop a truncated alien file plus tmp
+	// debris next to it before reopening.
+	snapDir := store.(*tieredStore).disk.snapDir
+	path := filepath.Join(snapDir, "warmkey1"+snapSuffix)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(snapDir, "short"+snapSuffix), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(snapDir, tmpPrefix+"debris"), []byte("y"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	store2, err := OpenStore(dir, 16, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	ss2 := store2.(SnapshotStore)
+	if blob, ok := ss2.GetSnapshot("warmkey0"); !ok || snapshot.Verify(blob) != nil {
+		t.Error("intact snapshot did not survive reopen")
+	}
+	if _, ok := ss2.GetSnapshot("warmkey1"); ok {
+		t.Error("damaged snapshot was served")
+	}
+	st := store2.Status()
+	if st.SnapQuarantined != 2 {
+		t.Errorf("quarantined = %d, want 2 (damaged + truncated)", st.SnapQuarantined)
+	}
+	if st.SnapEntries != 1 {
+		t.Errorf("entries after recovery = %d, want 1", st.SnapEntries)
+	}
+	for _, name := range []string{"warmkey1" + snapSuffix, "short" + snapSuffix} {
+		if _, err := os.Stat(filepath.Join(dir, "quarantine", name)); err != nil {
+			t.Errorf("%s not in quarantine: %v", name, err)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(snapDir, tmpPrefix+"debris")); !os.IsNotExist(err) {
+		t.Error("tmp debris survived reopen")
+	}
+}
+
+// TestDiskSnapshotReadTimeQuarantine: bytes that rot after the open-time
+// scan are caught by the per-read verification.
+func TestDiskSnapshotReadTimeQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	store, err := OpenStore(dir, 16, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	disk := store.(*tieredStore).disk
+	disk.PutSnapshot("warmkey0", snapBlob("gamma"))
+	path := disk.snapPath("warmkey0")
+	raw, _ := os.ReadFile(path)
+	raw[len(raw)-1] ^= 1
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := disk.GetSnapshot("warmkey0"); ok {
+		t.Fatal("post-open corruption was served")
+	}
+	if st := disk.Status(); st.SnapQuarantined != 1 || st.SnapEntries != 0 {
+		t.Errorf("status after read-time quarantine: %+v", st)
+	}
+}
+
+// TestDiskSnapshotRejectsInvalidPut: the store refuses to persist bytes
+// that fail envelope verification, and unsafe keys never touch the disk.
+func TestDiskSnapshotRejectsInvalidPut(t *testing.T) {
+	store, err := OpenStore(t.TempDir(), 16, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	ss := store.(SnapshotStore)
+	ss.PutSnapshot("badblob0", []byte("not a snapshot"))
+	ss.PutSnapshot("../evil", snapBlob("delta"))
+	if st := store.Status(); st.SnapEntries != 0 {
+		t.Errorf("invalid put was persisted: %+v", st)
+	}
+}
+
+// TestDiskSnapshotEviction: the snapshot byte cap evicts least-recently-
+// accessed snapshots without touching the artifact index.
+func TestDiskSnapshotEviction(t *testing.T) {
+	dir := t.TempDir()
+	store, err := OpenStore(dir, 16, 200, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	disk := store.(*tieredStore).disk
+	disk.PutSnapshot("snapa000", snapBlob("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"))
+	disk.PutSnapshot("snapb000", snapBlob("bbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbb"))
+	disk.PutSnapshot("snapc000", snapBlob("cccccccccccccccccccccccccccccccccccccccc"))
+	st := disk.Status()
+	if st.SnapEvicted == 0 {
+		t.Fatalf("byte cap did not evict: %+v", st)
+	}
+	if st.SnapBytes > 200 {
+		t.Errorf("snapshot bytes %d exceed the cap", st.SnapBytes)
+	}
+	if _, ok := disk.GetSnapshot("snapa000"); ok {
+		t.Error("coldest snapshot survived eviction")
+	}
+}

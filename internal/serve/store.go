@@ -50,6 +50,24 @@ type BlobStore interface {
 	PutBlob(key string, raw []byte)
 }
 
+// SnapshotStore is the optional third face of a Store: chip snapshot blobs
+// (the internal/snapshot binary encoding) keyed by warm-up content address
+// (confhash.WarmupKey). Like BlobStore it is feature-detected with a type
+// assertion, so substitute stores without it just lose warm-up reuse —
+// every experiment re-simulates its own warm-up, never incorrectly.
+//
+// The safety contract mirrors the artifact one, with the extra teeth the
+// snapshot envelope provides: implementations must never return a blob
+// that fails snapshot.Verify — a damaged file is quarantined and reported
+// as a miss, and a miss always just costs the warm-up simulation.
+type SnapshotStore interface {
+	// GetSnapshot returns the stored snapshot blob for a warm-up key, or a
+	// miss.
+	GetSnapshot(key string) ([]byte, bool)
+	// PutSnapshot stores a snapshot blob under a warm-up key. Best-effort.
+	PutSnapshot(key string, blob []byte)
+}
+
 // StoreStatus is the store-health block reported on /healthz and rendered
 // as tarserved_store_* series on /metrics.
 type StoreStatus struct {
@@ -73,6 +91,15 @@ type StoreStatus struct {
 	IOErrors uint64 `json:"io_errors,omitempty"`
 	// Evicted counts artifacts dropped by the disk tier's size cap.
 	Evicted uint64 `json:"evicted,omitempty"`
+	// SnapEntries/SnapBytes count chip snapshots resident in the disk tier
+	// (memory-tier snapshots for a memory-only store) and their bytes.
+	SnapEntries int   `json:"snapshot_entries,omitempty"`
+	SnapBytes   int64 `json:"snapshot_bytes,omitempty"`
+	// SnapQuarantined counts snapshot blobs that failed envelope
+	// verification and were set aside; SnapEvicted counts snapshots
+	// dropped by the disk tier's snapshot byte cap.
+	SnapQuarantined uint64 `json:"snapshot_quarantined,omitempty"`
+	SnapEvicted     uint64 `json:"snapshot_evicted,omitempty"`
 }
 
 // OpenStore builds the production store: the bounded in-memory LRU alone
@@ -184,6 +211,35 @@ func (t *tieredStore) PutBlob(key string, raw []byte) {
 	t.disk.PutBlob(key, raw)
 }
 
+// GetSnapshot reads through: memory first, disk on miss (promoting hits),
+// under the per-key shard lock like the other faces.
+func (t *tieredStore) GetSnapshot(key string) ([]byte, bool) {
+	if blob, ok := t.mem.GetSnapshot(key); ok {
+		return blob, true
+	}
+	lock := t.shard(key)
+	lock.Lock()
+	defer lock.Unlock()
+	if blob, ok := t.mem.GetSnapshot(key); ok {
+		return blob, true
+	}
+	blob, ok := t.disk.GetSnapshot(key)
+	if !ok {
+		return nil, false
+	}
+	t.mem.PutSnapshot(key, blob)
+	return blob, true
+}
+
+// PutSnapshot writes through to both tiers.
+func (t *tieredStore) PutSnapshot(key string, blob []byte) {
+	lock := t.shard(key)
+	lock.Lock()
+	defer lock.Unlock()
+	t.mem.PutSnapshot(key, blob)
+	t.disk.PutSnapshot(key, blob)
+}
+
 func (t *tieredStore) Status() StoreStatus {
 	st := t.disk.Status()
 	st.Tier = "mem+disk"
@@ -204,4 +260,8 @@ var (
 	_ BlobStore = (*lru)(nil)
 	_ BlobStore = (*tieredStore)(nil)
 	_ BlobStore = (*diskStore)(nil)
+
+	_ SnapshotStore = (*lru)(nil)
+	_ SnapshotStore = (*tieredStore)(nil)
+	_ SnapshotStore = (*diskStore)(nil)
 )

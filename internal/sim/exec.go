@@ -47,6 +47,19 @@ type RunSpec struct {
 	// Kernels is the SMT mode: one kernel per hardware thread.
 	Kernels []vasm.Kernel
 
+	// WarmupSnapshot, when non-nil, is a chip snapshot (SaveState blob)
+	// captured at this spec's post-Setup boundary on a matching
+	// configuration. The run restores it instead of simulating Setup —
+	// bit-identical to the straight run, minus the warm-up cycles. Only
+	// valid with Setup+Kernel.
+	WarmupSnapshot []byte
+
+	// OnWarmupSnapshot, when non-nil, receives the encoded chip state and
+	// its cycle at the post-Setup quiescent boundary, right before the
+	// region of interest starts. Ignored when WarmupSnapshot already
+	// skipped the warm-up phase. Only valid with Setup+Kernel.
+	OnWarmupSnapshot func(cycle uint64, blob []byte)
+
 	// Trace is a pre-built trace to drive on Chip.
 	Trace *vasm.Trace
 
@@ -77,6 +90,16 @@ type Outcome struct {
 	// Series is the cycle-interval sample series, present only when the
 	// configuration armed the sampler and the run succeeded.
 	Series *metrics.SeriesDump
+
+	// WarmupCycles is the cycle of the post-Setup boundary: the cost of the
+	// warm-up phase, whether it was simulated or skipped via
+	// RunSpec.WarmupSnapshot. Zero when the spec had no Setup.
+	WarmupCycles uint64
+
+	// WarmupRestored reports that the warm-up phase was restored from a
+	// snapshot instead of simulated — WarmupCycles is then the simulation
+	// cost the restore avoided.
+	WarmupRestored bool
 
 	// SimCycles and SimWall are the chip's cumulative simulated cycles
 	// (drain included) and the wall-clock time its cycle loop consumed
@@ -120,6 +143,9 @@ func Execute(spec RunSpec) (*Outcome, error) {
 	if spec.Setup != nil && spec.Kernel == nil {
 		return nil, errors.New("sim: RunSpec.Setup is only valid with Kernel")
 	}
+	if (spec.WarmupSnapshot != nil || spec.OnWarmupSnapshot != nil) && spec.Setup == nil {
+		return nil, errors.New("sim: RunSpec warm-up snapshot hooks are only valid with Setup")
+	}
 	switch {
 	case spec.Trace != nil, spec.Traces != nil:
 		if spec.Chip == nil {
@@ -143,16 +169,42 @@ func Execute(spec RunSpec) (*Outcome, error) {
 // executeKernel runs Setup (optional) then Kernel on one fresh chip.
 func executeKernel(spec RunSpec) (*Outcome, error) {
 	cfg := spec.Config
-	m := arch.New(mem.New())
-	chip := New(cfg)
+	var (
+		m    *arch.Machine
+		chip *Chip
+	)
+	if spec.WarmupSnapshot != nil {
+		var err error
+		chip, m, err = RestoreChip(cfg, spec.WarmupSnapshot)
+		if err != nil {
+			return nil, fmt.Errorf("sim: restoring warm-up snapshot: %w", err)
+		}
+	} else {
+		m = arch.New(mem.New())
+		chip = New(cfg)
+	}
 	out := &Outcome{Stats: chip.Stats, Machine: m, Chip: chip}
-	if spec.Setup != nil {
+	if spec.WarmupSnapshot != nil {
+		out.WarmupCycles = chip.Clock()
+		out.WarmupRestored = true
+	} else if spec.Setup != nil {
 		setup := spec.Setup
 		tr := vasm.NewTrace(m, func(b *vasm.Builder) { setup(b); b.Halt() })
 		err := chip.runTraces([]*vasm.Trace{tr}, false)
 		tr.Close()
 		if err != nil {
 			return out, err
+		}
+		out.WarmupCycles = chip.Clock()
+		// Capture before ResetHalt: SaveState requires the halted, drained
+		// boundary state, and a restored chip comes up un-halted anyway
+		// (New + LoadState is equivalent to the post-ResetHalt chip).
+		if spec.OnWarmupSnapshot != nil {
+			blob, err := chip.SaveState(m)
+			if err != nil {
+				return out, fmt.Errorf("sim: capturing warm-up snapshot: %w", err)
+			}
+			spec.OnWarmupSnapshot(chip.Clock(), blob)
 		}
 		chip.c.ResetHalt()
 	}

@@ -1,0 +1,71 @@
+package sim_test
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// captureSnapshot produces one real chip snapshot (rndcopy@test on T).
+func captureSnapshot(tb testing.TB) []byte {
+	tb.Helper()
+	b, err := workloads.Get("rndcopy")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var blob []byte
+	if _, err := b.RunOpt(sim.T(), workloads.Test, workloads.RunOpts{
+		OnWarmupSnapshot: func(_ uint64, bb []byte) { blob = bb },
+	}); err != nil {
+		tb.Fatal(err)
+	}
+	return blob
+}
+
+// FuzzSnapshotDecode hammers the full restore path — envelope validation
+// plus every component's LoadState — with mutated snapshot bytes. Whatever
+// the input, RestoreChip must return a chip or an error: never panic,
+// never allocate beyond the blob's own size class, never half-restore
+// (an error means no chip).
+func FuzzSnapshotDecode(f *testing.F) {
+	valid := captureSnapshot(f)
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])                      // truncated
+	f.Add(valid[:16])                                // header only
+	f.Add([]byte{})                                  // empty
+	f.Add([]byte("TARSNAP\x00garbage after a magic")) // magic, junk body
+	for _, i := range []int{8, 12, 20, len(valid) / 2, len(valid) - 5} {
+		mut := append([]byte(nil), valid...)
+		mut[i] ^= 0xff
+		f.Add(mut)
+	}
+	cfg := sim.T()
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		ch, m, err := sim.RestoreChip(cfg, raw)
+		if err != nil {
+			if ch != nil || m != nil {
+				t.Fatal("failed restore returned a half-built chip")
+			}
+			return
+		}
+		if ch == nil || m == nil {
+			t.Fatal("successful restore returned a nil chip or machine")
+		}
+	})
+}
+
+// TestRestoreChipRejectsWrongShape pins the geometry checks: a snapshot
+// captured on one configuration must not restore onto another.
+func TestRestoreChipRejectsWrongShape(t *testing.T) {
+	blob := captureSnapshot(t)
+	scalar := sim.EV8() // no Vbox: presence flag must mismatch
+	if _, _, err := sim.RestoreChip(scalar, blob); err == nil {
+		t.Error("vector snapshot restored onto a scalar config")
+	}
+	small := sim.T()
+	small.L2.Bytes = small.L2.Bytes / 2
+	if _, _, err := sim.RestoreChip(small, blob); err == nil {
+		t.Error("snapshot restored onto a config with a different L2 geometry")
+	}
+}

@@ -1,0 +1,225 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math"
+	"testing"
+)
+
+// buildBlob assembles one blob exercising every writer primitive.
+func buildBlob() []byte {
+	w := NewWriter()
+	w.Tag("test")
+	w.U64(math.MaxUint64)
+	w.U32(0xdeadbeef)
+	w.I64(-42)
+	w.Int(7)
+	w.U8(200)
+	w.Bool(true)
+	w.Bool(false)
+	w.F64(3.14159)
+	w.Bytes([]byte{1, 2, 3})
+	w.String("hello")
+	w.Delta(100, 40)
+	w.Delta(40, 100) // clamped to zero
+	return w.Finish()
+}
+
+func TestRoundTrip(t *testing.T) {
+	r, err := NewReader(buildBlob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Tag("test")
+	if got := r.U64(); got != math.MaxUint64 {
+		t.Errorf("U64 = %d", got)
+	}
+	if got := r.U32(); got != 0xdeadbeef {
+		t.Errorf("U32 = %#x", got)
+	}
+	if got := r.I64(); got != -42 {
+		t.Errorf("I64 = %d", got)
+	}
+	if got := r.Int(); got != 7 {
+		t.Errorf("Int = %d", got)
+	}
+	if got := r.U8(); got != 200 {
+		t.Errorf("U8 = %d", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Error("Bool pair mismatch")
+	}
+	if got := r.F64(); got != 3.14159 {
+		t.Errorf("F64 = %v", got)
+	}
+	if got := r.Bytes(); len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Errorf("Bytes = %v", got)
+	}
+	if got := r.String(); got != "hello" {
+		t.Errorf("String = %q", got)
+	}
+	if got := r.Abs(40); got != 100 {
+		t.Errorf("Abs = %d", got)
+	}
+	if got := r.Abs(100); got != 100 {
+		t.Errorf("clamped Abs = %d", got)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeltaTranslationInvariance(t *testing.T) {
+	enc := func(base uint64) []byte {
+		w := NewWriter()
+		w.Delta(base+17, base)
+		return w.Finish()
+	}
+	a, b := enc(1000), enc(5_000_000)
+	if string(a) != string(b) {
+		t.Error("delta encoding is not translation-invariant")
+	}
+}
+
+func TestCloseRejectsTrailingBytes(t *testing.T) {
+	r, err := NewReader(buildBlob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Tag("test")
+	if err := r.Close(); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("Close with unread payload = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestTruncationNeverPanics(t *testing.T) {
+	blob := buildBlob()
+	for n := 0; n < len(blob); n++ {
+		if _, err := NewReader(blob[:n]); err == nil {
+			t.Errorf("truncation at %d accepted", n)
+		}
+	}
+}
+
+func TestBitFlipsDetected(t *testing.T) {
+	blob := buildBlob()
+	for i := 0; i < len(blob); i++ {
+		mut := append([]byte(nil), blob...)
+		mut[i] ^= 0x40
+		r, err := NewReader(mut)
+		if err != nil {
+			continue // envelope caught it
+		}
+		// Envelope passed (flip canceled out in CRC? impossible for a
+		// single flip) — drain and require an error somewhere.
+		r.Tag("test")
+		for r.Err() == nil && r.pos < len(r.buf) {
+			r.U8()
+		}
+		if r.Close() == nil {
+			t.Errorf("bit flip at %d undetected", i)
+		}
+	}
+}
+
+func TestSchemaSkew(t *testing.T) {
+	blob := buildBlob()
+	// Rewrite the schema word and repair the CRC so only the skew trips.
+	mut := append([]byte(nil), blob...)
+	binary.LittleEndian.PutUint32(mut[len(magic):], SchemaVersion+1)
+	binary.LittleEndian.PutUint32(mut[len(mut)-4:], crc32.ChecksumIEEE(mut[:len(mut)-4]))
+	_, err := NewReader(mut)
+	if !errors.Is(err, ErrSchema) {
+		t.Errorf("schema skew = %v, want ErrSchema", err)
+	}
+	if errors.Is(err, ErrCorrupt) {
+		t.Error("schema skew should be distinguishable from corruption")
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	blob := buildBlob()
+	mut := append([]byte(nil), blob...)
+	mut[0] ^= 0xff
+	if _, err := NewReader(mut); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("bad magic = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestBoolRejectsJunk(t *testing.T) {
+	w := NewWriter()
+	w.U8(2)
+	r, err := NewReader(w.Finish())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Bool()
+	if !errors.Is(r.Err(), ErrCorrupt) {
+		t.Errorf("Bool(2) = %v, want ErrCorrupt", r.Err())
+	}
+}
+
+func TestLenBoundsCheck(t *testing.T) {
+	// A length prefix claiming more elements than the remaining payload
+	// could hold must fail in Len, not in a giant make().
+	w := NewWriter()
+	w.U64(1 << 40)
+	r, err := NewReader(w.Finish())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := r.Len(16); n != 0 || !errors.Is(r.Err(), ErrCorrupt) {
+		t.Errorf("oversized Len = %d err %v, want 0/ErrCorrupt", n, r.Err())
+	}
+}
+
+func TestAbsOverflow(t *testing.T) {
+	w := NewWriter()
+	w.U64(math.MaxUint64)
+	r, err := NewReader(w.Finish())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Abs(2); !errors.Is(r.Err(), ErrCorrupt) {
+		t.Errorf("overflowing Abs err = %v, want ErrCorrupt", r.Err())
+	}
+}
+
+func TestTagMismatch(t *testing.T) {
+	r, err := NewReader(buildBlob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Tag("nope")
+	if !errors.Is(r.Err(), ErrCorrupt) {
+		t.Errorf("tag mismatch err = %v, want ErrCorrupt", r.Err())
+	}
+}
+
+func TestStickyError(t *testing.T) {
+	r, err := NewReader(buildBlob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Tag("nope")
+	first := r.Err()
+	r.U64()
+	_ = r.String()
+	if r.Err() != first {
+		t.Error("reader error is not sticky")
+	}
+}
+
+func TestVerify(t *testing.T) {
+	blob := buildBlob()
+	if err := Verify(blob); err != nil {
+		t.Fatal(err)
+	}
+	mut := append([]byte(nil), blob...)
+	mut[len(mut)-1] ^= 1
+	if err := Verify(mut); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("Verify on damaged blob = %v, want ErrCorrupt", err)
+	}
+}

@@ -1,0 +1,104 @@
+package vbox
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/snapshot"
+)
+
+// SaveState encodes the Vbox's durable state at a quiescent boundary:
+// per-port and address-generator busy cycles (delta-encoded), the operand
+// bus window, every lane's TLB (sorted page order), the open-page
+// predictor, the conflict-resolution box's cumulative round/slice totals
+// and the slice tag counter. In-flight uops and pending slices must have
+// drained (Busy() precondition, re-enforced here).
+func (v *VBox) SaveState(w *snapshot.Writer, now uint64) error {
+	if v.Busy() {
+		return fmt.Errorf("vbox: vector work in flight; snapshots require a quiescent chip")
+	}
+	if v.vregsInUse != 0 {
+		return fmt.Errorf("vbox: %d physical vector registers still held; snapshots require a quiescent chip", v.vregsInUse)
+	}
+	w.Tag("vbox")
+	w.U64(uint64(len(v.portFree)))
+	for _, p := range v.portFree {
+		w.Delta(p, now)
+	}
+	w.Delta(v.opBusAt, now)
+	w.Int(v.opBusUsed)
+	w.Delta(v.agFree, now)
+	w.U64(v.lastPage)
+	w.Bool(v.lastPageHot)
+	w.Int(v.cr.Rounds)
+	w.Int(v.cr.Slices)
+	w.Int(v.tagSeq)
+	w.U64(uint64(len(v.tlb)))
+	for i := range v.tlb {
+		t := &v.tlb[i]
+		w.U64(t.tick)
+		pages := make([]uint64, 0, len(t.pages))
+		for p := range t.pages {
+			pages = append(pages, p)
+		}
+		sort.Slice(pages, func(a, b int) bool { return pages[a] < pages[b] })
+		w.U64(uint64(len(pages)))
+		for _, p := range pages {
+			w.U64(p)
+			w.U64(t.pages[p])
+		}
+	}
+	return v.wheel.SaveState(w, now)
+}
+
+// LoadState restores the Vbox state saved by SaveState; lane and port
+// geometry must match the constructed configuration.
+func (v *VBox) LoadState(r *snapshot.Reader, now uint64) error {
+	r.Tag("vbox")
+	nports := r.Len(8)
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if nports != len(v.portFree) {
+		return fmt.Errorf("%w: %d vbox ports, chip has %d", snapshot.ErrCorrupt, nports, len(v.portFree))
+	}
+	for i := range v.portFree {
+		v.portFree[i] = r.Abs(now)
+	}
+	v.opBusAt = r.Abs(now)
+	v.opBusUsed = r.Int()
+	v.agFree = r.Abs(now)
+	v.lastPage = r.U64()
+	v.lastPageHot = r.Bool()
+	v.cr.Rounds = r.Int()
+	v.cr.Slices = r.Int()
+	v.tagSeq = r.Int()
+	nlanes := r.Len(8)
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if nlanes != len(v.tlb) {
+		return fmt.Errorf("%w: %d vbox lanes, chip has %d", snapshot.ErrCorrupt, nlanes, len(v.tlb))
+	}
+	for i := range v.tlb {
+		t := &v.tlb[i]
+		t.tick = r.U64()
+		n := r.Len(16)
+		if r.Err() != nil {
+			return r.Err()
+		}
+		if n > t.cap {
+			return fmt.Errorf("%w: lane TLB holds %d pages, capacity is %d", snapshot.ErrCorrupt, n, t.cap)
+		}
+		t.pages = make(map[uint64]uint64, n)
+		for j := 0; j < n; j++ {
+			p := r.U64()
+			tick := r.U64()
+			if _, dup := t.pages[p]; dup {
+				return fmt.Errorf("%w: duplicate TLB page %#x", snapshot.ErrCorrupt, p)
+			}
+			t.pages[p] = tick
+		}
+	}
+	return v.wheel.LoadState(r, now)
+}

@@ -25,6 +25,12 @@ type Result struct {
 	// trace-construction and verification overhead.
 	SimCycles uint64
 	WallNs    int64
+	// WarmupCycles is the cycle cost of the warm-up phase (0 when the
+	// benchmark has none); WarmupRestored reports it was restored from a
+	// snapshot instead of simulated, in which case SimCycles still counts
+	// it (restore lands the clock at the boundary) but WallNs does not.
+	WarmupCycles   uint64
+	WarmupRestored bool
 }
 
 // MCPS returns the run's simulation throughput in millions of simulated
@@ -46,6 +52,25 @@ func (r *Result) OPC() (opc, fpc, mpc, other float64) { return r.Stats.OPC() }
 // or invariant-violating run comes back as an error (a *sim.WedgeError
 // wrapped with the benchmark/machine pair), not a panic.
 func (b *Benchmark) Run(cfg *sim.Config, s Scale) (*Result, error) {
+	return b.RunOpt(cfg, s, RunOpts{})
+}
+
+// RunOpts carries the optional warm-up snapshot hooks of one execution.
+type RunOpts struct {
+	// WarmupSnapshot, when non-nil, restores the post-Setup chip state
+	// from the blob instead of simulating the warm-up phase. It must have
+	// been captured for the same benchmark, scale and warm-up key
+	// (confhash.WarmupKey); only meaningful for benchmarks with a Setup.
+	WarmupSnapshot []byte
+	// OnWarmupSnapshot, when non-nil, receives the chip state captured at
+	// the post-Setup boundary. Ignored when WarmupSnapshot skipped the
+	// warm-up, or when the benchmark has no Setup.
+	OnWarmupSnapshot func(cycle uint64, blob []byte)
+}
+
+// RunOpt is Run with warm-up snapshot hooks: restore the post-Setup state
+// instead of simulating it, or capture that state for later reuse.
+func (b *Benchmark) RunOpt(cfg *sim.Config, s Scale, opts RunOpts) (*Result, error) {
 	kernelFn := b.Scalar
 	if cfg.HasVbox {
 		kernelFn = b.Vector
@@ -53,6 +78,8 @@ func (b *Benchmark) Run(cfg *sim.Config, s Scale) (*Result, error) {
 	spec := sim.RunSpec{Config: cfg, Kernel: kernelFn(s)}
 	if b.Setup != nil {
 		spec.Setup = b.Setup(s, cfg.HasVbox)
+		spec.WarmupSnapshot = opts.WarmupSnapshot
+		spec.OnWarmupSnapshot = opts.OnWarmupSnapshot
 	}
 	out, err := sim.Execute(spec)
 	if err != nil {
@@ -67,5 +94,6 @@ func (b *Benchmark) Run(cfg *sim.Config, s Scale) (*Result, error) {
 		Bench: b.Name, Config: cfg.Name, Scale: s,
 		Stats: out.Stats, Series: out.Series,
 		SimCycles: out.SimCycles, WallNs: int64(out.SimWall),
+		WarmupCycles: out.WarmupCycles, WarmupRestored: out.WarmupRestored,
 	}, nil
 }

@@ -1,0 +1,61 @@
+package zbox
+
+import (
+	"fmt"
+
+	"repro/internal/snapshot"
+)
+
+// SaveState encodes the controller's durable state at a quiescent boundary:
+// per-port busy-until (delta-encoded), last transfer direction, and the
+// open-row tracker of every device. Queued transactions carry completion
+// callbacks and must be gone; Busy() is the caller's precondition, enforced
+// again here so a non-quiescent save is an error instead of silent loss.
+func (z *Zbox) SaveState(w *snapshot.Writer, now uint64) error {
+	if z.Busy() {
+		return fmt.Errorf("zbox: transactions in flight; snapshots require a quiescent chip")
+	}
+	w.Tag("zbox")
+	w.U64(uint64(len(z.ports)))
+	for _, p := range z.ports {
+		w.Delta(p.busyUntil, now)
+		w.U8(uint8(p.lastKind))
+		w.U64(uint64(len(p.openRow)))
+		for _, row := range p.openRow {
+			w.U64(row)
+		}
+	}
+	return z.wheel.SaveState(w, now)
+}
+
+// LoadState restores the controller; the blob's port/device geometry must
+// match the constructed configuration.
+func (z *Zbox) LoadState(r *snapshot.Reader, now uint64) error {
+	r.Tag("zbox")
+	nports := r.Len(17)
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if nports != len(z.ports) {
+		return fmt.Errorf("%w: %d zbox ports, chip has %d", snapshot.ErrCorrupt, nports, len(z.ports))
+	}
+	for _, p := range z.ports {
+		p.busyUntil = r.Abs(now)
+		k := r.U8()
+		if k > uint8(DirOp) {
+			return fmt.Errorf("%w: unknown transaction kind %d", snapshot.ErrCorrupt, k)
+		}
+		p.lastKind = Kind(k)
+		ndev := r.Len(8)
+		if r.Err() != nil {
+			return r.Err()
+		}
+		if ndev != len(p.openRow) {
+			return fmt.Errorf("%w: %d zbox devices per port, chip has %d", snapshot.ErrCorrupt, ndev, len(p.openRow))
+		}
+		for j := range p.openRow {
+			p.openRow[j] = r.U64()
+		}
+	}
+	return z.wheel.LoadState(r, now)
+}
