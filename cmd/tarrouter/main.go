@@ -1,0 +1,87 @@
+// Command tarrouter is the cluster front door: one /v1 surface over N
+// tarserved nodes. It speaks the same wire protocol as a single node —
+// clients do not know they are talking to a cluster.
+//
+// Usage:
+//
+//	tarrouter -addr :8070 -node 127.0.0.1:8077 -node 127.0.0.1:8078 -node 127.0.0.1:8079
+//	tarrouter -addr :8070 -node host-a:8077,host-b:8077 -hedge-after 2s
+//
+// Submissions are placed on a consistent-hash ring by their content
+// address (the job's confhash route key, the sweep's canonical spec key),
+// so identical experiments always land on the same node. Job and sweep
+// ids come back namespaced with the owning node ("job-7@n2") and route
+// straight back on reads. A health prober takes dead nodes off the ring;
+// submissions fail over to the ring successor, and long-poll status waits
+// past -hedge-after are hedged onto another node — the cluster's shared
+// store makes the duplicate a cache hit or dedup join, never a second
+// simulation. /healthz reports per-node liveness and the ring generation;
+// /metrics exposes tarrouter_* counters (hedges fired/won, failovers,
+// peer errors, nodes alive).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+type nodeList []string
+
+func (n *nodeList) String() string { return strings.Join(*n, ",") }
+
+func (n *nodeList) Set(v string) error {
+	for _, a := range strings.Split(v, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			*n = append(*n, a)
+		}
+	}
+	return nil
+}
+
+func main() {
+	addr := flag.String("addr", ":8070", "listen address")
+	var nodes nodeList
+	flag.Var(&nodes, "node", "tarserved node address (repeatable and/or comma-separated); names n1..nN are assigned in flag order")
+	hedgeAfter := flag.Duration("hedge-after", 2*time.Second, "hedge a long-poll status wait onto another node after this long (0 = never hedge)")
+	probeInterval := flag.Duration("probe-interval", 2*time.Second, "node health-probe interval")
+	flag.Parse()
+
+	if len(nodes) == 0 {
+		fmt.Fprintln(os.Stderr, "tarrouter: at least one -node is required")
+		os.Exit(2)
+	}
+
+	p := cluster.NewProxy(nodes, *hedgeAfter)
+	stopProber := p.Membership().StartProber(*probeInterval)
+	defer stopProber()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: p.Handler()}
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "tarrouter: listening on %s, routing %d nodes (hedge after %s)\n",
+		*addr, len(p.Membership().Peers()), *hedgeAfter)
+
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "tarrouter: %v — shutting down\n", sig)
+	case err := <-serveErr:
+		fmt.Fprintln(os.Stderr, "tarrouter:", err)
+		os.Exit(1)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "tarrouter: shutdown:", err)
+	}
+}

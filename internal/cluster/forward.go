@@ -1,0 +1,187 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/workloads"
+)
+
+// remoteTimeout bounds one remote execution end to end when the spec
+// carries no deadline of its own.
+const remoteTimeout = 30 * time.Minute
+
+// Forwarder is the node-side serve.Router: it places each flight's route
+// key on the membership ring and, when a peer owns it, runs the experiment
+// there end to end — so every unique experiment executes on exactly one
+// node fleet-wide, no matter where it was submitted. Unreachable owners
+// are marked dead (the ring heals one probe early) and the flight falls
+// back to local execution: routing degrades placement, never availability.
+type Forwarder struct {
+	self   string // this node's advertise base URL
+	nodeID string // forward-marker value
+	m      *Membership
+	client *http.Client
+}
+
+// NewForwarder wires the hook for one node. self is the node's advertise
+// address (must match how peers list it); nodeID names the node in the
+// forward marker.
+func NewForwarder(self, nodeID string, m *Membership) *Forwarder {
+	return &Forwarder{self: BaseURL(self), nodeID: nodeID, m: m, client: &http.Client{}}
+}
+
+// Execute implements serve.Router.
+func (f *Forwarder) Execute(spec *serve.JobSpec) (*workloads.Result, *serve.JobError, serve.RouteVerdict) {
+	if spec.Route == "" {
+		return nil, nil, serve.RouteLocal
+	}
+	ring, _ := f.m.Ring()
+	owner := ring.Lookup(spec.Route)
+	if owner == "" || owner == f.self {
+		return nil, nil, serve.RouteLocal
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), remoteBudget(spec))
+	defer cancel()
+	res, jobErr, err := RunRemote(ctx, f.client, owner, f.nodeID, specRequest(spec))
+	if err != nil {
+		f.m.MarkDead(owner)
+		return nil, nil, serve.RouteFallback
+	}
+	if jobErr != nil && retryLocally(jobErr.JSON.Code) {
+		// The peer refused for capacity reasons, not because the experiment
+		// is broken — the local backend can still answer.
+		return nil, nil, serve.RouteFallback
+	}
+	return res, jobErr, serve.RouteRemote
+}
+
+// remoteBudget is the wall-clock allowance for one remote execution: the
+// spec's own deadline plus slack for the peer's queue, else the default.
+func remoteBudget(spec *serve.JobSpec) time.Duration {
+	if spec.DeadlineMs > 0 {
+		return time.Duration(spec.DeadlineMs)*time.Millisecond + 2*time.Minute
+	}
+	return remoteTimeout
+}
+
+// retryLocally reports whether a peer error is a capacity refusal the
+// local backend should absorb rather than surface to the client.
+func retryLocally(code string) bool {
+	return code == serve.ErrCodeQueueFull || code == serve.ErrCodeDraining
+}
+
+// specRequest converts a resolved JobSpec back into the SubmitRequest the
+// peer's HTTP surface accepts. The resolved deadline rides along (so the
+// submitting node's clamping decision wins); sampling stays server-side on
+// the executing peer.
+func specRequest(spec *serve.JobSpec) *serve.SubmitRequest {
+	return &serve.SubmitRequest{
+		Bench:         spec.Bench,
+		Config:        spec.Config,
+		Scale:         spec.Scale,
+		NoPump:        spec.NoPump,
+		Check:         spec.Check,
+		DeadlineMs:    spec.DeadlineMs,
+		Watchdog:      spec.Watchdog,
+		FaultSeed:     spec.FaultSeed,
+		FaultCampaign: spec.FaultCampaign,
+		Knobs:         spec.Knobs,
+	}
+}
+
+// RunRemote executes one experiment on the node at base: submit with the
+// forward marker (so the peer executes locally — no loops), long-poll to a
+// terminal state, and decode the outcome. A non-nil error means the peer
+// was unreachable mid-protocol (transport failure); a *serve.JobError is
+// the experiment's own outcome, reconstructed from the peer's envelope.
+func RunRemote(ctx context.Context, client *http.Client, base, fromNode string, req *serve.SubmitRequest) (*workloads.Result, *serve.JobError, error) {
+	base = BaseURL(base)
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return nil, nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set(serve.ForwardedHeader, fromNode)
+	resp, err := client.Do(hreq)
+	if err != nil {
+		return nil, nil, err
+	}
+	st, jobErr, err := decodeJobResponse(resp)
+	if err != nil || jobErr != nil {
+		return nil, jobErr, err
+	}
+	for st.State != serve.StateDone && st.State != serve.StateFailed {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/jobs/"+st.ID+"?wait=10s", nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		resp, err := client.Do(hreq)
+		if err != nil {
+			return nil, nil, err
+		}
+		st, jobErr, err = decodeJobResponse(resp)
+		if err != nil || jobErr != nil {
+			return nil, jobErr, err
+		}
+	}
+	if st.State == serve.StateFailed {
+		if st.Error == nil {
+			return nil, nil, fmt.Errorf("peer %s: failed job %s carries no error envelope", base, st.ID)
+		}
+		return nil, envelopeError(st.Error), nil
+	}
+	if st.Result == nil {
+		return nil, nil, fmt.Errorf("peer %s: done job %s carries no result", base, st.ID)
+	}
+	res, err := serve.DecodeResult(st.Result)
+	if err != nil {
+		return nil, nil, fmt.Errorf("peer %s: %w", base, err)
+	}
+	return res, nil, nil
+}
+
+// decodeJobResponse parses one /v1/jobs response: a JobStatus on success,
+// a reconstructed *serve.JobError when the peer answered with the error
+// envelope, or a transport-level error when the body is neither.
+func decodeJobResponse(resp *http.Response) (*serve.JobStatus, *serve.JobError, error) {
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var envelope struct {
+			Error serve.ErrorJSON `json:"error"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil || envelope.Error.Code == "" {
+			return nil, nil, fmt.Errorf("peer answered HTTP %d with no envelope", resp.StatusCode)
+		}
+		return nil, envelopeError(&envelope.Error), nil
+	}
+	var st serve.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, nil, fmt.Errorf("peer job status: %w", err)
+	}
+	return &st, nil, nil
+}
+
+// envelopeError rebuilds a JobError from a peer's wire envelope, mapping
+// the code back to its HTTP status through the closed set.
+func envelopeError(ej *serve.ErrorJSON) *serve.JobError {
+	status, ok := serve.ErrorCodeStatus[ej.Code]
+	if !ok {
+		status = 500
+	}
+	return &serve.JobError{Status: status, JSON: *ej}
+}
+
+var _ serve.Router = (*Forwarder)(nil)

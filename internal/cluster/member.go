@@ -1,0 +1,164 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// BaseURL normalizes a node address ("127.0.0.1:8077" or a full URL) to a
+// scheme-qualified base with no trailing slash.
+func BaseURL(addr string) string {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return strings.TrimRight(addr, "/")
+}
+
+// Membership is the live view of the cluster: the configured peer set,
+// which peers are currently believed alive, and the consistent-hash ring
+// over the alive set. Every alive-set change rebuilds the ring and bumps
+// the generation, so consumers can cheaply detect topology changes. Nodes
+// that leave the ring stop receiving NEW placements; work already queued
+// on live nodes is untouched — leave never cancels anything.
+type Membership struct {
+	client *http.Client
+
+	mu         sync.Mutex
+	all        []string // configured peer base URLs, stable order
+	dead       map[string]bool
+	ring       *Ring
+	generation uint64
+}
+
+// NewMembership builds the view over the configured peers (any address
+// form BaseURL accepts). All peers start alive; the prober and the
+// forwarders adjust from there.
+func NewMembership(addrs []string) *Membership {
+	m := &Membership{
+		client: &http.Client{Timeout: 2 * time.Second},
+		dead:   make(map[string]bool),
+	}
+	seen := make(map[string]bool, len(addrs))
+	for _, a := range addrs {
+		u := BaseURL(a)
+		if u == "http:/" || u == "" || seen[u] {
+			continue
+		}
+		seen[u] = true
+		m.all = append(m.all, u)
+	}
+	m.rebuildLocked()
+	return m
+}
+
+// rebuildLocked recomputes the ring over the alive set and bumps the
+// generation. Requires m.mu.
+func (m *Membership) rebuildLocked() {
+	alive := make([]string, 0, len(m.all))
+	for _, a := range m.all {
+		if !m.dead[a] {
+			alive = append(alive, a)
+		}
+	}
+	m.ring = NewRing(alive)
+	m.generation++
+}
+
+// Ring returns the current ring and its generation.
+func (m *Membership) Ring() (*Ring, uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ring, m.generation
+}
+
+// Peers returns the configured peer set, stable order.
+func (m *Membership) Peers() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]string(nil), m.all...)
+}
+
+// Alive returns the peers currently in the ring, stable order.
+func (m *Membership) Alive() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	alive := make([]string, 0, len(m.all))
+	for _, a := range m.all {
+		if !m.dead[a] {
+			alive = append(alive, a)
+		}
+	}
+	return alive
+}
+
+// MarkDead takes a peer out of the ring (idempotent). Forwarders call it
+// on transport failure so the next placement already avoids the dead node,
+// one probe interval before the prober confirms.
+func (m *Membership) MarkDead(addr string) {
+	m.setDead(BaseURL(addr), true)
+}
+
+// MarkAlive returns a peer to the ring (idempotent).
+func (m *Membership) MarkAlive(addr string) {
+	m.setDead(BaseURL(addr), false)
+}
+
+func (m *Membership) setDead(addr string, dead bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.dead[addr] == dead {
+		return
+	}
+	if dead {
+		m.dead[addr] = true
+	} else {
+		delete(m.dead, addr)
+	}
+	m.rebuildLocked()
+}
+
+// Probe sweeps every configured peer's /healthz once and reconciles the
+// alive set. A peer is alive iff it answers HTTP 200 — a draining node
+// (503) leaves the ring gracefully before it stops accepting work.
+func (m *Membership) Probe(ctx context.Context) {
+	for _, addr := range m.Peers() {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/healthz", nil)
+		if err != nil {
+			continue
+		}
+		resp, err := m.client.Do(req)
+		ok := err == nil && resp.StatusCode == http.StatusOK
+		if resp != nil {
+			resp.Body.Close()
+		}
+		m.setDead(addr, !ok)
+	}
+}
+
+// StartProber probes on the given interval until the returned stop
+// function is called.
+func (m *Membership) StartProber(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				ctx, cancel := context.WithTimeout(context.Background(), interval)
+				m.Probe(ctx)
+				cancel()
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}

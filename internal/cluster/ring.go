@@ -1,0 +1,120 @@
+// Package cluster turns N independent tarserved nodes into one service:
+// a consistent-hash ring places every experiment (by its RouteKey content
+// address) on exactly one owning node, a node-side Forwarder hands
+// mis-routed flights to their owner, a health-probed Membership takes
+// dead nodes out of the ring without dropping anyone else's queued jobs,
+// and the tarrouter front door routes client traffic, hedges slow waits
+// onto the ring successor, and fails over when an owner is unreachable.
+// All nodes share one content-addressed store directory, so any node's
+// cache hit — and any node's in-flight simulation — is every node's.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// vnodesPerMember is how many virtual points each member contributes to
+// the ring. 64 keeps the load split within a few percent of even for
+// single-digit cluster sizes while the ring stays tiny (a few KiB).
+const vnodesPerMember = 64
+
+// ringHash hashes a string for ring placement: 64-bit FNV-1a through a
+// murmur-style avalanche finalizer. Plain FNV-1a maps near-identical
+// strings (vnode labels, sequential keys) into tight arcs of the ring;
+// the finalizer spreads them uniformly. Stable across processes,
+// architectures and releases, which is what makes placement a pure
+// function of (member set, key).
+func ringHash(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+type vnode struct {
+	hash   uint64
+	member string
+}
+
+// Ring is an immutable consistent-hash ring over a member set. Build a new
+// one when membership changes; lookups are lock-free.
+type Ring struct {
+	vnodes  []vnode
+	members []string
+}
+
+// NewRing builds the ring. Members are identified by their advertise
+// address; duplicates are collapsed. An empty member set yields a ring
+// whose lookups return "".
+func NewRing(members []string) *Ring {
+	seen := make(map[string]bool, len(members))
+	r := &Ring{}
+	for _, m := range members {
+		if m == "" || seen[m] {
+			continue
+		}
+		seen[m] = true
+		r.members = append(r.members, m)
+		for v := 0; v < vnodesPerMember; v++ {
+			r.vnodes = append(r.vnodes, vnode{hash: ringHash(fmt.Sprintf("%s#%d", m, v)), member: m})
+		}
+	}
+	sort.Strings(r.members)
+	sort.Slice(r.vnodes, func(i, j int) bool {
+		a, b := r.vnodes[i], r.vnodes[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		return a.member < b.member // deterministic under (vanishingly rare) collisions
+	})
+	return r
+}
+
+// Members returns the member set, sorted.
+func (r *Ring) Members() []string { return r.members }
+
+// Lookup returns the member owning key: the first vnode clockwise from the
+// key's hash. "" when the ring is empty.
+func (r *Ring) Lookup(key string) string {
+	owners := r.Successors(key, 1)
+	if len(owners) == 0 {
+		return ""
+	}
+	return owners[0]
+}
+
+// Successors returns up to n distinct members in ring order starting at
+// key's owner — the owner first, then the members that would inherit the
+// key if the owner left. This is the hedge and failover candidate list.
+func (r *Ring) Successors(key string, n int) []string {
+	if len(r.vnodes) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	h := ringHash(key)
+	start := sort.Search(len(r.vnodes), func(i int) bool { return r.vnodes[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; i < len(r.vnodes) && len(out) < n; i++ {
+		m := r.vnodes[(start+i)%len(r.vnodes)].member
+		if !seen[m] {
+			seen[m] = true
+			out = append(out, m)
+		}
+	}
+	return out
+}

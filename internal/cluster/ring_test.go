@@ -1,0 +1,156 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testMembers(n int) []string {
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, fmt.Sprintf("http://10.0.0.%d:8077", i+1))
+	}
+	return out
+}
+
+func testKeys(n int) []string {
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, fmt.Sprintf("confhash-%04d", i))
+	}
+	return out
+}
+
+// Placement must be a pure function of (member set, key): two rings built
+// from the same members — in any order — agree on every key, and repeated
+// lookups never wander.
+func TestRingDeterministicPlacement(t *testing.T) {
+	members := testMembers(4)
+	a := NewRing(members)
+	b := NewRing([]string{members[2], members[0], members[3], members[1]})
+	counts := map[string]int{}
+	for _, k := range testKeys(200) {
+		owner := a.Lookup(k)
+		if owner == "" {
+			t.Fatalf("key %s: no owner", k)
+		}
+		if got := b.Lookup(k); got != owner {
+			t.Fatalf("key %s: member order changed placement: %s vs %s", k, owner, got)
+		}
+		if again := a.Lookup(k); again != owner {
+			t.Fatalf("key %s: repeated lookup moved: %s vs %s", k, owner, again)
+		}
+		counts[owner]++
+	}
+	// 64 vnodes/member keeps the split rough but real: every member owns a
+	// meaningful share of 200 keys.
+	for _, m := range members {
+		if counts[m] < 10 {
+			t.Fatalf("member %s owns only %d/200 keys — ring badly unbalanced: %v", m, counts[m], counts)
+		}
+	}
+}
+
+// Consistent hashing's defining property: removing one member moves only
+// the keys it owned, and re-adding it restores the original placement
+// exactly.
+func TestRingMinimalMovementOnJoinLeave(t *testing.T) {
+	members := testMembers(4)
+	full := NewRing(members)
+	keys := testKeys(300)
+	before := map[string]string{}
+	for _, k := range keys {
+		before[k] = full.Lookup(k)
+	}
+
+	gone := members[1]
+	shrunk := NewRing([]string{members[0], members[2], members[3]})
+	for _, k := range keys {
+		after := shrunk.Lookup(k)
+		if after == gone {
+			t.Fatalf("key %s placed on removed member %s", k, gone)
+		}
+		if before[k] != gone && after != before[k] {
+			t.Fatalf("key %s moved from %s to %s though %s left — movement must be minimal", k, before[k], after, gone)
+		}
+	}
+
+	rejoined := NewRing(members)
+	for _, k := range keys {
+		if got := rejoined.Lookup(k); got != before[k] {
+			t.Fatalf("key %s: rejoin did not restore placement: %s vs %s", k, got, before[k])
+		}
+	}
+}
+
+func TestRingSuccessors(t *testing.T) {
+	members := testMembers(3)
+	r := NewRing(members)
+	for _, k := range testKeys(50) {
+		succ := r.Successors(k, 2)
+		if len(succ) != 2 {
+			t.Fatalf("key %s: want 2 successors, got %v", k, succ)
+		}
+		if succ[0] != r.Lookup(k) {
+			t.Fatalf("key %s: first successor %s is not the owner %s", k, succ[0], r.Lookup(k))
+		}
+		if succ[0] == succ[1] {
+			t.Fatalf("key %s: successors not distinct: %v", k, succ)
+		}
+		if all := r.Successors(k, 10); len(all) != len(members) {
+			t.Fatalf("key %s: asked for 10 of %d members, got %v", k, len(members), all)
+		}
+	}
+	if got := NewRing(nil).Lookup("anything"); got != "" {
+		t.Fatalf("empty ring returned owner %q", got)
+	}
+	if succ := NewRing(nil).Successors("anything", 3); succ != nil {
+		t.Fatalf("empty ring returned successors %v", succ)
+	}
+}
+
+// Membership: marking nodes dead/alive rebuilds the ring over the alive
+// set and bumps the generation; redundant marks are no-ops.
+func TestMembershipRingRebuild(t *testing.T) {
+	members := testMembers(3)
+	m := NewMembership(members)
+	_, gen0 := m.Ring()
+	if got := len(m.Alive()); got != 3 {
+		t.Fatalf("want 3 alive, got %d", got)
+	}
+
+	m.MarkDead(members[2])
+	ring, gen1 := m.Ring()
+	if gen1 <= gen0 {
+		t.Fatalf("generation did not advance on death: %d -> %d", gen0, gen1)
+	}
+	if got := len(ring.Members()); got != 2 {
+		t.Fatalf("dead member still on ring: %v", ring.Members())
+	}
+	m.MarkDead(members[2]) // idempotent
+	if _, gen := m.Ring(); gen != gen1 {
+		t.Fatalf("redundant MarkDead bumped generation: %d -> %d", gen1, gen)
+	}
+
+	m.MarkAlive(members[2])
+	ring, gen2 := m.Ring()
+	if gen2 <= gen1 {
+		t.Fatalf("generation did not advance on rejoin: %d -> %d", gen1, gen2)
+	}
+	if got := len(ring.Members()); got != 3 {
+		t.Fatalf("rejoined member missing from ring: %v", ring.Members())
+	}
+}
+
+func TestBaseURL(t *testing.T) {
+	cases := map[string]string{
+		"127.0.0.1:8077":         "http://127.0.0.1:8077",
+		"http://127.0.0.1:8077/": "http://127.0.0.1:8077",
+		"https://node-a:443":     "https://node-a:443",
+	}
+	for in, want := range cases {
+		if got := BaseURL(in); got != want {
+			t.Errorf("BaseURL(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

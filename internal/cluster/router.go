@@ -1,0 +1,671 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/dse"
+	"repro/internal/serve"
+)
+
+// maxSubmitRecords bounds the router's memory of routed jobs (used to hedge
+// slow waits by re-submitting). Oldest records fall off first; a job whose
+// record aged out simply loses hedging, never correctness.
+const maxSubmitRecords = 4096
+
+// Proxy is the tarrouter front door: one HTTP surface over an N-node
+// tarserved cluster. Submissions are placed on the consistent-hash ring by
+// their content address (serve.RouteKey for jobs, the canonical dse spec
+// key for sweeps), so identical experiments land on the same node no
+// matter which client sent them. Job and sweep ids are namespaced with the
+// owning node ("job-7@n2") so status reads route straight back without any
+// router-side state. Slow status waits are hedged: after hedgeAfter the
+// router re-submits the remembered request to the ring successor and
+// returns whichever copy finishes first — the shared store makes the
+// duplicate a cache hit or a dedup join, never a second simulation.
+type Proxy struct {
+	m     *Membership
+	hedge time.Duration
+
+	names map[string]string // base URL -> node name ("n1"...)
+	addrs map[string]string // node name -> base URL
+	order []string          // node names, flag order
+
+	client *http.Client
+
+	mu      sync.Mutex
+	submits map[string][]byte // global job id -> original request body
+	fifo    []string
+
+	met proxyMetrics
+}
+
+type proxyMetrics struct {
+	requests    uint64
+	hedgesFired uint64
+	hedgeWins   uint64
+	failovers   uint64
+	peerErrors  uint64
+}
+
+// NewProxy builds the front door over the given node addresses (flag
+// order; names n1..nN are assigned in that order). hedgeAfter <= 0
+// disables hedging. The caller owns probing: start it with
+// p.Membership().StartProber.
+func NewProxy(addrs []string, hedgeAfter time.Duration) *Proxy {
+	p := &Proxy{
+		m:       NewMembership(addrs),
+		hedge:   hedgeAfter,
+		names:   make(map[string]string),
+		addrs:   make(map[string]string),
+		client:  &http.Client{},
+		submits: make(map[string][]byte),
+	}
+	for i, a := range p.m.Peers() {
+		name := fmt.Sprintf("n%d", i+1)
+		p.names[a] = name
+		p.addrs[name] = a
+		p.order = append(p.order, name)
+	}
+	return p
+}
+
+// Membership exposes the live cluster view (for the prober and tests).
+func (p *Proxy) Membership() *Membership { return p.m }
+
+// Handler returns the router's HTTP surface.
+func (p *Proxy) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", p.handleJobSubmit)
+	mux.HandleFunc("GET /v1/jobs", p.handleJobList)
+	mux.HandleFunc("GET /v1/jobs/{id}", p.handleJobStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		p.proxyByID(w, r, "/v1/jobs/%s/result", "unknown job")
+	})
+	mux.HandleFunc("POST /v1/sweeps", p.handleSweepSubmit)
+	mux.HandleFunc("GET /v1/sweeps", p.handleSweepList)
+	mux.HandleFunc("GET /v1/sweeps/knobs", func(w http.ResponseWriter, r *http.Request) {
+		p.proxyAny(w, r, "/v1/sweeps/knobs")
+	})
+	mux.HandleFunc("GET /v1/sweeps/{id}", func(w http.ResponseWriter, r *http.Request) {
+		p.proxyByID(w, r, "/v1/sweeps/%s", "unknown sweep")
+	})
+	mux.HandleFunc("GET /v1/sweeps/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		p.proxyByID(w, r, "/v1/sweeps/%s/result", "unknown sweep")
+	})
+	mux.HandleFunc("GET /v1/benches", func(w http.ResponseWriter, r *http.Request) {
+		p.proxyAny(w, r, "/v1/benches")
+	})
+	mux.HandleFunc("GET /v1/configs", func(w http.ResponseWriter, r *http.Request) {
+		p.proxyAny(w, r, "/v1/configs")
+	})
+	mux.HandleFunc("GET /healthz", p.handleHealthz)
+	mux.HandleFunc("GET /metrics", p.handleMetrics)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		p.mu.Lock()
+		p.met.requests++
+		p.mu.Unlock()
+		mux.ServeHTTP(w, r)
+	})
+}
+
+// ---- submission routing ----
+
+// handleJobSubmit places the job on the ring by its route key and submits
+// it to the owner, failing over along the successor list when a node is
+// unreachable. The response id is namespaced with the executing node.
+func (p *Proxy) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		proxyError(w, http.StatusBadRequest, serve.ErrCodeBadRequest, "read body: "+err.Error())
+		return
+	}
+	var req serve.SubmitRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		proxyError(w, http.StatusBadRequest, serve.ErrCodeBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	key, err := serve.RouteKey(&req)
+	if err != nil {
+		proxyError(w, http.StatusBadRequest, serve.ErrCodeBadRequest, err.Error())
+		return
+	}
+	p.submitTo(w, r, p.candidates(key), "/v1/jobs", body, true)
+}
+
+// handleSweepSubmit routes a sweep by its canonical spec key, so the same
+// sweep submitted through any client lands on the same node.
+func (p *Proxy) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		proxyError(w, http.StatusBadRequest, serve.ErrCodeBadRequest, "read body: "+err.Error())
+		return
+	}
+	var spec dse.Spec
+	if err := json.Unmarshal(body, &spec); err != nil {
+		proxyError(w, http.StatusBadRequest, serve.ErrCodeBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	if err := spec.Canonicalize(); err != nil {
+		proxyError(w, http.StatusBadRequest, serve.ErrCodeBadRequest, err.Error())
+		return
+	}
+	p.submitTo(w, r, p.candidates(spec.Key()), "/v1/sweeps", body, false)
+}
+
+// candidates is the failover list for a route key: the owner first, then
+// the ring successor.
+func (p *Proxy) candidates(key string) []string {
+	ring, _ := p.m.Ring()
+	return ring.Successors(key, 2)
+}
+
+// submitTo POSTs body to the first reachable candidate, marking dead nodes
+// as it goes. remember records the request for later hedging (jobs only).
+func (p *Proxy) submitTo(w http.ResponseWriter, r *http.Request, candidates []string, path string, body []byte, remember bool) {
+	for i, addr := range candidates {
+		status, respBody, err := p.do(r.Context(), http.MethodPost, addr+path, body, "")
+		if err != nil {
+			p.peerDown(addr)
+			continue
+		}
+		if i > 0 {
+			p.mu.Lock()
+			p.met.failovers++
+			p.mu.Unlock()
+		}
+		name := p.names[addr]
+		respBody = rewriteBody(respBody, func(m map[string]any) {
+			id, ok := m["id"].(string)
+			if !ok {
+				return
+			}
+			global := id + "@" + name
+			m["id"] = global
+			if remember && status < 400 {
+				p.rememberSubmit(global, body)
+			}
+		})
+		writeRaw(w, status, respBody)
+		return
+	}
+	proxyError(w, http.StatusBadGateway, serve.ErrCodePeerUnreachable, "no reachable node for this key")
+}
+
+func (p *Proxy) rememberSubmit(globalID string, body []byte) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.submits[globalID]; ok {
+		return
+	}
+	p.submits[globalID] = body
+	p.fifo = append(p.fifo, globalID)
+	for len(p.fifo) > maxSubmitRecords {
+		delete(p.submits, p.fifo[0])
+		p.fifo = p.fifo[1:]
+	}
+}
+
+func (p *Proxy) submitRecord(globalID string) []byte {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.submits[globalID]
+}
+
+// ---- status reads and hedging ----
+
+// handleJobStatus proxies a status read to the owning node. Long-poll
+// waits longer than the hedge threshold race the owner against a
+// re-submission on another node: the duplicate is a shared-store cache hit
+// or a cross-node dedup join, so the hedge buys tail latency without a
+// second simulation. The loser's request is cancelled; exactly one status
+// is returned, always under the original global id.
+func (p *Proxy) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	globalID := r.PathValue("id")
+	localID, name, ok := splitID(globalID)
+	if !ok {
+		proxyError(w, http.StatusNotFound, serve.ErrCodeNotFound, "unknown job")
+		return
+	}
+	addr, ok := p.addrs[name]
+	if !ok {
+		proxyError(w, http.StatusNotFound, serve.ErrCodeNotFound, "unknown job")
+		return
+	}
+	wait, err := waitParam(r)
+	if err != nil {
+		proxyError(w, http.StatusBadRequest, serve.ErrCodeBadRequest, err.Error())
+		return
+	}
+	rec := p.submitRecord(globalID)
+	target := p.hedgeTarget(addr)
+	if p.hedge <= 0 || wait <= p.hedge || rec == nil || target == "" {
+		p.proxyStatus(w, r, addr, localID, globalID, wait)
+		return
+	}
+	p.raceStatus(w, r, addr, localID, globalID, wait, rec, target)
+}
+
+// hedgeTarget picks the node a hedge re-submission goes to: the first
+// alive member that is not the owner.
+func (p *Proxy) hedgeTarget(owner string) string {
+	for _, a := range p.m.Alive() {
+		if a != owner {
+			return a
+		}
+	}
+	return ""
+}
+
+// proxyStatus is the non-hedged read path.
+func (p *Proxy) proxyStatus(w http.ResponseWriter, r *http.Request, addr, localID, globalID string, wait time.Duration) {
+	url := addr + "/v1/jobs/" + localID
+	if wait > 0 {
+		url += "?wait=" + wait.String()
+	}
+	status, body, err := p.do(r.Context(), http.MethodGet, url, nil, "")
+	if err != nil {
+		p.peerDown(addr)
+		proxyError(w, http.StatusBadGateway, serve.ErrCodePeerUnreachable, "node "+p.names[addr]+" unreachable")
+		return
+	}
+	writeRaw(w, status, rewriteBody(body, func(m map[string]any) {
+		if _, ok := m["id"].(string); ok {
+			m["id"] = globalID
+		}
+	}))
+}
+
+// statusOutcome is one arm of the hedged race.
+type statusOutcome struct {
+	st     *serve.JobStatus
+	je     *serve.JobError
+	err    error
+	hedged bool
+}
+
+// conclusive reports whether an outcome ends the race: a terminal job
+// state or a definite experiment error envelope.
+func (o *statusOutcome) conclusive() bool {
+	if o.err != nil {
+		return false
+	}
+	if o.je != nil {
+		return true
+	}
+	return o.st != nil && (o.st.State == serve.StateDone || o.st.State == serve.StateFailed)
+}
+
+// raceStatus runs the owner long-poll against a delayed hedge and returns
+// the first conclusive outcome. The losing arm is cancelled through the
+// shared context the moment a winner renders.
+func (p *Proxy) raceStatus(w http.ResponseWriter, r *http.Request, addr, localID, globalID string, wait time.Duration, rec []byte, target string) {
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	ch := make(chan statusOutcome, 2)
+	go func() {
+		st, je, err := p.fetchStatus(ctx, addr, localID, wait)
+		ch <- statusOutcome{st: st, je: je, err: err}
+	}()
+	timer := time.AfterFunc(p.hedge, func() {
+		p.mu.Lock()
+		p.met.hedgesFired++
+		p.mu.Unlock()
+		go func() {
+			st, je, err := p.runHedge(ctx, target, rec, wait-p.hedge)
+			ch <- statusOutcome{st: st, je: je, err: err, hedged: true}
+		}()
+	})
+	defer timer.Stop()
+
+	var fallback *statusOutcome
+	expect := 2
+	for i := 0; i < expect; i++ {
+		o := <-ch
+		if o.conclusive() {
+			cancel()
+			if o.hedged {
+				p.mu.Lock()
+				p.met.hedgeWins++
+				p.mu.Unlock()
+			}
+			p.renderOutcome(w, &o, globalID)
+			return
+		}
+		if o.err != nil {
+			if o.hedged {
+				p.peerDown(target)
+			} else {
+				p.peerDown(addr)
+			}
+		}
+		if fallback == nil || (fallback.st == nil && o.st != nil) || (fallback.err != nil && o.err == nil && !o.hedged) {
+			cp := o
+			fallback = &cp
+		}
+		// If the hedge timer never fired, no second arm exists.
+		if i == 0 && !o.hedged && timer.Stop() {
+			expect = 1
+		}
+	}
+	if fallback != nil && (fallback.st != nil || fallback.je != nil) {
+		p.renderOutcome(w, fallback, globalID)
+		return
+	}
+	proxyError(w, http.StatusBadGateway, serve.ErrCodePeerUnreachable, "node "+p.names[addr]+" unreachable")
+}
+
+func (p *Proxy) renderOutcome(w http.ResponseWriter, o *statusOutcome, globalID string) {
+	if o.je != nil {
+		writeProxyJSON(w, o.je.Status, map[string]any{"error": o.je.JSON})
+		return
+	}
+	st := *o.st
+	st.ID = globalID
+	writeProxyJSON(w, http.StatusOK, &st)
+}
+
+// fetchStatus long-polls one node for one local job id.
+func (p *Proxy) fetchStatus(ctx context.Context, addr, localID string, wait time.Duration) (*serve.JobStatus, *serve.JobError, error) {
+	url := addr + "/v1/jobs/" + localID
+	if wait > 0 {
+		url += "?wait=" + wait.String()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	return decodeJobResponse(resp)
+}
+
+// runHedge re-submits the remembered request to target with the forward
+// marker (pinning execution there) and polls it for the remaining budget.
+// The shared store turns this into a cache hit or dedup join when the
+// original copy finishes first.
+func (p *Proxy) runHedge(ctx context.Context, target string, body []byte, budget time.Duration) (*serve.JobStatus, *serve.JobError, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, target+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return nil, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(serve.ForwardedHeader, "tarrouter-hedge")
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	st, je, err := decodeJobResponse(resp)
+	if err != nil || je != nil {
+		return st, je, err
+	}
+	if st.State == serve.StateDone || st.State == serve.StateFailed {
+		return st, nil, nil
+	}
+	if budget < time.Second {
+		budget = time.Second
+	}
+	return p.fetchStatus(ctx, target, st.ID, budget)
+}
+
+// ---- list fan-out and generic proxying ----
+
+// handleJobList fans out to every alive node and merges the job lists,
+// namespacing each id with its node.
+func (p *Proxy) handleJobList(w http.ResponseWriter, r *http.Request) {
+	p.fanoutList(w, r, "/v1/jobs", "jobs")
+}
+
+func (p *Proxy) handleSweepList(w http.ResponseWriter, r *http.Request) {
+	p.fanoutList(w, r, "/v1/sweeps", "sweeps")
+}
+
+func (p *Proxy) fanoutList(w http.ResponseWriter, r *http.Request, path, key string) {
+	type nodeList struct {
+		name  string
+		items []any
+	}
+	alive := p.m.Alive()
+	results := make([]nodeList, len(alive))
+	var wg sync.WaitGroup
+	for i, addr := range alive {
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			status, body, err := p.do(r.Context(), http.MethodGet, addr+path, nil, "")
+			if err != nil {
+				p.peerDown(addr)
+				return
+			}
+			if status >= 400 {
+				return
+			}
+			var m map[string]any
+			if json.Unmarshal(body, &m) != nil {
+				return
+			}
+			items, _ := m[key].([]any)
+			name := p.names[addr]
+			for _, it := range items {
+				if obj, ok := it.(map[string]any); ok {
+					if id, ok := obj["id"].(string); ok {
+						obj["id"] = id + "@" + name
+					}
+				}
+			}
+			results[i] = nodeList{name: name, items: items}
+		}(i, addr)
+	}
+	wg.Wait()
+	merged := make([]any, 0)
+	for _, nl := range results {
+		merged = append(merged, nl.items...)
+	}
+	sort.SliceStable(merged, func(i, j int) bool {
+		a, _ := merged[i].(map[string]any)
+		b, _ := merged[j].(map[string]any)
+		ai, _ := a["id"].(string)
+		bi, _ := b["id"].(string)
+		return ai < bi
+	})
+	writeProxyJSON(w, http.StatusOK, map[string]any{key: merged})
+}
+
+// proxyByID forwards a read for one namespaced id ("sweep-3@n2") to its
+// node, rewriting any id in the response back to the global form.
+func (p *Proxy) proxyByID(w http.ResponseWriter, r *http.Request, pathFmt, missing string) {
+	globalID := r.PathValue("id")
+	localID, name, ok := splitID(globalID)
+	if !ok {
+		proxyError(w, http.StatusNotFound, serve.ErrCodeNotFound, missing)
+		return
+	}
+	addr, ok := p.addrs[name]
+	if !ok {
+		proxyError(w, http.StatusNotFound, serve.ErrCodeNotFound, missing)
+		return
+	}
+	url := addr + fmt.Sprintf(pathFmt, localID)
+	if q := r.URL.RawQuery; q != "" {
+		url += "?" + q
+	}
+	status, body, err := p.do(r.Context(), http.MethodGet, url, nil, "")
+	if err != nil {
+		p.peerDown(addr)
+		proxyError(w, http.StatusBadGateway, serve.ErrCodePeerUnreachable, "node "+name+" unreachable")
+		return
+	}
+	writeRaw(w, status, rewriteBody(body, func(m map[string]any) {
+		if id, ok := m["id"].(string); ok && id == localID {
+			m["id"] = globalID
+		}
+	}))
+}
+
+// proxyAny forwards a node-agnostic read (benches, configs, knobs) to the
+// first reachable alive node.
+func (p *Proxy) proxyAny(w http.ResponseWriter, r *http.Request, path string) {
+	for _, addr := range p.m.Alive() {
+		url := addr + path
+		if q := r.URL.RawQuery; q != "" {
+			url += "?" + q
+		}
+		status, body, err := p.do(r.Context(), http.MethodGet, url, nil, "")
+		if err != nil {
+			p.peerDown(addr)
+			continue
+		}
+		writeRaw(w, status, body)
+		return
+	}
+	proxyError(w, http.StatusBadGateway, serve.ErrCodePeerUnreachable, "no reachable node")
+}
+
+// ---- router introspection ----
+
+func (p *Proxy) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	_, gen := p.m.Ring()
+	alive := make(map[string]bool)
+	for _, a := range p.m.Alive() {
+		alive[a] = true
+	}
+	nodes := make([]map[string]any, 0, len(p.order))
+	for _, name := range p.order {
+		addr := p.addrs[name]
+		nodes = append(nodes, map[string]any{"name": name, "addr": addr, "alive": alive[addr]})
+	}
+	writeProxyJSON(w, http.StatusOK, map[string]any{
+		"status":          "ok",
+		"role":            "router",
+		"ring_generation": gen,
+		"nodes":           nodes,
+	})
+}
+
+func (p *Proxy) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	_, gen := p.m.Ring()
+	aliveCount := len(p.m.Alive())
+	p.mu.Lock()
+	m := p.met
+	p.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "tarrouter_requests_total %d\n", m.requests)
+	fmt.Fprintf(w, "tarrouter_hedges_fired_total %d\n", m.hedgesFired)
+	fmt.Fprintf(w, "tarrouter_hedge_wins_total %d\n", m.hedgeWins)
+	fmt.Fprintf(w, "tarrouter_failovers_total %d\n", m.failovers)
+	fmt.Fprintf(w, "tarrouter_peer_errors_total %d\n", m.peerErrors)
+	fmt.Fprintf(w, "tarrouter_nodes_alive %d\n", aliveCount)
+	fmt.Fprintf(w, "tarrouter_ring_generation %d\n", gen)
+}
+
+// ---- plumbing ----
+
+// do issues one upstream request and slurps the response. A non-nil error
+// is a transport failure (the node is unreachable); HTTP-level errors come
+// back as (status, body).
+func (p *Proxy) do(ctx context.Context, method, url string, body []byte, forwarded string) (int, []byte, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
+	if err != nil {
+		return 0, nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if forwarded != "" {
+		req.Header.Set(serve.ForwardedHeader, forwarded)
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, b, nil
+}
+
+// peerDown records a transport failure against a node: metric plus ring
+// eviction (the prober brings it back when it answers /healthz again).
+func (p *Proxy) peerDown(addr string) {
+	p.mu.Lock()
+	p.met.peerErrors++
+	p.mu.Unlock()
+	p.m.MarkDead(addr)
+}
+
+// splitID splits a global id "job-7@n2" into its local id and node name.
+func splitID(globalID string) (localID, name string, ok bool) {
+	at := -1
+	for i := len(globalID) - 1; i >= 0; i-- {
+		if globalID[i] == '@' {
+			at = i
+			break
+		}
+	}
+	if at <= 0 || at == len(globalID)-1 {
+		return "", "", false
+	}
+	return globalID[:at], globalID[at+1:], true
+}
+
+// waitParam parses the ?wait long-poll duration, zero when absent.
+func waitParam(r *http.Request) (time.Duration, error) {
+	s := r.URL.Query().Get("wait")
+	if s == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad wait duration: %s", err)
+	}
+	return d, nil
+}
+
+// rewriteBody applies fn to a JSON object body and re-encodes it. Bodies
+// that are not JSON objects pass through untouched.
+func rewriteBody(body []byte, fn func(map[string]any)) []byte {
+	var m map[string]any
+	if err := json.Unmarshal(body, &m); err != nil {
+		return body
+	}
+	fn(m)
+	out, err := json.Marshal(m)
+	if err != nil {
+		return body
+	}
+	return out
+}
+
+func writeRaw(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+func writeProxyJSON(w http.ResponseWriter, status int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeRaw(w, status, b)
+}
+
+func proxyError(w http.ResponseWriter, status int, code, msg string) {
+	writeProxyJSON(w, status, map[string]any{"error": serve.ErrorJSON{Code: code, Message: msg}})
+}

@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/confhash"
+)
+
+// The one-build-path contract: resolving a request through BuildSpec and
+// then replaying the resolved JobSpec through the worker wire path (JSON
+// round-trip + JobSpec.Build, exactly what tarworker does) must yield the
+// same spec bytes, the same decorated configuration, and the same
+// confhash. If these ever diverge, the subprocess backend would simulate a
+// different experiment than the in-process one under the same identity.
+func TestBuildSpecCrossPathEquivalence(t *testing.T) {
+	req := &SubmitRequest{
+		Bench:     "dgemm",
+		Config:    "T",
+		Scale:     "test",
+		Check:     true,
+		FaultSeed: 11,
+		Knobs:     map[string]float64{"lanes": 8},
+	}
+	defaults := SpecDefaults{
+		DefaultDeadline: 2 * time.Minute,
+		MaxDeadline:     5 * time.Minute,
+		SampleEvery:     128,
+		SampleCap:       64,
+	}
+
+	spec, cfg, scale, err := BuildSpec(req, defaults)
+	if err != nil {
+		t.Fatalf("BuildSpec: %v", err)
+	}
+	if spec.DeadlineMs != (2 * time.Minute).Milliseconds() {
+		t.Errorf("default deadline not applied: %d", spec.DeadlineMs)
+	}
+	if spec.SampleEvery != 128 || spec.SampleCap != 64 {
+		t.Errorf("sampler not applied: every=%d cap=%d", spec.SampleEvery, spec.SampleCap)
+	}
+
+	// The worker wire path: the spec crosses a process boundary as JSON.
+	wire, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var replayed JobSpec
+	if err := json.Unmarshal(wire, &replayed); err != nil {
+		t.Fatal(err)
+	}
+	rewire, err := json.Marshal(&replayed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(wire) != string(rewire) {
+		t.Errorf("spec JSON not byte-stable across the wire:\n%s\n%s", wire, rewire)
+	}
+
+	cfg2, scale2, err := replayed.Build()
+	if err != nil {
+		t.Fatalf("replayed Build: %v", err)
+	}
+	if scale != scale2 {
+		t.Errorf("scale diverged: %v vs %v", scale, scale2)
+	}
+	k1 := confhash.Key(spec.Bench, scale.String(), cfg)
+	k2 := confhash.Key(replayed.Bench, scale2.String(), cfg2)
+	if k1 != k2 {
+		t.Errorf("confhash diverged across build paths: %s vs %s", k1, k2)
+	}
+	c1, _ := json.Marshal(cfg)
+	c2, _ := json.Marshal(cfg2)
+	if string(c1) != string(c2) {
+		t.Errorf("decorated configs diverged:\n%s\n%s", c1, c2)
+	}
+}
+
+// RouteKey is the cluster placement identity: a pure function of the
+// request bytes, computed with zero server defaults so every node and
+// router agrees on the owner no matter what defaults they would apply at
+// execution time. Anything that changes the experiment's confhash —
+// including integrity knobs like an explicit deadline — changes placement,
+// because it names a different cache entry.
+func TestRouteKeyPlacementIdentity(t *testing.T) {
+	base := func() *SubmitRequest {
+		return &SubmitRequest{Bench: "dgemm", Config: "T", Scale: "test"}
+	}
+	k0, err := RouteKey(base())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// An explicit deadline is part of the confhash identity (a different
+	// integrity envelope is a different experiment), so it legitimately
+	// routes elsewhere — what matters is that it does so deterministically.
+	withDeadline := base()
+	withDeadline.DeadlineMs = 30000
+	kd, err := RouteKey(withDeadline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kd == k0 {
+		t.Error("explicit deadline did not change the confhash identity")
+	}
+	if kd2, _ := RouteKey(withDeadline); kd2 != kd {
+		t.Errorf("deadline-carrying request not deterministic: %s vs %s", kd2, kd)
+	}
+
+	otherConfig := base()
+	otherConfig.Config = "EV8"
+	if k, _ := RouteKey(otherConfig); k == k0 {
+		t.Error("different config produced the same route key")
+	}
+
+	withKnob := base()
+	withKnob.Knobs = map[string]float64{"lanes": 8}
+	if k, _ := RouteKey(withKnob); k == k0 {
+		t.Error("knob perturbation produced the same route key")
+	}
+
+	// Placement must also agree with zero-default resolution no matter what
+	// server-side defaults the executing node would apply.
+	again, err := RouteKey(base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != k0 {
+		t.Errorf("route key not deterministic: %s vs %s", again, k0)
+	}
+}

@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"bufio"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// DESIGN.md publishes "The closed /v1 error-code set" as a table and
+// promises it never drifts from ErrorCodeStatus. This test is that
+// promise: it parses the table out of the document and asserts exact
+// equality in both directions — every documented code exists in the map
+// with the same HTTP status, and every code in the map is documented.
+func TestErrorCodeTableMatchesDesignDoc(t *testing.T) {
+	f, err := os.Open("../../DESIGN.md")
+	if err != nil {
+		t.Fatalf("open DESIGN.md: %v", err)
+	}
+	defer f.Close()
+
+	row := regexp.MustCompile("^\\| `([a-z_]+)` \\| ([0-9]{3}) \\|")
+	documented := map[string]int{}
+	inSection := false
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "### The closed /v1 error-code set"):
+			inSection = true
+		case inSection && (strings.HasPrefix(line, "## ") || strings.HasPrefix(line, "### ")):
+			inSection = false
+		case inSection:
+			if m := row.FindStringSubmatch(line); m != nil {
+				status, err := strconv.Atoi(m[2])
+				if err != nil {
+					t.Fatalf("bad status in row %q: %v", line, err)
+				}
+				if _, dup := documented[m[1]]; dup {
+					t.Errorf("code %q documented twice", m[1])
+				}
+				documented[m[1]] = status
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(documented) == 0 {
+		t.Fatal("found no error-code rows under '### The closed /v1 error-code set' in DESIGN.md")
+	}
+
+	for code, status := range documented {
+		got, ok := ErrorCodeStatus[code]
+		if !ok {
+			t.Errorf("DESIGN.md documents code %q which is not in ErrorCodeStatus", code)
+			continue
+		}
+		if got != status {
+			t.Errorf("code %q: DESIGN.md says %d, ErrorCodeStatus says %d", code, status, got)
+		}
+	}
+	for code := range ErrorCodeStatus {
+		if _, ok := documented[code]; !ok {
+			t.Errorf("ErrorCodeStatus has code %q which DESIGN.md does not document", code)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/confhash"
 	"repro/internal/dse"
 	"repro/internal/faults"
 	"repro/internal/sim"
@@ -52,6 +53,12 @@ type SubmitRequest struct {
 	// axes (lanes, l2_kb, zbox_ports, clock_ghz, pump, phys_vregs) before
 	// simulation. Unknown names or out-of-range values are bad_request.
 	Knobs map[string]float64 `json:"knobs,omitempty"`
+
+	// Forwarded marks a request that arrived with the cluster forward
+	// marker (ForwardedHeader): a peer routed it here deliberately, so this
+	// node must execute it locally rather than forward it again. Set from
+	// the header by the HTTP layer, never from the request body.
+	Forwarded bool `json:"-"`
 }
 
 // JobSpec is the fully-resolved description of one simulation: a
@@ -82,6 +89,17 @@ type JobSpec struct {
 	// they ride in the spec rather than the sim.Config hash.
 	SampleEvery uint64 `json:"sample_every,omitempty"`
 	SampleCap   int    `json:"sample_cap,omitempty"`
+
+	// Route is the cluster placement key (RouteKey of the originating
+	// request): the identity the consistent-hash ring places, computed
+	// without any server-local defaults so every node and router agrees on
+	// the owner. Empty outside cluster mode. Never serialized — placement
+	// is a routing concern, not part of the execution protocol.
+	Route string `json:"-"`
+	// NoForward pins the spec to this node: it arrived with the forward
+	// marker (a peer routed or hedged it here), so forwarding it again
+	// would loop. Never serialized.
+	NoForward bool `json:"-"`
 }
 
 // CellKey is the sweep-cell vocabulary ("bench@config") shared with the
@@ -139,10 +157,30 @@ func (sp *JobSpec) Build() (*sim.Config, workloads.Scale, error) {
 	return &cc, scale, nil
 }
 
-// resolveSpec turns a request into the fully-resolved JobSpec (server
-// defaults applied) plus its built configuration and scale. Validation
-// failures are client errors (HTTP 400).
-func (s *Server) resolveSpec(req *SubmitRequest) (*JobSpec, *sim.Config, workloads.Scale, error) {
+// SpecDefaults are the server-side knobs folded into a request when it is
+// resolved into a JobSpec: deadline defaulting and clamping, plus the
+// observability sampler. The zero value applies nothing — the resolution a
+// cluster router uses for placement, so every node computes the same
+// identity for the same request bytes.
+type SpecDefaults struct {
+	// DefaultDeadline is applied when the request sets no deadline_ms;
+	// MaxDeadline clamps what a request may ask for. Zero disables each.
+	DefaultDeadline time.Duration
+	MaxDeadline     time.Duration
+	// SampleEvery/SampleCap arm the cycle-interval sampler on the resolved
+	// spec (outside the confhash identity).
+	SampleEvery uint64
+	SampleCap   int
+}
+
+// BuildSpec is the single request→spec build path: it resolves a
+// SubmitRequest against the given defaults and validates it by assembling
+// the decorated machine configuration plus the parsed scale. Every
+// consumer goes through here — the HTTP server (via its own defaults), the
+// cluster router (via zero defaults, for placement), and both execution
+// backends (via JobSpec.Build on the resolved spec) — so one request
+// resolves to identical simulation inputs everywhere.
+func BuildSpec(req *SubmitRequest, d SpecDefaults) (*JobSpec, *sim.Config, workloads.Scale, error) {
 	sp := &JobSpec{
 		Bench:         req.Bench,
 		Config:        req.Config,
@@ -157,23 +195,61 @@ func (s *Server) resolveSpec(req *SubmitRequest) (*JobSpec, *sim.Config, workloa
 	if sp.Scale == "" {
 		sp.Scale = "bench"
 	}
-	deadline := s.opts.DefaultDeadline
+	deadline := d.DefaultDeadline
 	if req.DeadlineMs > 0 {
 		deadline = time.Duration(req.DeadlineMs) * time.Millisecond
 	}
-	if max := s.opts.MaxDeadline; max > 0 && (deadline == 0 || deadline > max) {
+	if max := d.MaxDeadline; max > 0 && (deadline == 0 || deadline > max) {
 		deadline = max
 	}
 	sp.DeadlineMs = deadline.Milliseconds()
-	if s.opts.SampleEvery > 0 {
+	if d.SampleEvery > 0 {
 		// Server-side observability knob; lives outside the confhash
 		// identity so sampled and unsampled runs share a content key.
-		sp.SampleEvery = s.opts.SampleEvery
-		sp.SampleCap = s.opts.SampleCap
+		sp.SampleEvery = d.SampleEvery
+		sp.SampleCap = d.SampleCap
 	}
 	cfg, scale, err := sp.Build()
 	if err != nil {
 		return nil, nil, 0, err
+	}
+	return sp, cfg, scale, nil
+}
+
+// RouteKey is a request's cluster placement identity: its confhash when
+// resolved with zero server defaults. Ring placement must be a pure
+// function of the request bytes — two nodes with different deadline or
+// sampling settings still agree on the owner — while the execution-time
+// content key (defaults applied) keeps governing caching and dedup.
+func RouteKey(req *SubmitRequest) (string, error) {
+	sp, cfg, scale, err := BuildSpec(req, SpecDefaults{})
+	if err != nil {
+		return "", err
+	}
+	return confhash.Key(sp.Bench, scale.String(), cfg), nil
+}
+
+// resolveSpec turns a request into the fully-resolved JobSpec (server
+// defaults applied) plus its built configuration and scale, decorating it
+// with the cluster routing fields when this server is part of a ring.
+// Validation failures are client errors (HTTP 400).
+func (s *Server) resolveSpec(req *SubmitRequest) (*JobSpec, *sim.Config, workloads.Scale, error) {
+	sp, cfg, scale, err := BuildSpec(req, SpecDefaults{
+		DefaultDeadline: s.opts.DefaultDeadline,
+		MaxDeadline:     s.opts.MaxDeadline,
+		SampleEvery:     s.opts.SampleEvery,
+		SampleCap:       s.opts.SampleCap,
+	})
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	sp.NoForward = req.Forwarded
+	if s.opts.Router != nil && !req.Forwarded {
+		route, err := RouteKey(req)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		sp.Route = route
 	}
 	return sp, cfg, scale, nil
 }
@@ -258,7 +334,28 @@ const (
 	// ErrCodeWorkerCrash: a subprocess worker died mid-job and the retry
 	// budget is exhausted. HTTP 500.
 	ErrCodeWorkerCrash = "worker_crash"
+	// ErrCodePeerUnreachable: cluster mode only — every node that could own
+	// the experiment was unreachable, so the request could not be routed.
+	// Retryable; the experiment itself is fine. HTTP 502.
+	ErrCodePeerUnreachable = "peer_unreachable"
 )
+
+// ErrorCodeStatus is the closed /v1 error-code set and each code's HTTP
+// status — the single source of truth the documentation table in DESIGN.md
+// is asserted against, and the map cluster components use to reconstruct a
+// JobError from a peer's wire envelope.
+var ErrorCodeStatus = map[string]int{
+	ErrCodeBadRequest:       400,
+	ErrCodeNotFound:         404,
+	ErrCodeDraining:         503,
+	ErrCodeQueueFull:        503,
+	ErrCodeDeadlineExceeded: 504,
+	ErrCodeWedge:            422,
+	ErrCodeCheckFailed:      422,
+	ErrCodeInternal:         500,
+	ErrCodeWorkerCrash:      500,
+	ErrCodePeerUnreachable:  502,
+}
 
 // ErrorJSON is the stable /v1 error envelope body. Code is always present;
 // Confhash identifies the experiment for errors attached to a resolved

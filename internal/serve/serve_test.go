@@ -357,7 +357,7 @@ func TestResultBytesMatchCLIEncoding(t *testing.T) {
 
 // TestLRUEviction bounds the cache.
 func TestLRUEviction(t *testing.T) {
-	c := newLRU(2)
+	c := newMemStore(2)
 	c.Put("a", fakeResult("a", "T"))
 	c.Put("b", fakeResult("b", "T"))
 	if _, ok := c.Get("a"); !ok {

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -56,6 +57,12 @@ func TestSweepWarmupSharedOnce(t *testing.T) {
 	}
 }
 
+// snapPath is the snapshot namespace's on-disk layout contract under a
+// store rooted at dir.
+func snapPath(dir, key string) string {
+	return filepath.Join(dir, "snapshots", fmt.Sprintf("schema-%d", snapshot.SchemaVersion), key+".snap")
+}
+
 // TestDiskSnapshotRoundTripAndRecovery: snapshots persist through the disk
 // store, survive a close/reopen (warm start), and damaged files are
 // quarantined at open — never served, never fatal.
@@ -75,8 +82,8 @@ func TestDiskSnapshotRoundTripAndRecovery(t *testing.T) {
 
 	// Damage one snapshot on disk and drop a truncated alien file plus tmp
 	// debris next to it before reopening.
-	snapDir := store.(*tieredStore).disk.snapDir
-	path := filepath.Join(snapDir, "warmkey1"+snapSuffix)
+	snapDir := filepath.Dir(snapPath(dir, "warmkey1"))
+	path := snapPath(dir, "warmkey1")
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
@@ -85,10 +92,10 @@ func TestDiskSnapshotRoundTripAndRecovery(t *testing.T) {
 	if err := os.WriteFile(path, raw, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(filepath.Join(snapDir, "short"+snapSuffix), []byte("x"), 0o644); err != nil {
+	if err := os.WriteFile(filepath.Join(snapDir, "short.snap"), []byte("x"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(filepath.Join(snapDir, tmpPrefix+"debris"), []byte("y"), 0o644); err != nil {
+	if err := os.WriteFile(filepath.Join(snapDir, ".tmp-debris"), []byte("y"), 0o644); err != nil {
 		t.Fatal(err)
 	}
 
@@ -111,37 +118,43 @@ func TestDiskSnapshotRoundTripAndRecovery(t *testing.T) {
 	if st.SnapEntries != 1 {
 		t.Errorf("entries after recovery = %d, want 1", st.SnapEntries)
 	}
-	for _, name := range []string{"warmkey1" + snapSuffix, "short" + snapSuffix} {
+	for _, name := range []string{"warmkey1.snap", "short.snap"} {
 		if _, err := os.Stat(filepath.Join(dir, "quarantine", name)); err != nil {
 			t.Errorf("%s not in quarantine: %v", name, err)
 		}
 	}
-	if _, err := os.Stat(filepath.Join(snapDir, tmpPrefix+"debris")); !os.IsNotExist(err) {
+	if _, err := os.Stat(filepath.Join(snapDir, ".tmp-debris")); !os.IsNotExist(err) {
 		t.Error("tmp debris survived reopen")
 	}
 }
 
 // TestDiskSnapshotReadTimeQuarantine: bytes that rot after the open-time
-// scan are caught by the per-read verification.
+// scan are caught by the per-read verification. The rot lands after a
+// reopen, so the fresh memory tier cannot shadow the damaged disk bytes.
 func TestDiskSnapshotReadTimeQuarantine(t *testing.T) {
 	dir := t.TempDir()
-	store, err := OpenStore(dir, 16, 0, nil)
+	s1, err := OpenStore(dir, 16, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer store.Close()
-	disk := store.(*tieredStore).disk
-	disk.PutSnapshot("warmkey0", snapBlob("gamma"))
-	path := disk.snapPath("warmkey0")
+	s1.(SnapshotStore).PutSnapshot("warmkey0", snapBlob("gamma"))
+	s1.Close()
+
+	s2, err := OpenStore(dir, 16, 0, nil) // open-time scan sees intact bytes
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	path := snapPath(dir, "warmkey0")
 	raw, _ := os.ReadFile(path)
 	raw[len(raw)-1] ^= 1
 	if err := os.WriteFile(path, raw, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := disk.GetSnapshot("warmkey0"); ok {
+	if _, ok := s2.(SnapshotStore).GetSnapshot("warmkey0"); ok {
 		t.Fatal("post-open corruption was served")
 	}
-	if st := disk.Status(); st.SnapQuarantined != 1 || st.SnapEntries != 0 {
+	if st := s2.Status(); st.SnapQuarantined != 1 || st.SnapEntries != 0 {
 		t.Errorf("status after read-time quarantine: %+v", st)
 	}
 }
@@ -163,7 +176,10 @@ func TestDiskSnapshotRejectsInvalidPut(t *testing.T) {
 }
 
 // TestDiskSnapshotEviction: the snapshot byte cap evicts least-recently-
-// accessed snapshots without touching the artifact index.
+// accessed snapshots from the disk tier without touching the artifact
+// index. (The strict LRA-ordering drill lives in internal/store; here the
+// memory tier still holds everything, so the disk-side status and the
+// filesystem are the observables.)
 func TestDiskSnapshotEviction(t *testing.T) {
 	dir := t.TempDir()
 	store, err := OpenStore(dir, 16, 200, nil)
@@ -171,18 +187,18 @@ func TestDiskSnapshotEviction(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer store.Close()
-	disk := store.(*tieredStore).disk
-	disk.PutSnapshot("snapa000", snapBlob("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"))
-	disk.PutSnapshot("snapb000", snapBlob("bbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbb"))
-	disk.PutSnapshot("snapc000", snapBlob("cccccccccccccccccccccccccccccccccccccccc"))
-	st := disk.Status()
+	ss := store.(SnapshotStore)
+	ss.PutSnapshot("snapa000", snapBlob("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"))
+	ss.PutSnapshot("snapb000", snapBlob("bbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbb"))
+	ss.PutSnapshot("snapc000", snapBlob("cccccccccccccccccccccccccccccccccccccccc"))
+	st := store.Status()
 	if st.SnapEvicted == 0 {
 		t.Fatalf("byte cap did not evict: %+v", st)
 	}
 	if st.SnapBytes > 200 {
 		t.Errorf("snapshot bytes %d exceed the cap", st.SnapBytes)
 	}
-	if _, ok := disk.GetSnapshot("snapa000"); ok {
-		t.Error("coldest snapshot survived eviction")
+	if _, err := os.Stat(snapPath(dir, "snapa000")); !os.IsNotExist(err) {
+		t.Errorf("coldest snapshot still on disk: %v", err)
 	}
 }

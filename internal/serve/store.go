@@ -1,25 +1,31 @@
 package serve
 
 import (
+	"encoding/json"
 	"fmt"
-	"hash/fnv"
-	"sync"
 
 	"repro/internal/faults"
+	"repro/internal/snapshot"
+	"repro/internal/store"
 	"repro/internal/workloads"
 )
 
 // Store is the pluggable result store: completed experiments keyed by
 // confhash content address within one JobResult schema version. It is the
-// seam the ROADMAP's shared cluster store plugs into — the server only ever
-// talks to this interface, whether the implementation is the in-memory LRU,
-// the crash-safe disk store, or (later) a remote shared store.
+// seam the cluster's shared store plugs into — the server only ever talks
+// to this interface, whether the implementation is the in-memory tier, the
+// crash-safe disk store, or the shared-directory cluster store.
 //
 // The contract every implementation must honor: Get either returns a result
 // whose JobResult encoding is byte-identical to what Put received (the
 // content address makes that checkable) or reports a miss — a store may
 // lose artifacts (eviction, I/O faults, corruption quarantine) but may
 // never serve a wrong or corrupt one.
+//
+// All three faces (Store, BlobStore, SnapshotStore) are served by one
+// generic content-addressed implementation, internal/store, with typed
+// namespaces; this typed surface is the adapter that keeps serve call
+// sites working in terms of decoded results.
 type Store interface {
 	// Get returns the stored result for a content key, or a miss. A miss
 	// is always safe: the caller re-simulates.
@@ -38,11 +44,11 @@ type Store interface {
 
 // BlobStore is the optional second face of a Store: schema-versioned
 // aggregate blobs (completed sweep results) keyed by content address,
-// alongside the per-experiment artifacts. All three built-in stores
-// implement it; the server feature-detects with a type assertion so
-// substitute stores in tests stay valid without blob support — they just
-// lose sweep durability, never correctness (a blob miss replays the sweep
-// through the per-experiment store, which dedups the actual simulations).
+// alongside the per-experiment artifacts. The built-in stores implement
+// it; the server feature-detects with a type assertion so substitute
+// stores in tests stay valid without blob support — they just lose sweep
+// durability, never correctness (a blob miss replays the sweep through the
+// per-experiment store, which dedups the actual simulations).
 type BlobStore interface {
 	// GetBlob returns the stored blob bytes for a content key, or a miss.
 	GetBlob(key string) ([]byte, bool)
@@ -71,7 +77,7 @@ type SnapshotStore interface {
 // StoreStatus is the store-health block reported on /healthz and rendered
 // as tarserved_store_* series on /metrics.
 type StoreStatus struct {
-	// Tier names the configuration: "mem" or "mem+disk".
+	// Tier names the configuration: "mem", "mem+disk" or "mem+shared".
 	Tier string `json:"tier"`
 	// MemEntries/DiskEntries count resident artifacts per tier.
 	MemEntries  int `json:"mem_entries"`
@@ -102,166 +108,204 @@ type StoreStatus struct {
 	SnapEvicted     uint64 `json:"snapshot_evicted,omitempty"`
 }
 
-// OpenStore builds the production store: the bounded in-memory LRU alone
-// when dir is empty, or the LRU as a read-through/write-through tier in
-// front of the crash-safe disk store at dir. chaos arms the disk tier's
-// fault-injection hooks (nil = none).
-func OpenStore(dir string, memEntries int, maxBytes int64, chaos *faults.Config) (Store, error) {
-	mem := newLRU(memEntries)
-	if dir == "" {
-		return mem, nil
+// maxBlobs bounds retained aggregate blobs in the memory tier.
+const maxBlobs = 256
+
+// maxSnapBytes bounds retained chip snapshots in the memory tier.
+const maxSnapBytes = 256 << 20
+
+// storeConfig is the serve layer's namespace policy set: the schema
+// versions, on-disk layout, validators and retention bounds for each
+// artifact kind. This — not store code — is what distinguishes results
+// from sweeps from snapshots.
+func storeConfig(memEntries int) store.Config {
+	if memEntries <= 0 {
+		memEntries = 4096
 	}
-	disk, err := openDiskStore(dir, maxBytes, faults.New(chaos))
+	return store.Config{
+		store.Results: {
+			Schema: SchemaVersion,
+			Ext:    ".json",
+			Validate: func(key string, raw []byte) error {
+				_, err := decodeArtifact(key, raw)
+				return err
+			},
+			ScanOnOpen:     true,
+			VerifyOnRead:   true,
+			DiskEvict:      true,
+			TornWriteChaos: true,
+			MemEntries:     memEntries,
+			MemLRU:         true,
+		},
+		// Sweep blobs: validation (schema stamp, key match) belongs to the
+		// caller, which owns the blob encoding; retention is a small FIFO
+		// in memory and unindexed direct reads on disk.
+		store.Sweeps: {
+			Schema:     SweepSchemaVersion,
+			Subdir:     "sweeps",
+			Ext:        ".json",
+			MemEntries: maxBlobs,
+		},
+		// Chip snapshots: envelope-verified on scan, on every disk read and
+		// on put; byte-bounded in memory (full memory images) and evicted
+		// separately from artifacts on disk.
+		store.Snapshots: {
+			Schema: snapshot.SchemaVersion,
+			Subdir: "snapshots",
+			Ext:    ".snap",
+			Validate: func(_ string, raw []byte) error {
+				return snapshot.Verify(raw)
+			},
+			ScanOnOpen:    true,
+			VerifyOnRead:  true,
+			ValidateOnPut: true,
+			DiskEvict:     true,
+			MemBytes:      maxSnapBytes,
+		},
+	}
+}
+
+// OpenStore builds the production store: the bounded in-memory tier alone
+// when dir is empty, or the memory tier as a read-through/write-through
+// cache in front of the crash-safe disk store at dir. chaos arms the disk
+// tier's fault-injection hooks (nil = none).
+func OpenStore(dir string, memEntries int, maxBytes int64, chaos *faults.Config) (Store, error) {
+	cfg := storeConfig(memEntries)
+	mem := store.NewMem(cfg)
+	if dir == "" {
+		return &storeAdapter{inner: mem}, nil
+	}
+	disk, err := store.OpenDisk(dir, maxBytes, faults.New(chaos), cfg)
 	if err != nil {
 		return nil, fmt.Errorf("serve: disk store: %w", err)
 	}
-	return newTieredStore(mem, disk), nil
+	return &storeAdapter{inner: store.NewTiered(mem, disk)}, nil
 }
 
-// tieredStore layers the in-memory LRU over the disk store: gets read
-// through (memory first, disk on miss, promoting hits), puts write through
-// to both. Per-key shard locks serialize a disk load against a concurrent
-// completion of the same confhash, so a result finishing during a
-// warm-start load can neither be dropped nor written twice — the lru.add
-// single-flight gap called out in ISSUE 7.
-type tieredStore struct {
-	mem  *lru
-	disk *diskStore
-
-	// shards are per-key mutexes (hash-sharded): held across the slow path
-	// (disk read + memory promote) and across Put, never across the pure
-	// memory fast path.
-	shards [64]sync.Mutex
-
-	mu       sync.Mutex
-	warmHits uint64
-}
-
-func newTieredStore(mem *lru, disk *diskStore) *tieredStore {
-	return &tieredStore{mem: mem, disk: disk}
-}
-
-func (t *tieredStore) shard(key string) *sync.Mutex {
-	h := fnv.New32a()
-	h.Write([]byte(key))
-	return &t.shards[h.Sum32()%uint32(len(t.shards))]
-}
-
-func (t *tieredStore) Get(key string) (*workloads.Result, bool) {
-	if res, ok := t.mem.Get(key); ok {
-		return res, true
+// OpenSharedStore builds the cluster store: the memory tier in front of a
+// shared-directory (NFS-style) tier that many nodes point at the same
+// path. Every artifact namespace is read directly from the filesystem with
+// read-time validation, so any node's Put is every node's hit — the
+// cluster-wide cache that makes cross-node single-flight cheap. No node
+// indexes or evicts the shared directory: it is a fleet resource no single
+// process owns.
+func OpenSharedStore(dir string, memEntries int, chaos *faults.Config) (Store, error) {
+	cfg := storeConfig(memEntries)
+	mem := store.NewMem(cfg)
+	shared, err := store.OpenShared(dir, faults.New(chaos), cfg)
+	if err != nil {
+		return nil, fmt.Errorf("serve: shared store: %w", err)
 	}
-	lock := t.shard(key)
-	lock.Lock()
-	defer lock.Unlock()
-	// Re-check under the key lock: a Put may have landed between the fast
-	// path and here, and its (identical, content-addressed) result must
-	// not be raced by a stale disk load.
-	if res, ok := t.mem.Get(key); ok {
-		return res, true
-	}
-	res, ok := t.disk.Get(key)
+	return &storeAdapter{inner: store.NewTiered(mem, shared)}, nil
+}
+
+// newMemStore is the default store when none is configured: memory-only.
+func newMemStore(memEntries int) Store {
+	return &storeAdapter{inner: store.NewMem(storeConfig(memEntries))}
+}
+
+// storeAdapter keeps the serve call sites speaking in decoded results and
+// typed faces while the underlying store moves opaque bytes by
+// (namespace, key). The encode/decode round trip is byte-stable (the
+// cross-backend byte-identity test pins it), so a result surviving the
+// adapter is the same artifact the API serves.
+type storeAdapter struct {
+	inner store.Interface
+}
+
+func (a *storeAdapter) Get(key string) (*workloads.Result, bool) {
+	raw, ok := a.inner.Get(store.Results, key)
 	if !ok {
 		return nil, false
 	}
-	t.mem.Put(key, res)
-	t.mu.Lock()
-	t.warmHits++
-	t.mu.Unlock()
+	res, err := decodeArtifact(key, raw)
+	if err != nil {
+		return nil, false
+	}
 	return res, true
 }
 
-func (t *tieredStore) Put(key string, res *workloads.Result) {
-	lock := t.shard(key)
-	lock.Lock()
-	defer lock.Unlock()
-	t.mem.Put(key, res)
-	t.disk.Put(key, res)
+func (a *storeAdapter) Put(key string, res *workloads.Result) {
+	raw, err := json.Marshal(EncodeResult(key, res))
+	if err != nil {
+		return
+	}
+	a.inner.Put(store.Results, key, raw)
 }
 
-func (t *tieredStore) Len() int { return t.mem.Len() }
+func (a *storeAdapter) Len() int { return a.inner.Len(store.Results) }
 
-// GetBlob reads through: memory first, disk on miss (promoting hits), under
-// the same per-key shard lock as artifact access so a blob completing
-// during a read cannot be raced by a stale disk load.
-func (t *tieredStore) GetBlob(key string) ([]byte, bool) {
-	if raw, ok := t.mem.GetBlob(key); ok {
-		return raw, true
-	}
-	lock := t.shard(key)
-	lock.Lock()
-	defer lock.Unlock()
-	if raw, ok := t.mem.GetBlob(key); ok {
-		return raw, true
-	}
-	raw, ok := t.disk.GetBlob(key)
-	if !ok {
-		return nil, false
-	}
-	t.mem.PutBlob(key, raw)
-	return raw, true
+func (a *storeAdapter) GetBlob(key string) ([]byte, bool) {
+	return a.inner.Get(store.Sweeps, key)
 }
 
-// PutBlob writes through to both tiers.
-func (t *tieredStore) PutBlob(key string, raw []byte) {
-	lock := t.shard(key)
-	lock.Lock()
-	defer lock.Unlock()
-	t.mem.PutBlob(key, raw)
-	t.disk.PutBlob(key, raw)
+func (a *storeAdapter) PutBlob(key string, raw []byte) {
+	a.inner.Put(store.Sweeps, key, raw)
 }
 
-// GetSnapshot reads through: memory first, disk on miss (promoting hits),
-// under the per-key shard lock like the other faces.
-func (t *tieredStore) GetSnapshot(key string) ([]byte, bool) {
-	if blob, ok := t.mem.GetSnapshot(key); ok {
-		return blob, true
+func (a *storeAdapter) GetSnapshot(key string) ([]byte, bool) {
+	return a.inner.Get(store.Snapshots, key)
+}
+
+func (a *storeAdapter) PutSnapshot(key string, blob []byte) {
+	a.inner.Put(store.Snapshots, key, blob)
+}
+
+func (a *storeAdapter) Status() StoreStatus {
+	return translateStatus(a.inner.Status())
+}
+
+func (a *storeAdapter) Close() error { return a.inner.Close() }
+
+// translateStatus maps the generic per-namespace store status onto the
+// stable wire shape /healthz and /metrics have always reported.
+func translateStatus(st store.Status) StoreStatus {
+	r := st.NS[store.Results]
+	s := st.NS[store.Snapshots]
+	out := StoreStatus{Tier: st.Tier, MemEntries: r.MemEntries, IOErrors: st.IOErrors}
+	if st.Tier == "mem" {
+		// Memory-only store: snapshots are memory-resident.
+		out.SnapEntries = s.MemEntries
+		out.SnapBytes = s.MemBytes
+		out.SnapEvicted = s.MemEvicted
+		return out
 	}
-	lock := t.shard(key)
-	lock.Lock()
-	defer lock.Unlock()
-	if blob, ok := t.mem.GetSnapshot(key); ok {
-		return blob, true
+	out.DiskEntries = r.DiskEntries
+	out.DiskBytes = r.DiskBytes
+	out.WarmStart = r.WarmStart
+	out.WarmHits = r.WarmHits
+	out.Quarantined = r.Quarantined
+	out.Evicted = r.Evicted
+	out.SnapEntries = s.DiskEntries
+	out.SnapBytes = s.DiskBytes
+	out.SnapQuarantined = s.Quarantined
+	out.SnapEvicted = s.Evicted
+	return out
+}
+
+// decodeArtifact validates one stored artifact end to end: JSON shape,
+// schema stamp, self-consistent content key, and a reconstructible result.
+// Anything less is quarantine material.
+func decodeArtifact(key string, raw []byte) (*workloads.Result, error) {
+	var jr JobResult
+	if err := json.Unmarshal(raw, &jr); err != nil {
+		return nil, fmt.Errorf("undecodable artifact: %w", err)
 	}
-	blob, ok := t.disk.GetSnapshot(key)
-	if !ok {
-		return nil, false
+	if jr.Schema != SchemaVersion {
+		return nil, fmt.Errorf("schema skew: artifact is schema %d, this build writes %d", jr.Schema, SchemaVersion)
 	}
-	t.mem.PutSnapshot(key, blob)
-	return blob, true
+	if jr.Key != key {
+		return nil, fmt.Errorf("key mismatch: file named %s carries key %s", key, jr.Key)
+	}
+	res, err := resultFromWire(&jr)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
 }
-
-// PutSnapshot writes through to both tiers.
-func (t *tieredStore) PutSnapshot(key string, blob []byte) {
-	lock := t.shard(key)
-	lock.Lock()
-	defer lock.Unlock()
-	t.mem.PutSnapshot(key, blob)
-	t.disk.PutSnapshot(key, blob)
-}
-
-func (t *tieredStore) Status() StoreStatus {
-	st := t.disk.Status()
-	st.Tier = "mem+disk"
-	st.MemEntries = t.mem.Len()
-	t.mu.Lock()
-	st.WarmHits = t.warmHits
-	t.mu.Unlock()
-	return st
-}
-
-func (t *tieredStore) Close() error { return t.disk.Close() }
 
 var (
-	_ Store = (*lru)(nil)
-	_ Store = (*tieredStore)(nil)
-	_ Store = (*diskStore)(nil)
-
-	_ BlobStore = (*lru)(nil)
-	_ BlobStore = (*tieredStore)(nil)
-	_ BlobStore = (*diskStore)(nil)
-
-	_ SnapshotStore = (*lru)(nil)
-	_ SnapshotStore = (*tieredStore)(nil)
-	_ SnapshotStore = (*diskStore)(nil)
+	_ Store         = (*storeAdapter)(nil)
+	_ BlobStore     = (*storeAdapter)(nil)
+	_ SnapshotStore = (*storeAdapter)(nil)
 )
